@@ -1,0 +1,402 @@
+//! The BDL-tree (paper §5, Appendix C.2–C.4).
+
+use pargeo_geometry::Point;
+use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
+use pargeo_kdtree::tree::SplitRule;
+use pargeo_kdtree::veb::{VebTree, VEB_LEAF_SIZE};
+use rayon::prelude::*;
+
+/// Default buffer-tree size `X` (tunable; the paper treats it as a
+/// performance constant).
+pub const DEFAULT_BUFFER_SIZE: usize = 1024;
+
+/// A parallel batch-dynamic kd-tree: log-structured set of vEB-layout
+/// static trees with capacities `X·2^i`, plus a flat buffer of size `< X`.
+#[derive(Debug, Clone)]
+pub struct BdlTree<const D: usize> {
+    /// Buffer holding `< x` points (the paper's buffer kd-tree; at this
+    /// size a flat scan is the fastest possible "tree").
+    buffer: Vec<(Point<D>, u32)>,
+    /// `trees[i]` has capacity `x << i` when occupied.
+    trees: Vec<Option<VebTree<D>>>,
+    x: usize,
+    rule: SplitRule,
+    live: usize,
+    next_id: u32,
+}
+
+impl<const D: usize> BdlTree<D> {
+    /// Creates an empty BDL-tree with the default buffer size.
+    pub fn new() -> Self {
+        Self::with_buffer_size(DEFAULT_BUFFER_SIZE)
+    }
+
+    /// Creates an empty BDL-tree with buffer size `x ≥ 1`.
+    pub fn with_buffer_size(x: usize) -> Self {
+        Self::with_config(x, SplitRule::ObjectMedian)
+    }
+
+    /// Creates an empty BDL-tree with an explicit buffer size and split
+    /// rule (object vs spatial median, the §6.3 comparison axis).
+    pub fn with_config(x: usize, rule: SplitRule) -> Self {
+        assert!(x >= 1);
+        Self {
+            buffer: Vec::with_capacity(x),
+            trees: Vec::new(),
+            x,
+            rule,
+            live: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Builds a BDL-tree from an initial point set (a single batch insert).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        let mut t = Self::new();
+        t.insert(points);
+        t
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Buffer size `X`.
+    pub fn buffer_size(&self) -> usize {
+        self.x
+    }
+
+    /// Occupancy bitmask `F` of the static trees (bit `i` ⇔ `trees[i]`
+    /// holds points).
+    pub fn bitmask(&self) -> u64 {
+        let mut f = 0u64;
+        for (i, t) in self.trees.iter().enumerate() {
+            if t.as_ref().map(|t| !t.is_empty()).unwrap_or(false) {
+                f |= 1 << i;
+            }
+        }
+        f
+    }
+
+    /// Batch insert (Algorithm 3).
+    pub fn insert(&mut self, batch: &[Point<D>]) {
+        let items: Vec<(Point<D>, u32)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, self.next_id + i as u32))
+            .collect();
+        self.next_id += batch.len() as u32;
+        self.insert_items(items);
+    }
+
+    /// Internal insert preserving existing ids (used by delete's
+    /// reinsertion step).
+    fn insert_items(&mut self, mut items: Vec<(Point<D>, u32)>) {
+        self.live += items.len();
+        // Route |items| mod X into the buffer; on overflow the buffer
+        // contributes X points back to the batch.
+        let rem = items.len() % self.x;
+        let spill: Vec<(Point<D>, u32)> = items.split_off(items.len() - rem);
+        self.buffer.extend(spill);
+        if self.buffer.len() >= self.x {
+            let take: Vec<(Point<D>, u32)> = self.buffer.drain(..self.x).collect();
+            items.extend(take);
+        }
+        if items.is_empty() {
+            return;
+        }
+        debug_assert_eq!(items.len() % self.x, 0);
+        let k = (items.len() / self.x) as u64;
+        let f = self.bitmask();
+        let f_new = f + k;
+        let to_destroy = f & !f_new;
+        let to_create = f_new & !f;
+        // Gather points of destroyed trees plus the batch into a pool.
+        let mut pool = items;
+        for i in 0..64 {
+            if to_destroy >> i & 1 == 1 {
+                if let Some(t) = self.trees.get_mut(i).and_then(|t| t.take()) {
+                    pool.extend(t.collect_live());
+                }
+            }
+        }
+        // Grow the tree list as needed.
+        let top_bit = 64 - f_new.leading_zeros() as usize;
+        while self.trees.len() < top_bit {
+            self.trees.push(None);
+        }
+        // Construct the new trees in parallel: ascending bits take their
+        // exact capacity from the pool (binary arithmetic guarantees the
+        // pool covers them when no deletions occurred; shortfalls from past
+        // deletions land in the highest new tree).
+        let mut jobs: Vec<(usize, Vec<(Point<D>, u32)>)> = Vec::new();
+        let mut create_bits: Vec<usize> =
+            (0..64).filter(|i| to_create >> i & 1 == 1).collect();
+        if let Some(&last) = create_bits.last() {
+            let mut offset = 0usize;
+            for &i in &create_bits[..create_bits.len() - 1] {
+                let cap = self.x << i;
+                let take = cap.min(pool.len() - offset);
+                jobs.push((i, pool[offset..offset + take].to_vec()));
+                offset += take;
+            }
+            jobs.push((last, pool[offset..].to_vec()));
+        }
+        create_bits.clear();
+        let rule = self.rule;
+        let built: Vec<(usize, VebTree<D>)> = jobs
+            .into_par_iter()
+            .map(|(i, pts)| (i, VebTree::build_with(&pts, VEB_LEAF_SIZE, rule)))
+            .collect();
+        for (i, t) in built {
+            debug_assert!(self.trees[i].is_none());
+            if !t.is_empty() {
+                self.trees[i] = Some(t);
+            }
+        }
+    }
+
+    /// Batch delete by point value (Algorithm 4). All live copies of each
+    /// query point are removed. Returns the number of deleted points.
+    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        if batch.is_empty() || self.live == 0 {
+            return 0;
+        }
+        // Buffer deletion.
+        let victims: std::collections::HashSet<_> =
+            batch.iter().map(coord_key).collect();
+        let before_buf = self.buffer.len();
+        self.buffer.retain(|(p, _)| !victims.contains(&coord_key(p)));
+        let mut deleted = before_buf - self.buffer.len();
+        // Parallel bulk erase across all occupied trees.
+        let counts: Vec<usize> = self
+            .trees
+            .par_iter_mut()
+            .map(|slot| match slot {
+                Some(t) => t.erase(batch),
+                None => 0,
+            })
+            .collect();
+        deleted += counts.iter().sum::<usize>();
+        self.live -= deleted;
+        // Drain trees below half capacity and reinsert their survivors.
+        let mut reinsert: Vec<(Point<D>, u32)> = Vec::new();
+        for (i, slot) in self.trees.iter_mut().enumerate() {
+            let drain = match slot {
+                Some(t) => t.is_empty() || 2 * t.len() < (self.x << i),
+                None => false,
+            };
+            if drain {
+                let t = slot.take().unwrap();
+                reinsert.extend(t.collect_live());
+            }
+        }
+        if !reinsert.is_empty() {
+            self.live -= reinsert.len();
+            self.insert_items(reinsert);
+        }
+        deleted
+    }
+
+    /// k nearest live neighbors of `q` (ids are insertion-order ids),
+    /// ascending by distance. One shared buffer accumulates across the
+    /// buffer and every occupied static tree (Appendix C.4).
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut buf = KnnBuffer::new(k);
+        for (p, id) in &self.buffer {
+            buf.insert(q.dist_sq(p), *id);
+        }
+        for t in self.trees.iter().flatten() {
+            t.knn_into(q, &mut buf);
+        }
+        buf.finish()
+    }
+
+    /// Data-parallel batch k-NN (parallel over the queries `S`).
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        if queries.len() < 64 {
+            queries.iter().map(|q| self.knn(q, k)).collect()
+        } else {
+            queries.par_iter().map(|q| self.knn(q, k)).collect()
+        }
+    }
+
+    /// All live `(point, id)` pairs (diagnostics / tests).
+    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        let mut out: Vec<(Point<D>, u32)> = self.buffer.clone();
+        for t in self.trees.iter().flatten() {
+            out.extend(t.collect_live());
+        }
+        out
+    }
+
+    /// Sizes of the occupied static trees, smallest first (diagnostics).
+    pub fn tree_sizes(&self) -> Vec<usize> {
+        self.trees
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.len()).unwrap_or(0))
+            .collect()
+    }
+}
+
+impl<const D: usize> Default for BdlTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn coord_key<const D: usize>(p: &Point<D>) -> [u64; D] {
+    let mut k = [0u64; D];
+    for i in 0..D {
+        k[i] = p[i].to_bits();
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+    use pargeo_kdtree::knn::knn_brute_force;
+
+    fn check_knn<const D: usize>(t: &BdlTree<D>, reference: &[Point<D>], k: usize) {
+        for q in reference.iter().step_by(197) {
+            let got = t.knn(q, k);
+            let want = knn_brute_force(reference, q, k);
+            assert_eq!(got.len(), want.len().min(k));
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.dist_sq - w.dist_sq).abs() <= 1e-9 * (1.0 + g.dist_sq),
+                    "{g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitmask_cascade_matches_figure7() {
+        // Figure 7 walkthrough with X = 8 (> 2).
+        let x = 8;
+        let mut t = BdlTree::<2>::with_buffer_size(x);
+        let pts = uniform_cube::<2>(4 * x + 1, 1);
+        // (a) insert X points -> F = 1.
+        t.insert(&pts[..x]);
+        assert_eq!(t.bitmask(), 0b1);
+        // (b) insert X+1 -> one in buffer, F = 2.
+        t.insert(&pts[x..2 * x + 1]);
+        assert_eq!(t.bitmask(), 0b10);
+        assert_eq!(t.len(), 2 * x + 1);
+        // (c) insert X+1 again -> two in buffer, F = 3.
+        t.insert(&pts[2 * x + 1..3 * x + 2]);
+        assert_eq!(t.bitmask(), 0b11);
+        // (d) insert X-1 -> buffer fills, F = 4.
+        t.insert(&pts[3 * x + 2..4 * x + 1]);
+        assert_eq!(t.bitmask(), 0b100);
+        // 4X points went into tree 2 (capacity 4X); one stayed in the buffer.
+        assert_eq!(t.len(), 4 * x + 1);
+        assert_eq!(t.collect_live().len(), 4 * x + 1);
+        assert_eq!(t.tree_sizes()[2], 4 * x);
+    }
+
+    #[test]
+    fn insert_preserves_all_points() {
+        let pts = uniform_cube::<3>(5_000, 2);
+        let mut t = BdlTree::<3>::with_buffer_size(64);
+        for chunk in pts.chunks(500) {
+            t.insert(chunk);
+        }
+        assert_eq!(t.len(), 5_000);
+        let mut live = t.collect_live();
+        live.sort_by_key(|&(_, id)| id);
+        assert_eq!(live.len(), 5_000);
+        for (i, (p, id)) in live.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert_eq!(*p, pts[i]);
+        }
+    }
+
+    #[test]
+    fn knn_exact_after_batched_construction() {
+        let pts = uniform_cube::<2>(3_000, 3);
+        let mut t = BdlTree::<2>::with_buffer_size(128);
+        for chunk in pts.chunks(300) {
+            t.insert(chunk);
+        }
+        check_knn(&t, &pts, 5);
+    }
+
+    #[test]
+    fn delete_batches_and_knn_stays_exact() {
+        let pts = uniform_cube::<2>(4_000, 4);
+        let mut t = BdlTree::<2>::with_buffer_size(128);
+        t.insert(&pts);
+        // Delete 10 batches of 10%.
+        for chunk in pts.chunks(400).take(5) {
+            let removed = t.delete(chunk);
+            assert_eq!(removed, 400);
+        }
+        assert_eq!(t.len(), 2_000);
+        check_knn(&t, &pts[2_000..], 4);
+        // Delete the rest.
+        for chunk in pts[2_000..].chunks(400) {
+            t.delete(chunk);
+        }
+        assert!(t.is_empty());
+        assert!(t.knn(&pts[0], 3).is_empty());
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes() {
+        let pts = uniform_cube::<3>(3_000, 5);
+        let mut t = BdlTree::<3>::with_buffer_size(64);
+        t.insert(&pts[..1_000]);
+        t.delete(&pts[..200]);
+        t.insert(&pts[1_000..2_000]);
+        t.delete(&pts[500..900]);
+        t.insert(&pts[2_000..]);
+        let expected: Vec<Point<3>> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(*i < 200 || (500..900).contains(i)))
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(t.len(), expected.len());
+        check_knn(&t, &expected, 3);
+    }
+
+    #[test]
+    fn delete_nonexistent_is_noop() {
+        let pts = uniform_cube::<2>(500, 6);
+        let mut t = BdlTree::from_points(&pts);
+        assert_eq!(t.delete(&[Point::new([-99.0, -99.0])]), 0);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn small_batches_stay_in_buffer() {
+        let mut t = BdlTree::<2>::with_buffer_size(1000);
+        let pts = uniform_cube::<2>(50, 7);
+        t.insert(&pts);
+        assert_eq!(t.bitmask(), 0);
+        assert_eq!(t.len(), 50);
+        check_knn(&t, &pts, 5);
+    }
+
+    #[test]
+    fn tree_sizes_are_log_structured() {
+        let pts = uniform_cube::<2>(10_000, 8);
+        let mut t = BdlTree::<2>::with_buffer_size(64);
+        for chunk in pts.chunks(1000) {
+            t.insert(chunk);
+        }
+        for (i, &sz) in t.tree_sizes().iter().enumerate() {
+            assert!(sz <= 64 << i, "tree {i} oversize: {sz}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # pargeo-bdltree — the parallel batch-dynamic log-structured kd-tree
+//!
+//! The BDL-tree of the paper's §5: a set of static [`VebTree`]s of
+//! exponentially growing capacities `X·2^0, X·2^1, …` plus a size-`X`
+//! buffer, maintained with the logarithmic method of Bentley–Saxe:
+//!
+//! * **Batch insert** (Algorithm 3) — a bitmask `F` records which static
+//!   trees are occupied; inserting `|P|` points advances it to
+//!   `F + ⌊|P|/X⌋`, and the bitwise difference determines exactly which
+//!   trees are destroyed and which larger trees are rebuilt (in parallel)
+//!   from the union of their points and the batch.
+//! * **Batch delete** (Algorithm 4) — points are bulk-erased from every
+//!   tree in parallel (Algorithm 2 with subtree collapse); any tree that
+//!   falls below half capacity is drained and its survivors reinserted.
+//! * **Data-parallel k-NN** (Appendix C.4) — one shared k-NN buffer per
+//!   query accumulates results across the buffer and every occupied tree.
+//!
+//! [`zdtree`] hosts the Morton-based comparator of §6.3.
+//!
+//! [`VebTree`]: pargeo_kdtree::VebTree
+
+pub mod bdl;
+pub mod zdtree;
+
+pub use bdl::BdlTree;
+pub use zdtree::ZdTree;

@@ -1,0 +1,435 @@
+//! The Zd-tree comparator (§6.3 "Comparison with Zd-tree").
+//!
+//! A batch-dynamic spatial tree in the style of Blelloch–Dobson \[21\]: the
+//! points are kept sorted by Morton code over a fixed universe box, and the
+//! tree structure is the implicit binary radix tree over the code bits.
+//! Batch updates are merges into / filters out of the sorted array followed
+//! by an `O(n / leaf)` parallel structure rebuild — no median finding, which
+//! is why construction and updates are much faster than any kd-tree variant
+//! in 2–3 dimensions (the trend the paper reports), while k-NN is
+//! comparable. Precision per dimension falls with `D` (see
+//! [`pargeo_morton::bits_per_dim`]), matching the paper's observation that
+//! the approach does not extend cheaply to high dimensions.
+
+use pargeo_geometry::{Bbox, Point};
+use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
+use pargeo_morton::{bits_per_dim, morton_code, parallel_bbox};
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+
+const SEQ_CUTOFF: usize = 4096;
+
+#[derive(Debug, Clone)]
+struct ZNode<const D: usize> {
+    bbox: Bbox<D>,
+    /// Child node indices; `u32::MAX` marks a leaf.
+    left: u32,
+    right: u32,
+    start: u32,
+    end: u32,
+}
+
+impl<const D: usize> ZNode<D> {
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// A Morton-order batch-dynamic tree over a fixed universe box.
+#[derive(Debug, Clone)]
+pub struct ZdTree<const D: usize> {
+    universe: Bbox<D>,
+    /// `(code, point, id)` sorted by code (ties broken arbitrarily).
+    items: Vec<(u64, Point<D>, u32)>,
+    nodes: Vec<ZNode<D>>,
+    leaf_size: usize,
+    next_id: u32,
+}
+
+impl<const D: usize> ZdTree<D> {
+    /// Builds over an initial point set; the bounding box of this set
+    /// (slightly inflated) becomes the fixed universe. Points inserted
+    /// later clamp onto the universe grid for code purposes (their true
+    /// coordinates are kept and all queries remain exact).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        Self::with_leaf_size(points, 16)
+    }
+
+    /// Builds with an explicit leaf size.
+    pub fn with_leaf_size(points: &[Point<D>], leaf_size: usize) -> Self {
+        let mut universe = parallel_bbox(points);
+        if universe.is_empty() {
+            universe = Bbox {
+                min: Point::origin(),
+                max: Point::new([1.0; D]),
+            };
+        } else {
+            // Inflate slightly so boundary points do not saturate the grid.
+            let pad = universe.diag_sq().sqrt() * 1e-6 + 1e-12;
+            for i in 0..D {
+                universe.min[i] -= pad;
+                universe.max[i] += pad;
+            }
+        }
+        let mut t = Self {
+            universe,
+            items: Vec::new(),
+            nodes: Vec::new(),
+            leaf_size,
+            next_id: 0,
+        };
+        t.insert(points);
+        t
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The fixed universe box.
+    pub fn universe(&self) -> Bbox<D> {
+        self.universe
+    }
+
+    fn code_of(&self, p: &Point<D>) -> u64 {
+        morton_code(p, &self.universe)
+    }
+
+    /// Batch insert: Morton-sort the batch, merge into the sorted array,
+    /// rebuild the radix structure.
+    pub fn insert(&mut self, batch: &[Point<D>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut add: Vec<(u64, Point<D>, u32)> = if batch.len() >= SEQ_CUTOFF {
+            batch
+                .par_iter()
+                .enumerate()
+                .map(|(i, &p)| (self.code_of(&p), p, self.next_id + i as u32))
+                .collect()
+        } else {
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (self.code_of(&p), p, self.next_id + i as u32))
+                .collect()
+        };
+        self.next_id += batch.len() as u32;
+        parlay::radix_sort_u64_by_key(&mut add, |t| t.0);
+        // Merge two sorted runs.
+        let old = std::mem::take(&mut self.items);
+        self.items = merge_sorted(old, add);
+        self.rebuild_nodes();
+    }
+
+    /// Batch delete by point value (all matching copies). Returns the
+    /// number deleted.
+    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        if batch.is_empty() || self.items.is_empty() {
+            return 0;
+        }
+        let mut victims: Vec<(u64, Point<D>)> = batch
+            .iter()
+            .map(|&p| (self.code_of(&p), p))
+            .collect();
+        parlay::radix_sort_u64_by_key(&mut victims, |t| t.0);
+        let before = self.items.len();
+        // Merge-subtract over the two code-sorted runs; codes collide, so
+        // matches compare full coordinates within the code-equal window.
+        let items = std::mem::take(&mut self.items);
+        let mut out = Vec::with_capacity(items.len());
+        let mut j = 0usize;
+        for it in items.into_iter() {
+            while j < victims.len() && victims[j].0 < it.0 {
+                j += 1;
+            }
+            let mut dead = false;
+            let mut k = j;
+            while k < victims.len() && victims[k].0 == it.0 {
+                if victims[k].1 == it.1 {
+                    dead = true;
+                    break;
+                }
+                k += 1;
+            }
+            if !dead {
+                out.push(it);
+            }
+        }
+        self.items = out;
+        self.rebuild_nodes();
+        before - self.items.len()
+    }
+
+    /// k nearest neighbors of `q`, ascending by distance.
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut buf = KnnBuffer::new(k);
+        if !self.nodes.is_empty() {
+            self.knn_rec(0, q, &mut buf);
+        }
+        buf.finish()
+    }
+
+    /// Data-parallel batch k-NN.
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        if queries.len() < 64 {
+            queries.iter().map(|q| self.knn(q, k)).collect()
+        } else {
+            queries.par_iter().map(|q| self.knn(q, k)).collect()
+        }
+    }
+
+    fn knn_rec(&self, idx: u32, q: &Point<D>, buf: &mut KnnBuffer) {
+        let node = &self.nodes[idx as usize];
+        if node.is_leaf() {
+            for (_, p, id) in &self.items[node.start as usize..node.end as usize] {
+                buf.insert(q.dist_sq(p), *id);
+            }
+            return;
+        }
+        let (a, b) = (node.left, node.right);
+        let da = self.nodes[a as usize].bbox.dist_sq_to_point(q);
+        let db = self.nodes[b as usize].bbox.dist_sq_to_point(q);
+        let ((first, df), (second, ds)) = if da <= db {
+            ((a, da), (b, db))
+        } else {
+            ((b, db), (a, da))
+        };
+        if df < buf.bound() {
+            self.knn_rec(first, q, buf);
+        }
+        if ds < buf.bound() {
+            self.knn_rec(second, q, buf);
+        }
+    }
+
+    /// Rebuilds the implicit radix-tree structure over the sorted codes.
+    fn rebuild_nodes(&mut self) {
+        self.nodes.clear();
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let total_bits = bits_per_dim(D) * D as u32;
+        let boxed = build_rec(
+            &self.items,
+            0,
+            n,
+            total_bits as i32 - 1,
+            self.leaf_size,
+        );
+        flatten(&boxed, &mut self.nodes);
+    }
+
+    /// Number of structure nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+enum BNode<const D: usize> {
+    Leaf(Bbox<D>, usize, usize),
+    Internal(Bbox<D>, usize, usize, Box<BNode<D>>, Box<BNode<D>>),
+}
+
+fn bnode_bbox<const D: usize>(b: &BNode<D>) -> Bbox<D> {
+    match b {
+        BNode::Leaf(bb, ..) => *bb,
+        BNode::Internal(bb, ..) => *bb,
+    }
+}
+
+fn build_rec<const D: usize>(
+    items: &[(u64, Point<D>, u32)],
+    start: usize,
+    end: usize,
+    bit: i32,
+    leaf_size: usize,
+) -> BNode<D> {
+    let n = end - start;
+    if n <= leaf_size || bit < 0 {
+        let mut bb = Bbox::empty();
+        for (_, p, _) in &items[start..end] {
+            bb.extend(p);
+        }
+        return BNode::Leaf(bb, start, end);
+    }
+    // Codes are sorted: the split is the first index whose `bit` is set.
+    let range = &items[start..end];
+    let mid = start + range.partition_point(|(c, _, _)| c >> bit & 1 == 0);
+    if mid == start || mid == end {
+        // Bit constant in this range — skip the level.
+        return build_rec(items, start, end, bit - 1, leaf_size);
+    }
+    let (l, r) = if n >= SEQ_CUTOFF {
+        rayon::join(
+            || build_rec(items, start, mid, bit - 1, leaf_size),
+            || build_rec(items, mid, end, bit - 1, leaf_size),
+        )
+    } else {
+        (
+            build_rec(items, start, mid, bit - 1, leaf_size),
+            build_rec(items, mid, end, bit - 1, leaf_size),
+        )
+    };
+    let bb = bnode_bbox(&l).union(&bnode_bbox(&r));
+    BNode::Internal(bb, start, end, Box::new(l), Box::new(r))
+}
+
+fn flatten<const D: usize>(b: &BNode<D>, out: &mut Vec<ZNode<D>>) -> u32 {
+    let my = out.len() as u32;
+    match b {
+        BNode::Leaf(bb, s, e) => out.push(ZNode {
+            bbox: *bb,
+            left: u32::MAX,
+            right: u32::MAX,
+            start: *s as u32,
+            end: *e as u32,
+        }),
+        BNode::Internal(bb, s, e, l, r) => {
+            out.push(ZNode {
+                bbox: *bb,
+                left: 0,
+                right: 0,
+                start: *s as u32,
+                end: *e as u32,
+            });
+            let li = flatten(l, out);
+            let ri = flatten(r, out);
+            out[my as usize].left = li;
+            out[my as usize].right = ri;
+        }
+    }
+    my
+}
+
+/// Merges two code-sorted runs (parallel for large inputs).
+fn merge_sorted<const D: usize>(
+    a: Vec<(u64, Point<D>, u32)>,
+    b: Vec<(u64, Point<D>, u32)>,
+) -> Vec<(u64, Point<D>, u32)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    if a.len() + b.len() < SEQ_CUTOFF {
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].0 <= b[j].0 {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        return out;
+    }
+    // Parallel path: concatenate and radix sort (stable, O(n) passes) —
+    // simple and fully parallel, and the constant is tiny for u64 keys.
+    out.extend_from_slice(&a);
+    out.extend_from_slice(&b);
+    parlay::radix_sort_u64_by_key(&mut out, |t| t.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+    use pargeo_kdtree::knn::knn_brute_force;
+
+    fn check_knn<const D: usize>(t: &ZdTree<D>, reference: &[Point<D>], k: usize) {
+        for q in reference.iter().step_by(173) {
+            let got = t.knn(q, k);
+            let want = knn_brute_force(reference, q, k);
+            assert_eq!(got.len(), want.len().min(k));
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.dist_sq - w.dist_sq).abs() <= 1e-9 * (1.0 + g.dist_sq),
+                    "{g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_knn_exact() {
+        let pts = uniform_cube::<3>(3_000, 1);
+        let t = ZdTree::from_points(&pts);
+        assert_eq!(t.len(), 3_000);
+        check_knn(&t, &pts, 5);
+    }
+
+    #[test]
+    fn codes_stay_sorted_across_updates() {
+        let pts = uniform_cube::<2>(5_000, 2);
+        let mut t = ZdTree::from_points(&pts[..2_000]);
+        t.insert(&pts[2_000..4_000]);
+        t.insert(&pts[4_000..]);
+        assert!(t.items.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(t.len(), 5_000);
+        check_knn(&t, &pts, 4);
+    }
+
+    #[test]
+    fn delete_batches() {
+        let pts = uniform_cube::<3>(3_000, 3);
+        let mut t = ZdTree::from_points(&pts);
+        let removed = t.delete(&pts[..1_000]);
+        assert_eq!(removed, 1_000);
+        assert_eq!(t.len(), 2_000);
+        check_knn(&t, &pts[1_000..], 5);
+        t.delete(&pts[1_000..]);
+        assert!(t.is_empty());
+        assert!(t.knn(&pts[0], 2).is_empty());
+    }
+
+    #[test]
+    fn inserts_outside_universe_clamp_but_stay_exact() {
+        let pts = uniform_cube::<2>(1_000, 4);
+        let mut t = ZdTree::from_points(&pts);
+        let far: Vec<Point<2>> = (0..100)
+            .map(|i| Point::new([1e4 + i as f64, -1e4 - i as f64]))
+            .collect();
+        t.insert(&far);
+        assert_eq!(t.len(), 1_100);
+        // Nearest neighbor of a far point is still found exactly.
+        let all: Vec<Point<2>> = pts.iter().chain(&far).copied().collect();
+        let got = t.knn(&far[0], 3);
+        let want = knn_brute_force(&all, &far[0], 3);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist_sq - w.dist_sq).abs() < 1e-9 * (1.0 + g.dist_sq));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_delete_all_copies() {
+        let p = Point::new([0.5, 0.5]);
+        let mut base = uniform_cube::<2>(100, 5);
+        base.push(p);
+        base.push(p);
+        let mut t = ZdTree::from_points(&base);
+        assert_eq!(t.delete(&[p]), 2);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn empty_build() {
+        let t = ZdTree::<2>::from_points(&[]);
+        assert!(t.is_empty());
+        assert!(t.knn(&Point::new([0.0, 0.0]), 1).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion companion to Figure 10: SEB methods across dataset families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargeo::datagen;
+use pargeo::prelude::*;
+use pargeo::seb::seb_welzl_parallel_mtf;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+fn fig10(c: &mut Criterion) {
+    let n = bench_n();
+    let datasets: Vec<(&str, Vec<Point3>)> = vec![
+        ("3D-IS", datagen::in_sphere::<3>(n, 1)),
+        ("3D-OS", datagen::on_sphere::<3>(n, 2)),
+        ("3D-U", datagen::uniform_cube::<3>(n, 3)),
+        ("3D-Statue", datagen::statue_surface(n, 4)),
+    ];
+    let methods: Vec<(&str, fn(&[Point3]) -> Ball<3>)> = vec![
+        ("WelzlSeq", seb_welzl_seq),
+        ("Welzl", seb_welzl_parallel),
+        ("WelzlMtf", seb_welzl_parallel_mtf),
+        ("WelzlMtfPivot", seb_welzl_parallel_mtf_pivot),
+        ("Scan", seb_orthant_scan),
+        ("Sampling", seb_sampling),
+    ];
+    let mut g = c.benchmark_group("fig10_seb");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (ds, pts) in &datasets {
+        for (m, f) in &methods {
+            g.bench_with_input(BenchmarkId::new(*m, ds), pts, |b, pts| {
+                b.iter(|| f(black_box(pts)).radius)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion companion to Figure 11: batch-dynamic tree operations
+//! (B1 / B2 / BDL, object median) on 7D uniform data, plus the buffer-size
+//! ablation called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargeo::datagen::uniform_cube;
+use pargeo::prelude::*;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn fig11(c: &mut Criterion) {
+    let n = bench_n();
+    let pts = uniform_cube::<7>(n, 1);
+    let batch = n / 10;
+    let mut g = c.benchmark_group("fig11_bdltree");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("B1_construct", |b| {
+        b.iter(|| B1Tree::from_points(black_box(&pts), SplitRule::ObjectMedian).len())
+    });
+    g.bench_function("B2_construct", |b| {
+        b.iter(|| B2Tree::from_points(black_box(&pts), SplitRule::ObjectMedian).len())
+    });
+    g.bench_function("BDL_construct", |b| {
+        b.iter(|| BdlTree::from_points(black_box(&pts)).len())
+    });
+
+    g.bench_function("B1_insert_batches", |b| {
+        b.iter(|| {
+            let mut t = B1Tree::new(SplitRule::ObjectMedian);
+            for chunk in pts.chunks(batch) {
+                t.insert(chunk);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("B2_insert_batches", |b| {
+        b.iter(|| {
+            let mut t = B2Tree::new(SplitRule::ObjectMedian);
+            for chunk in pts.chunks(batch) {
+                t.insert(chunk);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("BDL_insert_batches", |b| {
+        b.iter(|| {
+            let mut t = BdlTree::<7>::new();
+            for chunk in pts.chunks(batch) {
+                t.insert(chunk);
+            }
+            t.len()
+        })
+    });
+
+    g.bench_function("B1_delete_batches", |b| {
+        b.iter(|| {
+            let mut t = B1Tree::from_points(&pts, SplitRule::ObjectMedian);
+            for chunk in pts.chunks(batch) {
+                t.delete(chunk);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("BDL_delete_batches", |b| {
+        b.iter(|| {
+            let mut t = BdlTree::from_points(&pts);
+            for chunk in pts.chunks(batch) {
+                t.delete(chunk);
+            }
+            t.len()
+        })
+    });
+
+    let b1 = B1Tree::from_points(&pts, SplitRule::ObjectMedian);
+    let bdl = BdlTree::from_points(&pts);
+    g.bench_function("B1_knn_k5", |b| b.iter(|| b1.knn_batch(black_box(&pts), 5).len()));
+    g.bench_function("BDL_knn_k5", |b| b.iter(|| bdl.knn_batch(black_box(&pts), 5).len()));
+
+    // Ablation: BDL buffer size X.
+    for x in [64usize, 256, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("BDL_insert_bufsize", x), &x, |b, &x| {
+            b.iter(|| {
+                let mut t = BdlTree::<7>::with_buffer_size(x);
+                for chunk in pts.chunks(batch) {
+                    t.insert(chunk);
+                }
+                t.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion companion to Figure 14: k-NN throughput vs k after
+//! incremental (5% batch) construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargeo::datagen::{seed_spreader, SeedSpreaderParams};
+use pargeo::prelude::*;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn fig14(c: &mut Criterion) {
+    let n = bench_n();
+    let pts = seed_spreader::<2>(n, 1, SeedSpreaderParams::default());
+    let batch = (n / 20).max(1);
+    let mut b1 = B1Tree::<2>::new(SplitRule::ObjectMedian);
+    let mut b2 = B2Tree::<2>::new(SplitRule::ObjectMedian);
+    let mut bdl = BdlTree::<2>::new();
+    for chunk in pts.chunks(batch) {
+        b1.insert(chunk);
+        b2.insert(chunk);
+        bdl.insert(chunk);
+    }
+    let mut g = c.benchmark_group("fig14_knn_k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [2usize, 5, 8, 11] {
+        g.bench_with_input(BenchmarkId::new("B1", k), &k, |b, &k| {
+            b.iter(|| b1.knn_batch(black_box(&pts), k).len())
+        });
+        g.bench_with_input(BenchmarkId::new("B2", k), &k, |b, &k| {
+            b.iter(|| b2.knn_batch(black_box(&pts), k).len())
+        });
+        g.bench_with_input(BenchmarkId::new("BDL", k), &k, |b, &k| {
+            b.iter(|| bdl.knn_batch(black_box(&pts), k).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion companion to Figure 8: 2D hull methods across dataset
+//! families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargeo::datagen;
+use pargeo::prelude::*;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+fn fig8(c: &mut Criterion) {
+    let n = bench_n();
+    let datasets: Vec<(&str, Vec<Point2>)> = vec![
+        ("2D-IS", datagen::in_sphere::<2>(n, 1)),
+        ("2D-OS", datagen::on_sphere::<2>(n, 2)),
+        ("2D-U", datagen::uniform_cube::<2>(n, 3)),
+        ("2D-OC", datagen::on_cube::<2>(n, 4)),
+    ];
+    let methods: Vec<(&str, fn(&[Point2]) -> Vec<u32>)> = vec![
+        ("SeqQuickhull", hull2d_seq),
+        ("RandInc", hull2d_randinc),
+        ("QuickHull", hull2d_quickhull_parallel),
+        ("DivideConquer", hull2d_divide_conquer),
+    ];
+    let mut g = c.benchmark_group("fig8_hull2d");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (ds, pts) in &datasets {
+        for (m, f) in &methods {
+            g.bench_with_input(BenchmarkId::new(*m, ds), pts, |b, pts| {
+                b.iter(|| f(black_box(pts)).len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion companion to Figure 9: 3D hull methods across dataset
+//! families (statue = Thai/Dragon stand-in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargeo::datagen;
+use pargeo::prelude::*;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn fig9(c: &mut Criterion) {
+    let n = bench_n();
+    let datasets: Vec<(&str, Vec<Point3>)> = vec![
+        ("3D-IS", datagen::in_sphere::<3>(n, 1)),
+        ("3D-OS", datagen::on_sphere::<3>(n, 2)),
+        ("3D-U", datagen::uniform_cube::<3>(n, 3)),
+        ("3D-OC", datagen::on_cube::<3>(n, 4)),
+        ("3D-Statue", datagen::statue_surface(n, 5)),
+    ];
+    let methods: Vec<(&str, fn(&[Point3]) -> Hull3d)> = vec![
+        ("SeqQuickhull", hull3d_seq),
+        ("RandInc", hull3d_randinc),
+        ("QuickHull", hull3d_quickhull_parallel),
+        ("DivideConquer", hull3d_divide_conquer),
+        ("Pseudo", hull3d_pseudo),
+    ];
+    let mut g = c.benchmark_group("fig9_hull3d");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (ds, pts) in &datasets {
+        for (m, f) in &methods {
+            g.bench_with_input(BenchmarkId::new(*m, ds), pts, |b, pts| {
+                b.iter(|| f(black_box(pts)).num_vertices())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

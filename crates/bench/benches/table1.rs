@@ -1,0 +1,92 @@
+//! Criterion companion to the `table1` binary: micro-scale versions of
+//! every Table 1 row (run `cargo bench` for statistics; run the binary for
+//! the paper-style T1/Tp table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pargeo::prelude::*;
+use std::hint::black_box;
+
+fn bench_n() -> usize {
+    std::env::var("PARGEO_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn table1(c: &mut Criterion) {
+    let n = bench_n();
+    let pts2 = pargeo::datagen::uniform_cube::<2>(n, 1);
+    let pts3 = pargeo::datagen::uniform_cube::<3>(n, 2);
+    let pts5 = pargeo::datagen::uniform_cube::<5>(n, 3);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("kdtree_build_2d", |b| {
+        b.iter(|| KdTree::build(black_box(&pts2), SplitRule::ObjectMedian))
+    });
+    g.bench_function("kdtree_build_5d", |b| {
+        b.iter(|| KdTree::build(black_box(&pts5), SplitRule::ObjectMedian))
+    });
+    let tree2 = KdTree::build(&pts2, SplitRule::ObjectMedian);
+    g.bench_function("kdtree_knn_2d_k5", |b| {
+        b.iter(|| tree2.knn_batch(black_box(&pts2), 5))
+    });
+    let r = pargeo::datagen::cube_side(n) * 0.01;
+    let queries: Vec<(Point2, f64)> = pts2.iter().map(|&p| (p, r)).collect();
+    g.bench_function("kdtree_range_2d", |b| {
+        b.iter(|| tree2.range_ball_batch(black_box(&queries)))
+    });
+    g.bench_function("bdl_construct_5d", |b| {
+        b.iter(|| BdlTree::from_points(black_box(&pts5)))
+    });
+    g.bench_function("bdl_insert_5d_10pct", |b| {
+        b.iter(|| {
+            let mut t = BdlTree::<5>::new();
+            for chunk in pts5.chunks(n / 10) {
+                t.insert(chunk);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("bdl_delete_5d_10pct", |b| {
+        b.iter(|| {
+            let mut t = BdlTree::from_points(&pts5);
+            for chunk in pts5.chunks(n / 10) {
+                t.delete(chunk);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("wspd_2d", |b| b.iter(|| wspd(black_box(&pts2), 2.0).1.len()));
+    g.bench_function("emst_2d", |b| b.iter(|| emst(black_box(&pts2)).len()));
+    g.bench_function("hull_2d", |b| {
+        b.iter(|| hull2d_divide_conquer(black_box(&pts2)).len())
+    });
+    g.bench_function("hull_3d", |b| {
+        b.iter(|| hull3d_divide_conquer(black_box(&pts3)).num_vertices())
+    });
+    g.bench_function("seb_2d", |b| b.iter(|| seb_sampling(black_box(&pts2)).radius));
+    g.bench_function("seb_5d", |b| b.iter(|| seb_sampling(black_box(&pts5)).radius));
+    g.bench_function("closest_pair_2d", |b| {
+        b.iter(|| closest_pair(black_box(&pts2)).dist)
+    });
+    g.bench_function("knn_graph_2d_k5", |b| {
+        b.iter(|| knn_graph(black_box(&pts2), 5).len())
+    });
+    g.bench_function("delaunay_2d", |b| {
+        b.iter(|| pargeo::delaunay::delaunay(black_box(&pts2)).len())
+    });
+    g.bench_function("spanner_2d_t2", |b| b.iter(|| spanner(black_box(&pts2), 2.0).len()));
+    g.bench_function("morton_sort_2d", |b| {
+        b.iter(|| {
+            let mut v = pts2.clone();
+            pargeo::morton::morton_sort(&mut v).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. pseudohull facet-threshold cutoff (stack-overflow guard vs pruning
+//!    quality),
+//! 2. SEB sampling segment size `c` (Figure 6's constant),
+//! 3. BDL buffer size `X`,
+//! 4. comparison-sort engine (our merge sort vs sample sort vs std parallel
+//!    fallback) under the hull's typical key type,
+//! 5. reservation boundary ring on/off is structural (cannot be toggled
+//!    without forfeiting disjointness), so its cost shows in
+//!    `fig12_reservation` instead.
+
+use pargeo::datagen;
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, ms, time_best};
+
+fn main() {
+    let n = env_n(100_000);
+    println!("# Ablations (n = {n})\n");
+
+    // 1. Pseudohull threshold.
+    println!("## Pseudohull stop threshold (3D-IS)\n");
+    let pts3 = datagen::in_sphere::<3>(n, 1);
+    header(&["threshold", "time (ms)"]);
+    for th in [1usize, 8, 32, 128, 1024, 16_384] {
+        let t = time_best(2, || {
+            pargeo::hull::hull3d::hull3d_pseudo_with_threshold(&pts3, th)
+        });
+        println!("| {th} | {} |", ms(t));
+    }
+
+    // 2. SEB sampling batch size.
+    println!("\n## SEB sampling segment size c (3D-U)\n");
+    let ptsu = datagen::uniform_cube::<3>(n, 2);
+    header(&["c", "time (ms)"]);
+    for c in [256usize, 1_024, 4_096, 10_000, 40_000] {
+        let t = time_best(3, || pargeo::seb::seb_sampling_with_batch(&ptsu, c));
+        println!("| {c} | {} |", ms(t));
+    }
+    let t_scan = time_best(3, || seb_orthant_scan(&ptsu));
+    println!("| (no sampling: Scan) | {} |", ms(t_scan));
+
+    // 3. BDL buffer size X.
+    println!("\n## BDL buffer size X (5D-U, 10x10% inserts)\n");
+    let pts5 = datagen::uniform_cube::<5>(n, 3);
+    header(&["X", "insert time (ms)", "k-NN time (ms)"]);
+    for x in [64usize, 256, 1_024, 4_096, 16_384] {
+        let ins = time_best(1, || {
+            let mut t = BdlTree::<5>::with_buffer_size(x);
+            for chunk in pts5.chunks(n / 10) {
+                t.insert(chunk);
+            }
+            t
+        });
+        let mut tree = BdlTree::<5>::with_buffer_size(x);
+        tree.insert(&pts5);
+        let knn = time_best(1, || tree.knn_batch(&pts5[..n / 10], 5));
+        println!("| {x} | {} | {} |", ms(ins), ms(knn));
+    }
+
+    // 4. Sort engine shootout on Morton keys.
+    println!("\n## Comparison sorts on Morton-key pairs\n");
+    let pts2 = datagen::uniform_cube::<2>(n, 4);
+    let bbox = pargeo::morton::parallel_bbox(&pts2);
+    let keyed: Vec<(u64, u32)> = pts2
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (pargeo::morton::morton_code(p, &bbox), i as u32))
+        .collect();
+    header(&["engine", "time (ms)"]);
+    let t = time_best(3, || {
+        let mut v = keyed.clone();
+        pargeo::parlay::merge_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        v
+    });
+    println!("| parallel merge sort | {} |", ms(t));
+    let t = time_best(3, || {
+        let mut v = keyed.clone();
+        pargeo::parlay::sample_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        v
+    });
+    println!("| parallel sample sort | {} |", ms(t));
+    let t = time_best(3, || {
+        let mut v = keyed.clone();
+        pargeo::parlay::radix_sort_u64_by_key(&mut v, |x| x.0);
+        v
+    });
+    println!("| parallel radix sort | {} |", ms(t));
+    let t = time_best(3, || {
+        let mut v = keyed.clone();
+        v.sort_unstable_by_key(|x| x.0);
+        v
+    });
+    println!("| std sequential sort | {} |", ms(t));
+}

@@ -1,0 +1,88 @@
+//! Figure 10 reproduction: smallest enclosing ball running times (ms)
+//! across the paper's twelve dataset panels and six methods. `CGAL` is
+//! stood in for by our sequential Welzl with move-to-front.
+
+use pargeo::datagen;
+use pargeo::prelude::*;
+use pargeo::seb::seb_welzl_parallel_mtf;
+use pargeo_bench::{env_n, header, max_threads, ms, time_best};
+
+fn bench2(name: &str, pts: &[Point2], p: usize) {
+    let cgal = time_best(2, || seb_welzl_seq(pts));
+    let (w, wm, wmp, scan, samp) = pargeo::parlay::with_threads(p, || {
+        (
+            time_best(2, || seb_welzl_parallel(pts)),
+            time_best(2, || seb_welzl_parallel_mtf(pts)),
+            time_best(2, || seb_welzl_parallel_mtf_pivot(pts)),
+            time_best(2, || seb_orthant_scan(pts)),
+            time_best(2, || seb_sampling(pts)),
+        )
+    });
+    println!(
+        "| {name} | {} | {} | {} | {} | {} | {} |",
+        ms(cgal),
+        ms(w),
+        ms(wm),
+        ms(wmp),
+        ms(scan),
+        ms(samp)
+    );
+}
+
+fn bench3(name: &str, pts: &[Point3], p: usize) {
+    let cgal = time_best(2, || seb_welzl_seq(pts));
+    let (w, wm, wmp, scan, samp) = pargeo::parlay::with_threads(p, || {
+        (
+            time_best(2, || seb_welzl_parallel(pts)),
+            time_best(2, || seb_welzl_parallel_mtf(pts)),
+            time_best(2, || seb_welzl_parallel_mtf_pivot(pts)),
+            time_best(2, || seb_orthant_scan(pts)),
+            time_best(2, || seb_sampling(pts)),
+        )
+    });
+    println!(
+        "| {name} | {} | {} | {} | {} | {} | {} |",
+        ms(cgal),
+        ms(w),
+        ms(wm),
+        ms(wmp),
+        ms(scan),
+        ms(samp)
+    );
+}
+
+fn main() {
+    let n = env_n(500_000);
+    let big = 5 * n;
+    let p = max_threads();
+    println!("# Figure 10 — smallest enclosing ball, times in ms on {p} threads\n");
+    header(&[
+        "dataset",
+        "WelzlSeq (CGAL)",
+        "Welzl",
+        "WelzlMtf",
+        "WelzlMtfPivot",
+        "Scan",
+        "Sampling",
+    ]);
+    bench2(&format!("2D-IS-{n}"), &datagen::in_sphere::<2>(n, 1), p);
+    bench2(&format!("2D-OS-{n}"), &datagen::on_sphere::<2>(n, 2), p);
+    bench3(&format!("3D-IS-{n}"), &datagen::in_sphere::<3>(n, 3), p);
+    bench3(&format!("3D-OS-{n}"), &datagen::on_sphere::<3>(n, 4), p);
+    bench2(&format!("2D-U-{n}"), &datagen::uniform_cube::<2>(n, 5), p);
+    bench2(&format!("2D-OC-{n}"), &datagen::on_cube::<2>(n, 6), p);
+    bench3(&format!("3D-U-{n}"), &datagen::uniform_cube::<3>(n, 7), p);
+    bench3(&format!("3D-OC-{n}"), &datagen::on_cube::<3>(n, 8), p);
+    bench3(
+        &format!("3D-Thai-{}", n / 2),
+        &datagen::statue_surface(n / 2, 9),
+        p,
+    );
+    bench3(
+        &format!("3D-Dragon-{}", n * 36 / 100),
+        &datagen::statue_surface(n * 36 / 100, 10),
+        p,
+    );
+    bench2(&format!("2D-OS-{big}"), &datagen::on_sphere::<2>(big, 11), p);
+    bench3(&format!("3D-OS-{big}"), &datagen::on_sphere::<3>(big, 12), p);
+}

@@ -1,0 +1,129 @@
+//! Figure 11 reproduction: throughput (points/sec) of construction,
+//! 10×10% batch insertion, 10×10% batch deletion, and full k-NN (k = 5)
+//! over the thread sweep, for B1 / B2 / BDL under both split rules, on
+//! 7D uniform data.
+
+use pargeo::datagen::uniform_cube;
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, thread_sweep, time};
+
+const D: usize = 7;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    B1,
+    B2,
+    Bdl,
+}
+
+fn op_name(i: usize) -> &'static str {
+    ["Construction", "Insert (10x10%)", "Delete (10x10%)", "k-NN (k=5)"][i]
+}
+
+/// Returns seconds for (construct, insert-batches, delete-batches, knn).
+fn run(which: Which, rule: SplitRule, pts: &[Point<D>]) -> [f64; 4] {
+    let n = pts.len();
+    let batch = n / 10;
+    match which {
+        Which::B1 => {
+            let (_, c) = time(|| B1Tree::from_points(pts, rule));
+            let (mut t, i) = time(|| {
+                let mut t = B1Tree::new(rule);
+                for chunk in pts.chunks(batch) {
+                    t.insert(chunk);
+                }
+                t
+            });
+            let (_, d) = time(|| {
+                for chunk in pts.chunks(batch) {
+                    t.delete(chunk);
+                }
+            });
+            let full = B1Tree::from_points(pts, rule);
+            let (_, k) = time(|| full.knn_batch(pts, 5));
+            [c, i, d, k]
+        }
+        Which::B2 => {
+            let (_, c) = time(|| B2Tree::from_points(pts, rule));
+            let (mut t, i) = time(|| {
+                let mut t = B2Tree::new(rule);
+                for chunk in pts.chunks(batch) {
+                    t.insert(chunk);
+                }
+                t
+            });
+            let (_, d) = time(|| {
+                for chunk in pts.chunks(batch) {
+                    t.delete(chunk);
+                }
+            });
+            let full = B2Tree::from_points(pts, rule);
+            let (_, k) = time(|| full.knn_batch(pts, 5));
+            [c, i, d, k]
+        }
+        Which::Bdl => {
+            let x = pargeo::bdltree::bdl::DEFAULT_BUFFER_SIZE;
+            let (_, c) = time(|| {
+                let mut t = BdlTree::with_config(x, rule);
+                t.insert(pts);
+                t
+            });
+            let (mut t, i) = time(|| {
+                let mut t = BdlTree::with_config(x, rule);
+                for chunk in pts.chunks(batch) {
+                    t.insert(chunk);
+                }
+                t
+            });
+            let (_, d) = time(|| {
+                for chunk in pts.chunks(batch) {
+                    t.delete(chunk);
+                }
+            });
+            let mut full = BdlTree::with_config(x, rule);
+            full.insert(pts);
+            let (_, k) = time(|| full.knn_batch(pts, 5));
+            [c, i, d, k]
+        }
+    }
+}
+
+fn main() {
+    let n = env_n(100_000);
+    println!("# Figure 11 — batch-dynamic trees on 7D-U-{n}, throughput (points/s)\n");
+    let pts = uniform_cube::<D>(n, 1);
+    let configs: Vec<(&str, Which, SplitRule)> = vec![
+        ("B1-object", Which::B1, SplitRule::ObjectMedian),
+        ("B1-spatial", Which::B1, SplitRule::SpatialMedian),
+        ("B2-object", Which::B2, SplitRule::ObjectMedian),
+        ("B2-spatial", Which::B2, SplitRule::SpatialMedian),
+        ("BDL-object", Which::Bdl, SplitRule::ObjectMedian),
+        ("BDL-spatial", Which::Bdl, SplitRule::SpatialMedian),
+    ];
+    let sweep = thread_sweep();
+    // Warm up page tables / allocator before the measured sweep.
+    let _ = run(Which::Bdl, SplitRule::ObjectMedian, &pts);
+    for op in 0..4 {
+        println!("\n## ({}) {}\n", (b'a' + op as u8) as char, op_name(op));
+        let mut cols = vec!["impl".to_string()];
+        cols.extend(sweep.iter().map(|t| format!("{t} thr")));
+        cols.push("speedup".into());
+        header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for (name, which, rule) in &configs {
+            let mut cells = vec![name.to_string()];
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for &t in &sweep {
+                let secs = pargeo::parlay::with_threads(t, || run(*which, *rule, &pts))[op];
+                let thru = n as f64 / secs;
+                if t == sweep[0] {
+                    first = secs;
+                }
+                last = secs;
+                cells.push(format!("{:.2e}", thru));
+            }
+            cells.push(format!("{:.2}x", first / last));
+            println!("| {} |", cells.join(" | "));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 8 reproduction: 2D convex hull running times (ms) across the
+//! paper's dataset families and methods, on the full machine. `CGAL` and
+//! `Qhull` are stood in for by our optimized sequential quickhull (see
+//! DESIGN.md §5).
+
+use pargeo::datagen;
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, max_threads, ms, time_best};
+
+fn main() {
+    let n = env_n(500_000);
+    let big = 5 * n; // the paper's 100M rows are 10× its 10M rows
+    let p = max_threads();
+    println!("# Figure 8 — 2D convex hull, times in ms on {p} threads\n");
+    let datasets: Vec<(String, Vec<Point2>)> = vec![
+        (format!("2D-IS-{n}"), datagen::in_sphere::<2>(n, 1)),
+        (format!("2D-OS-{n}"), datagen::on_sphere::<2>(n, 2)),
+        (format!("2D-U-{n}"), datagen::uniform_cube::<2>(n, 3)),
+        (format!("2D-OC-{n}"), datagen::on_cube::<2>(n, 4)),
+        (format!("2D-OS-{big}"), datagen::on_sphere::<2>(big, 5)),
+        (format!("2D-OC-{big}"), datagen::on_cube::<2>(big, 6)),
+    ];
+    header(&[
+        "dataset",
+        "SeqQuickhull (CGAL/Qhull)",
+        "RandInc",
+        "QuickHull",
+        "DivideConquer",
+        "hull size",
+    ]);
+    for (name, pts) in &datasets {
+        let seq = time_best(2, || hull2d_seq(pts));
+        let (randinc, quick, dnc, hull_len) = pargeo::parlay::with_threads(p, || {
+            let ri = time_best(2, || hull2d_randinc(pts));
+            let qh = time_best(2, || hull2d_quickhull_parallel(pts));
+            let dc = time_best(2, || hull2d_divide_conquer(pts));
+            (ri, qh, dc, hull2d_divide_conquer(pts).len())
+        });
+        println!(
+            "| {name} | {} | {} | {} | {} | {hull_len} |",
+            ms(seq),
+            ms(randinc),
+            ms(quick),
+            ms(dnc)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 9 reproduction: 3D convex hull running times (ms) across the
+//! paper's dataset families (the Stanford Thai/Dragon scans are stood in
+//! for by the synthetic statue surface; see DESIGN.md §5).
+
+use pargeo::datagen;
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, max_threads, ms, time_best};
+
+fn main() {
+    let n = env_n(200_000);
+    let big = 5 * n;
+    let p = max_threads();
+    println!("# Figure 9 — 3D convex hull, times in ms on {p} threads\n");
+    let datasets: Vec<(String, Vec<Point3>)> = vec![
+        (format!("3D-IS-{n}"), datagen::in_sphere::<3>(n, 1)),
+        (format!("3D-OS-{n}"), datagen::on_sphere::<3>(n, 2)),
+        (format!("3D-U-{n}"), datagen::uniform_cube::<3>(n, 3)),
+        (format!("3D-OC-{n}"), datagen::on_cube::<3>(n, 4)),
+        (
+            format!("3D-Thai-{}", n / 2),
+            datagen::statue_surface(n / 2, 5),
+        ),
+        (
+            format!("3D-Dragon-{}", n * 36 / 100),
+            datagen::statue_surface(n * 36 / 100, 6),
+        ),
+        (format!("3D-OS-{big}"), datagen::on_sphere::<3>(big, 7)),
+        (format!("3D-OC-{big}"), datagen::on_cube::<3>(big, 8)),
+    ];
+    header(&[
+        "dataset",
+        "SeqQuickhull (CGAL/Qhull)",
+        "RandInc",
+        "QuickHull",
+        "DivideConquer",
+        "Pseudo",
+        "hull size",
+    ]);
+    for (name, pts) in &datasets {
+        let seq = time_best(1, || hull3d_seq(pts));
+        let (ri, qh, dc, ps, sz) = pargeo::parlay::with_threads(p, || {
+            let ri = time_best(1, || hull3d_randinc(pts));
+            let qh = time_best(1, || hull3d_quickhull_parallel(pts));
+            let dc = time_best(1, || hull3d_divide_conquer(pts));
+            let ps = time_best(1, || hull3d_pseudo(pts));
+            let sz = hull3d_divide_conquer(pts).num_vertices();
+            (ri, qh, dc, ps, sz)
+        });
+        println!(
+            "| {name} | {} | {} | {} | {} | {} | {sz} |",
+            ms(seq),
+            ms(ri),
+            ms(qh),
+            ms(dc),
+            ms(ps)
+        );
+    }
+}

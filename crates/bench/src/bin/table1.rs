@@ -1,0 +1,111 @@
+//! Table 1 reproduction: runtimes (seconds) and self-relative speedups
+//! (`T1 / Tp`) for every ParGeo-rs implementation on uniform hypercube
+//! data. The paper runs n = 10M on 36 cores; scale with `PARGEO_N`.
+
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, max_threads, t1_tp};
+
+fn row(name: &str, f: impl Fn() + Sync + Send) {
+    let (t1, tp, speedup) = t1_tp(f);
+    println!("| {name} | {t1:.3} | {tp:.3} | {speedup:.2}x |");
+}
+
+fn main() {
+    let n = env_n(200_000);
+    let p = max_threads();
+    println!("# Table 1 — uniform hypercube, n = {n}, Tp at {p} threads\n");
+    header(&["Implementation", "T1 (s)", &format!("T{p} (s)"), "Speedup"]);
+
+    let pts2 = pargeo::datagen::uniform_cube::<2>(n, 1);
+    let pts3 = pargeo::datagen::uniform_cube::<3>(n, 2);
+    let pts5 = pargeo::datagen::uniform_cube::<5>(n, 3);
+    let batch = n / 10;
+
+    row("kd-tree Build (2d)", || {
+        let _ = KdTree::build(&pts2, SplitRule::ObjectMedian);
+    });
+    row("kd-tree Build (5d)", || {
+        let _ = KdTree::build(&pts5, SplitRule::ObjectMedian);
+    });
+    {
+        let tree2 = KdTree::build(&pts2, SplitRule::ObjectMedian);
+        row("kd-tree k-NN (2d, k=5)", || {
+            let _ = tree2.knn_batch(&pts2, 5);
+        });
+        let r = pargeo::datagen::cube_side(n) * 0.01;
+        let queries: Vec<(Point2, f64)> = pts2.iter().map(|&p| (p, r)).collect();
+        row("kd-tree Range Search (2d, report)", || {
+            let _ = tree2.range_ball_batch(&queries);
+        });
+        row("kd-tree Range Search (2d, count)", || {
+            let _ = tree2.count_ball_batch(&queries);
+        });
+    }
+    row("Batch-dynamic kd-tree Construction (5d)", || {
+        let _ = BdlTree::from_points(&pts5);
+    });
+    {
+        row("Batch-dynamic kd-tree Insert (5d, 10x10%)", || {
+            let mut t = BdlTree::<5>::new();
+            for chunk in pts5.chunks(batch) {
+                t.insert(chunk);
+            }
+        });
+        row("Batch-dynamic kd-tree Delete (5d, 10x10%)", || {
+            let mut t = BdlTree::from_points(&pts5);
+            for chunk in pts5.chunks(batch) {
+                t.delete(chunk);
+            }
+        });
+    }
+    row("WSPD (2d, s=2)", || {
+        let _ = wspd(&pts2, 2.0);
+    });
+    row("EMST (2d)", || {
+        let _ = emst(&pts2);
+    });
+    row("Convex Hull (2d)", || {
+        let _ = hull2d_divide_conquer(&pts2);
+    });
+    row("Convex Hull (3d)", || {
+        let _ = hull3d_divide_conquer(&pts3);
+    });
+    row("Smallest Enclosing Ball (2d)", || {
+        let _ = seb_sampling(&pts2);
+    });
+    row("Smallest Enclosing Ball (5d)", || {
+        let _ = seb_sampling(&pts5);
+    });
+    row("Closest Pair (2d)", || {
+        let _ = closest_pair(&pts2);
+    });
+    row("Closest Pair (3d)", || {
+        let _ = closest_pair(&pts3);
+    });
+    row("k-NN Graph (2d, k=5)", || {
+        let _ = knn_graph(&pts2, 5);
+    });
+    row("Delaunay Graph (2d)", || {
+        let _ = pargeo::graphgen::delaunay_graph(&pts2);
+    });
+    {
+        let d = pargeo::delaunay::delaunay(&pts2);
+        row("Gabriel Graph (2d)", || {
+            let _ = gabriel_graph(&pts2, &d);
+        });
+    }
+    row("beta-skeleton Graph (2d, beta=1.5)", || {
+        let _ = beta_skeleton(&pts2, 1.5);
+    });
+    row("Spanner (2d, t=2)", || {
+        let _ = spanner(&pts2, 2.0);
+    });
+    row("Morton Sort (2d)", || {
+        let mut v = pts2.clone();
+        let _ = pargeo::morton::morton_sort(&mut v);
+    });
+    row("Bichromatic Closest Pair (2d)", || {
+        let half = pts2.len() / 2;
+        let _ = bccp_points(&pts2[..half], &pts2[half..]);
+    });
+}

@@ -1,0 +1,189 @@
+//! # pargeo-closestpair — parallel closest pair (paper Module 2)
+//!
+//! Classic divide-and-conquer closest pair generalized to `D` dimensions:
+//! split by the median along the widest dimension, solve the halves in
+//! parallel, then check the strip around the splitting hyperplane whose
+//! candidate pairs are bounded by a packing argument. The strip pass sorts
+//! by the next dimension and scans a constant-width window.
+
+use pargeo_geometry::Point;
+use pargeo_parlay as parlay;
+
+/// The closest pair result: `(index a, index b, distance)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosestPair {
+    pub a: u32,
+    pub b: u32,
+    pub dist: f64,
+}
+
+const SEQ_CUTOFF: usize = 1024;
+/// Window width for the strip scan; 7 suffices in 2D, higher dimensions
+/// use a packing-bound-scaled window.
+fn window(d: usize) -> usize {
+    8 * (1 << (d.saturating_sub(2)).min(4))
+}
+
+/// Finds the closest pair of distinct indices (`n ≥ 2`). Duplicate points
+/// yield distance 0.
+pub fn closest_pair<const D: usize>(points: &[Point<D>]) -> ClosestPair {
+    assert!(points.len() >= 2, "closest pair needs two points");
+    let mut items: Vec<(Point<D>, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let dim = widest_dim(&items);
+    parlay::sort_by_key_f64(&mut items, move |&(p, _)| p[dim]);
+    let (a, b, d2) = solve(&items, dim);
+    ClosestPair {
+        a: a.min(b),
+        b: a.max(b),
+        dist: d2.sqrt(),
+    }
+}
+
+fn widest_dim<const D: usize>(items: &[(Point<D>, u32)]) -> usize {
+    let mut bbox = pargeo_geometry::Bbox::empty();
+    for (p, _) in items {
+        bbox.extend(p);
+    }
+    bbox.widest_dim()
+}
+
+/// Returns `(id_a, id_b, dist²)` for `items` sorted along `dim`.
+fn solve<const D: usize>(items: &[(Point<D>, u32)], dim: usize) -> (u32, u32, f64) {
+    let n = items.len();
+    if n <= SEQ_CUTOFF {
+        return brute(items);
+    }
+    let mid = n / 2;
+    let split = items[mid].0[dim];
+    let (l, r) = items.split_at(mid);
+    let ((la, lb, ld), (ra, rb, rd)) = parlay::par_do(|| solve(l, dim), || solve(r, dim));
+    let (mut ba, mut bb, mut bd) = if ld <= rd { (la, lb, ld) } else { (ra, rb, rd) };
+    // Strip: points within sqrt(bd) of the splitting plane, sorted along a
+    // second dimension, each checked against a constant window.
+    let w = bd.sqrt();
+    let mut strip: Vec<(Point<D>, u32)> = items
+        .iter()
+        .filter(|(p, _)| (p[dim] - split).abs() <= w)
+        .copied()
+        .collect();
+    let sort_dim = (dim + 1) % D;
+    strip.sort_unstable_by(|x, y| x.0[sort_dim].partial_cmp(&y.0[sort_dim]).unwrap());
+    let win = window(D);
+    for i in 0..strip.len() {
+        for j in i + 1..(i + 1 + win).min(strip.len()) {
+            // Early exit once the window's second coordinate outruns the
+            // current best.
+            let dy = strip[j].0[sort_dim] - strip[i].0[sort_dim];
+            if dy * dy > bd {
+                break;
+            }
+            let d = strip[i].0.dist_sq(&strip[j].0);
+            if d < bd {
+                bd = d;
+                ba = strip[i].1;
+                bb = strip[j].1;
+            }
+        }
+    }
+    (ba, bb, bd)
+}
+
+fn brute<const D: usize>(items: &[(Point<D>, u32)]) -> (u32, u32, f64) {
+    let mut best = (items[0].1, items[1].1, f64::INFINITY);
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let d = items[i].0.dist_sq(&items[j].0);
+            if d < best.2 {
+                best = (items[i].1, items[j].1, d);
+            }
+        }
+    }
+    best
+}
+
+/// Brute-force reference for testing.
+pub fn closest_pair_brute<const D: usize>(points: &[Point<D>]) -> ClosestPair {
+    assert!(points.len() >= 2);
+    let items: Vec<(Point<D>, u32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let (a, b, d2) = brute(&items);
+    ClosestPair {
+        a: a.min(b),
+        b: a.max(b),
+        dist: d2.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::{seed_spreader, uniform_cube, SeedSpreaderParams};
+
+    fn check<const D: usize>(points: &[Point<D>]) {
+        let got = closest_pair(points);
+        let want = closest_pair_brute(points);
+        assert!(
+            (got.dist - want.dist).abs() <= 1e-9 * (1.0 + want.dist),
+            "got {got:?}, want {want:?}"
+        );
+        assert!(
+            (points[got.a as usize].dist(&points[got.b as usize]) - got.dist).abs() < 1e-12
+        );
+        assert_ne!(got.a, got.b);
+    }
+
+    #[test]
+    fn matches_brute_2d() {
+        for seed in 0..5 {
+            check(&uniform_cube::<2>(3_000, seed));
+        }
+    }
+
+    #[test]
+    fn matches_brute_3d() {
+        for seed in 5..8 {
+            check(&uniform_cube::<3>(2_500, seed));
+        }
+    }
+
+    #[test]
+    fn matches_brute_5d() {
+        check(&uniform_cube::<5>(2_000, 11));
+    }
+
+    #[test]
+    fn clustered_data() {
+        check(&seed_spreader::<2>(4_000, 13, SeedSpreaderParams::default()));
+    }
+
+    #[test]
+    fn duplicates_give_zero() {
+        let mut pts = uniform_cube::<2>(2_000, 14);
+        pts.push(pts[77]);
+        let got = closest_pair(&pts);
+        assert_eq!(got.dist, 0.0);
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = [Point::new([0.0, 0.0]), Point::new([3.0, 4.0])];
+        let got = closest_pair(&pts);
+        assert_eq!((got.a, got.b), (0, 1));
+        assert!((got.dist - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<2>(30_000, 15);
+        let a = pargeo_parlay::with_threads(1, || closest_pair(&pts));
+        let b = pargeo_parlay::with_threads(4, || closest_pair(&pts));
+        assert_eq!(a.dist, b.dist);
+    }
+}

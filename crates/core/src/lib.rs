@@ -1,0 +1,107 @@
+//! # ParGeo-rs — a library for parallel computational geometry
+//!
+//! A Rust reproduction of *"ParGeo: A Library for Parallel Computational
+//! Geometry"* (Wang, Yesantharao, Yu, Dhulipala, Gu, Shun — PPoPP 2022).
+//! This facade crate re-exports every module; see `DESIGN.md` for the full
+//! system inventory and `EXPERIMENTS.md` for the paper-figure
+//! reproductions.
+//!
+//! ## Modules (paper Figure 1)
+//!
+//! | Paper module | Here |
+//! |---|---|
+//! | (1) static & batch-dynamic kd-trees, k-NN, range search | [`kdtree`], [`bdltree`] |
+//! | (2) computational geometry: hull, SEB, closest pair, BCCP, WSPD, Morton sort | [`hull`], [`seb`], [`closestpair`], [`wspd`], [`morton`] |
+//! | (3) spatial graph generators: k-NN graph, β-skeleton, Gabriel, Delaunay, EMST, spanner | [`graphgen`], [`delaunay`], [`wspd`] |
+//! | (4) point data generators | [`datagen`] |
+//! | — parallel primitives (ParlayLib's role) | [`parlay`] |
+//! | — geometry kernel with exact predicates | [`geometry`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
+//! // 10k uniform points in a square (paper's U distribution).
+//! let pts = pargeo::datagen::uniform_cube::<2>(10_000, 42);
+//!
+//! // Convex hull with the reservation-based parallel algorithm.
+//! let hull = pargeo::hull::hull2d_randinc(&pts);
+//! assert!(hull.len() >= 3);
+//!
+//! // k-nearest neighbors through a parallel kd-tree.
+//! let tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+//! let nn = tree.knn(&pts[0], 5);
+//! assert_eq!(nn.len(), 5);
+//!
+//! // Smallest enclosing ball via the sampling-based algorithm.
+//! let ball = pargeo::seb::seb_sampling(&pts);
+//! assert!(pts.iter().all(|p| ball.contains(p)));
+//! ```
+//!
+//! ## Parallelism
+//!
+//! Every algorithm parallelizes through [`parlay`] on the ambient rayon
+//! pool. To measure scaling (the paper's `T1` / `T36h` sweeps), run any
+//! closure under a fixed-size pool:
+//!
+//! ```
+//! let t1 = pargeo::parlay::with_threads(1, || {
+//!     let pts = pargeo::datagen::uniform_cube::<2>(50_000, 7);
+//!     pargeo::hull::hull2d_divide_conquer(&pts).len()
+//! });
+//! assert!(t1 >= 3);
+//! ```
+
+pub use pargeo_bdltree as bdltree;
+pub use pargeo_closestpair as closestpair;
+pub use pargeo_datagen as datagen;
+pub use pargeo_delaunay as delaunay;
+pub use pargeo_geometry as geometry;
+pub use pargeo_graphgen as graphgen;
+pub use pargeo_hull as hull;
+pub use pargeo_kdtree as kdtree;
+pub use pargeo_morton as morton;
+pub use pargeo_parlay as parlay;
+pub use pargeo_seb as seb;
+pub use pargeo_wspd as wspd;
+
+/// The most commonly used types and functions in one import.
+pub mod prelude {
+    pub use pargeo_bdltree::{BdlTree, ZdTree};
+    pub use pargeo_closestpair::closest_pair;
+    pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph};
+    pub use pargeo_geometry::{Ball, Bbox, Point, Point2, Point3};
+    pub use pargeo_graphgen::{beta_skeleton, knn_graph};
+    pub use pargeo_hull::{
+        hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq,
+        hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc,
+        hull3d_seq, Hull3d,
+    };
+    pub use pargeo_kdtree::{B1Tree, B2Tree, KdTree, SplitRule, VebTree};
+    pub use pargeo_seb::{
+        seb_orthant_scan, seb_sampling, seb_welzl_parallel, seb_welzl_parallel_mtf_pivot,
+        seb_welzl_seq,
+    };
+    pub use pargeo_wspd::{bccp_points, emst, spanner, wspd};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_everything() {
+        let pts = crate::datagen::uniform_cube::<2>(2_000, 1);
+        let hull = hull2d_seq(&pts);
+        assert!(hull.len() >= 3);
+        let ball = seb_welzl_seq(&pts);
+        assert!(pts.iter().all(|p| ball.contains(p)));
+        let cp = closest_pair(&pts);
+        assert!(cp.dist > 0.0);
+        let tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+        assert_eq!(tree.knn(&pts[0], 3).len(), 3);
+        let mst = emst(&pts);
+        assert_eq!(mst.len(), pts.len() - 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! Bowyer–Watson drivers: sequential (Morton/BRIO order) and the parallel
+//! reservation-based batch insertion.
+
+use crate::tri::TriMesh;
+use pargeo_geometry::Point2;
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const EMPTY: usize = usize::MAX;
+
+/// A Delaunay triangulation of the input point set (duplicates collapse
+/// onto their first occurrence; collinear inputs produce no triangles).
+#[derive(Debug, Clone)]
+pub struct Delaunay {
+    /// CCW triangles over original input indices.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl Delaunay {
+    /// Number of triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// True iff the input admitted no full-dimensional triangulation.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+/// Sequential Bowyer–Watson, inserting in Morton order (a BRIO-style
+/// locality order that keeps point-location walks short).
+pub fn delaunay_seq(points: &[Point2]) -> Delaunay {
+    let mut mesh = TriMesh::new(points);
+    let n = points.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    {
+        let mut pts = points.to_vec();
+        let ids = pargeo_morton::morton_sort(&mut pts);
+        order.copy_from_slice(&ids);
+    }
+    let mut tri_of: Vec<u32> = vec![0; n];
+    mesh.tris[0].pts = order.clone();
+    for &q in &order {
+        let t0 = tri_of[q as usize];
+        if !mesh.tris[t0 as usize].alive {
+            // Stale only if q duplicates an inserted vertex whose cavity
+            // consumed the triangle — re-locate among alive triangles is
+            // unnecessary because redistribution keeps refs fresh.
+            unreachable!("conflict list kept tri_of fresh");
+        }
+        if mesh.is_vertex_of(t0, q) {
+            continue; // duplicate point
+        }
+        let region = mesh.conflict_region(t0, q);
+        let new_tris = mesh.insert_vertex(q, &region);
+        for &dead in &region {
+            let pts = std::mem::take(&mut mesh.tris[dead as usize].pts);
+            for t in pts {
+                if t == q {
+                    continue;
+                }
+                if let Some(&nt) = new_tris.iter().find(|&&nt| mesh.contains(nt, t)) {
+                    tri_of[t as usize] = nt;
+                    mesh.tris[nt as usize].pts.push(t);
+                } else {
+                    debug_assert!(false, "cavity must cover its points");
+                }
+            }
+        }
+    }
+    Delaunay {
+        triangles: mesh.extract(),
+    }
+}
+
+/// Parallel reservation-based Delaunay (default seed).
+pub fn delaunay(points: &[Point2]) -> Delaunay {
+    delaunay_seeded(points, 42)
+}
+
+struct Plan {
+    q: u32,
+    region: Vec<u32>,
+    boundary: Vec<u32>,
+    duplicate: bool,
+}
+
+/// Parallel reservation-based Delaunay with an explicit permutation seed.
+pub fn delaunay_seeded(points: &[Point2], seed: u64) -> Delaunay {
+    let n = points.len();
+    if n < 3 {
+        return Delaunay {
+            triangles: Vec::new(),
+        };
+    }
+    let mut mesh = TriMesh::new(points);
+    let mut reservations: Vec<AtomicUsize> = vec![AtomicUsize::new(EMPTY)];
+    let order = parlay::random_permutation(n, seed);
+    let mut tri_of: Vec<u32> = vec![0; n];
+    let mut alive_pt: Vec<bool> = vec![true; n];
+    mesh.tris[0].pts = order.clone();
+    let mut p: Vec<u32> = order;
+
+    while !p.is_empty() {
+        let r = round_size(mesh.alive_count, parlay::num_threads(), p.len());
+        let batch = &p[..r];
+        // Phase A: conflict regions + reservations.
+        let plans: Vec<Plan> = batch
+            .par_iter()
+            .enumerate()
+            .map(|(rank, &q)| {
+                let t0 = tri_of[q as usize];
+                if mesh.is_vertex_of(t0, q) {
+                    return Plan {
+                        q,
+                        region: Vec::new(),
+                        boundary: Vec::new(),
+                        duplicate: true,
+                    };
+                }
+                let region = mesh.conflict_region(t0, q);
+                let boundary = mesh.boundary_of(&region);
+                for &t in region.iter().chain(&boundary) {
+                    let slot = &reservations[t as usize];
+                    if slot.load(Ordering::Relaxed) > rank {
+                        slot.fetch_min(rank, Ordering::Relaxed);
+                    }
+                }
+                Plan {
+                    q,
+                    region,
+                    boundary,
+                    duplicate: false,
+                }
+            })
+            .collect();
+        // Phase A': winners.
+        let success: Vec<bool> = plans
+            .par_iter()
+            .enumerate()
+            .map(|(rank, pl)| {
+                !pl.duplicate
+                    && pl
+                        .region
+                        .iter()
+                        .chain(&pl.boundary)
+                        .all(|&t| reservations[t as usize].load(Ordering::Relaxed) == rank)
+            })
+            .collect();
+        // Phase B: sequential surgery per winner.
+        let mut winners: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (rank, pl) in plans.iter().enumerate() {
+            if pl.duplicate {
+                alive_pt[pl.q as usize] = false;
+                continue;
+            }
+            if !success[rank] {
+                continue;
+            }
+            let new_tris = mesh.insert_vertex(pl.q, &pl.region);
+            while reservations.len() < mesh.tris.len() {
+                reservations.push(AtomicUsize::new(EMPTY));
+            }
+            alive_pt[pl.q as usize] = false;
+            winners.push((rank, new_tris));
+        }
+        // Phase C: parallel redistribution by containment.
+        {
+            let tris_ptr = SendPtr(mesh.tris.as_mut_ptr());
+            let tri_of_ptr = SendPtr(tri_of.as_mut_ptr());
+            let plans_ref = &plans;
+            let mesh_points: &[Point2] = &mesh.points;
+            winners.par_iter().for_each(|(rank, new_tris)| {
+                let (tris_ptr, tri_of_ptr) = (tris_ptr, tri_of_ptr);
+                let pl = &plans_ref[*rank];
+                // SAFETY: the reservation gives this winner exclusive
+                // ownership of its cavity triangles, the new triangles, and
+                // the points in the cavity's conflict lists.
+                unsafe {
+                    for &dead in &pl.region {
+                        let pts =
+                            std::mem::take(&mut (*tris_ptr.0.add(dead as usize)).pts);
+                        for t in pts {
+                            if t == pl.q {
+                                continue;
+                            }
+                            let mut placed = false;
+                            for &nt in new_tris {
+                                if contains_raw(mesh_points, tris_ptr.0, nt, t) {
+                                    *tri_of_ptr.0.add(t as usize) = nt;
+                                    (*tris_ptr.0.add(nt as usize)).pts.push(t);
+                                    placed = true;
+                                    break;
+                                }
+                            }
+                            debug_assert!(placed, "cavity must cover its points");
+                            if !placed {
+                                // Defensive: drop rather than corrupt.
+                                *tri_of_ptr.0.add(t as usize) = u32::MAX;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Phase D: reset + pack.
+        plans.par_iter().for_each(|pl| {
+            for &t in pl.region.iter().chain(&pl.boundary) {
+                reservations[t as usize].store(EMPTY, Ordering::Relaxed);
+            }
+        });
+        p = parlay::filter(&p, |&t| alive_pt[t as usize] && tri_of[t as usize] != u32::MAX);
+    }
+    Delaunay {
+        triangles: mesh.extract(),
+    }
+}
+
+/// Batch size: grows with both the mesh (conflict cavities must be sparse
+/// enough for reservations to succeed) and the remaining points (each
+/// round packs `P`, so the round count must stay logarithmic).
+fn round_size(alive_tris: usize, threads: usize, remaining: usize) -> usize {
+    if alive_tris < 32 {
+        return 1;
+    }
+    let floor = (8 * threads).max(1);
+    let adaptive = (remaining / 8).min(alive_tris / 8);
+    floor.max(adaptive).min(remaining)
+}
+
+#[inline]
+unsafe fn contains_raw(
+    points: &[Point2],
+    tris: *const crate::tri::Tri,
+    t: u32,
+    q: u32,
+) -> bool {
+    let v = unsafe { &(*tris.add(t as usize)).v };
+    let p = &points[q as usize];
+    (0..3).all(|i| {
+        pargeo_geometry::orient2d(
+            &points[v[i] as usize],
+            &points[v[(i + 1) % 3] as usize],
+            p,
+        ) != pargeo_geometry::Orientation::Negative
+    })
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tri::validate_delaunay;
+    use pargeo_datagen::{seed_spreader, uniform_cube, SeedSpreaderParams};
+
+    fn canonical(tris: &[[u32; 3]]) -> Vec<[u32; 3]> {
+        let mut out: Vec<[u32; 3]> = tris
+            .iter()
+            .map(|t| {
+                // Rotate so the smallest vertex leads (CCW preserved).
+                let k = (0..3).min_by_key(|&i| t[i]).unwrap();
+                [t[k], t[(k + 1) % 3], t[(k + 2) % 3]]
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn seq_is_delaunay_uniform() {
+        let pts = uniform_cube::<2>(400, 1);
+        let d = delaunay_seq(&pts);
+        validate_delaunay(&pts, &d.triangles).unwrap();
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for seed in 0..3 {
+            let pts = uniform_cube::<2>(500, seed);
+            let s = delaunay_seq(&pts);
+            let p = delaunay(&pts);
+            validate_delaunay(&pts, &p.triangles).unwrap();
+            assert_eq!(canonical(&s.triangles), canonical(&p.triangles), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn clustered_data() {
+        let pts = seed_spreader::<2>(600, 5, SeedSpreaderParams::default());
+        let d = delaunay(&pts);
+        validate_delaunay(&pts, &d.triangles).unwrap();
+    }
+
+    #[test]
+    fn euler_and_edge_sharing() {
+        let pts = uniform_cube::<2>(800, 7);
+        let d = delaunay(&pts);
+        let mut edge_count: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        for t in &d.triangles {
+            for i in 0..3 {
+                let (a, b) = (t[i], t[(i + 1) % 3]);
+                *edge_count.entry((a.min(b), a.max(b))).or_default() += 1;
+            }
+        }
+        // Every edge borders one (hull) or two (interior) triangles.
+        assert!(edge_count.values().all(|&c| c <= 2));
+        let e = edge_count.len() as i64;
+        let f = d.triangles.len() as i64 + 1; // plus the outer face
+        let mut verts: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for t in &d.triangles {
+            verts.extend(t.iter());
+        }
+        let v = verts.len() as i64;
+        assert_eq!(v - e + f, 2, "Euler failed: V={v} E={e} F={f}");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut pts = uniform_cube::<2>(200, 9);
+        let extra: Vec<Point2> = pts.iter().step_by(4).copied().collect();
+        pts.extend(extra);
+        let d = delaunay(&pts);
+        validate_delaunay(&pts, &d.triangles).unwrap();
+        // No triangle uses two copies of the same location.
+        for t in &d.triangles {
+            assert_ne!(pts[t[0] as usize], pts[t[1] as usize]);
+            assert_ne!(pts[t[1] as usize], pts[t[2] as usize]);
+            assert_ne!(pts[t[0] as usize], pts[t[2] as usize]);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(delaunay(&[]).is_empty());
+        assert!(delaunay(&[Point2::new([0.0, 0.0])]).is_empty());
+        let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 1.0])];
+        assert!(delaunay(&two).is_empty());
+        let collinear: Vec<Point2> =
+            (0..50).map(|i| Point2::new([i as f64, i as f64])).collect();
+        assert!(delaunay(&collinear).is_empty());
+        assert!(delaunay_seq(&collinear).is_empty());
+    }
+
+    #[test]
+    fn grid_with_cocircular_points_is_valid() {
+        // A regular grid is maximally degenerate (every quad cocircular).
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                pts.push(Point2::new([i as f64, j as f64]));
+            }
+        }
+        let d = delaunay(&pts);
+        validate_delaunay(&pts, &d.triangles).unwrap();
+        // A triangulated 11x11 grid of unit squares: 242 triangles.
+        assert_eq!(d.triangles.len(), 242);
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<2>(1_000, 11);
+        let a = parlay::with_threads(1, || delaunay(&pts));
+        let b = parlay::with_threads(4, || delaunay(&pts));
+        assert_eq!(canonical(&a.triangles), canonical(&b.triangles));
+    }
+}

@@ -1,0 +1,26 @@
+//! # pargeo-delaunay — 2D Delaunay triangulation (paper Module 3)
+//!
+//! Incremental Bowyer–Watson with exact `incircle`, Morton-order (BRIO
+//! style) insertion, and — in the parallel variant — **the paper's
+//! reservation technique applied to triangulation**: a batch of uninserted
+//! points computes their conflict cavities, priority-writes their ranks
+//! onto the cavity triangles plus the boundary ring, and the points that
+//! win every reservation retriangulate disjoint cavities in parallel. This
+//! is exactly the Figure 5 skeleton with "facet" = "triangle" and "visible"
+//! = "inside the circumcircle", which is how ParGeo reuses one parallel
+//! scheme across incremental geometry algorithms.
+//!
+//! The triangulation is seeded with a far-away enclosing super-triangle
+//! whose corners are removed at the end. The corners sit `10⁶ ×` the input
+//! diameter away; with exact predicates this yields the true Delaunay
+//! triangulation for all but adversarially flat inputs (the classic
+//! trade-off of non-symbolic super-triangles; the `validate` module's
+//! empty-circumcircle check guards the experiments).
+
+mod bw;
+mod graphs;
+mod tri;
+
+pub use bw::{delaunay, delaunay_seeded, delaunay_seq, Delaunay};
+pub use graphs::{delaunay_edges, gabriel_graph};
+pub use tri::validate_delaunay;

@@ -1,0 +1,246 @@
+//! Triangle mesh with edge adjacency and conflict lists — the Delaunay
+//! analogue of the hull's facet mesh.
+
+use pargeo_geometry::{incircle, orient2d, Orientation, Point2};
+
+#[derive(Debug)]
+pub(crate) struct Tri {
+    /// Vertex ids, counterclockwise.
+    pub v: [u32; 3],
+    /// `nbr[i]` = triangle across edge `(v[i], v[(i+1)%3])`;
+    /// `u32::MAX` on the outer boundary of the super-triangle.
+    pub nbr: [u32; 3],
+    /// Conflict list: uninserted points lying inside this triangle.
+    pub pts: Vec<u32>,
+    pub alive: bool,
+}
+
+pub(crate) struct TriMesh {
+    /// Input points followed by the three super-triangle corners.
+    pub points: Vec<Point2>,
+    pub tris: Vec<Tri>,
+    pub alive_count: usize,
+    /// First super-vertex id (`==` original input length).
+    pub super_base: u32,
+}
+
+impl TriMesh {
+    /// Seeds the mesh with a super-triangle enclosing all `points`.
+    pub fn new(points: &[Point2]) -> Self {
+        let mut bbox = pargeo_geometry::Bbox::empty();
+        for p in points {
+            bbox.extend(p);
+        }
+        let c = bbox.center();
+        let r = bbox.diag_sq().sqrt().max(1.0) * 1e6;
+        let super_base = points.len() as u32;
+        let mut all = points.to_vec();
+        // Equilateral-ish super-triangle, counterclockwise.
+        all.push(Point2::new([c[0] - 1.8 * r, c[1] - r]));
+        all.push(Point2::new([c[0] + 1.8 * r, c[1] - r]));
+        all.push(Point2::new([c[0], c[1] + 2.1 * r]));
+        debug_assert_eq!(
+            orient2d(
+                &all[super_base as usize],
+                &all[super_base as usize + 1],
+                &all[super_base as usize + 2]
+            ),
+            Orientation::Positive
+        );
+        TriMesh {
+            points: all,
+            tris: vec![Tri {
+                v: [super_base, super_base + 1, super_base + 2],
+                nbr: [u32::MAX; 3],
+                pts: Vec::new(),
+                alive: true,
+            }],
+            alive_count: 1,
+            super_base,
+        }
+    }
+
+    /// Strict conflict: `q` lies strictly inside the circumcircle of `t`.
+    #[inline]
+    pub fn conflicts(&self, t: u32, q: u32) -> bool {
+        let v = &self.tris[t as usize].v;
+        incircle(
+            &self.points[v[0] as usize],
+            &self.points[v[1] as usize],
+            &self.points[v[2] as usize],
+            &self.points[q as usize],
+        ) == Orientation::Positive
+    }
+
+    /// True iff `q` lies inside triangle `t` (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, t: u32, q: u32) -> bool {
+        let v = &self.tris[t as usize].v;
+        let p = &self.points[q as usize];
+        (0..3).all(|i| {
+            orient2d(
+                &self.points[v[i] as usize],
+                &self.points[v[(i + 1) % 3] as usize],
+                p,
+            ) != Orientation::Negative
+        })
+    }
+
+    /// True iff `q` coincides with a vertex of `t`.
+    #[inline]
+    pub fn is_vertex_of(&self, t: u32, q: u32) -> bool {
+        let p = self.points[q as usize];
+        self.tris[t as usize]
+            .v
+            .iter()
+            .any(|&v| self.points[v as usize] == p)
+    }
+
+    /// BFS over the conflict region of `q` seeded at containing triangle
+    /// `t0` (which always conflicts).
+    pub fn conflict_region(&self, t0: u32, q: u32) -> Vec<u32> {
+        debug_assert!(self.tris[t0 as usize].alive);
+        let mut region = vec![t0];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(t0);
+        let mut stack = vec![t0];
+        while let Some(t) = stack.pop() {
+            for &g in &self.tris[t as usize].nbr {
+                if g != u32::MAX && seen.insert(g) && self.conflicts(g, q) {
+                    region.push(g);
+                    stack.push(g);
+                }
+            }
+        }
+        region
+    }
+
+    /// Alive triangles adjacent to but outside the region.
+    pub fn boundary_of(&self, region: &[u32]) -> Vec<u32> {
+        let mut seen: std::collections::HashSet<u32> = region.iter().copied().collect();
+        let mut out = Vec::new();
+        for &t in region {
+            for &g in &self.tris[t as usize].nbr {
+                if g != u32::MAX && seen.insert(g) {
+                    out.push(g);
+                }
+            }
+        }
+        out
+    }
+
+    /// Retriangulates the cavity `region` around the new vertex `q`.
+    /// Returns the new triangle ids. Caller owns the region exclusively.
+    pub fn insert_vertex(&mut self, q: u32, region: &[u32]) -> Vec<u32> {
+        let in_region: std::collections::HashSet<u32> = region.iter().copied().collect();
+        // Cavity boundary edges, directed as in their (dead) triangle.
+        struct BEdge {
+            a: u32,
+            b: u32,
+            outer: u32,
+            outer_slot: usize,
+        }
+        let mut edges: Vec<BEdge> = Vec::new();
+        for &t in region {
+            let tri = &self.tris[t as usize];
+            for i in 0..3 {
+                let g = tri.nbr[i];
+                if g == u32::MAX || !in_region.contains(&g) {
+                    let a = tri.v[i];
+                    let b = tri.v[(i + 1) % 3];
+                    let outer_slot = if g == u32::MAX {
+                        usize::MAX
+                    } else {
+                        let gv = &self.tris[g as usize].v;
+                        (0..3)
+                            .find(|&j| gv[j] == b && gv[(j + 1) % 3] == a)
+                            .expect("reverse edge in outer triangle")
+                    };
+                    edges.push(BEdge {
+                        a,
+                        b,
+                        outer: g,
+                        outer_slot,
+                    });
+                }
+            }
+        }
+        debug_assert!(edges.len() >= 3);
+        // Order into the boundary cycle.
+        let by_start: std::collections::HashMap<u32, usize> =
+            edges.iter().enumerate().map(|(i, e)| (e.a, i)).collect();
+        debug_assert_eq!(by_start.len(), edges.len(), "cavity boundary not simple");
+        let mut order = Vec::with_capacity(edges.len());
+        let mut cur = 0usize;
+        for _ in 0..edges.len() {
+            order.push(cur);
+            cur = by_start[&edges[cur].b];
+        }
+        debug_assert_eq!(cur, 0, "cavity boundary must close");
+        let base = self.tris.len() as u32;
+        let k = order.len() as u32;
+        for (pos, &ei) in order.iter().enumerate() {
+            let e = &edges[ei];
+            let id = base + pos as u32;
+            let next = base + ((pos as u32 + 1) % k);
+            let prev = base + ((pos as u32 + k - 1) % k);
+            debug_assert_eq!(
+                orient2d(
+                    &self.points[e.a as usize],
+                    &self.points[e.b as usize],
+                    &self.points[q as usize]
+                ),
+                Orientation::Positive,
+                "new triangle must be CCW"
+            );
+            self.tris.push(Tri {
+                v: [e.a, e.b, q],
+                nbr: [e.outer, next, prev],
+                pts: Vec::new(),
+                alive: true,
+            });
+            if e.outer != u32::MAX {
+                self.tris[e.outer as usize].nbr[e.outer_slot] = id;
+            }
+        }
+        for &t in region {
+            self.tris[t as usize].alive = false;
+        }
+        self.alive_count += k as usize;
+        self.alive_count -= region.len();
+        (base..base + k).collect()
+    }
+
+    /// Extracts the real triangles (no super vertices).
+    pub fn extract(&self) -> Vec<[u32; 3]> {
+        self.tris
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| v < self.super_base))
+            .map(|t| t.v)
+            .collect()
+    }
+}
+
+/// Validates the Delaunay property directly: every triangle is CCW and no
+/// input point lies strictly inside any circumcircle. `O(T · n)` — tests
+/// only.
+pub fn validate_delaunay(points: &[Point2], triangles: &[[u32; 3]]) -> Result<(), String> {
+    for (ti, t) in triangles.iter().enumerate() {
+        let (a, b, c) = (
+            &points[t[0] as usize],
+            &points[t[1] as usize],
+            &points[t[2] as usize],
+        );
+        if orient2d(a, b, c) != Orientation::Positive {
+            return Err(format!("triangle {ti} not CCW: {t:?}"));
+        }
+        for (qi, q) in points.iter().enumerate() {
+            if incircle(a, b, c, q) == Orientation::Positive {
+                return Err(format!(
+                    "point {qi} strictly inside circumcircle of triangle {ti} {t:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # pargeo-geometry — geometry kernel
+//!
+//! The numeric substrate shared by every ParGeo-rs module:
+//!
+//! * [`point`] — const-generic fixed-dimension points (`Point<D>`) with the
+//!   vector arithmetic the algorithms need and nothing more.
+//! * [`bbox`] — axis-aligned bounding boxes with the distance/separation
+//!   queries used by kd-trees, WSPD and dual-tree traversals.
+//! * [`expansion`] — floating-point expansion arithmetic (Dekker/Knuth
+//!   two-sum and two-product ladders, Shewchuk's zero-eliminating sums).
+//! * [`predicates`] — *exact* orientation and in-circle tests with a cheap
+//!   static filter in front: the fast path is a plain double-precision
+//!   determinant accepted only when it clears a forward error bound; the slow
+//!   path evaluates the determinant exactly over expansions. This plays the
+//!   role CGAL's exact predicates play for the original ParGeo.
+//! * [`ball`] — spheres through support sets (the Welzl base case), solved
+//!   via a small Gram-system Gaussian elimination.
+
+pub mod ball;
+pub mod bbox;
+pub mod expansion;
+pub mod point;
+pub mod predicates;
+
+pub use ball::{ball_through, Ball};
+pub use bbox::Bbox;
+pub use point::{Point, Point2, Point3, Point4, Point5, Point7};
+pub use predicates::{incircle, orient2d, orient3d, Orientation};

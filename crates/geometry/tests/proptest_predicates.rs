@@ -1,0 +1,112 @@
+//! Property-based tests for the exact predicates: algebraic identities
+//! that must hold for *every* input, including adversarially degenerate
+//! ones.
+
+use pargeo_geometry::{incircle, orient2d, orient3d, Orientation, Point2, Point3};
+use proptest::prelude::*;
+
+fn small_coord() -> impl Strategy<Value = f64> {
+    // Mix of smooth values and tiny-grid values that force near-degeneracy.
+    prop_oneof![
+        -1e3f64..1e3,
+        (-100i64..100).prop_map(|i| i as f64 * 0.5),
+    ]
+}
+
+fn p2() -> impl Strategy<Value = Point2> {
+    (small_coord(), small_coord()).prop_map(|(x, y)| Point2::new([x, y]))
+}
+
+fn p3() -> impl Strategy<Value = Point3> {
+    (small_coord(), small_coord(), small_coord()).prop_map(|(x, y, z)| Point3::new([x, y, z]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Swapping two arguments flips the orientation sign.
+    #[test]
+    fn orient2d_antisymmetry(a in p2(), b in p2(), c in p2()) {
+        prop_assert_eq!(orient2d(&a, &b, &c).sign(), -orient2d(&b, &a, &c).sign());
+        prop_assert_eq!(orient2d(&a, &b, &c).sign(), orient2d(&b, &c, &a).sign());
+    }
+
+    /// Translation invariance (exact: translations by representable values
+    /// still shift all points identically, so signs cannot change when the
+    /// arithmetic is exact — catches filter/exact-path disagreements).
+    #[test]
+    fn orient2d_translation_invariance(a in p2(), b in p2(), c in p2(),
+                                       dx in -64i64..64, dy in -64i64..64) {
+        let t = Point2::new([dx as f64 * 1024.0, dy as f64 * 1024.0]);
+        let o1 = orient2d(&a, &b, &c);
+        let o2 = orient2d(&(a + t), &(b + t), &(c + t));
+        // Exact only when the translated coordinates are exactly
+        // representable; powers-of-two offsets on our strategies are.
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// Exactly collinear triples report Zero.
+    #[test]
+    fn orient2d_detects_exact_collinearity(
+        x0 in -1000i64..1000, y0 in -1000i64..1000,
+        dx in -50i64..50, dy in -50i64..50,
+        s in 1i64..20, t in 1i64..20,
+    ) {
+        let a = Point2::new([x0 as f64, y0 as f64]);
+        let b = Point2::new([(x0 + s * dx) as f64, (y0 + s * dy) as f64]);
+        let c = Point2::new([(x0 + (s + t) * dx) as f64, (y0 + (s + t) * dy) as f64]);
+        prop_assert_eq!(orient2d(&a, &b, &c), Orientation::Zero);
+    }
+
+    /// 3D antisymmetry under swapping the first two arguments.
+    #[test]
+    fn orient3d_antisymmetry(a in p3(), b in p3(), c in p3(), d in p3()) {
+        prop_assert_eq!(orient3d(&a, &b, &c, &d).sign(), -orient3d(&b, &a, &c, &d).sign());
+    }
+
+    /// Exactly coplanar quadruples report Zero (points on an integer
+    /// lattice plane).
+    #[test]
+    fn orient3d_detects_exact_coplanarity(
+        ax in -100i64..100, ay in -100i64..100,
+        bx in -100i64..100, by in -100i64..100,
+        cx in -100i64..100, cy in -100i64..100,
+        dx in -100i64..100, dy in -100i64..100,
+        px in -5i64..5, py in -5i64..5,
+    ) {
+        // All points on the plane z = px*x + py*y (integer arithmetic,
+        // exactly representable).
+        let z = |x: i64, y: i64| (px * x + py * y) as f64;
+        let a = Point3::new([ax as f64, ay as f64, z(ax, ay)]);
+        let b = Point3::new([bx as f64, by as f64, z(bx, by)]);
+        let c = Point3::new([cx as f64, cy as f64, z(cx, cy)]);
+        let d = Point3::new([dx as f64, dy as f64, z(dx, dy)]);
+        prop_assert_eq!(orient3d(&a, &b, &c, &d), Orientation::Zero);
+    }
+
+    /// incircle is symmetric under rotation of the first three points and
+    /// flips under swaps.
+    #[test]
+    fn incircle_symmetries(a in p2(), b in p2(), c in p2(), d in p2()) {
+        let o = incircle(&a, &b, &c, &d);
+        prop_assert_eq!(incircle(&b, &c, &a, &d), o);
+        prop_assert_eq!(incircle(&c, &a, &b, &d).sign(), o.sign());
+        prop_assert_eq!(incircle(&b, &a, &c, &d).sign(), -o.sign());
+    }
+
+    /// A point inside the triangle (strictly) is inside the circumcircle
+    /// when the triangle is CCW.
+    #[test]
+    fn incircle_contains_triangle_interior(a in p2(), b in p2(), c in p2(),
+                                           wa in 1u32..100, wb in 1u32..100, wc in 1u32..100) {
+        prop_assume!(orient2d(&a, &b, &c) == Orientation::Positive);
+        let wsum = (wa + wb + wc) as f64;
+        let d = (a * (wa as f64) + b * (wb as f64) + c * (wc as f64)) * (1.0 / wsum);
+        // The weighted centroid can round onto an edge; require strict
+        // interiority first.
+        prop_assume!(orient2d(&a, &b, &d) == Orientation::Positive);
+        prop_assume!(orient2d(&b, &c, &d) == Orientation::Positive);
+        prop_assume!(orient2d(&c, &a, &d) == Orientation::Positive);
+        prop_assert_eq!(incircle(&a, &b, &c, &d), Orientation::Positive);
+    }
+}

@@ -1,0 +1,216 @@
+//! 2-dimensional convex hull.
+//!
+//! All algorithms return the hull vertices as indices into the input, in
+//! counterclockwise order starting from the lexicographically smallest
+//! point. Collinear boundary points are *not* reported (strict hull), and
+//! degenerate inputs (≤ 2 distinct points, or all collinear) return the
+//! extreme points only.
+
+mod dnc;
+mod quickhull;
+mod randinc;
+mod seq;
+pub mod validate;
+
+pub use dnc::hull2d_divide_conquer;
+pub use quickhull::hull2d_quickhull_parallel;
+pub use randinc::hull2d_randinc;
+pub use seq::hull2d_seq;
+
+use pargeo_geometry::{orient2d, Orientation, Point2};
+
+/// True iff `q` lies strictly to the right of the directed line `a → b`
+/// (i.e. `q` sees the CCW hull edge `(a, b)` from outside).
+#[inline]
+pub(crate) fn sees(points: &[Point2], a: u32, b: u32, q: u32) -> bool {
+    orient2d(
+        &points[a as usize],
+        &points[b as usize],
+        &points[q as usize],
+    ) == Orientation::Negative
+}
+
+/// Index of the lexicographically smallest point (min x, then min y).
+pub(crate) fn lex_min(points: &[Point2]) -> usize {
+    pargeo_parlay::max_index_by(points, |p| (-p[0], -p[1])).expect("non-empty")
+}
+
+/// Index of the lexicographically largest point.
+pub(crate) fn lex_max(points: &[Point2]) -> usize {
+    pargeo_parlay::max_index_by(points, |p| (p[0], p[1])).expect("non-empty")
+}
+
+/// Squared "distance" proxy of `q` from line `a → b` (twice the signed
+/// triangle area; sign dropped). Used only to *select* split points, never
+/// to decide predicates, so plain doubles are fine.
+#[inline]
+pub(crate) fn line_dist(points: &[Point2], a: u32, b: u32, q: u32) -> f64 {
+    let pa = points[a as usize];
+    let pb = points[b as usize];
+    let pq = points[q as usize];
+    ((pb - pa).cross2(&(pq - pa))).abs()
+}
+
+/// Projection of `q` along the chord direction `a → b` (tie-break key for
+/// furthest-point selection: among points tied at the same distance — a
+/// collinear chain parallel to the chord — the extremes of the chain have
+/// extremal projections, and only they are true hull vertices, so
+/// maximizing `(distance, projection)` never emits a mid-chain point).
+#[inline]
+pub(crate) fn proj_along(points: &[Point2], a: u32, b: u32, q: u32) -> f64 {
+    let pa = points[a as usize];
+    let pb = points[b as usize];
+    let pq = points[q as usize];
+    (pq - pa).dot(&(pb - pa))
+}
+
+/// Handles the degenerate cases shared by all algorithms. Returns `Some`
+/// when the input has no 2D hull (empty, single point, or all collinear);
+/// the result is the extreme point(s).
+pub(crate) fn degenerate_hull(points: &[Point2]) -> Option<Vec<u32>> {
+    if points.is_empty() {
+        return Some(Vec::new());
+    }
+    let lo = lex_min(points) as u32;
+    let hi = lex_max(points) as u32;
+    if lo == hi || points[lo as usize] == points[hi as usize] {
+        return Some(vec![lo.min(hi)]);
+    }
+    // Any point off the line lo–hi proves full dimensionality.
+    let off = (0..points.len() as u32).find(|&q| {
+        orient2d(
+            &points[lo as usize],
+            &points[hi as usize],
+            &points[q as usize],
+        ) != Orientation::Zero
+    });
+    if off.is_none() {
+        return Some(vec![lo, hi]);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate::check_hull2d;
+    use super::*;
+    use pargeo_datagen::{in_sphere, on_cube, on_sphere, uniform_cube};
+
+    type Algo = fn(&[Point2]) -> Vec<u32>;
+
+    fn algos() -> Vec<(&'static str, Algo)> {
+        vec![
+            ("seq", hull2d_seq as Algo),
+            ("quickhull", hull2d_quickhull_parallel as Algo),
+            ("randinc", hull2d_randinc as Algo),
+            ("dnc", hull2d_divide_conquer as Algo),
+        ]
+    }
+
+    /// Hull as coordinate sequence rotated to start at its lexicographic
+    /// minimum — identical across algorithms even when duplicate input
+    /// points make the index choice ambiguous.
+    fn canonical(points: &[Point2], hull: &[u32]) -> Vec<[f64; 2]> {
+        let mut coords: Vec<[f64; 2]> = hull
+            .iter()
+            .map(|&i| points[i as usize].coords)
+            .collect();
+        if coords.is_empty() {
+            return coords;
+        }
+        let rot = coords
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        coords.rotate_left(rot);
+        coords
+    }
+
+    fn check_all(points: &[Point2]) {
+        let reference = canonical(points, &hull2d_seq(points));
+        for (name, f) in algos() {
+            let h = f(points);
+            check_hull2d(points, &h).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(canonical(points, &h), reference, "{name} disagrees with seq");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_uniform() {
+        check_all(&uniform_cube::<2>(4_000, 1));
+    }
+
+    #[test]
+    fn all_algorithms_agree_in_sphere() {
+        check_all(&in_sphere::<2>(4_000, 2));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_sphere() {
+        // Large hull output: stresses the incremental rounds.
+        check_all(&on_sphere::<2>(2_000, 3));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_cube() {
+        check_all(&on_cube::<2>(3_000, 4));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for (_, f) in algos() {
+            assert!(f(&[]).is_empty());
+            assert_eq!(f(&[Point2::new([1.0, 1.0])]), vec![0]);
+            let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 0.0])];
+            assert_eq!(f(&two), vec![0, 1]);
+            let tri = [
+                Point2::new([0.0, 0.0]),
+                Point2::new([1.0, 0.0]),
+                Point2::new([0.0, 1.0]),
+            ];
+            let h = f(&tri);
+            assert_eq!(h.len(), 3);
+        }
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts: Vec<Point2> = (0..100).map(|i| Point2::new([i as f64, 2.0 * i as f64])).collect();
+        for (name, f) in algos() {
+            let h = f(&pts);
+            assert_eq!(h.len(), 2, "{name}");
+            assert!(h.contains(&0) && h.contains(&99), "{name}");
+        }
+    }
+
+    #[test]
+    fn duplicates_everywhere() {
+        let mut pts = uniform_cube::<2>(500, 5);
+        let dups: Vec<Point2> = pts.iter().step_by(3).copied().collect();
+        pts.extend(dups);
+        check_all(&pts);
+    }
+
+    #[test]
+    fn square_with_interior_grid() {
+        // Exact corners; every other point strictly inside.
+        let mut pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([10.0, 0.0]),
+            Point2::new([10.0, 10.0]),
+            Point2::new([0.0, 10.0]),
+        ];
+        for i in 1..10 {
+            for j in 1..10 {
+                pts.push(Point2::new([i as f64, j as f64]));
+            }
+        }
+        for (name, f) in algos() {
+            let mut h = f(&pts);
+            h.sort();
+            assert_eq!(h, vec![0, 1, 2, 3], "{name}");
+        }
+    }
+}

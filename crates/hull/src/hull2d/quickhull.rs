@@ -1,0 +1,123 @@
+//! Parallel recursive quickhull for R² — the paper's `QuickHull` entry for
+//! 2D (Blelloch's vector-model algorithm \[19\] as implemented in PBBS):
+//! the furthest point splits the chord, the two candidate subsets are
+//! produced with parallel filters, and the halves recurse in parallel.
+
+use super::{degenerate_hull, lex_max, lex_min, line_dist, proj_along, sees};
+use pargeo_geometry::Point2;
+use pargeo_parlay as parlay;
+
+const SEQ_CUTOFF: usize = 2048;
+
+/// Parallel quickhull. Returns CCW hull vertex indices.
+pub fn hull2d_quickhull_parallel(points: &[Point2]) -> Vec<u32> {
+    if let Some(h) = degenerate_hull(points) {
+        return h;
+    }
+    let a = lex_min(points) as u32;
+    let b = lex_max(points) as u32;
+    let ids: Vec<u32> = (0..points.len() as u32).collect();
+    let (below, above) = parlay::par_do(
+        || parlay::filter(&ids, |&q| q != a && q != b && sees(points, a, b, q)),
+        || parlay::filter(&ids, |&q| q != a && q != b && sees(points, b, a, q)),
+    );
+    let (mut lower, mut upper) = parlay::par_do(
+        || qh_rec(points, a, b, below),
+        || qh_rec(points, b, a, above),
+    );
+    let mut out = Vec::with_capacity(lower.len() + upper.len() + 2);
+    out.push(a);
+    out.append(&mut lower);
+    out.push(b);
+    out.append(&mut upper);
+    out
+}
+
+/// Returns the hull vertices strictly between `a` and `b`, in walk order.
+fn qh_rec(points: &[Point2], a: u32, b: u32, cand: Vec<u32>) -> Vec<u32> {
+    if cand.is_empty() {
+        return Vec::new();
+    }
+    if cand.len() < SEQ_CUTOFF {
+        let mut out = Vec::new();
+        let mut c = cand;
+        seq_rec(points, a, b, &mut c, &mut out);
+        return out;
+    }
+    // (distance, chord-projection) key: the projection tie-break keeps
+    // collinear mid-chain points from being emitted as vertices.
+    let f = cand[parlay::max_index_by(&cand, |&q| {
+        (line_dist(points, a, b, q), proj_along(points, a, b, q))
+    })
+    .unwrap()];
+    let (left, right) = parlay::par_do(
+        || parlay::filter(&cand, |&q| q != f && sees(points, a, f, q)),
+        || parlay::filter(&cand, |&q| q != f && sees(points, f, b, q)),
+    );
+    drop(cand);
+    let (mut lo, mut hi) = parlay::par_do(
+        || qh_rec(points, a, f, left),
+        || qh_rec(points, f, b, right),
+    );
+    let mut out = Vec::with_capacity(lo.len() + hi.len() + 1);
+    out.append(&mut lo);
+    out.push(f);
+    out.append(&mut hi);
+    out
+}
+
+fn seq_rec(points: &[Point2], a: u32, b: u32, cand: &mut Vec<u32>, out: &mut Vec<u32>) {
+    if cand.is_empty() {
+        return;
+    }
+    let mut best = cand[0];
+    let mut best_key = (line_dist(points, a, b, best), proj_along(points, a, b, best));
+    for &q in cand.iter().skip(1) {
+        let key = (line_dist(points, a, b, q), proj_along(points, a, b, q));
+        if key > best_key {
+            best = q;
+            best_key = key;
+        }
+    }
+    let f = best;
+    let mut left: Vec<u32> = Vec::new();
+    let mut right: Vec<u32> = Vec::new();
+    for &q in cand.iter() {
+        if q == f {
+            continue;
+        }
+        if sees(points, a, f, q) {
+            left.push(q);
+        } else if sees(points, f, b, q) {
+            right.push(q);
+        }
+    }
+    cand.clear();
+    seq_rec(points, a, f, &mut left, out);
+    out.push(f);
+    seq_rec(points, f, b, &mut right, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull2d::validate::check_hull2d;
+    use pargeo_datagen::uniform_cube;
+
+    #[test]
+    fn matches_sequential_on_large_input() {
+        let pts = uniform_cube::<2>(50_000, 11);
+        let par = hull2d_quickhull_parallel(&pts);
+        let seq = crate::hull2d::hull2d_seq(&pts);
+        assert_eq!(par, seq);
+        check_hull2d(&pts, &par).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<2>(30_000, 12);
+        let a = pargeo_parlay::with_threads(1, || hull2d_quickhull_parallel(&pts));
+        let b = pargeo_parlay::with_threads(4, || hull2d_quickhull_parallel(&pts));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,402 @@
+//! Reservation-based parallel randomized incremental convex hull in R²
+//! (the paper's Figure 5 specialized to two dimensions, where facets are
+//! directed hull edges and the horizon is the pair of chain endpoints).
+//!
+//! Each round takes a prefix of the remaining (randomly permuted) visible
+//! points; every point walks its contiguous visible chain, priority-writes
+//! its rank onto the chain **and** the two edges just beyond it (see the
+//! crate-level note on boundary reservation), and winners replace their
+//! chains with two new edges in parallel. Conflict lists (one visible edge
+//! per point) are redistributed exactly as in the paper: points of deleted
+//! edges move to one of the winner's new edges or become interior.
+
+use super::{degenerate_hull, sees};
+use pargeo_geometry::Point2;
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const EMPTY: usize = usize::MAX;
+
+struct Edge {
+    a: u32,
+    b: u32,
+    prev: u32,
+    next: u32,
+    alive: bool,
+    pts: Vec<u32>,
+}
+
+/// Reservation-based randomized incremental hull (default seed).
+pub fn hull2d_randinc(points: &[Point2]) -> Vec<u32> {
+    hull2d_randinc_seeded(points, 42)
+}
+
+/// Reservation-based randomized incremental hull with an explicit
+/// permutation seed.
+pub fn hull2d_randinc_seeded(points: &[Point2], seed: u64) -> Vec<u32> {
+    if let Some(h) = degenerate_hull(points) {
+        return h;
+    }
+    let n = points.len();
+    let perm = parlay::random_permutation(n, seed);
+
+    // Initial triangle: first two distinct points in permutation order plus
+    // the first point off their line (degenerate_hull guarantees one).
+    let t0 = perm[0];
+    let t1 = *perm[1..]
+        .iter()
+        .find(|&&q| points[q as usize] != points[t0 as usize])
+        .expect("distinct point exists");
+    let t2 = *perm
+        .iter()
+        .find(|&&q| {
+            pargeo_geometry::orient2d(
+                &points[t0 as usize],
+                &points[t1 as usize],
+                &points[q as usize],
+            ) != pargeo_geometry::Orientation::Zero
+        })
+        .expect("non-collinear point exists");
+    let (v0, v1, v2) = if pargeo_geometry::orient2d(
+        &points[t0 as usize],
+        &points[t1 as usize],
+        &points[t2 as usize],
+    ) == pargeo_geometry::Orientation::Positive
+    {
+        (t0, t1, t2)
+    } else {
+        (t0, t2, t1)
+    };
+    let mut edges: Vec<Edge> = vec![
+        Edge { a: v0, b: v1, prev: 2, next: 1, alive: true, pts: Vec::new() },
+        Edge { a: v1, b: v2, prev: 0, next: 2, alive: true, pts: Vec::new() },
+        Edge { a: v2, b: v0, prev: 1, next: 0, alive: true, pts: Vec::new() },
+    ];
+    let mut reservations: Vec<AtomicUsize> =
+        (0..3).map(|_| AtomicUsize::new(EMPTY)).collect();
+
+    // Initial conflict assignment, in permutation order.
+    let mut edge_of: Vec<u32> = vec![u32::MAX; n];
+    let mut visible: Vec<bool> = vec![false; n];
+    let assignments: Vec<(u32, u32)> = perm
+        .par_iter()
+        .filter_map(|&q| {
+            if q == v0 || q == v1 || q == v2 {
+                return None;
+            }
+            (0..3u32)
+                .find(|&e| sees(points, edges[e as usize].a, edges[e as usize].b, q))
+                .map(|e| (q, e))
+        })
+        .collect();
+    let mut p: Vec<u32> = Vec::with_capacity(assignments.len());
+    for &(q, e) in &assignments {
+        edge_of[q as usize] = e;
+        visible[q as usize] = true;
+        edges[e as usize].pts.push(q);
+        p.push(q);
+    }
+
+    // Main reservation rounds (Figure 5).
+    let mut alive_edges = 3usize;
+    while !p.is_empty() {
+        let r = round_size(alive_edges, parlay::num_threads(), p.len());
+        let q_batch = &p[..r];
+        // Phase A: find visible chains and reserve them (+ boundary).
+        let plans: Vec<ChainPlan> = q_batch
+            .par_iter()
+            .enumerate()
+            .map(|(rank, &q)| {
+                let plan = find_chain(points, &edges, edge_of[q as usize], q);
+                for &e in plan.chain.iter().chain([plan.left, plan.right].iter()) {
+                    let cur = reservations[e as usize].load(Ordering::Relaxed);
+                    if cur > rank {
+                        reservations[e as usize].fetch_min(rank, Ordering::Relaxed);
+                    }
+                }
+                plan
+            })
+            .collect();
+        // Phase A2: check reservations.
+        let success: Vec<bool> = plans
+            .par_iter()
+            .enumerate()
+            .map(|(rank, plan)| {
+                plan.chain
+                    .iter()
+                    .chain([plan.left, plan.right].iter())
+                    .all(|&e| reservations[e as usize].load(Ordering::Relaxed) == rank)
+            })
+            .collect();
+        // Phase B (sequential, O(#winners)): structural surgery.
+        let mut winner_ids: Vec<usize> = Vec::new();
+        for (rank, plan) in plans.iter().enumerate() {
+            if !success[rank] {
+                continue;
+            }
+            let q = q_batch[rank];
+            let first = plan.chain[0] as usize;
+            let last = *plan.chain.last().unwrap() as usize;
+            let (u, v) = (edges[first].a, edges[last].b);
+            let n1 = edges.len() as u32;
+            let n2 = n1 + 1;
+            edges.push(Edge { a: u, b: q, prev: plan.left, next: n2, alive: true, pts: Vec::new() });
+            edges.push(Edge { a: q, b: v, prev: n1, next: plan.right, alive: true, pts: Vec::new() });
+            reservations.push(AtomicUsize::new(EMPTY));
+            reservations.push(AtomicUsize::new(EMPTY));
+            edges[plan.left as usize].next = n1;
+            edges[plan.right as usize].prev = n2;
+            for &e in &plan.chain {
+                edges[e as usize].alive = false;
+            }
+            alive_edges += 2;
+            alive_edges -= plan.chain.len();
+            visible[q as usize] = false;
+            winner_ids.push(rank);
+        }
+        // Phase C (parallel over winners): redistribute conflict points of
+        // deleted edges onto the winner's two new edges. Winners touch
+        // disjoint edges and disjoint points, so raw-pointer sharing is
+        // sound.
+        {
+            let edges_ptr = SendPtr(edges.as_mut_ptr());
+            let edge_of_ptr = SendPtr(edge_of.as_mut_ptr());
+            let visible_ptr = SendPtr(visible.as_mut_ptr());
+            let plans_ref = &plans;
+            let q_batch_ref = q_batch;
+            winner_ids.par_iter().for_each(|&rank| {
+                // Capture the Send wrappers whole (2021 disjoint-field
+                // capture would otherwise move the raw pointers).
+                let (edges_ptr, edge_of_ptr, visible_ptr) =
+                    (edges_ptr, edge_of_ptr, visible_ptr);
+                let plan = &plans_ref[rank];
+                let q = q_batch_ref[rank];
+                // The two new edges of this winner are the last pushed for
+                // this rank; recover them through the boundary links.
+                // SAFETY: this winner exclusively owns its chain edges, its
+                // new edges, and every point in its chain's conflict lists.
+                unsafe {
+                    let left_edge = &*edges_ptr.0.add(plan.left as usize);
+                    let n1 = left_edge.next;
+                    let n2 = (*edges_ptr.0.add(n1 as usize)).next;
+                    let (e1a, e1b) = {
+                        let e = &*edges_ptr.0.add(n1 as usize);
+                        (e.a, e.b)
+                    };
+                    let (e2a, e2b) = {
+                        let e = &*edges_ptr.0.add(n2 as usize);
+                        (e.a, e.b)
+                    };
+                    for &dead in &plan.chain {
+                        let dead_pts = std::mem::take(&mut (*edges_ptr.0.add(dead as usize)).pts);
+                        for t in dead_pts {
+                            if t == q {
+                                continue;
+                            }
+                            if sees(points, e1a, e1b, t) {
+                                *edge_of_ptr.0.add(t as usize) = n1;
+                                (*edges_ptr.0.add(n1 as usize)).pts.push(t);
+                            } else if sees(points, e2a, e2b, t) {
+                                *edge_of_ptr.0.add(t as usize) = n2;
+                                (*edges_ptr.0.add(n2 as usize)).pts.push(t);
+                            } else {
+                                *visible_ptr.0.add(t as usize) = false;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Phase D: reset reservations touched this round.
+        plans.par_iter().for_each(|plan| {
+            for &e in plan.chain.iter().chain([plan.left, plan.right].iter()) {
+                reservations[e as usize].store(EMPTY, Ordering::Relaxed);
+            }
+        });
+        // Line 17: pack the remaining visible points (losers retry).
+        p = parlay::filter(&p, |&t| visible[t as usize]);
+    }
+
+    walk_hull(points, &edges)
+}
+
+/// Round size: at least `c · numProc` (the paper's floor), growing with
+/// the remaining-point count so the number of rounds stays logarithmic
+/// (each round packs `P`, so `Θ(n)`-many tiny rounds would be quadratic).
+/// Degraded to one point per round while the hull is tiny (high
+/// reservation contention — Appendix B).
+fn round_size(alive_edges: usize, threads: usize, remaining: usize) -> usize {
+    if alive_edges < 8 {
+        return 1;
+    }
+    let floor = (8 * threads).max(1);
+    let adaptive = (remaining / 8).min(alive_edges / 2);
+    floor.max(adaptive).min(remaining)
+}
+
+struct ChainPlan {
+    /// Contiguous visible edges, in hull order.
+    chain: Vec<u32>,
+    /// Surviving edge before the chain.
+    left: u32,
+    /// Surviving edge after the chain.
+    right: u32,
+}
+
+fn find_chain(points: &[Point2], edges: &[Edge], e0: u32, q: u32) -> ChainPlan {
+    debug_assert!(edges[e0 as usize].alive);
+    debug_assert!(sees(points, edges[e0 as usize].a, edges[e0 as usize].b, q));
+    let mut first = e0;
+    loop {
+        let prev = edges[first as usize].prev;
+        if prev == e0 {
+            break; // guarded: cannot see the whole cycle
+        }
+        if sees(points, edges[prev as usize].a, edges[prev as usize].b, q) {
+            first = prev;
+        } else {
+            break;
+        }
+    }
+    let mut chain = vec![first];
+    let mut last = first;
+    loop {
+        let next = edges[last as usize].next;
+        if next == first {
+            break;
+        }
+        if sees(points, edges[next as usize].a, edges[next as usize].b, q) {
+            chain.push(next);
+            last = next;
+        } else {
+            break;
+        }
+    }
+    ChainPlan {
+        left: edges[first as usize].prev,
+        right: edges[last as usize].next,
+        chain,
+    }
+}
+
+fn walk_hull(points: &[Point2], edges: &[Edge]) -> Vec<u32> {
+    let start = edges
+        .iter()
+        .position(|e| e.alive)
+        .expect("hull has at least one edge") as u32;
+    let mut out = Vec::new();
+    let mut cur = start;
+    loop {
+        out.push(edges[cur as usize].a);
+        cur = edges[cur as usize].next;
+        if cur == start {
+            break;
+        }
+    }
+    strip_collinear(points, out)
+}
+
+/// Removes vertices that lie on the segment between their hull neighbors.
+///
+/// The incremental algorithm never revisits a vertex once added, so a point
+/// inserted early can end up exactly *on* a final hull edge (a later point
+/// extended the edge past it). Quickhull's strict recursion excludes such
+/// points; stripping them here keeps all algorithms' outputs identical
+/// (strict hull semantics).
+fn strip_collinear(points: &[Point2], hull: Vec<u32>) -> Vec<u32> {
+    if hull.len() < 3 {
+        return hull;
+    }
+    let orient = |a: u32, b: u32, c: u32| {
+        pargeo_geometry::orient2d(
+            &points[a as usize],
+            &points[b as usize],
+            &points[c as usize],
+        )
+    };
+    let mut out: Vec<u32> = Vec::with_capacity(hull.len());
+    for &v in &hull {
+        while out.len() >= 2
+            && orient(out[out.len() - 2], out[out.len() - 1], v)
+                == pargeo_geometry::Orientation::Zero
+        {
+            out.pop();
+        }
+        out.push(v);
+    }
+    // Wrap-around: the seam at out[0] / out[last] may still be collinear.
+    loop {
+        let n = out.len();
+        if n >= 3 && orient(out[n - 2], out[n - 1], out[0]) == pargeo_geometry::Orientation::Zero
+        {
+            out.pop();
+            continue;
+        }
+        let n = out.len();
+        if n >= 3 && orient(out[n - 1], out[0], out[1]) == pargeo_geometry::Orientation::Zero {
+            out.remove(0);
+            continue;
+        }
+        break;
+    }
+    out
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull2d::validate::check_hull2d;
+    use pargeo_datagen::{on_sphere, uniform_cube};
+
+    #[test]
+    fn matches_sequential() {
+        let pts = uniform_cube::<2>(20_000, 21);
+        let mut got = hull2d_randinc(&pts);
+        check_hull2d(&pts, &got).unwrap();
+        let mut want = crate::hull2d::hull2d_seq(&pts);
+        let rg = got.iter().position(|v| v == got.iter().min().unwrap()).unwrap();
+        got.rotate_left(rg);
+        let rw = want.iter().position(|v| v == want.iter().min().unwrap()).unwrap();
+        want.rotate_left(rw);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_output_hull() {
+        let pts = on_sphere::<2>(5_000, 22);
+        let h = hull2d_randinc(&pts);
+        check_hull2d(&pts, &h).unwrap();
+        assert!(h.len() > 50, "surface data should have a large hull");
+    }
+
+    #[test]
+    fn seed_changes_order_not_result() {
+        let pts = uniform_cube::<2>(5_000, 23);
+        let a: std::collections::BTreeSet<u32> =
+            hull2d_randinc_seeded(&pts, 1).into_iter().collect();
+        let b: std::collections::BTreeSet<u32> =
+            hull2d_randinc_seeded(&pts, 2).into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<2>(10_000, 24);
+        let a = pargeo_parlay::with_threads(1, || hull2d_randinc(&pts));
+        let b = pargeo_parlay::with_threads(4, || hull2d_randinc(&pts));
+        let sa: std::collections::BTreeSet<u32> = a.into_iter().collect();
+        let sb: std::collections::BTreeSet<u32> = b.into_iter().collect();
+        assert_eq!(sa, sb);
+    }
+}

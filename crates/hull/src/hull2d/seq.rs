@@ -1,0 +1,123 @@
+//! Optimized sequential quickhull — the stand-in for the CGAL / Qhull
+//! baselines of Figure 8 (see DESIGN.md §5).
+//!
+//! Classic two-sided quickhull with in-place index partitioning: one scratch
+//! vector of candidate ids per recursion side, no per-level allocation
+//! beyond the initial split. Orientation tests are exact; furthest-point
+//! selection uses plain doubles (selection only affects recursion order).
+
+use super::{degenerate_hull, lex_max, lex_min, line_dist, proj_along, sees};
+use pargeo_geometry::Point2;
+
+/// Sequential quickhull. Returns CCW hull vertex indices.
+pub fn hull2d_seq(points: &[Point2]) -> Vec<u32> {
+    if let Some(h) = degenerate_hull(points) {
+        return h;
+    }
+    let a = lex_min(points) as u32;
+    let b = lex_max(points) as u32;
+    // Split candidates by side of the chord a–b.
+    let mut below: Vec<u32> = Vec::new();
+    let mut above: Vec<u32> = Vec::new();
+    for q in 0..points.len() as u32 {
+        if q == a || q == b {
+            continue;
+        }
+        if sees(points, a, b, q) {
+            below.push(q); // right of a→b: lower hull candidates
+        } else if sees(points, b, a, q) {
+            above.push(q); // right of b→a: upper hull candidates
+        }
+    }
+    let mut out = Vec::new();
+    out.push(a);
+    qh_rec(points, a, b, &mut below, &mut out);
+    out.push(b);
+    qh_rec(points, b, a, &mut above, &mut out);
+    out
+}
+
+/// Emits the hull vertices strictly between `a` and `b` (walking the hull
+/// from `a` to `b` with all of `cand` on the right of `a→b`), in order.
+fn qh_rec(points: &[Point2], a: u32, b: u32, cand: &mut Vec<u32>, out: &mut Vec<u32>) {
+    if cand.is_empty() {
+        return;
+    }
+    // Furthest candidate from the chord becomes a hull vertex. Ties break
+    // toward the largest projection along the chord: of a set of collinear
+    // tied points, only the chain *endpoints* are true hull vertices, and
+    // the projection tie-break always selects one (see the quickhull module
+    // notes for the argument).
+    let mut best = cand[0];
+    let mut best_key = (line_dist(points, a, b, best), proj_along(points, a, b, best));
+    for &q in cand.iter().skip(1) {
+        let key = (line_dist(points, a, b, q), proj_along(points, a, b, q));
+        if key > best_key {
+            best = q;
+            best_key = key;
+        }
+    }
+    let f = best;
+    // Partition the survivors: right of a→f, right of f→b; the rest are
+    // inside the triangle (a, f, b) and are discarded.
+    let mut left_side: Vec<u32> = Vec::with_capacity(cand.len() / 2);
+    let mut right_side: Vec<u32> = Vec::with_capacity(cand.len() / 2);
+    for &q in cand.iter() {
+        if q == f {
+            continue;
+        }
+        if sees(points, a, f, q) {
+            left_side.push(q);
+        } else if sees(points, f, b, q) {
+            right_side.push(q);
+        }
+    }
+    cand.clear();
+    cand.shrink_to_fit();
+    qh_rec(points, a, f, &mut left_side, out);
+    out.push(f);
+    qh_rec(points, f, b, &mut right_side, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull2d::validate::check_hull2d;
+
+    #[test]
+    fn unit_square_corners() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([1.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+            Point2::new([0.0, 1.0]),
+            Point2::new([0.5, 0.5]),
+        ];
+        let h = hull2d_seq(&pts);
+        assert_eq!(h, vec![0, 1, 2, 3]); // CCW from lex-min
+        check_hull2d(&pts, &h).unwrap();
+    }
+
+    #[test]
+    fn circle_keeps_every_point() {
+        let n = 360;
+        let pts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point2::new([t.cos(), t.sin()])
+            })
+            .collect();
+        let h = hull2d_seq(&pts);
+        assert_eq!(h.len(), n);
+        check_hull2d(&pts, &h).unwrap();
+    }
+
+    #[test]
+    fn output_is_ccw_starting_at_lex_min() {
+        let pts = pargeo_datagen::uniform_cube::<2>(1_000, 9);
+        let h = hull2d_seq(&pts);
+        check_hull2d(&pts, &h).unwrap();
+        let lo = super::lex_min(&pts) as u32;
+        assert_eq!(h[0], lo);
+    }
+}

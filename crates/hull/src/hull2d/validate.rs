@@ -1,0 +1,114 @@
+//! Hull verification used by tests, examples, and EXPERIMENTS.md sanity
+//! checks.
+
+use pargeo_geometry::{orient2d, Orientation, Point2};
+
+/// Checks that `hull` (indices, CCW) is a strictly convex polygon whose
+/// closed region contains every input point. Returns a description of the
+/// first violation.
+pub fn check_hull2d(points: &[Point2], hull: &[u32]) -> Result<(), String> {
+    match hull.len() {
+        0 => {
+            if points.is_empty() {
+                return Ok(());
+            }
+            return Err("empty hull for non-empty input".into());
+        }
+        1 => {
+            let p = points[hull[0] as usize];
+            for (i, q) in points.iter().enumerate() {
+                if *q != p {
+                    return Err(format!("point {i} differs but hull is a single vertex"));
+                }
+            }
+            return Ok(());
+        }
+        2 => {
+            // All points must be collinear with, and between the bbox of,
+            // the two hull vertices.
+            let a = points[hull[0] as usize];
+            let b = points[hull[1] as usize];
+            for (i, q) in points.iter().enumerate() {
+                if orient2d(&a, &b, q) != Orientation::Zero {
+                    return Err(format!("point {i} off the degenerate hull segment"));
+                }
+            }
+            return Ok(());
+        }
+        _ => {}
+    }
+    // Strict convexity: every consecutive triple turns left.
+    let m = hull.len();
+    for i in 0..m {
+        let a = hull[i] as usize;
+        let b = hull[(i + 1) % m] as usize;
+        let c = hull[(i + 2) % m] as usize;
+        if orient2d(&points[a], &points[b], &points[c]) != Orientation::Positive {
+            return Err(format!(
+                "hull not strictly convex at positions {i}..{} (vertices {a},{b},{c})",
+                (i + 2) % m
+            ));
+        }
+    }
+    // Containment: no input point strictly outside any edge.
+    for i in 0..m {
+        let a = hull[i] as usize;
+        let b = hull[(i + 1) % m] as usize;
+        for (j, q) in points.iter().enumerate() {
+            if orient2d(&points[a], &points[b], q) == Orientation::Negative {
+                return Err(format!("point {j} outside hull edge ({a},{b})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_triangle() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+            Point2::new([1.0, 0.5]),
+        ];
+        assert!(check_hull2d(&pts, &[0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn rejects_clockwise_hull() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+        ];
+        assert!(check_hull2d(&pts, &[0, 2, 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_hull_missing_a_point() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+            Point2::new([1.0, 5.0]), // outside the claimed triangle
+        ];
+        assert!(check_hull2d(&pts, &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_strict_convexity() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([1.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+        ];
+        // Midpoint of the bottom edge included: collinear triple.
+        assert!(check_hull2d(&pts, &[0, 1, 2, 3]).is_err());
+        assert!(check_hull2d(&pts, &[0, 2, 3]).is_ok());
+    }
+}

@@ -1,0 +1,370 @@
+//! The facet mesh: triangles with ridge adjacency and conflict lists.
+//!
+//! This is the "simple and fast data structure" of §3: each facet stores its
+//! three vertices (outward-oriented), its three ridge neighbors, and the
+//! conflict list of visible points assigned to it; each visible point keeps
+//! a reference to *one* arbitrary visible facet, from which a local BFS
+//! recovers the full visible region on demand.
+
+use pargeo_geometry::{orient3d, Orientation, Point3};
+
+/// A 3D convex hull: outward-oriented triangles over the input points.
+#[derive(Debug, Clone)]
+pub struct Hull3d {
+    /// Triangles `[a, b, c]` (indices into the input), oriented so that the
+    /// hull interior lies on the `Positive` side of `orient3d(a, b, c, ·)`.
+    pub facets: Vec<[u32; 3]>,
+    /// Sorted unique hull vertex indices.
+    pub vertices: Vec<u32>,
+}
+
+impl Hull3d {
+    /// Number of hull vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of hull facets.
+    pub fn num_facets(&self) -> usize {
+        self.facets.len()
+    }
+}
+
+/// Work counters behind Figure 12 and Appendix B.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HullStats {
+    /// Visible points processed (batch members across all rounds, or
+    /// insertion attempts for the sequential algorithm).
+    pub points_touched: u64,
+    /// Visible facets traversed while computing visible regions
+    /// (reservation targets included for the parallel algorithms).
+    pub facets_touched: u64,
+    /// Number of rounds (1 per insertion for the sequential algorithm).
+    pub rounds: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Facet {
+    /// Vertex ids, outward-oriented.
+    pub v: [u32; 3],
+    /// `nbr[i]` = facet across the ridge `(v[i], v[(i+1)%3])`.
+    pub nbr: [u32; 3],
+    /// Conflict list: visible points assigned to this facet.
+    pub pts: Vec<u32>,
+    /// Visibility-BFS marker (owner point id); facets are marked only by
+    /// the point whose cavity exclusively owns them.
+    pub mark: u32,
+    pub alive: bool,
+}
+
+pub(crate) struct Mesh<'a> {
+    pub points: &'a [Point3],
+    pub facets: Vec<Facet>,
+    /// A point strictly inside the hull (centroid of the initial tetra).
+    pub interior: Point3,
+    pub alive_count: usize,
+}
+
+pub(crate) const NO_MARK: u32 = u32::MAX;
+
+impl<'a> Mesh<'a> {
+    /// Builds the initial tetrahedron mesh over vertex ids `t`.
+    pub fn new_tetrahedron(points: &'a [Point3], t: [u32; 4]) -> Self {
+        let centroid = (points[t[0] as usize]
+            + points[t[1] as usize]
+            + points[t[2] as usize]
+            + points[t[3] as usize])
+            * 0.25;
+        let mut mesh = Mesh {
+            points,
+            facets: Vec::with_capacity(4),
+            interior: centroid,
+            alive_count: 4,
+        };
+        let tris = [
+            [t[0], t[1], t[2]],
+            [t[0], t[1], t[3]],
+            [t[0], t[2], t[3]],
+            [t[1], t[2], t[3]],
+        ];
+        for tri in tris {
+            let mut v = tri;
+            if orient3d(
+                &points[v[0] as usize],
+                &points[v[1] as usize],
+                &points[v[2] as usize],
+                &centroid,
+            ) != Orientation::Positive
+            {
+                v.swap(1, 2);
+            }
+            debug_assert_eq!(
+                orient3d(
+                    &points[v[0] as usize],
+                    &points[v[1] as usize],
+                    &points[v[2] as usize],
+                    &centroid,
+                ),
+                Orientation::Positive
+            );
+            mesh.facets.push(Facet {
+                v,
+                nbr: [u32::MAX; 3],
+                pts: Vec::new(),
+                mark: NO_MARK,
+                alive: true,
+            });
+        }
+        // Ridge matching for the 4 initial facets.
+        let mut ridge_map: std::collections::HashMap<(u32, u32), (u32, usize)> =
+            std::collections::HashMap::new();
+        for f in 0..4u32 {
+            for i in 0..3usize {
+                let a = mesh.facets[f as usize].v[i];
+                let b = mesh.facets[f as usize].v[(i + 1) % 3];
+                let key = (a.min(b), a.max(b));
+                if let Some((g, j)) = ridge_map.insert(key, (f, i)) {
+                    mesh.facets[f as usize].nbr[i] = g;
+                    mesh.facets[g as usize].nbr[j] = f;
+                }
+            }
+        }
+        debug_assert!(mesh
+            .facets
+            .iter()
+            .all(|f| f.nbr.iter().all(|&n| n != u32::MAX)));
+        mesh
+    }
+
+    /// Strict visibility: `q` sees facet `f` iff it is strictly outside its
+    /// plane.
+    #[inline]
+    pub fn sees(&self, f: u32, q: u32) -> bool {
+        let fv = &self.facets[f as usize].v;
+        orient3d(
+            &self.points[fv[0] as usize],
+            &self.points[fv[1] as usize],
+            &self.points[fv[2] as usize],
+            &self.points[q as usize],
+        ) == Orientation::Negative
+    }
+
+    /// Signed distance proxy of `q` above facet `f`'s plane (doubles;
+    /// selection only).
+    #[inline]
+    pub fn height(&self, f: u32, q: u32) -> f64 {
+        let fv = &self.facets[f as usize].v;
+        let a = self.points[fv[0] as usize];
+        let b = self.points[fv[1] as usize];
+        let c = self.points[fv[2] as usize];
+        let n = (b - a).cross(&(c - a));
+        (self.points[q as usize] - a).dot(&n)
+    }
+
+    /// BFS over the visible region of `q` starting from a visible facet
+    /// `f0`. Returns the visible facet ids; does not mark.
+    pub fn visible_region(&self, f0: u32, q: u32) -> Vec<u32> {
+        debug_assert!(self.facets[f0 as usize].alive);
+        debug_assert!(self.sees(f0, q));
+        let mut visible = vec![f0];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(f0);
+        let mut stack = vec![f0];
+        while let Some(f) = stack.pop() {
+            for &g in &self.facets[f as usize].nbr {
+                if seen.insert(g) && self.sees(g, q) {
+                    visible.push(g);
+                    stack.push(g);
+                }
+            }
+        }
+        visible
+    }
+
+    /// The boundary ring: alive facets adjacent to the visible region but
+    /// not in it.
+    pub fn boundary_of(&self, visible: &[u32], q: u32) -> Vec<u32> {
+        let mut boundary = Vec::new();
+        let mut seen: std::collections::HashSet<u32> = visible.iter().copied().collect();
+        for &f in visible {
+            for &g in &self.facets[f as usize].nbr {
+                if seen.insert(g) && !self.sees(g, q) {
+                    boundary.push(g);
+                }
+            }
+        }
+        boundary
+    }
+
+    /// Replaces the cavity `visible` (all facets strictly visible to `q`)
+    /// with the fan of new facets around `q`. Returns the new facet ids.
+    ///
+    /// The caller guarantees exclusive ownership of `visible`, its points,
+    /// and the boundary facets' neighbor slots (sequentially trivial; in
+    /// the parallel algorithms guaranteed by the reservation).
+    pub fn insert_point(&mut self, q: u32, visible: &[u32]) -> Vec<u32> {
+        // Mark the cavity.
+        for &f in visible {
+            self.facets[f as usize].mark = q;
+        }
+        // Horizon: directed ridges (a -> b) from visible facet to
+        // non-visible neighbor, keyed by start vertex to form the cycle.
+        struct HorizonRidge {
+            a: u32,
+            b: u32,
+            outer: u32,
+            outer_slot: usize,
+        }
+        let mut ridges: Vec<HorizonRidge> = Vec::new();
+        for &f in visible {
+            let facet = &self.facets[f as usize];
+            for i in 0..3 {
+                let g = facet.nbr[i];
+                if self.facets[g as usize].mark != q {
+                    let a = facet.v[i];
+                    let b = facet.v[(i + 1) % 3];
+                    // Locate the ridge slot in the outer facet (directed
+                    // b -> a there).
+                    let gv = &self.facets[g as usize].v;
+                    let outer_slot = (0..3)
+                        .find(|&j| gv[j] == b && gv[(j + 1) % 3] == a)
+                        .expect("ridge must exist in outer facet");
+                    ridges.push(HorizonRidge {
+                        a,
+                        b,
+                        outer: g,
+                        outer_slot,
+                    });
+                }
+            }
+        }
+        debug_assert!(ridges.len() >= 3, "horizon must be a cycle");
+        // Order ridges into the horizon cycle.
+        let by_start: std::collections::HashMap<u32, usize> =
+            ridges.iter().enumerate().map(|(i, r)| (r.a, i)).collect();
+        debug_assert_eq!(by_start.len(), ridges.len(), "horizon must be simple");
+        let mut order = Vec::with_capacity(ridges.len());
+        let mut cur = 0usize;
+        for _ in 0..ridges.len() {
+            order.push(cur);
+            cur = by_start[&ridges[cur].b];
+        }
+        debug_assert_eq!(cur, 0, "horizon must close");
+        // Create the new fan.
+        let base = self.facets.len() as u32;
+        let k = order.len() as u32;
+        for (pos, &ri) in order.iter().enumerate() {
+            let r = &ridges[ri];
+            let id = base + pos as u32;
+            let next = base + ((pos as u32 + 1) % k);
+            let prev = base + ((pos as u32 + k - 1) % k);
+            debug_assert_ne!(
+                orient3d(
+                    &self.points[r.a as usize],
+                    &self.points[r.b as usize],
+                    &self.points[q as usize],
+                    &self.interior,
+                ),
+                Orientation::Negative,
+                "new facet must face outward"
+            );
+            self.facets.push(Facet {
+                v: [r.a, r.b, q],
+                // slot 0: ridge (a,b) -> outer; slot 1: (b,q) -> next new
+                // facet (whose ridge (a',b') has a' = b); slot 2: (q,a) ->
+                // previous new facet.
+                nbr: [r.outer, next, prev],
+                pts: Vec::new(),
+                mark: NO_MARK,
+                alive: true,
+            });
+            self.facets[r.outer as usize].nbr[r.outer_slot] = id;
+        }
+        // Kill the cavity.
+        for &f in visible {
+            self.facets[f as usize].alive = false;
+        }
+        self.alive_count += order.len();
+        self.alive_count -= visible.len();
+        (base..base + k).collect()
+    }
+
+    /// Extracts the hull from the alive facets.
+    pub fn extract(&self) -> Hull3d {
+        let mut facets = Vec::with_capacity(self.alive_count);
+        let mut vertices = Vec::new();
+        for f in &self.facets {
+            if f.alive {
+                facets.push(f.v);
+                vertices.extend_from_slice(&f.v);
+            }
+        }
+        vertices.sort_unstable();
+        vertices.dedup();
+        Hull3d { facets, vertices }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull3d::initial_tetrahedron;
+
+    fn cube_points() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for x in [0.0, 1.0] {
+            for y in [0.0, 1.0] {
+                for z in [0.0, 1.0] {
+                    pts.push(Point3::new([x, y, z]));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn tetra_mesh_is_consistent() {
+        let pts = cube_points();
+        let t = initial_tetrahedron(&pts).unwrap();
+        let mesh = Mesh::new_tetrahedron(&pts, t);
+        assert_eq!(mesh.alive_count, 4);
+        // Mutual neighbor consistency.
+        for (fi, f) in mesh.facets.iter().enumerate() {
+            for (i, &g) in f.nbr.iter().enumerate() {
+                let a = f.v[i];
+                let b = f.v[(i + 1) % 3];
+                let gf = &mesh.facets[g as usize];
+                let slot = (0..3)
+                    .find(|&j| gf.v[j] == b && gf.v[(j + 1) % 3] == a)
+                    .expect("reverse ridge");
+                assert_eq!(gf.nbr[slot] as usize, fi);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_point_grows_hull() {
+        let pts = vec![
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+            Point3::new([2.0, 2.0, 2.0]),
+        ];
+        let t = initial_tetrahedron(&pts).unwrap();
+        let mut mesh = Mesh::new_tetrahedron(&pts, t);
+        // Find the point not in the tetra and its visible facets.
+        let q = (0..5u32).find(|i| !t.contains(i)).unwrap();
+        let f0 = (0..4u32).find(|&f| mesh.sees(f, q));
+        if let Some(f0) = f0 {
+            let visible = mesh.visible_region(f0, q);
+            let new = mesh.insert_point(q, &visible);
+            assert!(new.len() >= 3);
+            let hull = mesh.extract();
+            assert!(hull.vertices.contains(&q));
+            // Still a closed triangulated surface.
+            assert_eq!(hull.vertices.len() as i64 - 3 * hull.facets.len() as i64 / 2
+                + hull.facets.len() as i64, 2);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! 3-dimensional convex hull (paper §3).
+//!
+//! All algorithms return a [`Hull3d`]: outward-oriented triangles plus the
+//! set of hull vertices. Facets are triangles under the strict-visibility
+//! rule (a point exactly on a facet's plane is *not* visible), so points
+//! interior to faces/edges are never hull vertices.
+//!
+//! Degenerate inputs (all points collinear or coplanar) have no 3D hull;
+//! they are handled by projecting onto the dominant plane and returning the
+//! 2D hull vertices with an empty facet list.
+
+mod dnc;
+mod mesh;
+mod pseudo;
+mod reservation;
+mod seq;
+pub mod validate;
+
+pub use dnc::hull3d_divide_conquer;
+pub use mesh::{Hull3d, HullStats};
+pub use pseudo::{hull3d_pseudo, hull3d_pseudo_with_threshold};
+pub use reservation::{
+    hull3d_quickhull_parallel, hull3d_quickhull_parallel_with_stats, hull3d_randinc,
+    hull3d_randinc_seeded, hull3d_randinc_with_stats,
+};
+pub use seq::{hull3d_seq, hull3d_seq_with_stats};
+
+use pargeo_geometry::{orient3d, Orientation, Point3};
+
+/// Picks four affinely independent points (used as the initial
+/// tetrahedron). Returns `None` when the input is degenerate (flat).
+pub(crate) fn initial_tetrahedron(points: &[Point3]) -> Option<[u32; 4]> {
+    if points.len() < 4 {
+        return None;
+    }
+    let p0 = pargeo_parlay::max_index_by(points, |p| (-p[0], -p[1], -p[2]))? as u32;
+    let a = points[p0 as usize];
+    let p1 = pargeo_parlay::max_index_by(points, |p| p.dist_sq(&a))? as u32;
+    let b = points[p1 as usize];
+    if a == b {
+        return None;
+    }
+    let ab = b - a;
+    let p2 = pargeo_parlay::max_index_by(points, |p| ab.cross(&(*p - a)).norm_sq())? as u32;
+    let c = points[p2 as usize];
+    if ab.cross(&(c - a)).norm_sq() == 0.0 {
+        return None; // all collinear
+    }
+    // Furthest from the plane by |double det| as a heuristic, validated by
+    // the exact predicate.
+    let p3 = pargeo_parlay::max_index_by(points, |p| {
+        ((*p - a).dot(&ab.cross(&(c - a)))).abs()
+    })? as u32;
+    if orient3d(&a, &b, &c, &points[p3 as usize]) == Orientation::Zero {
+        return None; // all coplanar
+    }
+    Some([p0, p1, p2, p3])
+}
+
+/// Fallback for flat inputs: project on the dominant plane and take the 2D
+/// hull (facets stay empty).
+pub(crate) fn degenerate_hull3d(points: &[Point3]) -> Hull3d {
+    use pargeo_geometry::Point2;
+    if points.is_empty() {
+        return Hull3d {
+            facets: Vec::new(),
+            vertices: Vec::new(),
+        };
+    }
+    // Dominant plane: drop the coordinate with the smallest extent.
+    let bbox = pargeo_morton_free_bbox(points);
+    let drop_dim = (0..3)
+        .min_by(|&i, &j| bbox.side(i).partial_cmp(&bbox.side(j)).unwrap())
+        .unwrap();
+    let keep: Vec<usize> = (0..3).filter(|&i| i != drop_dim).collect();
+    let projected: Vec<Point2> = points
+        .iter()
+        .map(|p| Point2::new([p[keep[0]], p[keep[1]]]))
+        .collect();
+    let vertices = crate::hull2d::hull2d_seq(&projected);
+    Hull3d {
+        facets: Vec::new(),
+        vertices,
+    }
+}
+
+fn pargeo_morton_free_bbox(points: &[Point3]) -> pargeo_geometry::Bbox<3> {
+    let mut b = pargeo_geometry::Bbox::empty();
+    for p in points {
+        b.extend(p);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate::check_hull3d;
+    use super::*;
+    use pargeo_datagen::{in_sphere, on_cube, on_sphere, statue_surface, uniform_cube};
+
+    type Algo = fn(&[Point3]) -> Hull3d;
+
+    fn algos() -> Vec<(&'static str, Algo)> {
+        vec![
+            ("seq", hull3d_seq as Algo),
+            ("randinc", hull3d_randinc as Algo),
+            ("quickhull", hull3d_quickhull_parallel as Algo),
+            ("dnc", hull3d_divide_conquer as Algo),
+            ("pseudo", hull3d_pseudo as Algo),
+        ]
+    }
+
+    fn check_all(points: &[Point3]) {
+        let reference: Vec<[f64; 3]> = {
+            let mut v: Vec<[f64; 3]> = hull3d_seq(points)
+                .vertices
+                .iter()
+                .map(|&i| points[i as usize].coords)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        for (name, f) in algos() {
+            let h = f(points);
+            check_hull3d(points, &h).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut got: Vec<[f64; 3]> = h
+                .vertices
+                .iter()
+                .map(|&i| points[i as usize].coords)
+                .collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got, reference, "{name} vertex set differs from seq");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_uniform() {
+        check_all(&uniform_cube::<3>(2_000, 41));
+    }
+
+    #[test]
+    fn all_algorithms_agree_in_sphere() {
+        check_all(&in_sphere::<3>(2_000, 42));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_sphere() {
+        check_all(&on_sphere::<3>(1_000, 43));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_cube() {
+        check_all(&on_cube::<3>(1_500, 44));
+    }
+
+    #[test]
+    fn all_algorithms_agree_statue() {
+        check_all(&statue_surface(1_000, 45));
+    }
+
+    #[test]
+    fn tetrahedron_exact() {
+        let pts = vec![
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+            Point3::new([0.1, 0.1, 0.1]), // interior
+        ];
+        for (name, f) in algos() {
+            let h = f(&pts);
+            check_hull3d(&pts, &h).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(h.vertices, vec![0, 1, 2, 3], "{name}");
+            assert_eq!(h.facets.len(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn coplanar_input_degrades_to_2d() {
+        let pts: Vec<Point3> = (0..100)
+            .map(|i| {
+                let t = i as f64;
+                Point3::new([t.sin() * 10.0, t.cos() * 10.0, 5.0])
+            })
+            .collect();
+        for (name, f) in algos() {
+            let h = f(&pts);
+            assert!(h.facets.is_empty(), "{name} should have no 3D facets");
+            assert!(!h.vertices.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn collinear_and_tiny_inputs() {
+        let line: Vec<Point3> = (0..50)
+            .map(|i| Point3::new([i as f64, 2.0 * i as f64, -i as f64]))
+            .collect();
+        for (name, f) in algos() {
+            let h = f(&line);
+            assert!(h.facets.is_empty(), "{name}");
+            assert!(h.vertices.contains(&0) && h.vertices.contains(&49), "{name}");
+            assert!(f(&[]).vertices.is_empty(), "{name}");
+            let single = f(&[Point3::new([1.0, 2.0, 3.0])]);
+            assert_eq!(single.vertices, vec![0], "{name}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        let mut pts = uniform_cube::<3>(800, 46);
+        let dups: Vec<Point3> = pts.iter().step_by(5).copied().collect();
+        pts.extend(dups);
+        check_all(&pts);
+    }
+
+    #[test]
+    fn euler_formula_holds() {
+        let pts = uniform_cube::<3>(3_000, 47);
+        let h = hull3d_seq(&pts);
+        // V - E + F = 2 for a triangulated sphere: E = 3F/2.
+        let v = h.vertices.len() as i64;
+        let f = h.facets.len() as i64;
+        assert_eq!(v - 3 * f / 2 + f, 2, "V={v} F={f}");
+    }
+}

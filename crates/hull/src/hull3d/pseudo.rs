@@ -1,0 +1,217 @@
+//! Pseudohull point culling (Tang et al. \[54\], multicore variant — §3
+//! "Point Culling via Pseudohull Computation").
+//!
+//! Starting from the initial tetrahedron, every facet recursively grows
+//! toward its furthest visible point, splitting into three child facets;
+//! points interior to the local tetrahedron `(a, b, c, q)` are provably
+//! inside the input's hull and are discarded. Unlike Tang et al.'s
+//! GPU lock-step expansion, the recursion runs asynchronously in parallel
+//! (fork-join); and instead of growing until no visible points remain, a
+//! facet stops when its conflict count drops below a threshold — the
+//! stack-overflow guard the paper describes. The survivors (a small
+//! fraction of the input) are handed to the reservation-based parallel
+//! quickhull for the exact final hull.
+
+use super::mesh::Hull3d;
+use super::reservation::hull3d_quickhull_parallel;
+use super::{degenerate_hull3d, initial_tetrahedron};
+use pargeo_geometry::{orient3d, Orientation, Point3};
+
+/// Default facet-size threshold below which the pseudohull stops growing.
+pub const DEFAULT_CULL_THRESHOLD: usize = 32;
+
+const SEQ_CUTOFF: usize = 2048;
+
+/// Pseudohull culling followed by parallel quickhull (default threshold).
+pub fn hull3d_pseudo(points: &[Point3]) -> Hull3d {
+    hull3d_pseudo_with_threshold(points, DEFAULT_CULL_THRESHOLD)
+}
+
+/// Pseudohull culling with an explicit stop threshold.
+pub fn hull3d_pseudo_with_threshold(points: &[Point3], threshold: usize) -> Hull3d {
+    let Some(tetra) = initial_tetrahedron(points) else {
+        return degenerate_hull3d(points);
+    };
+    let threshold = threshold.max(1);
+    // Orient the four tetra faces outward and assign each exterior point to
+    // its first visible face.
+    let centroid = (points[tetra[0] as usize]
+        + points[tetra[1] as usize]
+        + points[tetra[2] as usize]
+        + points[tetra[3] as usize])
+        * 0.25;
+    let faces: Vec<[u32; 3]> = [
+        [tetra[0], tetra[1], tetra[2]],
+        [tetra[0], tetra[1], tetra[3]],
+        [tetra[0], tetra[2], tetra[3]],
+        [tetra[1], tetra[2], tetra[3]],
+    ]
+    .into_iter()
+    .map(|f| orient_outward(points, f, &centroid))
+    .collect();
+    let mut face_pts: Vec<Vec<u32>> = vec![Vec::new(); 4];
+    for q in 0..points.len() as u32 {
+        if tetra.contains(&q) {
+            continue;
+        }
+        if let Some(i) = (0..4).find(|&i| sees(points, &faces[i], q)) {
+            face_pts[i].push(q);
+        }
+    }
+    // Grow the four pseudohull cones in parallel.
+    let mut survivor_lists: Vec<Vec<u32>> = Vec::with_capacity(4);
+    let results: Vec<Vec<u32>> = {
+        use rayon::prelude::*;
+        faces
+            .par_iter()
+            .zip(face_pts.into_par_iter())
+            .map(|(f, pts)| expand(points, *f, pts, threshold))
+            .collect()
+    };
+    survivor_lists.extend(results);
+    let mut candidates: Vec<u32> = tetra.to_vec();
+    for list in survivor_lists {
+        candidates.extend(list);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    // Exact hull on the survivors.
+    let cand_points: Vec<Point3> = candidates
+        .iter()
+        .map(|&i| points[i as usize])
+        .collect();
+    let local = hull3d_quickhull_parallel(&cand_points);
+    remap(local, &candidates)
+}
+
+/// Grows facet `(a, b, c)` toward its furthest conflict point; returns the
+/// surviving candidates of this cone (including every pseudohull vertex
+/// used along the way).
+fn expand(points: &[Point3], f: [u32; 3], pts: Vec<u32>, threshold: usize) -> Vec<u32> {
+    if pts.len() <= threshold {
+        return pts;
+    }
+    // Furthest point from the facet plane (selection only: doubles).
+    let a = points[f[0] as usize];
+    let b = points[f[1] as usize];
+    let c = points[f[2] as usize];
+    let n = (b - a).cross(&(c - a));
+    let q = *pts
+        .iter()
+        .max_by(|&&x, &&y| {
+            let hx = (points[x as usize] - a).dot(&n).abs();
+            let hy = (points[y as usize] - a).dot(&n).abs();
+            hx.partial_cmp(&hy).unwrap()
+        })
+        .unwrap();
+    // Local tetrahedron (a, b, c, q); its centroid orients the children.
+    let g = (a + b + c + points[q as usize]) * 0.25;
+    let children = [
+        orient_outward(points, [f[0], f[1], q], &g),
+        orient_outward(points, [f[1], f[2], q], &g),
+        orient_outward(points, [f[2], f[0], q], &g),
+    ];
+    let mut child_pts: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &t in &pts {
+        if t == q {
+            continue;
+        }
+        // Points visible to no child are inside (a, b, c, q): provably
+        // interior to the final hull, discard.
+        if let Some(i) = (0..3).find(|&i| sees(points, &children[i], t)) {
+            child_pts[i].push(t);
+        }
+    }
+    drop(pts);
+    let [p0, p1, p2] = child_pts;
+    let (mut s0, (mut s1, mut s2)) = if p0.len() + p1.len() + p2.len() >= SEQ_CUTOFF {
+        rayon::join(
+            || expand(points, children[0], p0, threshold),
+            || {
+                rayon::join(
+                    || expand(points, children[1], p1, threshold),
+                    || expand(points, children[2], p2, threshold),
+                )
+            },
+        )
+    } else {
+        (
+            expand(points, children[0], p0, threshold),
+            (
+                expand(points, children[1], p1, threshold),
+                expand(points, children[2], p2, threshold),
+            ),
+        )
+    };
+    let mut out = Vec::with_capacity(1 + s0.len() + s1.len() + s2.len());
+    out.push(q);
+    out.append(&mut s0);
+    out.append(&mut s1);
+    out.append(&mut s2);
+    out
+}
+
+fn orient_outward(points: &[Point3], mut f: [u32; 3], interior: &Point3) -> [u32; 3] {
+    if orient3d(
+        &points[f[0] as usize],
+        &points[f[1] as usize],
+        &points[f[2] as usize],
+        interior,
+    ) != Orientation::Positive
+    {
+        f.swap(1, 2);
+    }
+    f
+}
+
+#[inline]
+fn sees(points: &[Point3], f: &[u32; 3], q: u32) -> bool {
+    orient3d(
+        &points[f[0] as usize],
+        &points[f[1] as usize],
+        &points[f[2] as usize],
+        &points[q as usize],
+    ) == Orientation::Negative
+}
+
+fn remap(local: Hull3d, ids: &[u32]) -> Hull3d {
+    let facets = local
+        .facets
+        .into_iter()
+        .map(|f| [ids[f[0] as usize], ids[f[1] as usize], ids[f[2] as usize]])
+        .collect();
+    let mut vertices: Vec<u32> = local.vertices.into_iter().map(|v| ids[v as usize]).collect();
+    vertices.sort_unstable();
+    Hull3d { facets, vertices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull3d::validate::check_hull3d;
+    use pargeo_datagen::{in_sphere, uniform_cube};
+
+    #[test]
+    fn culling_preserves_the_exact_hull() {
+        let pts = uniform_cube::<3>(5_000, 71);
+        let h = hull3d_pseudo(&pts);
+        check_hull3d(&pts, &h).unwrap();
+        assert_eq!(h.vertices, crate::hull3d::hull3d_seq(&pts).vertices);
+    }
+
+    #[test]
+    fn threshold_one_prunes_hardest() {
+        let pts = in_sphere::<3>(2_000, 72);
+        let h = hull3d_pseudo_with_threshold(&pts, 1);
+        check_hull3d(&pts, &h).unwrap();
+        assert_eq!(h.vertices, crate::hull3d::hull3d_seq(&pts).vertices);
+    }
+
+    #[test]
+    fn large_threshold_degenerates_to_plain_quickhull() {
+        let pts = uniform_cube::<3>(1_000, 73);
+        let h = hull3d_pseudo_with_threshold(&pts, usize::MAX >> 1);
+        check_hull3d(&pts, &h).unwrap();
+        assert_eq!(h.vertices, crate::hull3d::hull3d_seq(&pts).vertices);
+    }
+}

@@ -1,0 +1,359 @@
+//! The reservation-based parallel incremental convex hull (paper Figure 5).
+//!
+//! One driver implements both instantiations:
+//!
+//! * **RandInc** — the input is randomly permuted and each round attempts a
+//!   *prefix* of the remaining visible points.
+//! * **QuickHull** — each round attempts the furthest visible point of each
+//!   of (up to) `c · numProc` facets with non-empty conflict lists.
+//!
+//! A round runs four phases: (A) every batch point BFSes its visible region
+//! and priority-writes its rank onto the region plus its boundary ring;
+//! (A') points that hold *all* their reservations succeed; (B) winners'
+//! cavities are replaced by new facet fans (cheap structural surgery,
+//! `O(Σ cavity)`); (C) conflict lists of deleted facets are redistributed
+//! onto each winner's new facets in parallel (winners own disjoint facet
+//! and point sets — the invariant the reservation buys); (D) reservations
+//! reset and the visible-point set is packed (Figure 5, line 17). Rank 0
+//! always wins every slot it touches, so progress is guaranteed.
+
+use super::mesh::{Facet, Hull3d, HullStats, Mesh};
+use super::{degenerate_hull3d, initial_tetrahedron};
+use pargeo_geometry::Point3;
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const EMPTY: usize = usize::MAX;
+
+/// Batch scheduling strategy (the two §3 instantiations).
+enum Strategy {
+    RandInc,
+    Quickhull,
+}
+
+/// Parallel randomized incremental hull (default seed).
+pub fn hull3d_randinc(points: &[Point3]) -> Hull3d {
+    hull3d_randinc_seeded(points, 42)
+}
+
+/// Parallel randomized incremental hull with an explicit seed.
+pub fn hull3d_randinc_seeded(points: &[Point3], seed: u64) -> Hull3d {
+    drive(points, Strategy::RandInc, seed).0
+}
+
+/// Parallel randomized incremental hull with Figure 12 counters.
+pub fn hull3d_randinc_with_stats(points: &[Point3]) -> (Hull3d, HullStats) {
+    drive(points, Strategy::RandInc, 42)
+}
+
+/// Reservation-based parallel quickhull.
+pub fn hull3d_quickhull_parallel(points: &[Point3]) -> Hull3d {
+    drive(points, Strategy::Quickhull, 42).0
+}
+
+/// Reservation-based parallel quickhull with Figure 12 counters.
+pub fn hull3d_quickhull_parallel_with_stats(points: &[Point3]) -> (Hull3d, HullStats) {
+    drive(points, Strategy::Quickhull, 42)
+}
+
+struct Plan {
+    q: u32,
+    visible: Vec<u32>,
+    boundary: Vec<u32>,
+}
+
+fn drive(points: &[Point3], strategy: Strategy, seed: u64) -> (Hull3d, HullStats) {
+    let mut stats = HullStats::default();
+    let Some(tetra) = initial_tetrahedron(points) else {
+        return (degenerate_hull3d(points), stats);
+    };
+    let mut mesh = Mesh::new_tetrahedron(points, tetra);
+    let mut reservations: Vec<AtomicUsize> =
+        (0..4).map(|_| AtomicUsize::new(EMPTY)).collect();
+    let n = points.len();
+    let mut facet_of: Vec<u32> = vec![u32::MAX; n];
+    let mut visible: Vec<bool> = vec![false; n];
+
+    // Initial conflict assignment (in permutation order for RandInc).
+    let order: Vec<u32> = match strategy {
+        Strategy::RandInc => parlay::random_permutation(n, seed),
+        Strategy::Quickhull => (0..n as u32).collect(),
+    };
+    let assignments: Vec<(u32, u32)> = order
+        .par_iter()
+        .filter_map(|&q| {
+            if tetra.contains(&q) {
+                return None;
+            }
+            (0..4u32).find(|&f| mesh.sees(f, q)).map(|f| (q, f))
+        })
+        .collect();
+    for f in 0..4u32 {
+        mesh.facets[f as usize].pts =
+            parlay::filter(&assignments, |&(_, g)| g == f)
+                .into_iter()
+                .map(|(q, _)| q)
+                .collect();
+    }
+    for &(q, f) in &assignments {
+        facet_of[q as usize] = f;
+        visible[q as usize] = true;
+    }
+    // RandInc: visible points in permutation order. Quickhull: facet queue.
+    let mut p: Vec<u32> = assignments.iter().map(|&(q, _)| q).collect();
+    let mut active: Vec<u32> = (0..4u32)
+        .filter(|&f| !mesh.facets[f as usize].pts.is_empty())
+        .collect();
+
+    loop {
+        // ---- batch selection ----
+        let r = round_size(mesh.alive_count, parlay::num_threads(), p.len());
+        let batch: Vec<u32> = match strategy {
+            Strategy::RandInc => {
+                if p.is_empty() {
+                    break;
+                }
+                p[..r.min(p.len())].to_vec()
+            }
+            Strategy::Quickhull => {
+                let mut facets_chosen: Vec<u32> = Vec::with_capacity(r);
+                while facets_chosen.len() < r {
+                    let Some(f) = active.pop() else { break };
+                    if mesh.facets[f as usize].alive
+                        && !mesh.facets[f as usize].pts.is_empty()
+                    {
+                        facets_chosen.push(f);
+                    }
+                }
+                if facets_chosen.is_empty() {
+                    break;
+                }
+                // Furthest conflict point of each chosen facet.
+                let cands: Vec<u32> = facets_chosen
+                    .par_iter()
+                    .map(|&f| {
+                        *mesh.facets[f as usize]
+                            .pts
+                            .iter()
+                            .max_by(|&&x, &&y| {
+                                mesh.height(f, x)
+                                    .partial_cmp(&mesh.height(f, y))
+                                    .unwrap()
+                            })
+                            .unwrap()
+                    })
+                    .collect();
+                // Losers' facets must be retried later.
+                active.extend(&facets_chosen);
+                cands
+            }
+        };
+
+        // ---- Phase A: visible regions + reservations ----
+        let plans: Vec<Plan> = batch
+            .par_iter()
+            .enumerate()
+            .map(|(rank, &q)| {
+                let f0 = facet_of[q as usize];
+                let vis = mesh.visible_region(f0, q);
+                let boundary = mesh.boundary_of(&vis, q);
+                for &f in vis.iter().chain(&boundary) {
+                    let slot = &reservations[f as usize];
+                    if slot.load(Ordering::Relaxed) > rank {
+                        slot.fetch_min(rank, Ordering::Relaxed);
+                    }
+                }
+                Plan {
+                    q,
+                    visible: vis,
+                    boundary,
+                }
+            })
+            .collect();
+        stats.rounds += 1;
+        stats.points_touched += plans.len() as u64;
+        stats.facets_touched += plans
+            .iter()
+            .map(|pl| (pl.visible.len() + pl.boundary.len()) as u64)
+            .sum::<u64>();
+
+        // ---- Phase A': check reservations ----
+        let success: Vec<bool> = plans
+            .par_iter()
+            .enumerate()
+            .map(|(rank, pl)| {
+                pl.visible
+                    .iter()
+                    .chain(&pl.boundary)
+                    .all(|&f| reservations[f as usize].load(Ordering::Relaxed) == rank)
+            })
+            .collect();
+
+        // ---- Phase B: winners' structural surgery (sequential, cheap) ----
+        let mut winners: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (rank, pl) in plans.iter().enumerate() {
+            if !success[rank] {
+                continue;
+            }
+            let new_facets = mesh.insert_point(pl.q, &pl.visible);
+            while reservations.len() < mesh.facets.len() {
+                reservations.push(AtomicUsize::new(EMPTY));
+            }
+            visible[pl.q as usize] = false;
+            winners.push((rank, new_facets));
+        }
+
+        // ---- Phase C: parallel conflict redistribution ----
+        {
+            let facets_ptr = SendPtr(mesh.facets.as_mut_ptr());
+            let facet_of_ptr = SendPtr(facet_of.as_mut_ptr());
+            let visible_ptr = SendPtr(visible.as_mut_ptr());
+            let plans_ref = &plans;
+            winners.par_iter().for_each(|(rank, new_facets)| {
+                let (facets_ptr, facet_of_ptr, visible_ptr) =
+                    (facets_ptr, facet_of_ptr, visible_ptr);
+                let pl = &plans_ref[*rank];
+                // SAFETY: this winner exclusively owns its cavity facets,
+                // its new facets, and every point in the cavity's conflict
+                // lists (disjointness guaranteed by the reservation).
+                unsafe {
+                    for &dead in &pl.visible {
+                        let pts = std::mem::take(&mut (*facets_ptr.0.add(dead as usize)).pts);
+                        for t in pts {
+                            if t == pl.q {
+                                continue;
+                            }
+                            let mut placed = false;
+                            for &nf in new_facets {
+                                if sees_raw(points, facets_ptr.0, nf, t) {
+                                    *facet_of_ptr.0.add(t as usize) = nf;
+                                    (*facets_ptr.0.add(nf as usize)).pts.push(t);
+                                    placed = true;
+                                    break;
+                                }
+                            }
+                            if !placed {
+                                *visible_ptr.0.add(t as usize) = false;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // ---- Phase D: reset reservations; maintain work lists ----
+        plans.par_iter().for_each(|pl| {
+            for &f in pl.visible.iter().chain(&pl.boundary) {
+                reservations[f as usize].store(EMPTY, Ordering::Relaxed);
+            }
+        });
+        match strategy {
+            Strategy::RandInc => {
+                p = parlay::filter(&p, |&t| visible[t as usize]);
+            }
+            Strategy::Quickhull => {
+                for (_, new_facets) in &winners {
+                    for &nf in new_facets {
+                        if !mesh.facets[nf as usize].pts.is_empty() {
+                            active.push(nf);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (mesh.extract(), stats)
+}
+
+/// Batch size: at least `c · numProc` (the paper's floor), growing with the
+/// remaining-point count so the per-round `ParallelPack` of `P` keeps the
+/// total packing work `O(n log n)` instead of `Θ(n · rounds)`. Degraded to
+/// one point per round while the hull exposes few facets (Appendix B's
+/// contention guard).
+fn round_size(alive_facets: usize, threads: usize, remaining: usize) -> usize {
+    if alive_facets < 32 {
+        return 1;
+    }
+    let floor = (8 * threads).max(1);
+    let adaptive = (remaining / 8).min(alive_facets / 8);
+    floor.max(adaptive).max(1)
+}
+
+#[inline]
+unsafe fn sees_raw(points: &[Point3], facets: *const Facet, f: u32, q: u32) -> bool {
+    let fv = unsafe { &(*facets.add(f as usize)).v };
+    pargeo_geometry::orient3d(
+        &points[fv[0] as usize],
+        &points[fv[1] as usize],
+        &points[fv[2] as usize],
+        &points[q as usize],
+    ) == pargeo_geometry::Orientation::Negative
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull3d::validate::check_hull3d;
+    use pargeo_datagen::{on_sphere, uniform_cube};
+
+    #[test]
+    fn randinc_matches_seq_vertices() {
+        let pts = uniform_cube::<3>(4_000, 61);
+        let h = hull3d_randinc(&pts);
+        check_hull3d(&pts, &h).unwrap();
+        let want = crate::hull3d::hull3d_seq(&pts);
+        assert_eq!(h.vertices, want.vertices);
+    }
+
+    #[test]
+    fn quickhull_matches_seq_vertices() {
+        let pts = uniform_cube::<3>(4_000, 62);
+        let h = hull3d_quickhull_parallel(&pts);
+        check_hull3d(&pts, &h).unwrap();
+        let want = crate::hull3d::hull3d_seq(&pts);
+        assert_eq!(h.vertices, want.vertices);
+    }
+
+    #[test]
+    fn surface_data_large_hull() {
+        let pts = on_sphere::<3>(2_000, 63);
+        for h in [hull3d_randinc(&pts), hull3d_quickhull_parallel(&pts)] {
+            check_hull3d(&pts, &h).unwrap();
+            assert!(h.vertices.len() > 200);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<3>(3_000, 64);
+        let a = parlay::with_threads(1, || hull3d_randinc(&pts));
+        let b = parlay::with_threads(4, || hull3d_randinc(&pts));
+        assert_eq!(a.vertices, b.vertices);
+    }
+
+    #[test]
+    fn stats_overhead_is_modest_vs_seq() {
+        // Appendix B: the reservation algorithm touches a comparable number
+        // of points/facets to the sequential one (within a small factor).
+        let pts = uniform_cube::<3>(3_000, 65);
+        let (_, seq) = crate::hull3d::hull3d_seq_with_stats(&pts);
+        let (_, par) = hull3d_randinc_with_stats(&pts);
+        assert!(par.points_touched >= seq.points_touched);
+        assert!(
+            par.facets_touched < 20 * seq.facets_touched.max(1),
+            "par={par:?} seq={seq:?}"
+        );
+        assert!(par.rounds <= par.points_touched);
+    }
+}

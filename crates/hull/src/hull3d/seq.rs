@@ -1,0 +1,106 @@
+//! Optimized sequential 3D quickhull — the CGAL / Qhull baseline stand-in
+//! of Figure 9, and the "no-reservation" side of Figure 12.
+
+use super::mesh::{Hull3d, HullStats, Mesh};
+use super::{degenerate_hull3d, initial_tetrahedron};
+use pargeo_geometry::Point3;
+
+/// Sequential quickhull.
+pub fn hull3d_seq(points: &[Point3]) -> Hull3d {
+    hull3d_seq_with_stats(points).0
+}
+
+/// Sequential quickhull with the Figure 12 work counters.
+pub fn hull3d_seq_with_stats(points: &[Point3]) -> (Hull3d, HullStats) {
+    let mut stats = HullStats::default();
+    let Some(tetra) = initial_tetrahedron(points) else {
+        return (degenerate_hull3d(points), stats);
+    };
+    let mut mesh = Mesh::new_tetrahedron(points, tetra);
+    // Initial conflict assignment: each exterior point goes to its first
+    // visible facet.
+    for q in 0..points.len() as u32 {
+        if tetra.contains(&q) {
+            continue;
+        }
+        if let Some(f) = (0..4u32).find(|&f| mesh.sees(f, q)) {
+            mesh.facets[f as usize].pts.push(q);
+        }
+    }
+    // Facet work queue (quickhull order: any facet with conflicts; the
+    // furthest point of that facet is inserted next).
+    let mut active: Vec<u32> = (0..4u32)
+        .filter(|&f| !mesh.facets[f as usize].pts.is_empty())
+        .collect();
+    while let Some(f) = active.pop() {
+        if !mesh.facets[f as usize].alive || mesh.facets[f as usize].pts.is_empty() {
+            continue;
+        }
+        // Furthest conflict point of f.
+        let q = *mesh.facets[f as usize]
+            .pts
+            .iter()
+            .max_by(|&&x, &&y| {
+                mesh.height(f, x)
+                    .partial_cmp(&mesh.height(f, y))
+                    .unwrap()
+            })
+            .unwrap();
+        let visible = mesh.visible_region(f, q);
+        stats.points_touched += 1;
+        stats.facets_touched += visible.len() as u64;
+        stats.rounds += 1;
+        let new_facets = mesh.insert_point(q, &visible);
+        // Redistribute the dead facets' conflicts onto the new fan.
+        for &dead in &visible {
+            let pts = std::mem::take(&mut mesh.facets[dead as usize].pts);
+            for t in pts {
+                if t == q {
+                    continue;
+                }
+                if let Some(&nf) = new_facets.iter().find(|&&nf| mesh.sees(nf, t)) {
+                    mesh.facets[nf as usize].pts.push(t);
+                }
+            }
+        }
+        for &nf in &new_facets {
+            if !mesh.facets[nf as usize].pts.is_empty() {
+                active.push(nf);
+            }
+        }
+    }
+    (mesh.extract(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull3d::validate::check_hull3d;
+    use pargeo_datagen::{on_sphere, uniform_cube};
+
+    #[test]
+    fn uniform_hull_is_valid_and_small() {
+        let pts = uniform_cube::<3>(5_000, 51);
+        let (h, stats) = hull3d_seq_with_stats(&pts);
+        check_hull3d(&pts, &h).unwrap();
+        // Uniform-in-cube hulls are tiny relative to n.
+        assert!(h.vertices.len() < 500);
+        assert!(stats.points_touched >= h.vertices.len() as u64 - 4);
+    }
+
+    #[test]
+    fn sphere_surface_keeps_most_points() {
+        let pts = on_sphere::<3>(800, 52);
+        let h = hull3d_seq(&pts);
+        check_hull3d(&pts, &h).unwrap();
+        assert!(h.vertices.len() > 100);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let pts = uniform_cube::<3>(1_000, 53);
+        let (_, stats) = hull3d_seq_with_stats(&pts);
+        assert!(stats.facets_touched >= stats.points_touched);
+        assert_eq!(stats.rounds, stats.points_touched);
+    }
+}

@@ -1,0 +1,106 @@
+//! 3D hull verification for tests and EXPERIMENTS.md sanity checks.
+
+use super::Hull3d;
+use pargeo_geometry::{orient3d, Orientation, Point3};
+
+/// Checks that `hull` is a closed, outward-oriented triangulated surface
+/// containing every input point (boundary inclusive). For degenerate hulls
+/// (no facets) only checks that vertices exist for non-empty input.
+pub fn check_hull3d(points: &[Point3], hull: &Hull3d) -> Result<(), String> {
+    if hull.facets.is_empty() {
+        if points.is_empty() && hull.vertices.is_empty() {
+            return Ok(());
+        }
+        if hull.vertices.is_empty() {
+            return Err("no vertices for non-empty input".into());
+        }
+        return Ok(()); // degenerate (flat) input — 2D checks live elsewhere
+    }
+    // Containment: no point strictly outside any facet.
+    for (fi, f) in hull.facets.iter().enumerate() {
+        let a = &points[f[0] as usize];
+        let b = &points[f[1] as usize];
+        let c = &points[f[2] as usize];
+        for (qi, q) in points.iter().enumerate() {
+            if orient3d(a, b, c, q) == Orientation::Negative {
+                return Err(format!("point {qi} outside facet {fi} {f:?}"));
+            }
+        }
+    }
+    // Closed surface: every directed ridge appears exactly once, and its
+    // reverse exactly once.
+    let mut ridges = std::collections::HashSet::new();
+    for f in &hull.facets {
+        for i in 0..3 {
+            let e = (f[i], f[(i + 1) % 3]);
+            if !ridges.insert(e) {
+                return Err(format!("directed ridge {e:?} appears twice"));
+            }
+        }
+    }
+    for &(a, b) in &ridges {
+        if !ridges.contains(&(b, a)) {
+            return Err(format!("ridge ({a},{b}) lacks its reverse — surface not closed"));
+        }
+    }
+    // Euler characteristic of a sphere.
+    let v = hull.vertices.len() as i64;
+    let e = ridges.len() as i64 / 2;
+    let f = hull.facets.len() as i64;
+    if v - e + f != 2 {
+        return Err(format!("Euler check failed: V={v} E={e} F={f}"));
+    }
+    // Vertex list matches facet usage.
+    let mut used: Vec<u32> = hull.facets.iter().flatten().copied().collect();
+    used.sort_unstable();
+    used.dedup();
+    if used != hull.vertices {
+        return Err("vertex list does not match facets".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_unit_tetrahedron() {
+        let pts = vec![
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+        ];
+        let hull = crate::hull3d::hull3d_seq(&pts);
+        assert!(check_hull3d(&pts, &hull).is_ok());
+    }
+
+    #[test]
+    fn rejects_open_surface() {
+        let pts = vec![
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+        ];
+        let hull = Hull3d {
+            facets: vec![[0, 2, 1]], // single facet: not closed
+            vertices: vec![0, 1, 2],
+        };
+        assert!(check_hull3d(&pts, &hull).is_err());
+    }
+
+    #[test]
+    fn rejects_hull_excluding_a_point() {
+        let mut pts = vec![
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+        ];
+        let hull = crate::hull3d::hull3d_seq(&pts);
+        pts.push(Point3::new([5.0, 5.0, 5.0]));
+        assert!(check_hull3d(&pts, &hull).is_err());
+    }
+}

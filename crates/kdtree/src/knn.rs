@@ -1,0 +1,269 @@
+//! Exact k-nearest-neighbor search with the paper's k-NN buffer
+//! (Appendix C.1.3).
+//!
+//! The buffer holds up to `2k` candidates; when full it partitions around
+//! the k-th smallest distance with a serial selection and discards the far
+//! half — amortized O(1) per insertion. Batch queries parallelize over the
+//! query points ("data-parallel k-NN"), each query descending the tree
+//! serially with near-side-first ordering and bound pruning.
+
+use crate::tree::{KdTree, Node};
+use pargeo_geometry::Point;
+use rayon::prelude::*;
+
+/// A `(distance², original point id)` result pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Squared Euclidean distance from the query.
+    pub dist_sq: f64,
+    /// Original input index of the neighbor.
+    pub id: u32,
+}
+
+/// The k-NN buffer: maintains the k nearest candidates seen so far with
+/// amortized O(1) inserts using a 2k-slot scratch area.
+#[derive(Debug, Clone)]
+pub struct KnnBuffer {
+    k: usize,
+    items: Vec<Neighbor>,
+    /// Upper bound on the k-th nearest distance² (∞ until k items seen).
+    bound: f64,
+}
+
+impl KnnBuffer {
+    /// Creates a buffer for `k ≥ 1` neighbors.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            k,
+            items: Vec::with_capacity(2 * k),
+            bound: f64::INFINITY,
+        }
+    }
+
+    /// Current pruning bound: the k-th nearest distance² if known, else ∞.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Offers a candidate.
+    #[inline]
+    pub fn insert(&mut self, dist_sq: f64, id: u32) {
+        if dist_sq >= self.bound {
+            return;
+        }
+        self.items.push(Neighbor { dist_sq, id });
+        if self.items.len() == 2 * self.k {
+            self.compact();
+        }
+    }
+
+    /// Partitions around the k-th smallest and discards the rest.
+    fn compact(&mut self) {
+        let k = self.k;
+        self.items
+            .select_nth_unstable_by(k - 1, |a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap());
+        self.items.truncate(k);
+        self.bound = self.items[k - 1].dist_sq;
+    }
+
+    /// Consumes the buffer, returning the k nearest in ascending distance
+    /// (fewer if the data set had fewer points).
+    pub fn finish(mut self) -> Vec<Neighbor> {
+        if self.items.len() > self.k {
+            self.compact();
+        }
+        self.items
+            .sort_unstable_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap());
+        self.items.truncate(self.k);
+        self.items
+    }
+
+    /// Number of candidates currently held (before truncation).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<const D: usize> KdTree<D> {
+    /// The k nearest neighbors of `q`, ascending by distance. A point at
+    /// distance zero (e.g. `q` itself if it is in the set) is included.
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut buf = KnnBuffer::new(k);
+        self.knn_into(q, &mut buf);
+        buf.finish()
+    }
+
+    /// Runs a k-NN search accumulating into an existing buffer — the hook
+    /// the BDL-tree uses to share one buffer across its log-structured set
+    /// of trees (§5 "Data-Parallel k-NN").
+    pub fn knn_into(&self, q: &Point<D>, buf: &mut KnnBuffer) {
+        if let Some(root) = self.root() {
+            self.knn_rec(root, q, buf);
+        }
+    }
+
+    fn knn_rec(&self, node: &Node<D>, q: &Point<D>, buf: &mut KnnBuffer) {
+        if node.is_leaf() {
+            for i in node.start..node.end {
+                let d = q.dist_sq(&self.points[i as usize]);
+                buf.insert(d, self.ids[i as usize]);
+            }
+            return;
+        }
+        let (near, far) = if q[node.dim as usize] <= node.val {
+            (self.node(node.left), self.node(node.right))
+        } else {
+            (self.node(node.right), self.node(node.left))
+        };
+        if near.bbox.dist_sq_to_point(q) < buf.bound() {
+            self.knn_rec(near, q, buf);
+        }
+        if far.bbox.dist_sq_to_point(q) < buf.bound() {
+            self.knn_rec(far, q, buf);
+        }
+    }
+
+    /// Nearest neighbor of `q` (`None` for an empty tree).
+    pub fn nearest(&self, q: &Point<D>) -> Option<Neighbor> {
+        if self.is_empty() {
+            return None;
+        }
+        self.knn(q, 1).into_iter().next()
+    }
+
+    /// Data-parallel batch k-NN: the k nearest neighbors of every query, as
+    /// a flat row-major matrix (`queries.len() × k`, padded rows only if the
+    /// tree holds fewer than k points).
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        if queries.len() < 64 {
+            queries.iter().map(|q| self.knn(q, k)).collect()
+        } else {
+            queries.par_iter().map(|q| self.knn(q, k)).collect()
+        }
+    }
+}
+
+/// Brute-force k-NN over a raw point set (testing / tiny inputs).
+pub fn knn_brute_force<const D: usize>(
+    points: &[Point<D>],
+    q: &Point<D>,
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Neighbor {
+            dist_sq: q.dist_sq(p),
+            id: i as u32,
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap().then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SplitRule;
+    use pargeo_datagen::{on_sphere, uniform_cube};
+
+    fn same_distances(a: &[Neighbor], b: &[Neighbor]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.dist_sq - y.dist_sq).abs() <= 1e-9 * (1.0 + x.dist_sq),
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_uniform() {
+        let pts = uniform_cube::<3>(2_000, 1);
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let queries = uniform_cube::<3>(50, 99);
+        for q in &queries {
+            let got = t.knn(q, 5);
+            let want = knn_brute_force(&pts, q, 5);
+            same_distances(&got, &want);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_surface_and_spatial_median() {
+        let pts = on_sphere::<3>(2_000, 2);
+        let t = KdTree::build(&pts, SplitRule::SpatialMedian);
+        for q in pts.iter().step_by(97) {
+            let got = t.knn(q, 8);
+            let want = knn_brute_force(&pts, q, 8);
+            same_distances(&got, &want);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let pts = uniform_cube::<2>(7, 3);
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let got = t.knn(&pts[0], 20);
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn knn_includes_self_at_distance_zero() {
+        let pts = uniform_cube::<2>(500, 4);
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let got = t.knn(&pts[123], 1);
+        assert_eq!(got[0].dist_sq, 0.0);
+        assert_eq!(got[0].id, 123);
+    }
+
+    #[test]
+    fn nearest_on_empty_tree() {
+        let t = KdTree::<2>::build(&[], SplitRule::ObjectMedian);
+        assert!(t.nearest(&pargeo_geometry::Point2::new([0.0, 0.0])).is_none());
+    }
+
+    #[test]
+    fn batch_knn_matches_individual() {
+        let pts = uniform_cube::<2>(3_000, 5);
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let queries: Vec<_> = pts.iter().copied().step_by(13).collect();
+        let batch = t.knn_batch(&queries, 3);
+        for (q, row) in queries.iter().zip(&batch) {
+            let want = t.knn(q, 3);
+            same_distances(row, &want);
+        }
+    }
+
+    #[test]
+    fn buffer_amortized_compaction() {
+        let mut buf = KnnBuffer::new(2);
+        for i in (0..100u32).rev() {
+            buf.insert(i as f64, i);
+        }
+        let out = buf.finish();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 1);
+    }
+
+    #[test]
+    fn buffer_bound_tightens() {
+        let mut buf = KnnBuffer::new(1);
+        assert_eq!(buf.bound(), f64::INFINITY);
+        buf.insert(5.0, 0);
+        buf.insert(1.0, 1); // triggers compaction at 2k = 2
+        assert!(buf.bound() <= 1.0);
+        // Candidates at/beyond the bound are rejected without growth.
+        buf.insert(3.0, 2);
+        assert_eq!(buf.finish()[0].id, 1);
+    }
+}

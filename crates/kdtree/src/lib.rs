@@ -1,0 +1,28 @@
+//! # pargeo-kdtree — static parallel kd-trees (paper Module 1)
+//!
+//! * [`tree`] — the flat-array static kd-tree with fully parallel
+//!   construction. Splits are chosen along the widest dimension of the
+//!   node's bounding box, by **object median** (parallel selection) or
+//!   **spatial median** (parallel partition), the two heuristics compared
+//!   throughout the paper's §6.3.
+//! * [`knn`] — exact k-nearest-neighbor search. Each query carries a
+//!   *k-NN buffer* (Appendix C.1.3): a `2k`-slot array with amortized O(1)
+//!   insertion via periodic selection. Batch queries are data-parallel.
+//! * [`range`] — orthogonal (box) and spherical range search.
+//! * [`veb`] — the van Emde Boas layout static tree of Appendix C.1
+//!   (Algorithm 1: parallel construction; Algorithm 2: parallel bulk
+//!   deletion), the building block of the BDL-tree.
+//! * [`baselines`] — the §6.3 comparison baselines: **B1** (rebuild on every
+//!   batch update) and **B2** (in-place leaf insertion + tombstone deletes,
+//!   no rebalancing).
+
+pub mod baselines;
+pub mod knn;
+pub mod range;
+pub mod tree;
+pub mod veb;
+
+pub use baselines::{B1Tree, B2Tree};
+pub use knn::{knn_brute_force, KnnBuffer, Neighbor};
+pub use tree::{KdTree, SplitRule};
+pub use veb::VebTree;

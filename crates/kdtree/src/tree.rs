@@ -1,0 +1,509 @@
+//! The static kd-tree with parallel construction.
+//!
+//! The tree is stored as a flat node array (children by index); points are
+//! reordered into a contiguous permutation of the input so that every leaf
+//! owns a slice `points[start..end]`. Construction recurses with fork-join
+//! parallelism; the split step itself is parallel (parallel selection for
+//! object-median, parallel partition for spatial-median), which is the
+//! "split in parallel" optimization called out in §2 of the paper.
+
+use pargeo_geometry::{Bbox, Point};
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+
+/// How internal nodes choose their splitting hyperplane (paper §5/§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Median *point* along the widest dimension (balanced; costlier split).
+    ObjectMedian,
+    /// Midpoint of the bounding box along the widest dimension (cheap split;
+    /// possibly unbalanced).
+    SpatialMedian,
+}
+
+/// Default number of points per leaf.
+pub const LEAF_SIZE: usize = 16;
+
+/// Sequential cutoff for recursive construction.
+const SEQ_BUILD_CUTOFF: usize = 4096;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node<const D: usize> {
+    /// Bounding box of all points below this node.
+    pub bbox: Bbox<D>,
+    /// Splitting dimension (unused for leaves).
+    pub dim: u8,
+    /// Splitting coordinate (unused for leaves).
+    pub val: f64,
+    /// Index of the left child, `u32::MAX` for leaves.
+    pub left: u32,
+    /// Index of the right child, `u32::MAX` for leaves.
+    pub right: u32,
+    /// Start of this node's range in the reordered point array.
+    pub start: u32,
+    /// End (exclusive) of this node's range.
+    pub end: u32,
+}
+
+impl<const D: usize> Node<D> {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// A static kd-tree over `D`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    pub(crate) points: Vec<Point<D>>,
+    pub(crate) ids: Vec<u32>,
+    pub(crate) nodes: Vec<Node<D>>,
+    leaf_size: usize,
+}
+
+/// Intermediate boxed tree produced by the parallel recursion, flattened
+/// into arrays afterwards.
+enum BuildNode<const D: usize> {
+    Leaf {
+        bbox: Bbox<D>,
+        start: usize,
+        end: usize,
+    },
+    Internal {
+        bbox: Bbox<D>,
+        dim: u8,
+        val: f64,
+        start: usize,
+        end: usize,
+        left: Box<BuildNode<D>>,
+        right: Box<BuildNode<D>>,
+    },
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Builds a kd-tree over `points` with the default leaf size.
+    pub fn build(points: &[Point<D>], rule: SplitRule) -> Self {
+        Self::build_with_leaf_size(points, rule, LEAF_SIZE)
+    }
+
+    /// Builds a kd-tree with an explicit leaf size.
+    pub fn build_with_leaf_size(points: &[Point<D>], rule: SplitRule, leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1);
+        let n = points.len();
+        let mut items: Vec<(Point<D>, u32)> = if n >= SEQ_BUILD_CUTOFF {
+            points
+                .par_iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i as u32))
+                .collect()
+        } else {
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i as u32))
+                .collect()
+        };
+        let mut tree = KdTree {
+            points: Vec::new(),
+            ids: Vec::new(),
+            nodes: Vec::new(),
+        leaf_size,
+        };
+        if n == 0 {
+            return tree;
+        }
+        let root = build_recursive(&mut items, 0, rule, leaf_size);
+        // Flatten into arrays (preorder).
+        tree.nodes.reserve(2 * n / leaf_size + 2);
+        flatten(&root, &mut tree.nodes);
+        tree.points = items.iter().map(|&(p, _)| p).collect();
+        tree.ids = items.iter().map(|&(_, id)| id).collect();
+        tree
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Bounding box of the whole point set.
+    pub fn bbox(&self) -> Bbox<D> {
+        if self.nodes.is_empty() {
+            Bbox::empty()
+        } else {
+            self.nodes[0].bbox
+        }
+    }
+
+    /// Leaf size this tree was built with.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// The reordered points (leaf ranges index into this).
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Original input index of reordered point `i`.
+    pub fn original_id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    // --- internal accessors used by the sibling modules and by WSPD ---
+
+    pub(crate) fn root(&self) -> Option<&Node<D>> {
+        self.nodes.first()
+    }
+
+    pub(crate) fn node(&self, i: u32) -> &Node<D> {
+        &self.nodes[i as usize]
+    }
+
+    /// Number of tree nodes (for tests and diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (for tests and diagnostics).
+    pub fn depth(&self) -> usize {
+        fn go<const D: usize>(t: &KdTree<D>, i: u32) -> usize {
+            let n = t.node(i);
+            if n.is_leaf() {
+                1
+            } else {
+                1 + go(t, n.left).max(go(t, n.right))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            go(self, 0)
+        }
+    }
+}
+
+/// Opaque node handle for traversals that need direct structural access
+/// (WSPD, dual-tree algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(pub(crate) u32);
+
+impl<const D: usize> KdTree<D> {
+    /// Root handle, if the tree is non-empty.
+    pub fn root_id(&self) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(NodeId(0))
+        }
+    }
+
+    /// Bounding box of a node.
+    pub fn node_bbox(&self, id: NodeId) -> Bbox<D> {
+        self.node(id.0).bbox
+    }
+
+    /// Children of an internal node; `None` for leaves.
+    pub fn node_children(&self, id: NodeId) -> Option<(NodeId, NodeId)> {
+        let n = self.node(id.0);
+        if n.is_leaf() {
+            None
+        } else {
+            Some((NodeId(n.left), NodeId(n.right)))
+        }
+    }
+
+    /// Number of points under a node.
+    pub fn node_size(&self, id: NodeId) -> usize {
+        let n = self.node(id.0);
+        (n.end - n.start) as usize
+    }
+
+    /// The reordered point range owned by a node.
+    pub fn node_points(&self, id: NodeId) -> &[Point<D>] {
+        let n = self.node(id.0);
+        &self.points[n.start as usize..n.end as usize]
+    }
+
+    /// Original ids of the points owned by a node.
+    pub fn node_point_ids(&self, id: NodeId) -> &[u32] {
+        let n = self.node(id.0);
+        &self.ids[n.start as usize..n.end as usize]
+    }
+}
+
+fn compute_bbox<const D: usize>(items: &[(Point<D>, u32)]) -> Bbox<D> {
+    if items.len() >= SEQ_BUILD_CUTOFF {
+        items
+            .par_chunks(SEQ_BUILD_CUTOFF)
+            .map(|chunk| {
+                let mut b = Bbox::empty();
+                for (p, _) in chunk {
+                    b.extend(p);
+                }
+                b
+            })
+            .reduce(Bbox::empty, |a, b| a.union(&b))
+    } else {
+        let mut b = Bbox::empty();
+        for (p, _) in items {
+            b.extend(p);
+        }
+        b
+    }
+}
+
+fn build_recursive<const D: usize>(
+    items: &mut [(Point<D>, u32)],
+    offset: usize,
+    rule: SplitRule,
+    leaf_size: usize,
+) -> BuildNode<D> {
+    let n = items.len();
+    let bbox = compute_bbox(items);
+    if n <= leaf_size || bbox.diag_sq() == 0.0 {
+        // All-identical point sets cannot be split spatially; stop.
+        return BuildNode::Leaf {
+            bbox,
+            start: offset,
+            end: offset + n,
+        };
+    }
+    let dim = bbox.widest_dim();
+    let mid = match rule {
+        SplitRule::ObjectMedian => {
+            let mid = n / 2;
+            if n >= SEQ_BUILD_CUTOFF {
+                parlay::select_nth_unstable_by(items, mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+            } else {
+                items.select_nth_unstable_by(mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+            }
+            mid
+        }
+        SplitRule::SpatialMedian => {
+            let splitval = 0.5 * (bbox.min[dim] + bbox.max[dim]);
+            let mid = partition_by(items, |p| p[dim] < splitval);
+            if mid == 0 || mid == n {
+                // Degenerate spatial split (points concentrated at the
+                // boundary) — fall back to the object median.
+                let mid = n / 2;
+                items.select_nth_unstable_by(mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+                mid
+            } else {
+                mid
+            }
+        }
+    };
+    let val = match rule {
+        SplitRule::ObjectMedian => items[mid].0[dim],
+        SplitRule::SpatialMedian => 0.5 * (bbox.min[dim] + bbox.max[dim]),
+    };
+    let (lo, hi) = items.split_at_mut(mid);
+    let (left, right) = if n >= SEQ_BUILD_CUTOFF {
+        rayon::join(
+            || build_recursive(lo, offset, rule, leaf_size),
+            || build_recursive(hi, offset + mid, rule, leaf_size),
+        )
+    } else {
+        (
+            build_recursive(lo, offset, rule, leaf_size),
+            build_recursive(hi, offset + mid, rule, leaf_size),
+        )
+    };
+    BuildNode::Internal {
+        bbox,
+        dim: dim as u8,
+        val,
+        start: offset,
+        end: offset + n,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// Unstable in-place partition; returns the number of elements satisfying
+/// `pred`. Parallel for large slices (out-of-place pack + copy back).
+fn partition_by<const D: usize>(
+    items: &mut [(Point<D>, u32)],
+    pred: impl Fn(&Point<D>) -> bool + Sync,
+) -> usize {
+    let n = items.len();
+    if n < SEQ_BUILD_CUTOFF {
+        let mut i = 0usize;
+        let mut j = n;
+        while i < j {
+            if pred(&items[i].0) {
+                i += 1;
+            } else {
+                j -= 1;
+                items.swap(i, j);
+            }
+        }
+        return i;
+    }
+    let (yes, no) = parlay::split_two(items, |(p, _)| pred(p));
+    let mid = yes.len();
+    items[..mid].copy_from_slice(&yes);
+    items[mid..].copy_from_slice(&no);
+    mid
+}
+
+fn flatten<const D: usize>(node: &BuildNode<D>, out: &mut Vec<Node<D>>) -> u32 {
+    let my = out.len() as u32;
+    match node {
+        BuildNode::Leaf { bbox, start, end } => {
+            out.push(Node {
+                bbox: *bbox,
+                dim: 0,
+                val: 0.0,
+                left: u32::MAX,
+                right: u32::MAX,
+                start: *start as u32,
+                end: *end as u32,
+            });
+        }
+        BuildNode::Internal {
+            bbox,
+            dim,
+            val,
+            start,
+            end,
+            left,
+            right,
+        } => {
+            out.push(Node {
+                bbox: *bbox,
+                dim: *dim,
+                val: *val,
+                left: 0,
+                right: 0,
+                start: *start as u32,
+                end: *end as u32,
+            });
+            let l = flatten(left, out);
+            let r = flatten(right, out);
+            out[my as usize].left = l;
+            out[my as usize].right = r;
+        }
+    }
+    my
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+
+    fn check_structure<const D: usize>(t: &KdTree<D>) {
+        // Every point is inside its leaf bbox; leaf ranges tile 0..n.
+        let mut covered = vec![false; t.len()];
+        fn go<const D: usize>(t: &KdTree<D>, i: u32, covered: &mut [bool]) {
+            let n = t.node(i);
+            for j in n.start..n.end {
+                assert!(n.bbox.contains(&t.points[j as usize]));
+            }
+            if n.is_leaf() {
+                for j in n.start..n.end {
+                    assert!(!covered[j as usize]);
+                    covered[j as usize] = true;
+                }
+            } else {
+                let l = t.node(n.left);
+                let r = t.node(n.right);
+                assert_eq!(l.start, n.start);
+                assert_eq!(r.end, n.end);
+                assert_eq!(l.end, r.start);
+                go(t, n.left, covered);
+                go(t, n.right, covered);
+            }
+        }
+        if let Some(root) = t.root_id() {
+            go(t, root.0, &mut covered);
+        }
+        assert!(covered.iter().all(|&c| c));
+        // ids are a permutation.
+        let mut ids: Vec<u32> = t.ids.clone();
+        ids.sort();
+        assert_eq!(ids, (0..t.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_object_median_structure() {
+        let pts = uniform_cube::<3>(5_000, 1);
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        assert_eq!(t.len(), 5_000);
+        check_structure(&t);
+        // Object-median trees over distinct points are balanced.
+        assert!(t.depth() <= 2 + (5_000f64 / 16.0).log2().ceil() as usize + 2);
+    }
+
+    #[test]
+    fn build_spatial_median_structure() {
+        let pts = uniform_cube::<2>(5_000, 2);
+        let t = KdTree::build(&pts, SplitRule::SpatialMedian);
+        check_structure(&t);
+    }
+
+    #[test]
+    fn build_handles_duplicates() {
+        let mut pts = uniform_cube::<2>(100, 3);
+        let dup = pts[0];
+        pts.extend(std::iter::repeat(dup).take(500));
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        check_structure(&t);
+        let t2 = KdTree::build(&pts, SplitRule::SpatialMedian);
+        check_structure(&t2);
+    }
+
+    #[test]
+    fn build_all_identical_points() {
+        let pts = vec![pargeo_geometry::Point2::new([1.0, 1.0]); 1000];
+        let t = KdTree::build(&pts, SplitRule::ObjectMedian);
+        assert_eq!(t.node_count(), 1); // single leaf, no infinite recursion
+        check_structure(&t);
+    }
+
+    #[test]
+    fn build_empty_and_singleton() {
+        let t = KdTree::<2>::build(&[], SplitRule::ObjectMedian);
+        assert!(t.is_empty());
+        assert!(t.root_id().is_none());
+        let t1 = KdTree::build(
+            &[pargeo_geometry::Point2::new([3.0, 4.0])],
+            SplitRule::ObjectMedian,
+        );
+        assert_eq!(t1.len(), 1);
+        check_structure(&t1);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build_shape() {
+        let pts = uniform_cube::<3>(20_000, 5);
+        let a = pargeo_parlay::with_threads(1, || KdTree::build(&pts, SplitRule::ObjectMedian));
+        let b = pargeo_parlay::with_threads(4, || KdTree::build(&pts, SplitRule::ObjectMedian));
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.depth(), b.depth());
+        check_structure(&a);
+        check_structure(&b);
+    }
+
+    #[test]
+    fn large_leaf_size() {
+        let pts = uniform_cube::<2>(1_000, 7);
+        let t = KdTree::build_with_leaf_size(&pts, SplitRule::ObjectMedian, 1_000);
+        assert_eq!(t.node_count(), 1);
+        let t2 = KdTree::build_with_leaf_size(&pts, SplitRule::ObjectMedian, 1);
+        check_structure(&t2);
+    }
+}

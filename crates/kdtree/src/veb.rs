@@ -1,0 +1,714 @@
+//! The van Emde Boas layout static kd-tree (paper Appendix C.1).
+//!
+//! This is the building block of the BDL-tree: a balanced object-median
+//! kd-tree whose nodes are stored in the recursive vEB order of Agarwal et
+//! al. \[9\] (top half of the levels first, then the bottom subtrees
+//! left-to-right, recursively), making root-to-leaf traversals
+//! cache-oblivious. It supports
+//!
+//! * parallel construction (Algorithm 1),
+//! * parallel bulk deletion with subtree collapse (Algorithm 2) — deleted
+//!   points are tombstoned in their leaves and fully dead subtrees are
+//!   spliced out of the tree by child-pointer rewiring,
+//! * k-NN search into a shared [`KnnBuffer`] (the hook the BDL-tree uses to
+//!   combine answers across its log-structured set of trees).
+//!
+//! Construction builds the balanced tree with fork-join parallelism (the
+//! `O(n log n)` part), then computes the vEB slot permutation in two linear
+//! passes — same layout as the paper's one-pass Algorithm 1, expressed as
+//! build-then-permute.
+
+use crate::knn::KnnBuffer;
+use crate::tree::SplitRule;
+use pargeo_geometry::{Bbox, Point};
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+
+const SEQ_CUTOFF: usize = 4096;
+
+/// Default points per leaf.
+pub const VEB_LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+struct VLeaf<const D: usize> {
+    points: Vec<(Point<D>, u32)>,
+    alive: Vec<bool>,
+    live: u32,
+}
+
+#[derive(Debug, Clone)]
+struct VNode<const D: usize> {
+    bbox: Bbox<D>,
+    dim: u8,
+    val: f64,
+    /// Child slots; `u32::MAX` marks a leaf node.
+    left: u32,
+    right: u32,
+    /// Leaf payload index (valid when `left == u32::MAX`).
+    leaf: u32,
+}
+
+impl<const D: usize> VNode<D> {
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// A static kd-tree in van Emde Boas layout with tombstone deletion.
+#[derive(Debug, Clone)]
+pub struct VebTree<const D: usize> {
+    nodes: Vec<VNode<D>>,
+    leaves: Vec<VLeaf<D>>,
+    /// Current root slot (`u32::MAX` when the whole tree died).
+    root: u32,
+    live: usize,
+}
+
+// ---------- construction ----------
+
+/// Arena node used between the parallel build and the vEB permutation.
+struct ArenaNode<const D: usize> {
+    bbox: Bbox<D>,
+    dim: u8,
+    val: f64,
+    left: usize,  // usize::MAX for leaf
+    right: usize, // usize::MAX for leaf
+    leaf: usize,
+    height: usize,
+}
+
+impl<const D: usize> VebTree<D> {
+    /// Builds a vEB tree over `(point, original id)` pairs
+    /// (object-median splits).
+    pub fn build(items: &[(Point<D>, u32)]) -> Self {
+        Self::build_with(items, VEB_LEAF_SIZE, SplitRule::ObjectMedian)
+    }
+
+    /// Builds with an explicit leaf size (object-median splits).
+    pub fn build_with_leaf_size(items: &[(Point<D>, u32)], leaf_size: usize) -> Self {
+        Self::build_with(items, leaf_size, SplitRule::ObjectMedian)
+    }
+
+    /// Builds with an explicit leaf size and split rule (the paper's
+    /// object-median vs spatial-median comparison, §6.3).
+    pub fn build_with(items: &[(Point<D>, u32)], leaf_size: usize, rule: SplitRule) -> Self {
+        assert!(leaf_size >= 1);
+        if items.is_empty() {
+            return VebTree {
+                nodes: Vec::new(),
+                leaves: Vec::new(),
+                root: u32::MAX,
+                live: 0,
+            };
+        }
+        let mut work: Vec<(Point<D>, u32)> = items.to_vec();
+        // Phase 1: parallel balanced build into a boxed tree.
+        let boxed = build_boxed(&mut work, leaf_size, rule);
+        // Phase 2: flatten to a preorder arena.
+        let mut arena: Vec<ArenaNode<D>> = Vec::new();
+        let mut leaves: Vec<VLeaf<D>> = Vec::new();
+        let root_arena = flatten(boxed, &mut arena, &mut leaves);
+        debug_assert_eq!(root_arena, 0);
+        // Phase 3: compute the vEB slot of every arena node.
+        let m = arena.len();
+        let mut slot = vec![0usize; m];
+        let mut assigner = VebAssign {
+            arena: &arena,
+            slot: &mut slot,
+        };
+        let h = arena[0].height;
+        let assigned = assigner.assign(0, h, 0);
+        debug_assert_eq!(assigned, m);
+        // Phase 4: scatter into the final node array in slot order.
+        let mut nodes: Vec<VNode<D>> = vec![
+            VNode {
+                bbox: Bbox::empty(),
+                dim: 0,
+                val: 0.0,
+                left: u32::MAX,
+                right: u32::MAX,
+                leaf: u32::MAX,
+            };
+            m
+        ];
+        for (i, a) in arena.iter().enumerate() {
+            nodes[slot[i]] = VNode {
+                bbox: a.bbox,
+                dim: a.dim,
+                val: a.val,
+                left: if a.left == usize::MAX {
+                    u32::MAX
+                } else {
+                    slot[a.left] as u32
+                },
+                right: if a.right == usize::MAX {
+                    u32::MAX
+                } else {
+                    slot[a.right] as u32
+                },
+                leaf: if a.leaf == usize::MAX {
+                    u32::MAX
+                } else {
+                    a.leaf as u32
+                },
+            };
+        }
+        VebTree {
+            nodes,
+            leaves,
+            root: slot[0] as u32,
+            live: items.len(),
+        }
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Bounding box of the (original) point set. Conservative after
+    /// deletions: a superset of the live points' box.
+    pub fn bbox(&self) -> Bbox<D> {
+        if self.root == u32::MAX {
+            Bbox::empty()
+        } else {
+            self.nodes[self.root as usize].bbox
+        }
+    }
+
+    /// All live `(point, id)` pairs.
+    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        let mut out = Vec::with_capacity(self.live);
+        for leaf in &self.leaves {
+            for (i, &(p, id)) in leaf.points.iter().enumerate() {
+                if leaf.alive[i] {
+                    out.push((p, id));
+                }
+            }
+        }
+        out
+    }
+
+    // ---------- deletion (Algorithm 2) ----------
+
+    /// Deletes every live point whose coordinates match a query point
+    /// (all duplicates of a matched value are removed). Fully-dead subtrees
+    /// are spliced out. Returns the number of points deleted.
+    pub fn erase(&mut self, queries: &[Point<D>]) -> usize {
+        if self.root == u32::MAX || queries.is_empty() {
+            return 0;
+        }
+        let mut q: Vec<Point<D>> = queries.to_vec();
+        let (new_root, deleted) = erase_rec(
+            &SharedNodes(self.nodes.as_mut_ptr()),
+            self.leaves.as_mut_ptr(),
+            self.root,
+            &mut q,
+        );
+        self.root = new_root.unwrap_or(u32::MAX);
+        self.live -= deleted;
+        deleted
+    }
+
+    // ---------- k-NN ----------
+
+    /// Accumulates the k nearest live points to `q` into `buf`.
+    pub fn knn_into(&self, q: &Point<D>, buf: &mut KnnBuffer) {
+        if self.root != u32::MAX {
+            self.knn_rec(self.root, q, buf);
+        }
+    }
+
+    fn knn_rec(&self, idx: u32, q: &Point<D>, buf: &mut KnnBuffer) {
+        let node = &self.nodes[idx as usize];
+        if node.is_leaf() {
+            let leaf = &self.leaves[node.leaf as usize];
+            for (i, &(p, id)) in leaf.points.iter().enumerate() {
+                if leaf.alive[i] {
+                    buf.insert(q.dist_sq(&p), id);
+                }
+            }
+            return;
+        }
+        let (near, far) = if q[node.dim as usize] <= node.val {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if self.nodes[near as usize].bbox.dist_sq_to_point(q) < buf.bound() {
+            self.knn_rec(near, q, buf);
+        }
+        if self.nodes[far as usize].bbox.dist_sq_to_point(q) < buf.bound() {
+            self.knn_rec(far, q, buf);
+        }
+    }
+
+    /// Standalone k-NN over this tree only.
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<crate::knn::Neighbor> {
+        let mut buf = KnnBuffer::new(k);
+        self.knn_into(q, &mut buf);
+        buf.finish()
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+// Boxed intermediate tree.
+enum Boxed<const D: usize> {
+    Leaf(Bbox<D>, Vec<(Point<D>, u32)>),
+    Internal(Bbox<D>, u8, f64, Box<Boxed<D>>, Box<Boxed<D>>),
+}
+
+fn build_boxed<const D: usize>(
+    items: &mut [(Point<D>, u32)],
+    leaf_size: usize,
+    rule: SplitRule,
+) -> Boxed<D> {
+    let n = items.len();
+    let bbox = {
+        if n >= SEQ_CUTOFF {
+            items
+                .par_chunks(SEQ_CUTOFF)
+                .map(|c| {
+                    let mut b = Bbox::empty();
+                    for (p, _) in c {
+                        b.extend(p);
+                    }
+                    b
+                })
+                .reduce(Bbox::empty, |a, b| a.union(&b))
+        } else {
+            let mut b = Bbox::empty();
+            for (p, _) in items.iter() {
+                b.extend(p);
+            }
+            b
+        }
+    };
+    if n <= leaf_size || bbox.diag_sq() == 0.0 {
+        return Boxed::Leaf(bbox, items.to_vec());
+    }
+    let dim = bbox.widest_dim();
+    let (mid, val) = match rule {
+        SplitRule::ObjectMedian => {
+            let mid = n / 2;
+            if n >= SEQ_CUTOFF {
+                parlay::select_nth_unstable_by(items, mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+            } else {
+                items.select_nth_unstable_by(mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+            }
+            (mid, items[mid].0[dim])
+        }
+        SplitRule::SpatialMedian => {
+            let splitval = 0.5 * (bbox.min[dim] + bbox.max[dim]);
+            let mut i = 0usize;
+            let mut j = n;
+            while i < j {
+                if items[i].0[dim] < splitval {
+                    i += 1;
+                } else {
+                    j -= 1;
+                    items.swap(i, j);
+                }
+            }
+            if i == 0 || i == n {
+                // Degenerate spatial split: fall back to the object median.
+                let mid = n / 2;
+                items.select_nth_unstable_by(mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+                (mid, items[mid].0[dim])
+            } else {
+                (i, splitval)
+            }
+        }
+    };
+    let (lo, hi) = items.split_at_mut(mid);
+    let (l, r) = if n >= SEQ_CUTOFF {
+        rayon::join(
+            || build_boxed(lo, leaf_size, rule),
+            || build_boxed(hi, leaf_size, rule),
+        )
+    } else {
+        (
+            build_boxed(lo, leaf_size, rule),
+            build_boxed(hi, leaf_size, rule),
+        )
+    };
+    Boxed::Internal(bbox, dim as u8, val, Box::new(l), Box::new(r))
+}
+
+fn flatten<const D: usize>(
+    b: Boxed<D>,
+    arena: &mut Vec<ArenaNode<D>>,
+    leaves: &mut Vec<VLeaf<D>>,
+) -> usize {
+    let my = arena.len();
+    match b {
+        Boxed::Leaf(bbox, points) => {
+            let n = points.len();
+            leaves.push(VLeaf {
+                alive: vec![true; n],
+                live: n as u32,
+                points,
+            });
+            arena.push(ArenaNode {
+                bbox,
+                dim: 0,
+                val: 0.0,
+                left: usize::MAX,
+                right: usize::MAX,
+                leaf: leaves.len() - 1,
+                height: 1,
+            });
+        }
+        Boxed::Internal(bbox, dim, val, l, r) => {
+            arena.push(ArenaNode {
+                bbox,
+                dim,
+                val,
+                left: 0,
+                right: 0,
+                leaf: usize::MAX,
+                height: 0,
+            });
+            let li = flatten(*l, arena, leaves);
+            let ri = flatten(*r, arena, leaves);
+            let h = arena[li].height.max(arena[ri].height) + 1;
+            let a = &mut arena[my];
+            a.left = li;
+            a.right = ri;
+            a.height = h;
+        }
+    }
+    my
+}
+
+/// Recursive vEB slot assignment.
+///
+/// `assign(node, cap, base)` assigns contiguous slots starting at `base` to
+/// exactly the nodes of `node`'s subtree at depth `< cap`, in vEB order:
+/// split `cap = lt + lb`, lay out the truncated top (`cap = lt`) first, then
+/// each depth-`lt` boundary subtree (budget `lb`) left to right. Returns the
+/// number of slots consumed.
+struct VebAssign<'a, const D: usize> {
+    arena: &'a [ArenaNode<D>],
+    slot: &'a mut [usize],
+}
+
+impl<const D: usize> VebAssign<'_, D> {
+    fn assign(&mut self, node: usize, cap: usize, base: usize) -> usize {
+        let h = cap.min(self.arena[node].height);
+        debug_assert!(h >= 1);
+        if h == 1 || self.arena[node].left == usize::MAX {
+            self.slot[node] = base;
+            return 1;
+        }
+        if h == 2 {
+            // Root, then left subtree-top, then right subtree-top.
+            self.slot[node] = base;
+            let a = self.assign(self.arena[node].left, 1, base + 1);
+            let b = self.assign(self.arena[node].right, 1, base + 1 + a);
+            return 1 + a + b;
+        }
+        // lb = hyperceiling(floor((h+1)/2)), clamped so both halves advance.
+        let lb = hyperceiling((h + 1) / 2).clamp(1, h - 1);
+        let lt = h - lb;
+        let mut used = self.assign(node, lt, base);
+        let mut roots = Vec::new();
+        boundary_roots(self.arena, node, lt, &mut roots);
+        for b in roots {
+            used += self.assign(b, lb, base + used);
+        }
+        used
+    }
+}
+
+/// Collects the depth-`depth` descendants of `node` (left to right), not
+/// descending through leaves that end earlier.
+fn boundary_roots<const D: usize>(
+    arena: &[ArenaNode<D>],
+    node: usize,
+    depth: usize,
+    out: &mut Vec<usize>,
+) {
+    if depth == 0 {
+        out.push(node);
+        return;
+    }
+    let a = &arena[node];
+    if a.left == usize::MAX {
+        return; // leaf shallower than the boundary: already assigned in top
+    }
+    boundary_roots(arena, a.left, depth - 1, out);
+    boundary_roots(arena, a.right, depth - 1, out);
+}
+
+/// Smallest power of two `≥ n` (the paper's ⌈⌈n⌉⌉).
+fn hyperceiling(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+// ---------- parallel erase ----------
+
+/// Raw shared pointer into the node array. Sound because concurrent
+/// recursive calls operate on disjoint subtrees (the tree is a tree).
+#[derive(Clone, Copy)]
+struct SharedNodes<const D: usize>(*mut VNode<D>);
+unsafe impl<const D: usize> Send for SharedNodes<D> {}
+unsafe impl<const D: usize> Sync for SharedNodes<D> {}
+
+#[derive(Clone, Copy)]
+struct SharedLeaves<const D: usize>(*mut VLeaf<D>);
+unsafe impl<const D: usize> Send for SharedLeaves<D> {}
+unsafe impl<const D: usize> Sync for SharedLeaves<D> {}
+
+fn erase_rec<const D: usize>(
+    nodes: &SharedNodes<D>,
+    leaves_ptr: *mut VLeaf<D>,
+    idx: u32,
+    queries: &mut [Point<D>],
+) -> (Option<u32>, usize) {
+    // SAFETY: each recursive call touches only node `idx`, its leaf payload
+    // and its descendants; sibling calls are disjoint.
+    let node = unsafe { &mut *nodes.0.add(idx as usize) };
+    if node.is_leaf() {
+        let leaf = unsafe { &mut *leaves_ptr.add(node.leaf as usize) };
+        let mut deleted = 0usize;
+        for q in queries.iter() {
+            for (i, (p, _)) in leaf.points.iter().enumerate() {
+                if leaf.alive[i] && p == q {
+                    leaf.alive[i] = false;
+                    leaf.live -= 1;
+                    deleted += 1;
+                }
+            }
+        }
+        if leaf.live == 0 {
+            return (None, deleted);
+        }
+        return (Some(idx), deleted);
+    }
+    let dim = node.dim as usize;
+    let val = node.val;
+    // Queries equal to the split coordinate may live on either side, so they
+    // go to both children (superset routing keeps deletion exact).
+    let mut ql: Vec<Point<D>> = Vec::new();
+    let mut qr: Vec<Point<D>> = Vec::new();
+    for q in queries.iter() {
+        if q[dim] <= val {
+            ql.push(*q);
+        }
+        if q[dim] >= val {
+            qr.push(*q);
+        }
+    }
+    let leaves = SharedLeaves(leaves_ptr);
+    let (left, right) = (node.left, node.right);
+    let ((l_new, dl), (r_new, dr)) = if ql.len() + qr.len() >= SEQ_CUTOFF {
+        let nodes2 = *nodes;
+        rayon::join(
+            move || {
+                let leaves = leaves;
+                if ql.is_empty() {
+                    (Some(left), 0)
+                } else {
+                    erase_rec(&nodes2, leaves.0, left, &mut ql)
+                }
+            },
+            move || {
+                let leaves = leaves;
+                if qr.is_empty() {
+                    (Some(right), 0)
+                } else {
+                    erase_rec(&nodes2, leaves.0, right, &mut qr)
+                }
+            },
+        )
+    } else {
+        (
+            if ql.is_empty() {
+                (Some(left), 0)
+            } else {
+                erase_rec(nodes, leaves_ptr, left, &mut ql)
+            },
+            if qr.is_empty() {
+                (Some(right), 0)
+            } else {
+                erase_rec(nodes, leaves_ptr, right, &mut qr)
+            },
+        )
+    };
+    let deleted = dl + dr;
+    let result = match (l_new, r_new) {
+        (Some(l), Some(r)) => {
+            node.left = l;
+            node.right = r;
+            Some(idx)
+        }
+        (Some(l), None) => Some(l),
+        (None, Some(r)) => Some(r),
+        (None, None) => None,
+    };
+    (result, deleted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn_brute_force;
+    use pargeo_datagen::uniform_cube;
+
+    fn items<const D: usize>(pts: &[Point<D>]) -> Vec<(Point<D>, u32)> {
+        pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect()
+    }
+
+    #[test]
+    fn build_and_collect_roundtrip() {
+        let pts = uniform_cube::<3>(5_000, 1);
+        let t = VebTree::build(&items(&pts));
+        assert_eq!(t.len(), 5_000);
+        let mut live = t.collect_live();
+        live.sort_by_key(|&(_, id)| id);
+        assert_eq!(live.len(), 5_000);
+        for (i, (p, id)) in live.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert_eq!(*p, pts[i]);
+        }
+    }
+
+    #[test]
+    fn veb_slots_are_a_permutation() {
+        let pts = uniform_cube::<2>(3_000, 2);
+        let t = VebTree::build(&items(&pts));
+        // Every node reachable exactly once from the root.
+        let mut seen = vec![false; t.node_count()];
+        fn go<const D: usize>(t: &VebTree<D>, i: u32, seen: &mut [bool]) -> usize {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+            let n = &t.nodes[i as usize];
+            if n.is_leaf() {
+                1
+            } else {
+                1 + go(t, n.left, seen) + go(t, n.right, seen)
+            }
+        }
+        let cnt = go(&t, t.root, &mut seen);
+        assert_eq!(cnt, t.node_count());
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn veb_layout_top_precedes_bottom() {
+        // For a perfectly balanced tree of 8 leaves with leaf_size 1 the
+        // paper's Figure 13 layout applies: root region (3 nodes) first,
+        // then four 3-node bottom subtrees. Check the root sits at slot 0
+        // and its grandchildren live in slots 1..3 while depth-2 subtree
+        // roots land at 3, 6, 9, 12.
+        let pts: Vec<Point<1>> = (0..8).map(|i| Point::new([i as f64])).collect();
+        let t = VebTree::build_with_leaf_size(&items(&pts), 1);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.root, 0);
+        let root = &t.nodes[0];
+        assert!(root.left < 3 && root.right < 3, "top half must occupy slots 0..3");
+        let l = &t.nodes[root.left as usize];
+        let r = &t.nodes[root.right as usize];
+        let mut bottoms = vec![l.left, l.right, r.left, r.right];
+        bottoms.sort();
+        assert_eq!(bottoms, vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = uniform_cube::<3>(2_000, 3);
+        let t = VebTree::build(&items(&pts));
+        for q in pts.iter().step_by(101) {
+            let got = t.knn(q, 6);
+            let want = knn_brute_force(&pts, q, 6);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn erase_removes_batch_and_knn_respects_it() {
+        let pts = uniform_cube::<2>(2_000, 4);
+        let mut t = VebTree::build(&items(&pts));
+        let victims: Vec<_> = pts.iter().copied().take(500).collect();
+        let deleted = t.erase(&victims);
+        assert_eq!(deleted, 500);
+        assert_eq!(t.len(), 1_500);
+        let survivors: Vec<_> = pts[500..].to_vec();
+        for q in survivors.iter().step_by(53) {
+            let got = t.knn(q, 4);
+            let want = knn_brute_force(&survivors, q, 4);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+            }
+        }
+        // Deleted points are no longer reported.
+        let got = t.knn(&pts[0], 1);
+        assert!(got[0].dist_sq > 0.0 || survivors.contains(&pts[0]));
+    }
+
+    #[test]
+    fn erase_everything_collapses_tree() {
+        let pts = uniform_cube::<2>(1_000, 5);
+        let mut t = VebTree::build(&items(&pts));
+        let deleted = t.erase(&pts);
+        assert_eq!(deleted, 1_000);
+        assert!(t.is_empty());
+        assert_eq!(t.root, u32::MAX);
+        assert!(t.collect_live().is_empty());
+        // knn on a dead tree returns nothing.
+        assert!(t.knn(&pts[0], 3).is_empty());
+    }
+
+    #[test]
+    fn erase_missing_points_is_noop() {
+        let pts = uniform_cube::<2>(500, 6);
+        let mut t = VebTree::build(&items(&pts));
+        let outside = vec![Point::new([-1000.0, -1000.0]); 10];
+        assert_eq!(t.erase(&outside), 0);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn erase_duplicates_removes_all_copies() {
+        let p = Point::new([1.0, 2.0]);
+        let q = Point::new([3.0, 4.0]);
+        let items: Vec<_> = vec![(p, 0), (p, 1), (q, 2)];
+        let mut t = VebTree::build(&items);
+        assert_eq!(t.erase(&[p]), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_build() {
+        let t = VebTree::<2>::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.collect_live().is_empty());
+    }
+
+    #[test]
+    fn hyperceiling_values() {
+        assert_eq!(hyperceiling(1), 1);
+        assert_eq!(hyperceiling(2), 2);
+        assert_eq!(hyperceiling(3), 4);
+        assert_eq!(hyperceiling(5), 8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the spatial indexes: exactness of k-NN and
+//! range queries against brute force on adversarial (duplicate-heavy,
+//! axis-aligned) inputs, and consistency of the dynamic structures.
+
+use pargeo_geometry::{Bbox, Point, Point2};
+use pargeo_kdtree::knn::knn_brute_force;
+use pargeo_kdtree::{B1Tree, B2Tree, KdTree, SplitRule, VebTree};
+use proptest::prelude::*;
+
+fn lattice_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (0i32..32, 0i32..32).prop_map(|(x, y)| Point2::new([x as f64, y as f64])),
+        1..250,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_exact_both_split_rules(pts in lattice_points(), k in 1usize..10, qi in 0usize..250) {
+        let q = pts[qi % pts.len()];
+        let want = knn_brute_force(&pts, &q, k);
+        for rule in [SplitRule::ObjectMedian, SplitRule::SpatialMedian] {
+            let tree = KdTree::build(&pts, rule);
+            let got = tree.knn(&q, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn range_box_exact(pts in lattice_points(),
+                       x0 in 0i32..32, y0 in 0i32..32, w in 0i32..32, h in 0i32..32) {
+        let tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let q = Bbox {
+            min: Point2::new([x0 as f64, y0 as f64]),
+            max: Point2::new([(x0 + w) as f64, (y0 + h) as f64]),
+        };
+        let mut got = tree.range_box(&q);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(tree.count_box(&q), want.len());
+    }
+
+    #[test]
+    fn range_ball_exact(pts in lattice_points(), ci in 0usize..250, r in 0f64..20.0) {
+        let c = pts[ci % pts.len()];
+        let tree = KdTree::build(&pts, SplitRule::SpatialMedian);
+        let mut got = tree.range_ball(&c, r);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| c.dist_sq(p) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(tree.count_ball(&c, r), want.len());
+    }
+
+    /// Insert+delete through B1, B2, and the vEB tree leave exactly the
+    /// expected survivors answering k-NN exactly.
+    #[test]
+    fn dynamic_trees_agree_after_churn(pts in lattice_points(), cut in 0usize..200) {
+        prop_assume!(pts.len() >= 4);
+        let cut = cut % (pts.len() / 2).max(1);
+        let (victims, keep): (Vec<Point2>, Vec<Point2>) = {
+            let v: Vec<Point2> = pts[..cut].to_vec();
+            // Survivors: points whose *coordinates* don't appear among the
+            // victims (deletion is by value).
+            let vict: std::collections::HashSet<[u64; 2]> =
+                v.iter().map(|p| p.coords.map(f64::to_bits)).collect();
+            let k: Vec<Point2> = pts
+                .iter()
+                .filter(|p| !vict.contains(&p.coords.map(f64::to_bits)))
+                .copied()
+                .collect();
+            (v, k)
+        };
+        prop_assume!(!keep.is_empty());
+        let mut b1 = B1Tree::from_points(&pts, SplitRule::ObjectMedian);
+        let mut b2 = B2Tree::from_points(&pts, SplitRule::ObjectMedian);
+        let items: Vec<(Point2, u32)> =
+            pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let mut veb = VebTree::build(&items);
+        b1.delete(&victims);
+        b2.delete(&victims);
+        veb.erase(&victims);
+        prop_assert_eq!(b1.len(), keep.len());
+        prop_assert_eq!(b2.len(), keep.len());
+        prop_assert_eq!(veb.len(), keep.len());
+        let q = keep[0];
+        let want = knn_brute_force(&keep, &q, 3);
+        for got in [b1.knn(&q, 3), b2.knn(&q, 3), veb.knn(&q, 3)] {
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Higher-dimensional smoke: 4D lattice k-NN stays exact.
+    #[test]
+    fn knn_4d_exact(raw in prop::collection::vec((0i32..8, 0i32..8, 0i32..8, 0i32..8), 5..120),
+                    k in 1usize..6) {
+        let pts: Vec<Point<4>> = raw
+            .iter()
+            .map(|&(a, b, c, d)| Point::new([a as f64, b as f64, c as f64, d as f64]))
+            .collect();
+        let tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let q = pts[0];
+        let got = tree.knn(&q, k);
+        let want = knn_brute_force(&pts, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! # pargeo-morton — Morton (Z-order) encoding and parallel spatial sort
+//!
+//! The Morton-sort module of the paper's Module (2) and the substrate under
+//! the Zd-tree comparator of §6.3. Points are quantized onto a
+//! `2^bits_per_dim` grid over a bounding box and their coordinate bits are
+//! interleaved into a single `u64` key; sorting by the key arranges points
+//! along the Z-order space-filling curve.
+//!
+//! `bits_per_dim = ⌊63 / D⌋`, so precision falls as dimension grows — the
+//! exact overhead the paper cites when explaining why the Zd-tree approach
+//! does not extend cheaply beyond 2–3 dimensions.
+
+use pargeo_geometry::{Bbox, Point};
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+
+/// Bits of grid resolution per dimension for `D`-dimensional codes.
+pub const fn bits_per_dim(d: usize) -> u32 {
+    (63 / d) as u32
+}
+
+/// Morton code of `p` within `bbox` (coordinates outside the box clamp to
+/// its boundary).
+pub fn morton_code<const D: usize>(p: &Point<D>, bbox: &Bbox<D>) -> u64 {
+    let bits = bits_per_dim(D);
+    let scale = (1u64 << bits) as f64;
+    let mut cells = [0u64; D];
+    for i in 0..D {
+        let side = (bbox.max[i] - bbox.min[i]).max(f64::MIN_POSITIVE);
+        let t = ((p[i] - bbox.min[i]) / side).clamp(0.0, 1.0);
+        cells[i] = ((t * scale) as u64).min((1u64 << bits) - 1);
+    }
+    interleave::<D>(&cells, bits)
+}
+
+/// Interleaves `D` coordinate words, `bits` bits each, most significant bit
+/// first: output bit layout is `x0_b y0_b z0_b x0_{b-1} …` so that the code
+/// order equals the Z-order traversal of the grid.
+pub fn interleave<const D: usize>(cells: &[u64; D], bits: u32) -> u64 {
+    let mut code = 0u64;
+    for b in (0..bits).rev() {
+        for c in cells.iter() {
+            code = (code << 1) | ((c >> b) & 1);
+        }
+    }
+    code
+}
+
+/// Inverse of [`interleave`]: recovers the grid cell of each dimension.
+pub fn deinterleave<const D: usize>(code: u64, bits: u32) -> [u64; D] {
+    let mut cells = [0u64; D];
+    let total = bits * D as u32;
+    for i in 0..total {
+        let bit = (code >> (total - 1 - i)) & 1;
+        let dim = (i as usize) % D;
+        cells[dim] = (cells[dim] << 1) | bit;
+    }
+    cells
+}
+
+/// Sorts `points` in place along the Z-order curve over their bounding box.
+/// Returns the permutation's original indices alongside.
+pub fn morton_sort<const D: usize>(points: &mut Vec<Point<D>>) -> Vec<u32> {
+    let bbox = parallel_bbox(points);
+    let mut tagged: Vec<(Point<D>, u32)> = if points.len() >= 4096 {
+        points
+            .par_iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect()
+    } else {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect()
+    };
+    parlay::radix_sort_u64_by_key(&mut tagged, |(p, _)| morton_code(p, &bbox));
+    let ids: Vec<u32> = tagged.iter().map(|&(_, id)| id).collect();
+    *points = tagged.into_iter().map(|(p, _)| p).collect();
+    ids
+}
+
+/// Computes Morton codes for a point set over a given box, in parallel.
+pub fn morton_codes<const D: usize>(points: &[Point<D>], bbox: &Bbox<D>) -> Vec<u64> {
+    if points.len() >= 4096 {
+        points.par_iter().map(|p| morton_code(p, bbox)).collect()
+    } else {
+        points.iter().map(|p| morton_code(p, bbox)).collect()
+    }
+}
+
+/// Parallel bounding box of a point set.
+pub fn parallel_bbox<const D: usize>(points: &[Point<D>]) -> Bbox<D> {
+    if points.len() >= 4096 {
+        points
+            .par_chunks(4096)
+            .map(|chunk| {
+                let mut b = Bbox::empty();
+                for p in chunk {
+                    b.extend(p);
+                }
+                b
+            })
+            .reduce(Bbox::empty, |a, b| a.union(&b))
+    } else {
+        Bbox::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_geometry::Point2;
+
+    #[test]
+    fn interleave_roundtrip() {
+        let cells = [0b1011u64, 0b0110u64];
+        let code = interleave::<2>(&cells, 4);
+        assert_eq!(deinterleave::<2>(code, 4), cells);
+        // Explicit bit check: x=1011, y=0110 -> 10 01 11 10.
+        assert_eq!(code, 0b10_01_11_10);
+    }
+
+    #[test]
+    fn code_order_is_z_order_on_grid() {
+        // On a 2x2 grid the Z-order is (0,0), (0,1), (1,0), (1,1) with
+        // x-bit major (x interleaved first).
+        let bbox = Bbox {
+            min: Point2::new([0.0, 0.0]),
+            max: Point2::new([1.0, 1.0]),
+        };
+        let c00 = morton_code(&Point2::new([0.1, 0.1]), &bbox);
+        let c01 = morton_code(&Point2::new([0.1, 0.9]), &bbox);
+        let c10 = morton_code(&Point2::new([0.9, 0.1]), &bbox);
+        let c11 = morton_code(&Point2::new([0.9, 0.9]), &bbox);
+        assert!(c00 < c01 && c01 < c10 && c10 < c11);
+    }
+
+    #[test]
+    fn sort_is_a_permutation_ordered_by_code() {
+        let mut pts = pargeo_datagen::uniform_cube::<3>(20_000, 1);
+        let orig = pts.clone();
+        let ids = morton_sort(&mut pts);
+        // Permutation check.
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort();
+        assert_eq!(sorted_ids, (0..20_000u32).collect::<Vec<_>>());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pts[i], orig[id as usize]);
+        }
+        // Codes ascending.
+        let bbox = parallel_bbox(&pts);
+        let codes = morton_codes(&pts, &bbox);
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn locality_smoke() {
+        // Consecutive points along the curve are near each other on
+        // average: mean consecutive distance far below the domain diameter.
+        let mut pts = pargeo_datagen::uniform_cube::<2>(50_000, 2);
+        morton_sort(&mut pts);
+        let side = pargeo_datagen::cube_side(50_000);
+        let mean: f64 = pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>() / 49_999.0;
+        assert!(mean < side * 0.05, "mean={mean} side={side}");
+    }
+
+    #[test]
+    fn clamps_out_of_box_points() {
+        let bbox = Bbox {
+            min: Point2::new([0.0, 0.0]),
+            max: Point2::new([1.0, 1.0]),
+        };
+        let inside_max = morton_code(&Point2::new([1.0, 1.0]), &bbox);
+        let outside = morton_code(&Point2::new([50.0, 50.0]), &bbox);
+        assert_eq!(inside_max, outside);
+    }
+
+    #[test]
+    fn bits_per_dim_budget() {
+        assert_eq!(bits_per_dim(2), 31);
+        assert_eq!(bits_per_dim(3), 21);
+        assert_eq!(bits_per_dim(7), 9);
+        for d in 1..=9 {
+            assert!(bits_per_dim(d) * d as u32 <= 63);
+        }
+    }
+}

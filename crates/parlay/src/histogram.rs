@@ -1,0 +1,173 @@
+//! Parallel histogram and group-by-key utilities.
+
+use crate::scan::scan_inplace_exclusive;
+use crate::GRANULARITY;
+use rayon::prelude::*;
+
+/// Counts occurrences of each key in `0..num_keys`.
+pub fn histogram(keys: &[usize], num_keys: usize) -> Vec<usize> {
+    if keys.len() <= GRANULARITY {
+        let mut h = vec![0usize; num_keys];
+        for &k in keys {
+            h[k] += 1;
+        }
+        return h;
+    }
+    keys.par_chunks(GRANULARITY)
+        .map(|chunk| {
+            let mut h = vec![0usize; num_keys];
+            for &k in chunk {
+                h[k] += 1;
+            }
+            h
+        })
+        .reduce(
+            || vec![0usize; num_keys],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Stable group-by: returns `(grouped_items, group_offsets)` where group
+/// `k` occupies `grouped[offsets[k]..offsets[k+1]]`, preserving input
+/// order within a group.
+pub fn group_by_key<T: Copy + Send + Sync>(
+    items: &[T],
+    num_keys: usize,
+    key: impl Fn(&T) -> usize + Sync,
+) -> (Vec<T>, Vec<usize>) {
+    let n = items.len();
+    if n <= GRANULARITY {
+        let mut counts = vec![0usize; num_keys + 1];
+        for x in items {
+            counts[key(x) + 1] += 1;
+        }
+        for k in 0..num_keys {
+            counts[k + 1] += counts[k];
+        }
+        let offsets = counts.clone();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(n);
+        }
+        let mut cursor = offsets.clone();
+        for x in items {
+            let k = key(x);
+            out[cursor[k]] = *x;
+            cursor[k] += 1;
+        }
+        return (out, offsets);
+    }
+    let nblocks = n.div_ceil(GRANULARITY);
+    let hists: Vec<usize> = items
+        .par_chunks(GRANULARITY)
+        .flat_map_iter(|chunk| {
+            let mut h = vec![0usize; num_keys];
+            for x in chunk {
+                h[key(x)] += 1;
+            }
+            h
+        })
+        .collect();
+    let mut offsets_blocks = vec![0usize; nblocks * num_keys];
+    let mut group_offsets = vec![0usize; num_keys + 1];
+    {
+        let mut col: Vec<usize> = Vec::with_capacity(nblocks * num_keys);
+        for k in 0..num_keys {
+            for blk in 0..nblocks {
+                col.push(hists[blk * num_keys + k]);
+            }
+        }
+        scan_inplace_exclusive(&mut col);
+        for k in 0..num_keys {
+            group_offsets[k] = col[k * nblocks];
+            for blk in 0..nblocks {
+                offsets_blocks[blk * num_keys + k] = col[k * nblocks + blk];
+            }
+        }
+        group_offsets[num_keys] = n;
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    items
+        .par_chunks(GRANULARITY)
+        .enumerate()
+        .for_each(|(blk, chunk)| {
+            let p = out_ptr;
+            let mut cur = offsets_blocks[blk * num_keys..(blk + 1) * num_keys].to_vec();
+            for &x in chunk {
+                let k = key(&x);
+                // SAFETY: disjoint (block, key) destination ranges.
+                unsafe { p.0.add(cur[k]).write(x) };
+                cur[k] += 1;
+            }
+        });
+    (out, group_offsets)
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_matches_reference() {
+        let keys: Vec<usize> = (0..100_000).map(|i| (i * 31) % 17).collect();
+        let got = histogram(&keys, 17);
+        let mut want = vec![0usize; 17];
+        for &k in &keys {
+            want[k] += 1;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got.iter().sum::<usize>(), keys.len());
+    }
+
+    #[test]
+    fn histogram_empty_and_small() {
+        assert_eq!(histogram(&[], 4), vec![0; 4]);
+        assert_eq!(histogram(&[2, 2, 0], 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn group_by_is_stable_partition() {
+        let items: Vec<(usize, u32)> = (0..80_000).map(|i| ((i * 7) % 5, i as u32)).collect();
+        let (grouped, offsets) = group_by_key(&items, 5, |x| x.0);
+        assert_eq!(offsets.len(), 6);
+        assert_eq!(offsets[5], items.len());
+        for k in 0..5 {
+            let grp = &grouped[offsets[k]..offsets[k + 1]];
+            assert!(grp.iter().all(|x| x.0 == k));
+            // Stability: second components increasing within the group.
+            assert!(grp.windows(2).all(|w| w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn group_by_with_empty_groups() {
+        let items: Vec<usize> = vec![3; 10_000];
+        let (grouped, offsets) = group_by_key(&items, 6, |&x| x);
+        assert_eq!(grouped.len(), 10_000);
+        assert_eq!(offsets[3], 0);
+        assert_eq!(offsets[4], 10_000);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[6], 10_000);
+    }
+}

@@ -1,0 +1,221 @@
+//! Parallel packing and filtering.
+//!
+//! `ParallelPack` (paper Figure 5, line 17) keeps the elements whose flag is
+//! set, preserving relative order, in `O(n)` work. The implementation counts
+//! survivors per block, scans the counts for destination offsets, and
+//! scatters each block independently.
+
+use crate::scan::scan_inplace_exclusive;
+use crate::GRANULARITY;
+use rayon::prelude::*;
+
+/// Packs `items[i]` for every `i` with `flags[i] == true`, preserving order.
+///
+/// ```
+/// let kept = pargeo_parlay::pack(&[10, 20, 30, 40], &[true, false, true, false]);
+/// assert_eq!(kept, vec![10, 30]);
+/// ```
+pub fn pack<T: Copy + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len(), "pack: length mismatch");
+    let n = items.len();
+    if n <= GRANULARITY {
+        return items
+            .iter()
+            .zip(flags)
+            .filter(|(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+    }
+    let mut counts: Vec<usize> = flags
+        .par_chunks(GRANULARITY)
+        .map(|c| c.iter().filter(|&&f| f).count())
+        .collect();
+    let total = scan_inplace_exclusive(&mut counts);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    items
+        .par_chunks(GRANULARITY)
+        .zip(flags.par_chunks(GRANULARITY))
+        .zip(counts.par_iter())
+        .for_each(|((ichunk, fchunk), &offset)| {
+            let p = out_ptr;
+            let mut k = offset;
+            for (&x, &f) in ichunk.iter().zip(fchunk.iter()) {
+                if f {
+                    // SAFETY: each block writes the disjoint range
+                    // [offset, offset + count_of_block), established by the
+                    // exclusive scan over per-block survivor counts.
+                    unsafe { p.0.add(k).write(x) };
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Returns the indices `i` with `flags[i] == true`, in increasing order.
+pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    let n = flags.len();
+    if n <= GRANULARITY {
+        return flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+    }
+    let mut counts: Vec<usize> = flags
+        .par_chunks(GRANULARITY)
+        .map(|c| c.iter().filter(|&&f| f).count())
+        .collect();
+    let total = scan_inplace_exclusive(&mut counts);
+    let mut out: Vec<usize> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    flags
+        .par_chunks(GRANULARITY)
+        .enumerate()
+        .zip(counts.par_iter())
+        .for_each(|((b, fchunk), &offset)| {
+            let p = out_ptr;
+            let mut k = offset;
+            for (j, &f) in fchunk.iter().enumerate() {
+                if f {
+                    // SAFETY: disjoint destination ranges per block (see pack).
+                    unsafe { p.0.add(k).write(b * GRANULARITY + j) };
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Keeps the elements satisfying `pred`, preserving order, in parallel.
+pub fn filter<T, F>(items: &[T], pred: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = items.len();
+    if n <= GRANULARITY {
+        return items.iter().copied().filter(|x| pred(x)).collect();
+    }
+    let mut counts: Vec<usize> = items
+        .par_chunks(GRANULARITY)
+        .map(|c| c.iter().filter(|x| pred(x)).count())
+        .collect();
+    let total = scan_inplace_exclusive(&mut counts);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    items
+        .par_chunks(GRANULARITY)
+        .zip(counts.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let p = out_ptr;
+            let mut k = offset;
+            for &x in chunk {
+                if pred(&x) {
+                    // SAFETY: disjoint destination ranges per block (see pack).
+                    unsafe { p.0.add(k).write(x) };
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Stable two-way split: `(matching, non_matching)` in one parallel pass each.
+pub fn split_two<T, F>(items: &[T], pred: F) -> (Vec<T>, Vec<T>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let flags: Vec<bool> = if items.len() <= GRANULARITY {
+        items.iter().map(|x| pred(x)).collect()
+    } else {
+        items.par_iter().map(|x| pred(x)).collect()
+    };
+    let yes = pack(items, &flags);
+    let inv: Vec<bool> = if flags.len() <= GRANULARITY {
+        flags.iter().map(|&f| !f).collect()
+    } else {
+        flags.par_iter().map(|&f| !f).collect()
+    };
+    let no = pack(items, &inv);
+    (yes, no)
+}
+
+/// A raw pointer wrapper asserting cross-thread transfer is safe because all
+/// writers target disjoint index ranges.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_matches_reference() {
+        for n in [0usize, 1, 5, GRANULARITY, GRANULARITY * 3 + 17, 100_000] {
+            let items: Vec<u32> = (0..n as u32).collect();
+            let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let got = pack(&items, &flags);
+            let want: Vec<u32> = items
+                .iter()
+                .zip(&flags)
+                .filter(|(_, &f)| f)
+                .map(|(&x, _)| x)
+                .collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_index_matches_reference() {
+        let n = 70_000;
+        let flags: Vec<bool> = (0..n).map(|i| (i * i) % 7 == 1).collect();
+        let got = pack_index(&flags);
+        let want: Vec<usize> = (0..n).filter(|&i| flags[i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_matches_reference() {
+        let items: Vec<i64> = (0..60_000).map(|i| (i * 31) % 997 - 500).collect();
+        let got = filter(&items, |&x| x > 0);
+        let want: Vec<i64> = items.iter().copied().filter(|&x| x > 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_two_partitions_everything() {
+        let items: Vec<u32> = (0..30_000).collect();
+        let (yes, no) = split_two(&items, |&x| x % 2 == 0);
+        assert_eq!(yes.len() + no.len(), items.len());
+        assert!(yes.iter().all(|&x| x % 2 == 0));
+        assert!(no.iter().all(|&x| x % 2 == 1));
+        // Stability.
+        assert!(yes.windows(2).all(|w| w[0] < w[1]));
+        assert!(no.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn all_false_and_all_true() {
+        let items: Vec<u8> = vec![7; 10_000];
+        assert!(pack(&items, &vec![false; 10_000]).is_empty());
+        assert_eq!(pack(&items, &vec![true; 10_000]).len(), 10_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! Parallel reductions, including argmax/argmin ("parallel maximum-finding
+//! routine" used by quickhull's furthest-point step and Welzl's pivot
+//! heuristic).
+
+use crate::GRANULARITY;
+use rayon::prelude::*;
+
+/// Parallel reduction of `a` under the associative operator `op` with
+/// identity `id`.
+pub fn reduce<T, F>(a: &[T], id: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if a.len() <= GRANULARITY {
+        return a.iter().fold(id, |acc, &x| op(acc, x));
+    }
+    a.par_chunks(GRANULARITY)
+        .map(|c| c.iter().fold(id, |acc, &x| op(acc, x)))
+        .reduce(|| id, &op)
+}
+
+/// Maps every element through `f` and reduces the results.
+pub fn reduce_map<T, U, M, F>(a: &[T], id: U, map: M, op: F) -> U
+where
+    T: Sync,
+    U: Copy + Send + Sync,
+    M: Fn(&T) -> U + Sync,
+    F: Fn(U, U) -> U + Sync,
+{
+    if a.len() <= GRANULARITY {
+        return a.iter().fold(id, |acc, x| op(acc, map(x)));
+    }
+    a.par_chunks(GRANULARITY)
+        .map(|c| c.iter().fold(id, |acc, x| op(acc, map(x))))
+        .reduce(|| id, &op)
+}
+
+/// Index of the element maximizing `key`, breaking ties toward the smaller
+/// index (deterministic regardless of thread schedule). Returns `None` on an
+/// empty slice.
+pub fn max_index_by<T, K, F>(a: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    if a.is_empty() {
+        return None;
+    }
+    let seq = |lo: usize, chunk: &[T]| -> (usize, K) {
+        let mut best = (lo, key(&chunk[0]));
+        for (j, x) in chunk.iter().enumerate().skip(1) {
+            let k = key(x);
+            if k > best.1 {
+                best = (lo + j, k);
+            }
+        }
+        best
+    };
+    let combine = |x: (usize, K), y: (usize, K)| -> (usize, K) {
+        // Ties break to the smaller index for determinism.
+        if y.1 > x.1 || (y.1 == x.1 && y.0 < x.0) {
+            y
+        } else {
+            x
+        }
+    };
+    if a.len() <= GRANULARITY {
+        return Some(seq(0, a).0);
+    }
+    let best = a
+        .par_chunks(GRANULARITY)
+        .enumerate()
+        .map(|(b, c)| seq(b * GRANULARITY, c))
+        .reduce_with(combine)
+        .expect("non-empty");
+    Some(best.0)
+}
+
+/// Index of the element minimizing `key`; ties toward the smaller index.
+pub fn min_index_by<T, K, F>(a: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + std::ops::Neg<Output = K> + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync,
+{
+    max_index_by(a, |x| -key(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_matches() {
+        let a: Vec<u64> = (0..100_000).collect();
+        assert_eq!(reduce(&a, 0, |x, y| x + y), a.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_map_counts() {
+        let a: Vec<u32> = (0..50_000).collect();
+        let evens = reduce_map(&a, 0usize, |&x| (x % 2 == 0) as usize, |x, y| x + y);
+        assert_eq!(evens, 25_000);
+    }
+
+    #[test]
+    fn max_index_matches_reference() {
+        let a: Vec<f64> = (0..80_000)
+            .map(|i| ((i as f64) * 1.618).sin() * 1000.0)
+            .collect();
+        let got = max_index_by(&a, |&x| x).unwrap();
+        let want = a
+            .iter()
+            .enumerate()
+            .max_by(|(i, x), (j, y)| x.partial_cmp(y).unwrap().then(j.cmp(i)))
+            .unwrap()
+            .0;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn max_index_ties_break_low() {
+        let a = vec![1.0f64; 10_000];
+        assert_eq!(max_index_by(&a, |&x| x), Some(0));
+    }
+
+    #[test]
+    fn min_index_basic() {
+        let a: Vec<f64> = vec![3.0, 1.0, 2.0, 1.0];
+        assert_eq!(min_index_by(&a, |&x| x), Some(1));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let a: Vec<f64> = vec![];
+        assert_eq!(max_index_by(&a, |&x| x), None);
+    }
+}

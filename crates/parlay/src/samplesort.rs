@@ -1,0 +1,175 @@
+//! Parallel sample sort — ParlayLib's workhorse comparison sort.
+//!
+//! Oversampled splitter selection, parallel bucket classification via a
+//! per-block count/scan/scatter (the same machinery as the radix passes),
+//! then parallel recursion per bucket. Compared with the merge sort in
+//! [`crate::sort`], sample sort trades the merge's perfect balance for
+//! bucket-local cache behavior; the `sort_ablation` bench compares them.
+
+use crate::scan::scan_inplace_exclusive;
+use crate::GRANULARITY;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Number of buckets per level.
+const BUCKETS: usize = 64;
+/// Oversampling factor for splitter selection.
+const OVERSAMPLE: usize = 8;
+
+/// Parallel (unstable) sample sort.
+pub fn sample_sort_by<T, F>(a: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    sort_rec(a, &cmp, 0);
+}
+
+fn sort_rec<T, F>(a: &mut [T], cmp: &F, depth: usize)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len();
+    if n <= GRANULARITY || depth > 8 {
+        a.sort_unstable_by(|x, y| cmp(x, y));
+        return;
+    }
+    // Choose BUCKETS-1 splitters from an oversampled, deterministic sample.
+    let s = BUCKETS * OVERSAMPLE;
+    let mut sample: Vec<T> = (0..s).map(|i| a[(i * (n - 1)) / (s - 1)]).collect();
+    sample.sort_unstable_by(|x, y| cmp(x, y));
+    let splitters: Vec<T> = (1..BUCKETS).map(|b| sample[b * OVERSAMPLE]).collect();
+    // Classify each element (branchless-ish binary search over splitters).
+    let bucket_of = |x: &T| -> usize {
+        splitters.partition_point(|sp| cmp(sp, x) != Ordering::Greater)
+    };
+    let nblocks = n.div_ceil(GRANULARITY);
+    let hists: Vec<usize> = a
+        .par_chunks(GRANULARITY)
+        .flat_map_iter(|chunk| {
+            let mut h = vec![0usize; BUCKETS];
+            for x in chunk {
+                h[bucket_of(x)] += 1;
+            }
+            h
+        })
+        .collect();
+    // Bucket-major scan for scatter offsets.
+    let mut offsets = vec![0usize; nblocks * BUCKETS];
+    let mut bucket_starts = vec![0usize; BUCKETS + 1];
+    {
+        let mut col: Vec<usize> = Vec::with_capacity(nblocks * BUCKETS);
+        for b in 0..BUCKETS {
+            for blk in 0..nblocks {
+                col.push(hists[blk * BUCKETS + b]);
+            }
+        }
+        scan_inplace_exclusive(&mut col);
+        for b in 0..BUCKETS {
+            bucket_starts[b] = col[b * nblocks];
+            for blk in 0..nblocks {
+                offsets[blk * BUCKETS + b] = col[b * nblocks + blk];
+            }
+        }
+        bucket_starts[BUCKETS] = n;
+    }
+    // Scatter into a buffer.
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        buf.set_len(n);
+    }
+    {
+        let buf_ptr = SendPtr(buf.as_mut_ptr());
+        a.par_chunks(GRANULARITY)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let p = buf_ptr;
+                let mut off = offsets[blk * BUCKETS..(blk + 1) * BUCKETS].to_vec();
+                for &x in chunk {
+                    let b = bucket_of(&x);
+                    // SAFETY: (block, bucket) offset ranges partition 0..n.
+                    unsafe { p.0.add(off[b]).write(x) };
+                    off[b] += 1;
+                }
+            });
+    }
+    a.copy_from_slice(&buf);
+    drop(buf);
+    // Recurse per bucket in parallel over disjoint subslices.
+    let mut rest: &mut [T] = a;
+    let mut consumed = 0usize;
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(BUCKETS);
+    for b in 0..BUCKETS {
+        let end = bucket_starts[b + 1];
+        let (head, tail) = rest.split_at_mut(end - consumed);
+        slices.push(head);
+        rest = tail;
+        consumed = end;
+    }
+    slices
+        .into_par_iter()
+        .for_each(|s| sort_rec(s, cmp, depth + 1));
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_std_sort() {
+        for n in [0usize, 1, 100, GRANULARITY + 1, 200_000] {
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 100_003)
+                .collect();
+            let mut want = a.clone();
+            want.sort();
+            sample_sort_by(&mut a, |x, y| x.cmp(y));
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn many_duplicates() {
+        let mut a: Vec<u32> = (0..150_000).map(|i| i % 7).collect();
+        let mut want = a.clone();
+        want.sort();
+        sample_sort_by(&mut a, |x, y| x.cmp(y));
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn all_equal_hits_depth_guard() {
+        let mut a = vec![5u8; 300_000];
+        sample_sort_by(&mut a, |x, y| x.cmp(y));
+        assert!(a.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn reverse_sorted_floats() {
+        let mut a: Vec<f64> = (0..120_000).rev().map(|i| i as f64 * 0.5).collect();
+        sample_sort_by(&mut a, |x, y| x.partial_cmp(y).unwrap());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let a: Vec<u64> = (0..80_000u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let mut x = a.clone();
+        let mut y = a.clone();
+        crate::pool::with_threads(1, || sample_sort_by(&mut x, |p, q| p.cmp(q)));
+        crate::pool::with_threads(4, || sample_sort_by(&mut y, |p, q| p.cmp(q)));
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,206 @@
+//! Parallel prefix sums (scans) over arbitrary associative operators.
+//!
+//! The implementation is the classic two-pass blocked scan: the input is cut
+//! into blocks, each block is reduced in parallel, the block sums are scanned
+//! sequentially (there are only `O(n / GRANULARITY)` of them), and finally
+//! every block computes its local prefix in parallel seeded with its block
+//! offset. Work is `O(n)` and depth is `O(GRANULARITY + n / GRANULARITY)`.
+
+use crate::GRANULARITY;
+use rayon::prelude::*;
+
+/// Exclusive scan: `out[i] = id ⊕ a[0] ⊕ … ⊕ a[i-1]`.
+///
+/// Returns `(out, total)` where `total` is the reduction of the whole input.
+/// `op` must be associative; `id` must be its identity.
+///
+/// ```
+/// let a = [1u64, 2, 3, 4];
+/// let (pre, tot) = pargeo_parlay::scan_exclusive(&a, 0u64, |x, y| x + y);
+/// assert_eq!(pre, vec![0, 1, 3, 6]);
+/// assert_eq!(tot, 10);
+/// ```
+pub fn scan_exclusive<T, F>(a: &[T], id: T, op: F) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = a.len();
+    if n == 0 {
+        return (Vec::new(), id);
+    }
+    if n <= GRANULARITY {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = id;
+        for &x in a {
+            out.push(acc);
+            acc = op(acc, x);
+        }
+        return (out, acc);
+    }
+    let nblocks = n.div_ceil(GRANULARITY);
+    // Pass 1: per-block reductions.
+    let mut block_sums: Vec<T> = a
+        .par_chunks(GRANULARITY)
+        .map(|chunk| {
+            let mut acc = id;
+            for &x in chunk {
+                acc = op(acc, x);
+            }
+            acc
+        })
+        .collect();
+    // Sequential scan over the (few) block sums.
+    let mut acc = id;
+    for b in block_sums.iter_mut().take(nblocks) {
+        let s = *b;
+        *b = acc;
+        acc = op(acc, s);
+    }
+    let total = acc;
+    // Pass 2: per-block local scans seeded with block offsets.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    out.par_chunks_mut(GRANULARITY)
+        .zip(a.par_chunks(GRANULARITY))
+        .zip(block_sums.par_iter())
+        .for_each(|((ochunk, ichunk), &offset)| {
+            let mut acc = offset;
+            for (o, &x) in ochunk.iter_mut().zip(ichunk.iter()) {
+                *o = acc;
+                acc = op(acc, x);
+            }
+        });
+    (out, total)
+}
+
+/// Inclusive scan: `out[i] = a[0] ⊕ … ⊕ a[i]`.
+pub fn scan_inclusive<T, F>(a: &[T], id: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let (mut out, _) = scan_exclusive(a, id, &op);
+    crate::parallel_for(a.len(), |_| {});
+    out.par_iter_mut()
+        .zip(a.par_iter())
+        .for_each(|(o, &x)| *o = op(*o, x));
+    out
+}
+
+/// In-place exclusive scan over `usize` values; returns the total.
+///
+/// This is the workhorse used by [`crate::pack`] where allocating a second
+/// vector for the prefix array would double memory traffic.
+pub fn scan_inplace_exclusive(a: &mut [usize]) -> usize {
+    let n = a.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= GRANULARITY {
+        let mut acc = 0usize;
+        for x in a.iter_mut() {
+            let s = *x;
+            *x = acc;
+            acc += s;
+        }
+        return acc;
+    }
+    let mut block_sums: Vec<usize> = a
+        .par_chunks(GRANULARITY)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    let mut acc = 0usize;
+    for b in block_sums.iter_mut() {
+        let s = *b;
+        *b = acc;
+        acc += s;
+    }
+    let total = acc;
+    a.par_chunks_mut(GRANULARITY)
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            let mut acc = offset;
+            for x in chunk.iter_mut() {
+                let s = *x;
+                *x = acc;
+                acc += s;
+            }
+        });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(a: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc = 0u64;
+        for &x in a {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, tot) = scan_exclusive::<u64, _>(&[], 0, |x, y| x + y);
+        assert!(out.is_empty());
+        assert_eq!(tot, 0);
+    }
+
+    #[test]
+    fn matches_reference_small_and_large() {
+        for n in [1usize, 2, 100, GRANULARITY, GRANULARITY + 1, 100_000] {
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 101).collect();
+            let (got, tot) = scan_exclusive(&a, 0, |x, y| x + y);
+            let (want, wtot) = reference_exclusive(&a);
+            assert_eq!(got, want, "n={n}");
+            assert_eq!(tot, wtot, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inclusive_scan_matches() {
+        let a: Vec<u64> = (0..50_000).map(|i| i % 13).collect();
+        let got = scan_inclusive(&a, 0, |x, y| x + y);
+        let mut acc = 0;
+        let want: Vec<u64> = a
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place() {
+        let a: Vec<usize> = (0..30_000).map(|i| i % 5).collect();
+        let mut b = a.clone();
+        let total = scan_inplace_exclusive(&mut b);
+        let (want, wtot) = scan_exclusive(&a, 0usize, |x, y| x + y);
+        assert_eq!(b, want);
+        assert_eq!(total, wtot);
+    }
+
+    #[test]
+    fn max_scan_non_commutative_safety() {
+        // scan must only rely on associativity; max is associative and
+        // idempotent, a good smoke test for block boundary handling.
+        let a: Vec<u64> = (0..20_000).map(|i| (i * 2_654_435_761) % 1_000).collect();
+        let (got, tot) = scan_exclusive(&a, 0, |x, y| x.max(y));
+        let mut acc = 0;
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(got[i], acc);
+            acc = acc.max(x);
+        }
+        assert_eq!(tot, acc);
+    }
+}

@@ -1,0 +1,312 @@
+//! Parallel sorting: comparison-based merge sort and an LSD radix sort for
+//! 64-bit keys (the substrate under Morton sort and the Zd-tree).
+
+use crate::scan::scan_inplace_exclusive;
+use crate::GRANULARITY;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Stable parallel merge sort.
+///
+/// Classic alternating-buffer merge sort: both recursive halves sort in
+/// parallel, and the merge itself is parallelized by splitting the larger run
+/// at its midpoint and binary-searching the split point in the smaller run.
+/// Work `O(n log n)`, depth `O(log^3 n)`.
+pub fn merge_sort_by<T, F>(a: &mut [T], cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len();
+    if n <= GRANULARITY {
+        a.sort_by(&cmp);
+        return;
+    }
+    let mut buf = a.to_vec();
+    sort_in_place(a, &mut buf, &cmp);
+}
+
+/// Sorts `a` using `buf` as scratch; result lands in `a`.
+fn sort_in_place<T, F>(a: &mut [T], buf: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len();
+    if n <= GRANULARITY {
+        a.sort_by(cmp);
+        return;
+    }
+    let mid = n / 2;
+    let (a1, a2) = a.split_at_mut(mid);
+    let (b1, b2) = buf.split_at_mut(mid);
+    rayon::join(|| sort_into(a1, b1, cmp), || sort_into(a2, b2, cmp));
+    par_merge(b1, b2, a, cmp);
+}
+
+/// Sorts the contents of `a`, writing the sorted run into `b`.
+fn sort_into<T, F>(a: &mut [T], b: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len();
+    if n <= GRANULARITY {
+        a.sort_by(cmp);
+        b.copy_from_slice(a);
+        return;
+    }
+    let mid = n / 2;
+    let (a1, a2) = a.split_at_mut(mid);
+    let (b1, b2) = b.split_at_mut(mid);
+    rayon::join(
+        || sort_in_place(a1, b1, cmp),
+        || sort_in_place(a2, b2, cmp),
+    );
+    par_merge(a1, a2, b, cmp);
+}
+
+/// Merges sorted runs `x` and `y` into `out` (which must have length
+/// `x.len() + y.len()`), stably and in parallel.
+fn par_merge<T, F>(x: &[T], y: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(x.len() + y.len(), out.len());
+    if x.len() + y.len() <= GRANULARITY {
+        seq_merge(x, y, out, cmp);
+        return;
+    }
+    // Split the longer run at its midpoint; binary-search the matching
+    // position in the shorter run. Taking `Less` from y against x's pivot
+    // keeps the merge stable (x elements win ties).
+    if x.len() >= y.len() {
+        let xm = x.len() / 2;
+        let ym = y.partition_point(|e| cmp(e, &x[xm]) == Ordering::Less);
+        let (o1, o2) = out.split_at_mut(xm + ym);
+        rayon::join(
+            || par_merge(&x[..xm], &y[..ym], o1, cmp),
+            || par_merge(&x[xm..], &y[ym..], o2, cmp),
+        );
+    } else {
+        let ym = y.len() / 2;
+        let xm = x.partition_point(|e| cmp(e, &y[ym]) != Ordering::Greater);
+        let (o1, o2) = out.split_at_mut(xm + ym);
+        rayon::join(
+            || par_merge(&x[..xm], &y[..ym], o1, cmp),
+            || par_merge(&x[xm..], &y[ym..], o2, cmp),
+        );
+    }
+}
+
+fn seq_merge<T, F>(x: &[T], y: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j) = (0, 0);
+    for o in out.iter_mut() {
+        if i < x.len() && (j >= y.len() || cmp(&x[i], &y[j]) != Ordering::Greater) {
+            *o = x[i];
+            i += 1;
+        } else {
+            *o = y[j];
+            j += 1;
+        }
+    }
+}
+
+const RADIX_BITS: usize = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Radix passes use much larger blocks than [`GRANULARITY`]: the
+/// per-pass offset transpose is sequential `O(blocks × 256)`, so blocks
+/// must be coarse for it to vanish next to the parallel scatter.
+const RADIX_BLOCK: usize = 1 << 16;
+
+/// Stable parallel LSD radix sort of `items` by a `u64` key.
+///
+/// Eight passes of 8-bit digits; each pass computes per-block histograms in
+/// parallel, derives scatter offsets with one scan over the (block × bucket)
+/// matrix in bucket-major order, and scatters blocks independently. Passes
+/// whose digit is constant across all keys are skipped.
+pub fn radix_sort_u64_by_key<T, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len();
+    if n <= RADIX_BLOCK {
+        items.sort_by_key(|x| key(x));
+        return;
+    }
+    let mut src: Vec<(u64, T)> = items.par_iter().map(|x| (key(x), *x)).collect();
+    let mut dst: Vec<(u64, T)> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        dst.set_len(n);
+    }
+    let nblocks = n.div_ceil(RADIX_BLOCK);
+    for pass in 0..(64 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        // Per-block histograms, laid out block-major.
+        let hists: Vec<usize> = src
+            .par_chunks(RADIX_BLOCK)
+            .flat_map_iter(|chunk| {
+                let mut h = vec![0usize; BUCKETS];
+                for (k, _) in chunk {
+                    h[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
+                }
+                h
+            })
+            .collect();
+        // Skip passes where every key shares the same digit.
+        let nonzero_buckets = (0..BUCKETS)
+            .filter(|&b| (0..nblocks).any(|blk| hists[blk * BUCKETS + b] != 0))
+            .count();
+        if nonzero_buckets <= 1 {
+            continue;
+        }
+        // Transpose to bucket-major, scan for global offsets, transpose back.
+        let mut offsets = vec![0usize; nblocks * BUCKETS];
+        {
+            let mut col: Vec<usize> = Vec::with_capacity(nblocks * BUCKETS);
+            for b in 0..BUCKETS {
+                for blk in 0..nblocks {
+                    col.push(hists[blk * BUCKETS + b]);
+                }
+            }
+            scan_inplace_exclusive(&mut col);
+            for b in 0..BUCKETS {
+                for blk in 0..nblocks {
+                    offsets[blk * BUCKETS + b] = col[b * nblocks + blk];
+                }
+            }
+        }
+        let dst_ptr = SendPtr(dst.as_mut_ptr());
+        src.par_chunks(RADIX_BLOCK)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let p = dst_ptr;
+                let mut off = offsets[blk * BUCKETS..(blk + 1) * BUCKETS].to_vec();
+                for &(k, v) in chunk {
+                    let b = ((k >> shift) as usize) & (BUCKETS - 1);
+                    // SAFETY: offsets partition 0..n disjointly across
+                    // (block, bucket) pairs by construction of the scan.
+                    unsafe { p.0.add(off[b]).write((k, v)) };
+                    off[b] += 1;
+                }
+            });
+        std::mem::swap(&mut src, &mut dst);
+    }
+    items
+        .par_iter_mut()
+        .zip(src.par_iter())
+        .for_each(|(o, &(_, v))| *o = v);
+}
+
+/// Sorts `items` in ascending order of an `f64` key (must be finite for all
+/// items), using the order-preserving bit transform + radix sort.
+pub fn sort_by_key_f64<T, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> f64 + Sync,
+{
+    radix_sort_u64_by_key(items, |x| f64_to_ordered_u64(key(x)));
+}
+
+/// Maps `f64` to `u64` such that the `u64` order matches the `f64` order
+/// (total order over finite values; -0.0 < +0.0).
+#[inline]
+pub fn f64_to_ordered_u64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sort_matches_std() {
+        for n in [0usize, 1, 2, 1000, GRANULARITY + 1, 100_000] {
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 10_007).collect();
+            let mut want = a.clone();
+            want.sort();
+            merge_sort_by(&mut a, |x, y| x.cmp(y));
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_sort_is_stable() {
+        // Sort pairs by first component only; second must keep input order.
+        let n = 50_000;
+        let mut a: Vec<(u32, u32)> = (0..n).map(|i| ((i * 7) % 10, i)).collect();
+        merge_sort_by(&mut a, |x, y| x.0.cmp(&y.0));
+        for w in a.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_std() {
+        for n in [0usize, 1, 1000, 100_000] {
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let mut want = a.clone();
+            want.sort();
+            radix_sort_u64_by_key(&mut a, |&x| x);
+            assert_eq!(a, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_is_stable() {
+        let n = 60_000u64;
+        let mut a: Vec<(u64, u64)> = (0..n).map(|i| ((i * 13) % 4, i)).collect();
+        radix_sort_u64_by_key(&mut a, |x| x.0);
+        for w in a.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn f64_order_transform_is_monotone() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            3.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(f64_to_ordered_u64(w[0]) <= f64_to_ordered_u64(w[1]));
+        }
+    }
+
+    #[test]
+    fn sort_by_f64_key() {
+        let mut a: Vec<f64> = (0..30_000)
+            .map(|i| ((i as f64) * 1.7).sin() * 1e6)
+            .collect();
+        let mut want = a.clone();
+        want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sort_by_key_f64(&mut a, |&x| x);
+        assert_eq!(a, want);
+    }
+}

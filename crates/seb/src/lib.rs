@@ -1,0 +1,202 @@
+//! # pargeo-seb — smallest enclosing ball (paper §4)
+//!
+//! The paper's second algorithmic contribution. Implementations:
+//!
+//! * [`seb_welzl_seq`] — the classic sequential Welzl recursion with
+//!   move-to-front (the CGAL baseline stand-in of Figure 10).
+//! * [`seb_welzl_parallel`] / [`seb_welzl_parallel_mtf`] /
+//!   [`seb_welzl_parallel_mtf_pivot`] — the first parallel implementation
+//!   of Welzl's algorithm (Blelloch et al.'s prefix-doubling scheme \[23\]),
+//!   plus the move-to-front and Gärtner pivoting heuristics lifted to the
+//!   parallel setting (§4 "Parallel Welzl's Algorithm and Optimizations").
+//!   Prefixes below a sequential cutoff run the sequential algorithm, as
+//!   the paper prescribes.
+//! * [`seb_orthant_scan`] — Larsson et al.'s iterative orthant scan \[41\],
+//!   parallelized over input blocks.
+//! * [`seb_sampling`] — the paper's new sampling-based two-phase algorithm
+//!   (Figure 6): cheap orthant scans over random samples build a
+//!   near-optimal ball before the full scans start.
+
+mod scan;
+mod welzl;
+
+pub use scan::{orthant_scan_pass, seb_orthant_scan, seb_sampling, seb_sampling_with_batch};
+pub use welzl::{
+    seb_welzl_parallel, seb_welzl_parallel_mtf, seb_welzl_parallel_mtf_pivot, seb_welzl_seq,
+    welzl_support,
+};
+
+use pargeo_geometry::{Ball, Point};
+
+/// Brute-force smallest enclosing ball for testing (exponential in `D`,
+/// cubic-ish in `n`; only for tiny inputs).
+pub fn seb_brute_force<const D: usize>(points: &[Point<D>]) -> Ball<D> {
+    assert!(!points.is_empty());
+    let n = points.len();
+    let mut best = Ball::empty();
+    let mut best_r = f64::INFINITY;
+    let mut consider = |support: &[Point<D>]| {
+        let b = pargeo_geometry::ball_through(support);
+        if b.radius >= 0.0 && b.radius < best_r && points.iter().all(|p| b.contains(p)) {
+            best = b;
+            best_r = b.radius;
+        }
+    };
+    for i in 0..n {
+        consider(&[points[i]]);
+        for j in i + 1..n {
+            consider(&[points[i], points[j]]);
+            if D >= 2 {
+                for k in j + 1..n {
+                    consider(&[points[i], points[j], points[k]]);
+                    if D >= 3 {
+                        for l in k + 1..n {
+                            consider(&[points[i], points[j], points[k], points[l]]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::{in_sphere, on_sphere, uniform_cube};
+
+    type Algo2 = fn(&[Point<2>]) -> Ball<2>;
+    type Algo3 = fn(&[Point<3>]) -> Ball<3>;
+
+    fn algos2() -> Vec<(&'static str, Algo2)> {
+        vec![
+            ("welzl_seq", seb_welzl_seq as Algo2),
+            ("welzl_par", seb_welzl_parallel as Algo2),
+            ("welzl_mtf", seb_welzl_parallel_mtf as Algo2),
+            ("welzl_mtf_pivot", seb_welzl_parallel_mtf_pivot as Algo2),
+            ("orthant_scan", seb_orthant_scan as Algo2),
+            ("sampling", seb_sampling as Algo2),
+        ]
+    }
+
+    fn algos3() -> Vec<(&'static str, Algo3)> {
+        vec![
+            ("welzl_seq", seb_welzl_seq as Algo3),
+            ("welzl_par", seb_welzl_parallel as Algo3),
+            ("welzl_mtf", seb_welzl_parallel_mtf as Algo3),
+            ("welzl_mtf_pivot", seb_welzl_parallel_mtf_pivot as Algo3),
+            ("orthant_scan", seb_orthant_scan as Algo3),
+            ("sampling", seb_sampling as Algo3),
+        ]
+    }
+
+    fn check2(points: &[Point<2>], want_radius: f64) {
+        for (name, f) in algos2() {
+            let b = f(points);
+            for (i, p) in points.iter().enumerate() {
+                assert!(b.contains(p), "{name}: point {i} escapes ball {b:?}");
+            }
+            assert!(
+                (b.radius - want_radius).abs() <= 1e-7 * (1.0 + want_radius),
+                "{name}: radius {} vs optimal {want_radius}",
+                b.radius
+            );
+        }
+    }
+
+    fn check3(points: &[Point<3>], want_radius: f64) {
+        for (name, f) in algos3() {
+            let b = f(points);
+            for (i, p) in points.iter().enumerate() {
+                assert!(b.contains(p), "{name}: point {i} escapes ball {b:?}");
+            }
+            assert!(
+                (b.radius - want_radius).abs() <= 1e-7 * (1.0 + want_radius),
+                "{name}: radius {} vs optimal {want_radius}",
+                b.radius
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_2d() {
+        for seed in 0..5 {
+            let pts = uniform_cube::<2>(25, seed);
+            let want = seb_brute_force(&pts);
+            check2(&pts, want.radius);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_3d() {
+        for seed in 5..8 {
+            let pts = uniform_cube::<3>(18, seed);
+            let want = seb_brute_force(&pts);
+            check3(&pts, want.radius);
+        }
+    }
+
+    #[test]
+    fn all_agree_on_large_uniform_2d() {
+        let pts = uniform_cube::<2>(20_000, 100);
+        let want = seb_welzl_seq(&pts);
+        check2(&pts, want.radius);
+    }
+
+    #[test]
+    fn all_agree_on_sphere_3d() {
+        // On-sphere data: nearly all points touch the optimum — the hard
+        // case for scan-based methods.
+        let pts = on_sphere::<3>(5_000, 101);
+        let want = seb_welzl_seq(&pts);
+        check3(&pts, want.radius);
+    }
+
+    #[test]
+    fn all_agree_in_sphere_3d() {
+        let pts = in_sphere::<3>(10_000, 102);
+        let want = seb_welzl_seq(&pts);
+        check3(&pts, want.radius);
+    }
+
+    #[test]
+    fn known_optimum_antipodal() {
+        // Two antipodal points on a circle of radius 5 define the ball.
+        let mut pts = vec![Point::new([5.0, 0.0]), Point::new([-5.0, 0.0])];
+        pts.extend(in_sphere::<2>(1_000, 103).iter().map(|p| *p * 0.05));
+        check2(&pts, 5.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        for (name, f) in algos2() {
+            let one = [Point::new([3.0, 4.0])];
+            let b = f(&one);
+            assert_eq!(b.radius, 0.0, "{name}");
+            assert!(b.contains(&one[0]), "{name}");
+
+            let same = [Point::new([1.0, 1.0]); 40];
+            let b = f(&same);
+            assert!(b.radius <= 1e-9, "{name}");
+
+            let collinear: Vec<Point<2>> =
+                (0..50).map(|i| Point::new([i as f64, 0.0])).collect();
+            let b = f(&collinear);
+            assert!((b.radius - 24.5).abs() < 1e-7, "{name}: {}", b.radius);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_pool_sizes() {
+        let pts = uniform_cube::<3>(10_000, 104);
+        for (name, f) in algos3() {
+            let a = pargeo_parlay::with_threads(1, || f(&pts));
+            let b = pargeo_parlay::with_threads(4, || f(&pts));
+            assert!(
+                (a.radius - b.radius).abs() <= 1e-9 * (1.0 + a.radius),
+                "{name}"
+            );
+        }
+    }
+}

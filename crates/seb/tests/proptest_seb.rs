@@ -1,0 +1,96 @@
+//! Property-based tests for the smallest enclosing ball: all six methods
+//! enclose everything and agree on the radius, over arbitrary inputs
+//! including duplicate-heavy lattices.
+
+use pargeo_geometry::{Ball, Point2};
+use pargeo_seb::*;
+use proptest::prelude::*;
+
+fn lattice_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (0i32..64, 0i32..64).prop_map(|(x, y)| Point2::new([x as f64, y as f64])),
+        1..200,
+    )
+}
+
+fn smooth_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (-1e5f64..1e5, -1e5f64..1e5).prop_map(|(x, y)| Point2::new([x, y])),
+        1..200,
+    )
+}
+
+fn check_all(pts: &[Point2]) -> Result<(), TestCaseError> {
+    let reference = seb_welzl_seq(pts);
+    for p in pts {
+        prop_assert!(reference.contains(p));
+    }
+    let algos: Vec<(&str, fn(&[Point2]) -> Ball<2>)> = vec![
+        ("welzl_par", seb_welzl_parallel),
+        ("welzl_mtf", seb_welzl_parallel_mtf),
+        ("welzl_mtf_pivot", seb_welzl_parallel_mtf_pivot),
+        ("scan", seb_orthant_scan),
+        ("sampling", seb_sampling),
+    ];
+    for (name, f) in algos {
+        let b = f(pts);
+        for p in pts {
+            prop_assert!(b.contains(p), "{} lost a point: {:?}", name, b);
+        }
+        prop_assert!(
+            (b.radius - reference.radius).abs() <= 1e-6 * (1.0 + reference.radius),
+            "{}: {} vs {}",
+            name,
+            b.radius,
+            reference.radius
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_methods_agree_on_lattices(pts in lattice_points()) {
+        check_all(&pts)?;
+    }
+
+    #[test]
+    fn all_methods_agree_on_smooth_points(pts in smooth_points()) {
+        check_all(&pts)?;
+    }
+
+    /// The SEB radius is at least half the diameter and at most the
+    /// diameter (Jung-type sanity bounds in the plane it is ≤ d/√3, we
+    /// check the loose bound).
+    #[test]
+    fn radius_bounds(pts in lattice_points()) {
+        prop_assume!(pts.len() >= 2);
+        let b = seb_welzl_seq(&pts);
+        let mut diam: f64 = 0.0;
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                diam = diam.max(pts[i].dist(&pts[j]));
+            }
+        }
+        prop_assert!(b.radius >= diam / 2.0 - 1e-9);
+        prop_assert!(b.radius <= diam / 3f64.sqrt() + 1e-9);
+    }
+
+    /// Adding interior points never changes the ball.
+    #[test]
+    fn interior_points_are_irrelevant(pts in lattice_points(), extra in 0usize..50) {
+        prop_assume!(pts.len() >= 3);
+        let base = seb_welzl_seq(&pts);
+        let mut fat = pts.clone();
+        // Add points on the segment between the center and existing points
+        // (strictly inside the ball).
+        for i in 0..extra.min(pts.len()) {
+            let p = pts[i];
+            fat.push(base.center.midpoint(&p));
+        }
+        let b2 = seb_welzl_seq(&fat);
+        prop_assert!((b2.radius - base.radius).abs() <= 1e-9 * (1.0 + base.radius));
+    }
+}

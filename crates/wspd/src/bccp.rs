@@ -1,0 +1,155 @@
+//! Bichromatic closest pair via pruned dual-tree traversal (paper Module 2).
+
+use pargeo_geometry::Point;
+use pargeo_kdtree::tree::{KdTree, NodeId, SplitRule};
+
+/// Closest pair between the point sets under two nodes of the same tree:
+/// `(original id in a, original id in b, distance)`. Standard dual-tree
+/// descent with box-distance pruning.
+pub fn bccp_nodes<const D: usize>(
+    tree: &KdTree<D>,
+    a: NodeId,
+    b: NodeId,
+) -> (u32, u32, f64) {
+    let mut best = (u32::MAX, u32::MAX, f64::INFINITY);
+    bccp_rec(tree, tree, a, b, &mut best);
+    (best.0, best.1, best.2.sqrt())
+}
+
+/// Bichromatic closest pair between two point sets: `(index into a, index
+/// into b, distance)`.
+pub fn bccp_points<const D: usize>(a: &[Point<D>], b: &[Point<D>]) -> (u32, u32, f64) {
+    assert!(!a.is_empty() && !b.is_empty(), "bccp of empty set");
+    let ta = KdTree::build(a, SplitRule::ObjectMedian);
+    let tb = KdTree::build(b, SplitRule::ObjectMedian);
+    let mut best = (u32::MAX, u32::MAX, f64::INFINITY);
+    bccp_rec(
+        &ta,
+        &tb,
+        ta.root_id().unwrap(),
+        tb.root_id().unwrap(),
+        &mut best,
+    );
+    (best.0, best.1, best.2.sqrt())
+}
+
+/// `best` holds `(id_a, id_b, dist²)`.
+fn bccp_rec<const D: usize>(
+    ta: &KdTree<D>,
+    tb: &KdTree<D>,
+    a: NodeId,
+    b: NodeId,
+    best: &mut (u32, u32, f64),
+) {
+    let lower = ta.node_bbox(a).dist_sq_to_box(&tb.node_bbox(b));
+    if lower >= best.2 {
+        return;
+    }
+    let ca = ta.node_children(a);
+    let cb = tb.node_children(b);
+    match (ca, cb) {
+        (None, None) => {
+            for (pa, &ia) in ta.node_points(a).iter().zip(ta.node_point_ids(a)) {
+                for (pb, &ib) in tb.node_points(b).iter().zip(tb.node_point_ids(b)) {
+                    let d = pa.dist_sq(pb);
+                    if d < best.2 {
+                        *best = (ia, ib, d);
+                    }
+                }
+            }
+        }
+        (Some((l, r)), None) => {
+            let mut kids = [(l, b), (r, b)];
+            order_by_lower(ta, tb, &mut kids);
+            for (x, y) in kids {
+                bccp_rec(ta, tb, x, y, best);
+            }
+        }
+        (None, Some((l, r))) => {
+            let mut kids = [(a, l), (a, r)];
+            order_by_lower(ta, tb, &mut kids);
+            for (x, y) in kids {
+                bccp_rec(ta, tb, x, y, best);
+            }
+        }
+        (Some((al, ar)), Some((bl, br))) => {
+            let mut kids = [(al, bl), (al, br), (ar, bl), (ar, br)];
+            order_by_lower(ta, tb, &mut kids);
+            for (x, y) in kids {
+                bccp_rec(ta, tb, x, y, best);
+            }
+        }
+    }
+}
+
+/// Visits the most promising child pair first (tightens the bound early).
+fn order_by_lower<const D: usize, const K: usize>(
+    ta: &KdTree<D>,
+    tb: &KdTree<D>,
+    kids: &mut [(NodeId, NodeId); K],
+) {
+    kids.sort_by(|x, y| {
+        let dx = ta.node_bbox(x.0).dist_sq_to_box(&tb.node_bbox(x.1));
+        let dy = ta.node_bbox(y.0).dist_sq_to_box(&tb.node_bbox(y.1));
+        dx.partial_cmp(&dy).unwrap()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+
+    fn brute<const D: usize>(a: &[Point<D>], b: &[Point<D>]) -> f64 {
+        let mut best = f64::INFINITY;
+        for pa in a {
+            for pb in b {
+                best = best.min(pa.dist(pb));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..4 {
+            let a = uniform_cube::<2>(500, seed);
+            let b: Vec<Point<2>> = uniform_cube::<2>(400, seed + 100)
+                .into_iter()
+                .map(|p| p + Point::new([10.0, 0.0]))
+                .collect();
+            let (ia, ib, d) = bccp_points(&a, &b);
+            assert!((d - brute(&a, &b)).abs() < 1e-9);
+            assert!((a[ia as usize].dist(&b[ib as usize]) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn separated_clusters() {
+        let a = uniform_cube::<3>(300, 7);
+        let b: Vec<Point<3>> = uniform_cube::<3>(300, 8)
+            .into_iter()
+            .map(|p| p + Point::new([1e5, 1e5, 1e5]))
+            .collect();
+        let (_, _, d) = bccp_points(&a, &b);
+        assert!((d - brute(&a, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn touching_sets_zero_distance() {
+        let mut a = uniform_cube::<2>(100, 9);
+        let b = uniform_cube::<2>(100, 10);
+        a.push(b[50]);
+        let (_, _, d) = bccp_points(&a, &b);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn single_points() {
+        let a = [Point::new([0.0, 0.0])];
+        let b = [Point::new([3.0, 4.0])];
+        let (ia, ib, d) = bccp_points(&a, &b);
+        assert_eq!((ia, ib), (0, 0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Single-linkage clustering from the EMST — the paper's §2 pipeline
+//! "WSPD → EMST → hierarchical clustering (HDBSCAN)" \[56\].
+//!
+//! Sorting the MST edges by weight and union-finding them in order yields
+//! the single-linkage dendrogram; cutting it at a distance threshold (or
+//! into `k` clusters) gives flat clusterings. This is the core of HDBSCAN
+//! with `min_pts = 1` (mutual reachability distance degenerates to the
+//! Euclidean distance).
+
+use crate::emst::{emst, EmstEdge};
+use crate::unionfind::UnionFind;
+use pargeo_geometry::Point;
+
+/// A dendrogram node: internal nodes merge two clusters at `height`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Dendrogram-node id of the left child (`< n` ⇒ leaf/point id).
+    pub left: u32,
+    /// Dendrogram-node id of the right child.
+    pub right: u32,
+    /// Merge distance (the MST edge length).
+    pub height: f64,
+    /// Number of points below this node.
+    pub size: u32,
+}
+
+/// The single-linkage dendrogram over `n` points: `merges[i]` creates node
+/// `n + i`. Ordered by non-decreasing height.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Number of leaves (input points).
+    pub n: usize,
+    /// `n - 1` merges for a connected input (fewer if duplicates collapse
+    /// to zero-weight edges — still `n - 1`, they merge at height 0).
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Builds the dendrogram from points (computes the EMST internally).
+    pub fn build<const D: usize>(points: &[Point<D>]) -> Self {
+        Self::from_mst_edges(points.len(), emst(points))
+    }
+
+    /// Builds from a precomputed MST edge list.
+    pub fn from_mst_edges(n: usize, mut edges: Vec<EmstEdge>) -> Self {
+        edges.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap());
+        let mut uf = UnionFind::new(n);
+        // Representative root -> current dendrogram node id and size.
+        let mut node_of: Vec<u32> = (0..n as u32).collect();
+        let mut size_of: Vec<u32> = vec![1; n];
+        let mut merges = Vec::with_capacity(edges.len());
+        let mut next_id = n as u32;
+        for e in edges {
+            let (ru, rv) = (uf.find(e.u), uf.find(e.v));
+            if ru == rv {
+                continue;
+            }
+            let (lu, lv) = (node_of[ru as usize], node_of[rv as usize]);
+            let size = size_of[ru as usize] + size_of[rv as usize];
+            merges.push(Merge {
+                left: lu.min(lv),
+                right: lu.max(lv),
+                height: e.weight,
+                size,
+            });
+            uf.union(ru, rv);
+            let root = uf.find(ru);
+            node_of[root as usize] = next_id;
+            size_of[root as usize] = size;
+            next_id += 1;
+        }
+        Dendrogram { n, merges }
+    }
+
+    /// Flat clustering: cut all merges with `height > threshold`.
+    /// Returns per-point cluster labels in `0..num_clusters`.
+    pub fn cut_at(&self, threshold: f64) -> Vec<u32> {
+        let mut uf = UnionFind::new(self.n);
+        // Re-run the merges below the threshold over the leaves. Each
+        // merge's children expand to leaf sets; running the original MST
+        // edges is equivalent, but we only stored node ids — so walk the
+        // merges and union any pair of leaves via their recorded subtree
+        // representatives. Simpler: remember one representative leaf per
+        // dendrogram node.
+        let mut rep: Vec<u32> = (0..self.n as u32).collect();
+        rep.reserve(self.merges.len());
+        for m in &self.merges {
+            let rl = rep[m.left as usize];
+            let rr = rep[m.right as usize];
+            if m.height <= threshold {
+                uf.union(rl, rr);
+            }
+            rep.push(rl);
+        }
+        relabel(&mut uf, self.n)
+    }
+
+    /// Flat clustering into (at most) `k` clusters: undo the `k - 1`
+    /// highest merges.
+    pub fn cut_into(&self, k: usize) -> Vec<u32> {
+        let keep = self.merges.len().saturating_sub(k.saturating_sub(1));
+        let mut uf = UnionFind::new(self.n);
+        let mut rep: Vec<u32> = (0..self.n as u32).collect();
+        for (i, m) in self.merges.iter().enumerate() {
+            let rl = rep[m.left as usize];
+            let rr = rep[m.right as usize];
+            if i < keep {
+                uf.union(rl, rr);
+            }
+            rep.push(rl);
+        }
+        relabel(&mut uf, self.n)
+    }
+}
+
+fn relabel(uf: &mut UnionFind, n: usize) -> Vec<u32> {
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut map: std::collections::HashMap<u32, u32> = Default::default();
+    for i in 0..n as u32 {
+        let r = uf.find(i);
+        let l = *map.entry(r).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        labels[i as usize] = l;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_geometry::Point2;
+
+    fn two_blobs() -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 * 0.1;
+            pts.push(Point2::new([t.sin() * 0.4, t.cos() * 0.4]));
+            pts.push(Point2::new([100.0 + t.cos() * 0.4, t.sin() * 0.4]));
+        }
+        pts
+    }
+
+    #[test]
+    fn dendrogram_shape() {
+        let pts = two_blobs();
+        let d = Dendrogram::build(&pts);
+        assert_eq!(d.n, pts.len());
+        assert_eq!(d.merges.len(), pts.len() - 1);
+        // Heights non-decreasing.
+        assert!(d
+            .merges
+            .windows(2)
+            .all(|w| w[0].height <= w[1].height + 1e-12));
+        // The final merge covers everything.
+        assert_eq!(d.merges.last().unwrap().size as usize, pts.len());
+    }
+
+    #[test]
+    fn cut_at_separates_blobs() {
+        let pts = two_blobs();
+        let d = Dendrogram::build(&pts);
+        let labels = d.cut_at(10.0); // far below the 100-unit gap
+        let l0 = labels[0];
+        let l1 = labels[1];
+        assert_ne!(l0, l1);
+        for (i, &l) in labels.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(l, l0, "point {i}");
+            } else {
+                assert_eq!(l, l1, "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_into_k() {
+        let pts = two_blobs();
+        let d = Dendrogram::build(&pts);
+        let labels = d.cut_into(2);
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        let all_one = d.cut_into(1);
+        assert!(all_one.iter().all(|&l| l == 0));
+        let each_own = d.cut_into(pts.len());
+        let distinct: std::collections::HashSet<u32> = each_own.iter().copied().collect();
+        assert_eq!(distinct.len(), pts.len());
+    }
+
+    #[test]
+    fn cut_matches_mst_edge_threshold_semantics() {
+        // Cutting at t must produce exactly the components of the graph
+        // with MST edges of weight ≤ t.
+        let pts = pargeo_datagen::uniform_cube::<2>(200, 3);
+        let edges = emst(&pts);
+        let d = Dendrogram::from_mst_edges(pts.len(), edges.clone());
+        let t = {
+            let mut w: Vec<f64> = edges.iter().map(|e| e.weight).collect();
+            w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            w[w.len() / 2] // median edge weight
+        };
+        let labels = d.cut_at(t);
+        let mut uf = UnionFind::new(pts.len());
+        for e in &edges {
+            if e.weight <= t {
+                uf.union(e.u, e.v);
+            }
+        }
+        for i in 0..pts.len() as u32 {
+            for j in 0..pts.len() as u32 {
+                assert_eq!(
+                    labels[i as usize] == labels[j as usize],
+                    uf.connected(i, j),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_merge_at_height_zero() {
+        let mut pts = vec![Point2::new([0.0, 0.0]); 3];
+        pts.push(Point2::new([5.0, 0.0]));
+        let d = Dendrogram::build(&pts);
+        assert_eq!(d.merges[0].height, 0.0);
+        let labels = d.cut_at(1.0);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Callahan–Kosaraju well-separated pair decomposition over the parallel
+//! kd-tree.
+//!
+//! A pair of tree nodes `(A, B)` is `s`-well-separated when both fit in
+//! balls of radius `r` that are at least `s·r` apart. The decomposition
+//! covers every unordered point pair exactly once. The recursion follows
+//! the standard split-the-larger-node rule and forks in parallel on large
+//! subproblems.
+
+use pargeo_geometry::Point;
+use pargeo_kdtree::tree::{KdTree, NodeId, SplitRule};
+
+const SEQ_CUTOFF: usize = 2048;
+
+/// Builds a leaf-size-1 kd-tree over `points` and returns it together with
+/// its `s`-WSPD. Keeping the tree lets callers resolve [`NodeId`]s to point
+/// sets.
+pub fn wspd<const D: usize>(points: &[Point<D>], s: f64) -> (KdTree<D>, Vec<(NodeId, NodeId)>) {
+    // Leaf size 1: every pair must be splittable down to single points
+    // (identical duplicates collapse into one leaf, which is fine — a
+    // zero-diameter leaf is well-separated from everything disjoint).
+    let tree = KdTree::build_with_leaf_size(points, SplitRule::ObjectMedian, 1);
+    let pairs = wspd_from_tree(&tree, s);
+    (tree, pairs)
+}
+
+/// The `s`-WSPD of an existing tree. The tree must have been built with
+/// leaf size 1 (asserted).
+pub fn wspd_from_tree<const D: usize>(tree: &KdTree<D>, s: f64) -> Vec<(NodeId, NodeId)> {
+    assert!(s > 0.0, "separation must be positive");
+    assert!(
+        tree.leaf_size() == 1,
+        "WSPD requires a leaf-size-1 kd-tree"
+    );
+    let Some(root) = tree.root_id() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    split_node(tree, root, s, &mut out);
+    out
+}
+
+/// Recurse within one node: pairs among the left child, among the right
+/// child, and across.
+fn split_node<const D: usize>(
+    tree: &KdTree<D>,
+    u: NodeId,
+    s: f64,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    let Some((l, r)) = tree.node_children(u) else {
+        return; // single leaf: no pairs within
+    };
+    if tree.node_size(u) >= SEQ_CUTOFF {
+        let ((mut a, mut b), mut c) = rayon::join(
+            || {
+                rayon::join(
+                    || {
+                        let mut v = Vec::new();
+                        split_node(tree, l, s, &mut v);
+                        v
+                    },
+                    || {
+                        let mut v = Vec::new();
+                        split_node(tree, r, s, &mut v);
+                        v
+                    },
+                )
+            },
+            || {
+                let mut v = Vec::new();
+                find_pairs(tree, l, r, s, &mut v);
+                v
+            },
+        );
+        out.append(&mut a);
+        out.append(&mut b);
+        out.append(&mut c);
+    } else {
+        split_node(tree, l, s, out);
+        split_node(tree, r, s, out);
+        find_pairs(tree, l, r, s, out);
+    }
+}
+
+/// Emits the well-separated pairs covering `A × B` (disjoint nodes).
+fn find_pairs<const D: usize>(
+    tree: &KdTree<D>,
+    a: NodeId,
+    b: NodeId,
+    s: f64,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    let ba = tree.node_bbox(a);
+    let bb = tree.node_bbox(b);
+    if ba.well_separated(&bb, s) {
+        out.push((a, b));
+        return;
+    }
+    // Split the node with the larger diameter.
+    let split_a = match (tree.node_children(a), tree.node_children(b)) {
+        (None, None) => {
+            // Two leaves that are not well separated can only be identical
+            // zero-diameter leaves at the same location — impossible for
+            // disjoint tree nodes with positive separation distance — or a
+            // numerical corner; emit them as a pair (distance 0 pairs are
+            // exact for duplicates).
+            out.push((a, b));
+            return;
+        }
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (Some(_), Some(_)) => ba.diag_sq() >= bb.diag_sq(),
+    };
+    let big = tree.node_size(a).max(tree.node_size(b));
+    if split_a {
+        let (l, r) = tree.node_children(a).unwrap();
+        if big >= SEQ_CUTOFF {
+            let (mut x, mut y) = rayon::join(
+                || {
+                    let mut v = Vec::new();
+                    find_pairs(tree, l, b, s, &mut v);
+                    v
+                },
+                || {
+                    let mut v = Vec::new();
+                    find_pairs(tree, r, b, s, &mut v);
+                    v
+                },
+            );
+            out.append(&mut x);
+            out.append(&mut y);
+        } else {
+            find_pairs(tree, l, b, s, out);
+            find_pairs(tree, r, b, s, out);
+        }
+    } else {
+        let (l, r) = tree.node_children(b).unwrap();
+        if big >= SEQ_CUTOFF {
+            let (mut x, mut y) = rayon::join(
+                || {
+                    let mut v = Vec::new();
+                    find_pairs(tree, a, l, s, &mut v);
+                    v
+                },
+                || {
+                    let mut v = Vec::new();
+                    find_pairs(tree, a, r, s, &mut v);
+                    v
+                },
+            );
+            out.append(&mut x);
+            out.append(&mut y);
+        } else {
+            find_pairs(tree, a, l, s, out);
+            find_pairs(tree, a, r, s, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+
+    /// Every unordered point pair must be covered by exactly one WSPD pair.
+    fn check_coverage<const D: usize>(points: &[Point<D>], s: f64) {
+        let (tree, pairs) = wspd(points, s);
+        let n = points.len();
+        let mut covered = vec![0u32; n * n];
+        for &(a, b) in &pairs {
+            for &i in tree.node_point_ids(a) {
+                for &j in tree.node_point_ids(b) {
+                    assert_ne!(i, j, "pair covers a point against itself");
+                    let (lo, hi) = (i.min(j) as usize, i.max(j) as usize);
+                    covered[lo * n + hi] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(
+                    covered[i * n + j],
+                    1,
+                    "pair ({i},{j}) covered {} times",
+                    covered[i * n + j]
+                );
+            }
+        }
+        // Separation: the emitted boxes satisfy the definition.
+        for &(a, b) in &pairs {
+            let ba = tree.node_bbox(a);
+            let bb = tree.node_bbox(b);
+            assert!(
+                ba.well_separated(&bb, s) || (ba.diag_sq() == 0.0 && bb.diag_sq() == 0.0),
+                "unseparated pair emitted"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_small_uniform() {
+        check_coverage(&uniform_cube::<2>(60, 1), 2.0);
+        check_coverage(&uniform_cube::<3>(40, 2), 2.0);
+    }
+
+    #[test]
+    fn coverage_high_separation() {
+        check_coverage(&uniform_cube::<2>(50, 3), 8.0);
+    }
+
+    #[test]
+    fn coverage_with_duplicates() {
+        let mut pts = uniform_cube::<2>(30, 4);
+        let d = pts[0];
+        pts.push(d);
+        pts.push(d);
+        // Duplicates share a leaf; pairs among them are not representable
+        // (distance 0). Coverage check must treat the collapsed leaf as
+        // covering its internal pairs implicitly — so here we only check
+        // distinct positions.
+        let (tree, pairs) = wspd(&pts, 2.0);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &pairs {
+            for &i in tree.node_point_ids(a) {
+                for &j in tree.node_point_ids(b) {
+                    seen.insert((i.min(j), i.max(j)));
+                }
+            }
+        }
+        // All cross pairs of distinct positions covered.
+        for i in 0..pts.len() as u32 {
+            for j in i + 1..pts.len() as u32 {
+                if pts[i as usize] != pts[j as usize] {
+                    assert!(seen.contains(&(i, j)), "({i},{j}) uncovered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_is_linear_ish() {
+        // O(s^d n) pairs for uniform data: sanity check the constant.
+        let n = 4_000;
+        let (_, pairs) = wspd(&uniform_cube::<2>(n, 5), 2.0);
+        assert!(pairs.len() < 80 * n, "pairs = {}", pairs.len());
+        assert!(pairs.len() >= n / 2, "suspiciously few pairs");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (_, pairs) = wspd::<2>(&[], 2.0);
+        assert!(pairs.is_empty());
+        let (_, pairs) = wspd(&[Point::new([1.0, 2.0])], 2.0);
+        assert!(pairs.is_empty());
+    }
+}

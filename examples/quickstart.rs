@@ -1,0 +1,106 @@
+//! Quickstart: one pass through the main ParGeo-rs modules.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pargeo::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = std::env::var("PARGEO_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000usize);
+    println!("== ParGeo-rs quickstart (n = {n}) ==\n");
+
+    // Module (4): generate a uniform point set (the paper's U family).
+    let t = Instant::now();
+    let pts2 = pargeo::datagen::uniform_cube::<2>(n, 42);
+    let pts3 = pargeo::datagen::uniform_cube::<3>(n, 42);
+    println!("datagen: 2D + 3D uniform cubes      {:>10.2?}", t.elapsed());
+
+    // Module (1): kd-tree, k-NN, range search.
+    let t = Instant::now();
+    let tree = KdTree::build(&pts2, SplitRule::ObjectMedian);
+    println!("kd-tree build (2d)                  {:>10.2?}", t.elapsed());
+    let t = Instant::now();
+    let neighbors = tree.knn_batch(&pts2[..10_000.min(n)], 5);
+    println!(
+        "batch 5-NN over {:>7} queries      {:>10.2?}",
+        neighbors.len(),
+        t.elapsed()
+    );
+    let center = Bbox::from_points(&pts2).center();
+    let in_range = tree.range_ball(&center, pargeo::datagen::cube_side(n) * 0.05);
+    println!("range search hits near the center:  {:>10}", in_range.len());
+
+    // Module (2): convex hull (reservation-based parallel), SEB, closest pair.
+    let t = Instant::now();
+    let hull2 = hull2d_divide_conquer(&pts2);
+    println!(
+        "2D hull (divide & conquer): {:>5} vertices in {:.2?}",
+        hull2.len(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let hull3 = hull3d_quickhull_parallel(&pts3);
+    println!(
+        "3D hull (reservation quickhull): {:>5} vertices / {:>5} facets in {:.2?}",
+        hull3.num_vertices(),
+        hull3.num_facets(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let ball = seb_sampling(&pts3);
+    println!(
+        "smallest enclosing ball: r = {:.3} in {:.2?}",
+        ball.radius,
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let cp = closest_pair(&pts2);
+    println!(
+        "closest pair: ({}, {}) at distance {:.4} in {:.2?}",
+        cp.a,
+        cp.b,
+        cp.dist,
+        t.elapsed()
+    );
+
+    // Module (3): spatial graphs.
+    let m = 20_000.min(n);
+    let sub = &pts2[..m];
+    let t = Instant::now();
+    let knn_edges = knn_graph(sub, 4);
+    println!(
+        "4-NN graph over {m} points: {} edges in {:.2?}",
+        knn_edges.len(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let mst = emst(sub);
+    let weight: f64 = mst.iter().map(|e| e.weight).sum();
+    println!(
+        "EMST: {} edges, total weight {:.1}, in {:.2?}",
+        mst.len(),
+        weight,
+        t.elapsed()
+    );
+
+    // Batch-dynamic trees (§5).
+    let t = Instant::now();
+    let mut bdl = BdlTree::from_points(&pts3[..m]);
+    bdl.insert(&pts3[m..(2 * m).min(n)]);
+    let removed = bdl.delete(&pts3[..m / 2]);
+    println!(
+        "BDL-tree: {} live after insert+delete ({} removed) in {:.2?}",
+        bdl.len(),
+        removed,
+        t.elapsed()
+    );
+    let nn = bdl.knn(&pts3[m / 2], 3);
+    println!("BDL 3-NN of a survivor: {:?}", nn.iter().map(|x| x.id).collect::<Vec<_>>());
+
+    println!("\nAll modules exercised. See EXPERIMENTS.md for the paper reproduction.");
+}

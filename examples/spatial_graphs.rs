@@ -1,0 +1,87 @@
+//! Spatial-network construction on clustered data — the workload the
+//! paper's introduction motivates (GIS / clustering pipelines): generate a
+//! clustered point set, build the spatial graphs ParGeo offers, and compare
+//! their sizes and weights.
+//!
+//! ```sh
+//! cargo run --release --example spatial_graphs
+//! ```
+
+use pargeo::datagen::{seed_spreader, SeedSpreaderParams};
+use pargeo::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = std::env::var("PARGEO_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000usize);
+    println!("== Spatial graphs on clustered (seed-spreader) data, n = {n} ==\n");
+    let pts = seed_spreader::<2>(n, 7, SeedSpreaderParams::default());
+
+    let t = Instant::now();
+    let del = pargeo::delaunay::delaunay(&pts);
+    let del_edges = delaunay_edges(&del);
+    println!(
+        "Delaunay graph     {:>8} edges   {:>10.2?}",
+        del_edges.len(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let gabriel = gabriel_graph(&pts, &del);
+    println!(
+        "Gabriel graph      {:>8} edges   {:>10.2?}",
+        gabriel.len(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let b15 = beta_skeleton(&pts, 1.5);
+    println!(
+        "1.5-skeleton       {:>8} edges   {:>10.2?}",
+        b15.len(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let knn4 = knn_graph(&pts, 4);
+    println!(
+        "4-NN graph         {:>8} edges   {:>10.2?}",
+        knn4.len(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let mst = emst(&pts);
+    let w: f64 = mst.iter().map(|e| e.weight).sum();
+    println!(
+        "EMST               {:>8} edges   {:>10.2?}   weight {w:.1}",
+        mst.len(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let sp = spanner(&pts, 2.0);
+    println!(
+        "2-spanner          {:>8} edges   {:>10.2?}",
+        sp.len(),
+        t.elapsed()
+    );
+
+    // Sanity relationships the theory promises.
+    assert!(gabriel.len() <= del_edges.len(), "Gabriel ⊆ Delaunay");
+    assert!(b15.len() <= gabriel.len(), "β=1.5 ⊆ Gabriel");
+    assert_eq!(mst.len(), n - 1, "EMST spans");
+    println!("\ncontainment checks passed: EMST ⊆ … ⊆ Delaunay hierarchy holds");
+
+    // The EMST weight is a lower bound on any spanning structure weight;
+    // report the spanner/EMST weight ratio as a quality indicator.
+    let sp_weight: f64 = sp.iter().map(|e| e.weight).sum();
+    println!(
+        "spanner/EMST weight ratio: {:.2} ({} vs {} edges)",
+        sp_weight / w,
+        sp.len(),
+        mst.len()
+    );
+}

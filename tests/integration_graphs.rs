@@ -1,0 +1,145 @@
+//! Cross-crate integration: the spatial-graph hierarchy
+//! EMST ⊆ β-skeleton(β∈[1,2]) ⊆ Gabriel ⊆ Delaunay, and WSPD-based
+//! structures vs brute force.
+
+use pargeo::datagen::uniform_cube;
+use pargeo::prelude::*;
+use pargeo::wspd::emst::emst_prim_brute;
+
+fn edge_set(edges: &[(u32, u32)]) -> std::collections::HashSet<(u32, u32)> {
+    edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect()
+}
+
+#[test]
+fn graph_hierarchy_holds() {
+    let pts = uniform_cube::<2>(1_000, 1);
+    let d = pargeo::delaunay::delaunay(&pts);
+    let del = edge_set(&delaunay_edges(&d));
+    let gab = edge_set(&gabriel_graph(&pts, &d));
+    let b2 = edge_set(&beta_skeleton(&pts, 2.0));
+    let mst = emst(&pts);
+    let mst_edges: std::collections::HashSet<(u32, u32)> = mst
+        .iter()
+        .map(|e| (e.u.min(e.v), e.u.max(e.v)))
+        .collect();
+
+    assert!(gab.is_subset(&del), "Gabriel ⊆ Delaunay");
+    assert!(b2.is_subset(&gab), "β=2 ⊆ Gabriel");
+    assert!(
+        mst_edges.is_subset(&gab),
+        "EMST ⊆ Gabriel (classic inclusion)"
+    );
+    assert!(mst_edges.is_subset(&del), "EMST ⊆ Delaunay");
+}
+
+#[test]
+fn emst_weight_matches_prim_on_mid_size() {
+    let pts = uniform_cube::<2>(800, 2);
+    let total: f64 = emst(&pts).iter().map(|e| e.weight).sum();
+    let want = emst_prim_brute(&pts);
+    assert!((total - want).abs() <= 1e-7 * (1.0 + want));
+}
+
+#[test]
+fn spanner_paths_respect_stretch_via_sampling() {
+    // Sampled stretch check on a larger instance (exhaustive check lives
+    // in the wspd crate's unit tests).
+    let pts = uniform_cube::<2>(3_000, 3);
+    let t = 2.0;
+    let edges = spanner(&pts, t);
+    // Dijkstra from a few sources over the spanner.
+    let n = pts.len();
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for e in &edges {
+        adj[e.u as usize].push((e.v, e.weight));
+        adj[e.v as usize].push((e.u, e.weight));
+    }
+    for src in (0..n).step_by(997) {
+        let dist = dijkstra(&adj, src);
+        for (j, d) in dist.iter().enumerate().step_by(311) {
+            let direct = pts[src].dist(&pts[j]);
+            assert!(
+                *d <= t * direct + 1e-9,
+                "stretch violated {src}->{j}: {d} > {t}×{direct}"
+            );
+        }
+    }
+}
+
+fn dijkstra(adj: &[Vec<(u32, f64)>], src: usize) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq)]
+    struct K(f64);
+    impl Eq for K {}
+    impl PartialOrd for K {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for K {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&o.0).unwrap()
+        }
+    }
+    let mut dist = vec![f64::INFINITY; adj.len()];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((K(0.0), src as u32)));
+    while let Some(Reverse((K(d), u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &(v, w) in &adj[u as usize] {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((K(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+#[test]
+fn wspd_drives_both_emst_and_spanner() {
+    // The same decomposition object serves both clients.
+    let pts = uniform_cube::<2>(500, 4);
+    let (tree, pairs) = wspd(&pts, 2.0);
+    assert!(!pairs.is_empty());
+    // Every pair's bccp is a valid candidate edge.
+    for &(a, b) in pairs.iter().take(50) {
+        let (u, v, d) = pargeo::wspd::bccp_nodes(&tree, a, b);
+        assert!((pts[u as usize].dist(&pts[v as usize]) - d).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn knn_graph_contains_nearest_neighbor_edges() {
+    let pts = uniform_cube::<2>(2_000, 5);
+    let edges = edge_set(&knn_graph(&pts, 1));
+    // The closest pair must appear as someone's nearest neighbor.
+    let cp = closest_pair(&pts);
+    assert!(edges.contains(&(cp.a.min(cp.b), cp.a.max(cp.b))));
+}
+
+#[test]
+fn bccp_agrees_with_closest_pair_on_split_set() {
+    let pts = uniform_cube::<2>(3_000, 6);
+    // Split by parity: the closest pair of the whole set with endpoints of
+    // different parity equals the BCCP of the two halves.
+    let a: Vec<Point2> = pts.iter().step_by(2).copied().collect();
+    let b: Vec<Point2> = pts.iter().skip(1).step_by(2).copied().collect();
+    let (_, _, d) = bccp_points(&a, &b);
+    // Brute check.
+    let mut want = f64::INFINITY;
+    for x in &a {
+        for y in &b {
+            want = want.min(x.dist(y));
+        }
+    }
+    assert!((d - want).abs() < 1e-9);
+}

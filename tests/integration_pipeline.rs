@@ -1,0 +1,143 @@
+//! End-to-end pipeline tests: the library's modules composed the way a
+//! downstream application would use them, plus property-based tests over
+//! whole pipelines.
+
+use pargeo::datagen;
+use pargeo::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn gis_pipeline_cluster_analysis() {
+    // A GIS-flavored pipeline: clustered sites → EMST → cut long edges →
+    // connected components = clusters; then per-cluster hulls and SEBs.
+    let pts = datagen::seed_spreader::<2>(5_000, 99, datagen::SeedSpreaderParams::default());
+    let mst = emst(&pts);
+    // Cut the 9 longest MST edges => 10 clusters (single-linkage).
+    let mut edges = mst.clone();
+    edges.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap());
+    let keep = &edges[..edges.len() - 9];
+    let mut uf = pargeo::wspd::UnionFind::new(pts.len());
+    for e in keep {
+        uf.union(e.u, e.v);
+    }
+    assert_eq!(uf.component_count(), 10);
+    // Per-cluster geometry.
+    let mut clusters: std::collections::HashMap<u32, Vec<Point2>> = Default::default();
+    for (i, p) in pts.iter().enumerate() {
+        clusters.entry(uf.find(i as u32)).or_default().push(*p);
+    }
+    for (_, members) in clusters {
+        if members.len() >= 3 {
+            let ball = seb_welzl_seq(&members);
+            assert!(members.iter().all(|p| ball.contains(p)));
+            let hull = hull2d_seq(&members);
+            // The SEB of the hull equals the SEB of the cluster.
+            let hull_pts: Vec<Point2> = hull.iter().map(|&i| members[i as usize]).collect();
+            if hull_pts.len() >= 2 {
+                let b2 = seb_welzl_seq(&hull_pts);
+                assert!((ball.radius - b2.radius).abs() <= 1e-6 * (1.0 + ball.radius));
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_index_feeding_geometry() {
+    // Maintain a BDL-tree under churn; at each epoch, pull the live points
+    // and run hull + closest pair on them.
+    let pts = datagen::uniform_cube::<2>(6_000, 5);
+    let mut bdl = BdlTree::<2>::with_buffer_size(256);
+    bdl.insert(&pts[..3_000]);
+    for epoch in 0..3 {
+        let lo = 3_000 + epoch * 1_000;
+        bdl.insert(&pts[lo..lo + 1_000]);
+        bdl.delete(&pts[epoch * 500..(epoch + 1) * 500]);
+        let live: Vec<Point2> = bdl.collect_live().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(live.len(), bdl.len());
+        let hull = hull2d_quickhull_parallel(&live);
+        pargeo::hull::hull2d::validate::check_hull2d(&live, &hull)
+            .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+        let cp = closest_pair(&live);
+        assert!(cp.dist >= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hull containment + SEB enclosure over arbitrary small point sets.
+    #[test]
+    fn prop_hull_and_seb_on_arbitrary_points(
+        raw in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 4..120)
+    ) {
+        let pts: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new([x, y])).collect();
+        let hull = hull2d_seq(&pts);
+        pargeo::hull::hull2d::validate::check_hull2d(&pts, &hull).unwrap();
+        let par = hull2d_randinc(&pts);
+        pargeo::hull::hull2d::validate::check_hull2d(&pts, &par).unwrap();
+        let ball = seb_welzl_seq(&pts);
+        prop_assert!(pts.iter().all(|p| ball.contains(p)));
+    }
+
+    /// kd-tree k-NN ≡ brute force on arbitrary points (including heavy
+    /// duplicates from the narrow value range).
+    #[test]
+    fn prop_knn_exact(
+        raw in prop::collection::vec((0i32..50, 0i32..50), 10..200),
+        k in 1usize..8
+    ) {
+        let pts: Vec<Point2> = raw
+            .iter()
+            .map(|&(x, y)| Point2::new([x as f64, y as f64]))
+            .collect();
+        let tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let q = pts[0];
+        let got = tree.knn(&q, k);
+        let want = pargeo::kdtree::knn_brute_force(&pts, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+        }
+    }
+
+    /// EMST weight ≡ Prim on arbitrary points.
+    #[test]
+    fn prop_emst_weight(
+        raw in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..60)
+    ) {
+        let pts: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new([x, y])).collect();
+        let total: f64 = emst(&pts).iter().map(|e| e.weight).sum();
+        let want = pargeo::wspd::emst::emst_prim_brute(&pts);
+        prop_assert!((total - want).abs() <= 1e-7 * (1.0 + want));
+    }
+
+    /// Delaunay empty-circumcircle on arbitrary integer-ish points
+    /// (degenerate-rich: collinear and cocircular configurations abound).
+    #[test]
+    fn prop_delaunay_valid(
+        raw in prop::collection::vec((0i32..64, 0i32..64), 3..80)
+    ) {
+        let pts: Vec<Point2> = raw
+            .iter()
+            .map(|&(x, y)| Point2::new([x as f64, y as f64]))
+            .collect();
+        let d = pargeo::delaunay::delaunay(&pts);
+        pargeo::delaunay::validate_delaunay(&pts, &d.triangles).unwrap();
+    }
+
+    /// Morton sort is a permutation ordered by interleaved bits.
+    #[test]
+    fn prop_morton_sorted(
+        raw in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..300)
+    ) {
+        let mut pts: Vec<Point2> = raw.iter().map(|&(x, y)| Point2::new([x, y])).collect();
+        let orig = pts.clone();
+        let ids = pargeo::morton::morton_sort(&mut pts);
+        let mut sorted_ids: Vec<u32> = ids.clone();
+        sorted_ids.sort_unstable();
+        prop_assert_eq!(sorted_ids, (0..orig.len() as u32).collect::<Vec<_>>());
+        let bbox = pargeo::morton::parallel_bbox(&pts);
+        let codes = pargeo::morton::morton_codes(&pts, &bbox);
+        prop_assert!(codes.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

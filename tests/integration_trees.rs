@@ -1,0 +1,129 @@
+//! Cross-crate integration: the four spatial indexes (static kd-tree, B1,
+//! B2, BDL, Zd) answer identically under identical update streams.
+
+use pargeo::datagen::uniform_cube;
+use pargeo::kdtree::knn_brute_force;
+use pargeo::prelude::*;
+
+#[test]
+fn all_indexes_agree_after_update_stream() {
+    let n = 4_000;
+    let pts = uniform_cube::<3>(n, 1);
+    let batch = n / 10;
+
+    let mut bdl = BdlTree::<3>::with_buffer_size(128);
+    let mut b1 = B1Tree::<3>::new(SplitRule::ObjectMedian);
+    let mut b2 = B2Tree::<3>::new(SplitRule::ObjectMedian);
+    let mut zd = ZdTree::from_points(&pts[..batch]);
+    b1.insert(&pts[..batch]);
+    b2.insert(&pts[..batch]);
+    bdl.insert(&pts[..batch]);
+    for chunk in pts[batch..].chunks(batch) {
+        bdl.insert(chunk);
+        b1.insert(chunk);
+        b2.insert(chunk);
+        zd.insert(chunk);
+    }
+    // Delete 30%.
+    for chunk in pts.chunks(batch).take(3) {
+        assert_eq!(bdl.delete(chunk), batch);
+        assert_eq!(b1.delete(chunk), batch);
+        assert_eq!(b2.delete(chunk), batch);
+        assert_eq!(zd.delete(chunk), batch);
+    }
+    let live = &pts[3 * batch..];
+    assert_eq!(bdl.len(), live.len());
+    assert_eq!(b1.len(), live.len());
+    assert_eq!(b2.len(), live.len());
+    assert_eq!(zd.len(), live.len());
+
+    for q in live.iter().step_by(97) {
+        let want = knn_brute_force(live, q, 5);
+        for (name, got) in [
+            ("bdl", bdl.knn(q, 5)),
+            ("b1", b1.knn(q, 5)),
+            ("b2", b2.knn(q, 5)),
+            ("zd", zd.knn(q, 5)),
+        ] {
+            assert_eq!(got.len(), want.len(), "{name}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.dist_sq - w.dist_sq).abs() <= 1e-9 * (1.0 + g.dist_sq),
+                    "{name}: {g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_tree_and_veb_tree_answer_identically() {
+    let pts = uniform_cube::<2>(3_000, 2);
+    let kd = KdTree::build(&pts, SplitRule::ObjectMedian);
+    let items: Vec<(Point2, u32)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let veb = VebTree::build(&items);
+    for q in pts.iter().step_by(131) {
+        let a = kd.knn(q, 7);
+        let b = veb.knn(q, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.dist_sq - y.dist_sq).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn range_and_knn_are_consistent() {
+    // The k-th NN distance defines a ball whose range query returns at
+    // least k points.
+    let pts = uniform_cube::<2>(5_000, 3);
+    let tree = KdTree::build(&pts, SplitRule::SpatialMedian);
+    for q in pts.iter().step_by(211) {
+        let nn = tree.knn(q, 10);
+        // sqrt then squaring can round below the k-th distance; inflate by
+        // one ulp-scale factor so the boundary neighbor stays inside.
+        let r = nn.last().unwrap().dist_sq.sqrt() * (1.0 + 1e-12);
+        let hits = tree.range_ball(q, r);
+        assert!(hits.len() >= 10, "only {} hits", hits.len());
+    }
+}
+
+#[test]
+fn bdl_knn_spans_buffer_and_static_trees() {
+    // Force a state where the answer straddles the buffer and two static
+    // trees: nearest neighbors must still be exact.
+    let pts = uniform_cube::<2>(2_100, 4);
+    let mut bdl = BdlTree::<2>::with_buffer_size(1_000);
+    bdl.insert(&pts[..1_000]); // tree 0
+    bdl.insert(&pts[1_000..2_000]); // cascades
+    bdl.insert(&pts[2_000..]); // 100 in buffer
+    assert!(bdl.tree_sizes().iter().sum::<usize>() < 2_100);
+    for q in pts.iter().step_by(173) {
+        let want = knn_brute_force(&pts, q, 4);
+        let got = bdl.knn(q, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist_sq - w.dist_sq).abs() < 1e-9 * (1.0 + g.dist_sq));
+        }
+    }
+}
+
+#[test]
+fn seven_dimensional_trees() {
+    // The paper's BDL evaluation runs in 7D; make sure nothing is
+    // hard-wired to low dimensions.
+    let pts = uniform_cube::<7>(2_000, 5);
+    let mut bdl = BdlTree::<7>::with_buffer_size(64);
+    for chunk in pts.chunks(200) {
+        bdl.insert(chunk);
+    }
+    for q in pts.iter().step_by(401) {
+        let want = knn_brute_force(&pts, q, 5);
+        let got = bdl.knn(q, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist_sq - w.dist_sq).abs() < 1e-9 * (1.0 + g.dist_sq));
+        }
+    }
+}
