@@ -136,8 +136,7 @@ impl<const D: usize> BdlTree<D> {
         // pool covers them when no deletions occurred; shortfalls from past
         // deletions land in the highest new tree).
         let mut jobs: Vec<(usize, Vec<(Point<D>, u32)>)> = Vec::new();
-        let mut create_bits: Vec<usize> =
-            (0..64).filter(|i| to_create >> i & 1 == 1).collect();
+        let mut create_bits: Vec<usize> = (0..64).filter(|i| to_create >> i & 1 == 1).collect();
         if let Some(&last) = create_bits.last() {
             let mut offset = 0usize;
             for &i in &create_bits[..create_bits.len() - 1] {
@@ -169,10 +168,10 @@ impl<const D: usize> BdlTree<D> {
             return 0;
         }
         // Buffer deletion.
-        let victims: std::collections::HashSet<_> =
-            batch.iter().map(coord_key).collect();
+        let victims: std::collections::HashSet<_> = batch.iter().map(coord_key).collect();
         let before_buf = self.buffer.len();
-        self.buffer.retain(|(p, _)| !victims.contains(&coord_key(p)));
+        self.buffer
+            .retain(|(p, _)| !victims.contains(&coord_key(p)));
         let mut deleted = before_buf - self.buffer.len();
         // Parallel bulk erase across all occupied trees.
         let counts: Vec<usize> = self

@@ -135,10 +135,8 @@ impl<const D: usize> ZdTree<D> {
         if batch.is_empty() || self.items.is_empty() {
             return 0;
         }
-        let mut victims: Vec<(u64, Point<D>)> = batch
-            .iter()
-            .map(|&p| (self.code_of(&p), p))
-            .collect();
+        let mut victims: Vec<(u64, Point<D>)> =
+            batch.iter().map(|&p| (self.code_of(&p), p)).collect();
         parlay::radix_sort_u64_by_key(&mut victims, |t| t.0);
         let before = self.items.len();
         // Merge-subtract over the two code-sorted runs; codes collide, so
@@ -218,13 +216,7 @@ impl<const D: usize> ZdTree<D> {
             return;
         }
         let total_bits = bits_per_dim(D) * D as u32;
-        let boxed = build_rec(
-            &self.items,
-            0,
-            n,
-            total_bits as i32 - 1,
-            self.leaf_size,
-        );
+        let boxed = build_rec(&self.items, 0, n, total_bits as i32 - 1, self.leaf_size);
         flatten(&boxed, &mut self.nodes);
     }
 

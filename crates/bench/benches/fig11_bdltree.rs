@@ -82,8 +82,12 @@ fn fig11(c: &mut Criterion) {
 
     let b1 = B1Tree::from_points(&pts, SplitRule::ObjectMedian);
     let bdl = BdlTree::from_points(&pts);
-    g.bench_function("B1_knn_k5", |b| b.iter(|| b1.knn_batch(black_box(&pts), 5).len()));
-    g.bench_function("BDL_knn_k5", |b| b.iter(|| bdl.knn_batch(black_box(&pts), 5).len()));
+    g.bench_function("B1_knn_k5", |b| {
+        b.iter(|| b1.knn_batch(black_box(&pts), 5).len())
+    });
+    g.bench_function("BDL_knn_k5", |b| {
+        b.iter(|| bdl.knn_batch(black_box(&pts), 5).len())
+    });
 
     // Ablation: BDL buffer size X.
     for x in [64usize, 256, 1024, 4096] {

@@ -59,7 +59,9 @@ fn table1(c: &mut Criterion) {
             t.len()
         })
     });
-    g.bench_function("wspd_2d", |b| b.iter(|| wspd(black_box(&pts2), 2.0).1.len()));
+    g.bench_function("wspd_2d", |b| {
+        b.iter(|| wspd(black_box(&pts2), 2.0).1.len())
+    });
     g.bench_function("emst_2d", |b| b.iter(|| emst(black_box(&pts2)).len()));
     g.bench_function("hull_2d", |b| {
         b.iter(|| hull2d_divide_conquer(black_box(&pts2)).len())
@@ -67,8 +69,12 @@ fn table1(c: &mut Criterion) {
     g.bench_function("hull_3d", |b| {
         b.iter(|| hull3d_divide_conquer(black_box(&pts3)).num_vertices())
     });
-    g.bench_function("seb_2d", |b| b.iter(|| seb_sampling(black_box(&pts2)).radius));
-    g.bench_function("seb_5d", |b| b.iter(|| seb_sampling(black_box(&pts5)).radius));
+    g.bench_function("seb_2d", |b| {
+        b.iter(|| seb_sampling(black_box(&pts2)).radius)
+    });
+    g.bench_function("seb_5d", |b| {
+        b.iter(|| seb_sampling(black_box(&pts5)).radius)
+    });
     g.bench_function("closest_pair_2d", |b| {
         b.iter(|| closest_pair(black_box(&pts2)).dist)
     });
@@ -78,7 +84,9 @@ fn table1(c: &mut Criterion) {
     g.bench_function("delaunay_2d", |b| {
         b.iter(|| pargeo::delaunay::delaunay(black_box(&pts2)).len())
     });
-    g.bench_function("spanner_2d_t2", |b| b.iter(|| spanner(black_box(&pts2), 2.0).len()));
+    g.bench_function("spanner_2d_t2", |b| {
+        b.iter(|| spanner(black_box(&pts2), 2.0).len())
+    });
     g.bench_function("morton_sort_2d", |b| {
         b.iter(|| {
             let mut v = pts2.clone();

@@ -83,6 +83,14 @@ fn main() {
         &datagen::statue_surface(n * 36 / 100, 10),
         p,
     );
-    bench2(&format!("2D-OS-{big}"), &datagen::on_sphere::<2>(big, 11), p);
-    bench3(&format!("3D-OS-{big}"), &datagen::on_sphere::<3>(big, 12), p);
+    bench2(
+        &format!("2D-OS-{big}"),
+        &datagen::on_sphere::<2>(big, 11),
+        p,
+    );
+    bench3(
+        &format!("3D-OS-{big}"),
+        &datagen::on_sphere::<3>(big, 12),
+        p,
+    );
 }

@@ -17,7 +17,12 @@ enum Which {
 }
 
 fn op_name(i: usize) -> &'static str {
-    ["Construction", "Insert (10x10%)", "Delete (10x10%)", "k-NN (k=5)"][i]
+    [
+        "Construction",
+        "Insert (10x10%)",
+        "Delete (10x10%)",
+        "k-NN (k=5)",
+    ][i]
 }
 
 /// Returns seconds for (construct, insert-batches, delete-batches, knn).

@@ -12,7 +12,13 @@ fn main() {
     println!("# Zd-tree comparison — 3D-U-{n}, {p} threads, times in seconds\n");
     let pts = uniform_cube::<3>(n, 1);
     let batch = n / 10;
-    header(&["structure", "construct", "insert 10%", "delete 10%", "k-NN (k=5)"]);
+    header(&[
+        "structure",
+        "construct",
+        "insert 10%",
+        "delete 10%",
+        "k-NN (k=5)",
+    ]);
     pargeo::parlay::with_threads(p, || {
         // BDL.
         let (mut bdl, c) = time(|| BdlTree::from_points(&pts));

@@ -133,9 +133,7 @@ mod tests {
             (got.dist - want.dist).abs() <= 1e-9 * (1.0 + want.dist),
             "got {got:?}, want {want:?}"
         );
-        assert!(
-            (points[got.a as usize].dist(&points[got.b as usize]) - got.dist).abs() < 1e-12
-        );
+        assert!((points[got.a as usize].dist(&points[got.b as usize]) - got.dist).abs() < 1e-12);
         assert_ne!(got.a, got.b);
     }
 
@@ -160,7 +158,11 @@ mod tests {
 
     #[test]
     fn clustered_data() {
-        check(&seed_spreader::<2>(4_000, 13, SeedSpreaderParams::default()));
+        check(&seed_spreader::<2>(
+            4_000,
+            13,
+            SeedSpreaderParams::default(),
+        ));
     }
 
     #[test]

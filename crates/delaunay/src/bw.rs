@@ -180,8 +180,7 @@ pub fn delaunay_seeded(points: &[Point2], seed: u64) -> Delaunay {
                 // the points in the cavity's conflict lists.
                 unsafe {
                     for &dead in &pl.region {
-                        let pts =
-                            std::mem::take(&mut (*tris_ptr.0.add(dead as usize)).pts);
+                        let pts = std::mem::take(&mut (*tris_ptr.0.add(dead as usize)).pts);
                         for t in pts {
                             if t == pl.q {
                                 continue;
@@ -211,7 +210,9 @@ pub fn delaunay_seeded(points: &[Point2], seed: u64) -> Delaunay {
                 reservations[t as usize].store(EMPTY, Ordering::Relaxed);
             }
         });
-        p = parlay::filter(&p, |&t| alive_pt[t as usize] && tri_of[t as usize] != u32::MAX);
+        p = parlay::filter(&p, |&t| {
+            alive_pt[t as usize] && tri_of[t as usize] != u32::MAX
+        });
     }
     Delaunay {
         triangles: mesh.extract(),
@@ -231,20 +232,12 @@ fn round_size(alive_tris: usize, threads: usize, remaining: usize) -> usize {
 }
 
 #[inline]
-unsafe fn contains_raw(
-    points: &[Point2],
-    tris: *const crate::tri::Tri,
-    t: u32,
-    q: u32,
-) -> bool {
+unsafe fn contains_raw(points: &[Point2], tris: *const crate::tri::Tri, t: u32, q: u32) -> bool {
     let v = unsafe { &(*tris.add(t as usize)).v };
     let p = &points[q as usize];
     (0..3).all(|i| {
-        pargeo_geometry::orient2d(
-            &points[v[i] as usize],
-            &points[v[(i + 1) % 3] as usize],
-            p,
-        ) != pargeo_geometry::Orientation::Negative
+        pargeo_geometry::orient2d(&points[v[i] as usize], &points[v[(i + 1) % 3] as usize], p)
+            != pargeo_geometry::Orientation::Negative
     })
 }
 
@@ -291,7 +284,11 @@ mod tests {
             let s = delaunay_seq(&pts);
             let p = delaunay(&pts);
             validate_delaunay(&pts, &p.triangles).unwrap();
-            assert_eq!(canonical(&s.triangles), canonical(&p.triangles), "seed={seed}");
+            assert_eq!(
+                canonical(&s.triangles),
+                canonical(&p.triangles),
+                "seed={seed}"
+            );
         }
     }
 
@@ -347,8 +344,7 @@ mod tests {
         assert!(delaunay(&[Point2::new([0.0, 0.0])]).is_empty());
         let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 1.0])];
         assert!(delaunay(&two).is_empty());
-        let collinear: Vec<Point2> =
-            (0..50).map(|i| Point2::new([i as f64, i as f64])).collect();
+        let collinear: Vec<Point2> = (0..50).map(|i| Point2::new([i as f64, i as f64])).collect();
         assert!(delaunay(&collinear).is_empty());
         assert!(delaunay_seq(&collinear).is_empty());
     }

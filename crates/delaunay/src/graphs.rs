@@ -99,8 +99,7 @@ mod tests {
     fn gabriel_is_subgraph_of_delaunay() {
         let pts = uniform_cube::<2>(500, 5);
         let d = delaunay(&pts);
-        let de: std::collections::HashSet<(u32, u32)> =
-            delaunay_edges(&d).into_iter().collect();
+        let de: std::collections::HashSet<(u32, u32)> = delaunay_edges(&d).into_iter().collect();
         for e in gabriel_graph(&pts, &d) {
             assert!(de.contains(&e));
         }
@@ -156,8 +155,7 @@ mod tests {
         }
         let d = delaunay(&pts);
         let got = gabriel_graph(&pts, &d);
-        let want: std::collections::HashSet<(u32, u32)> =
-            gabriel_brute(&pts).into_iter().collect();
+        let want: std::collections::HashSet<(u32, u32)> = gabriel_brute(&pts).into_iter().collect();
         for e in &got {
             assert!(want.contains(e), "non-Gabriel edge {e:?} reported");
         }

@@ -33,7 +33,10 @@ impl<const D: usize> Ball<D> {
 
     /// The degenerate ball `{p}`.
     pub fn from_point(p: &Point<D>) -> Self {
-        Self { center: *p, radius: 0.0 }
+        Self {
+            center: *p,
+            radius: 0.0,
+        }
     }
 
     /// True iff this is the empty ball.

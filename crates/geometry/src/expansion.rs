@@ -293,8 +293,7 @@ mod tests {
     fn sign_of_tiny_difference() {
         // (1 + eps) - 1 - eps == 0 exactly.
         let eps = 2f64.powi(-52);
-        let e = Expansion::from_diff(1.0 + eps, 1.0)
-            .sub(&Expansion::from_f64(eps));
+        let e = Expansion::from_diff(1.0 + eps, 1.0).sub(&Expansion::from_f64(eps));
         assert_eq!(e.sign(), 0);
     }
 }

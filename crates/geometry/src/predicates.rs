@@ -250,8 +250,14 @@ mod tests {
         let b = p3(1.0, 0.0, 0.0);
         let c = p3(0.0, 1.0, 0.0);
         // d above the plane (direction of (b-a)x(c-a) = +z) => Negative.
-        assert_eq!(orient3d(&a, &b, &c, &p3(0.0, 0.0, 1.0)), Orientation::Negative);
-        assert_eq!(orient3d(&a, &b, &c, &p3(0.0, 0.0, -1.0)), Orientation::Positive);
+        assert_eq!(
+            orient3d(&a, &b, &c, &p3(0.0, 0.0, 1.0)),
+            Orientation::Negative
+        );
+        assert_eq!(
+            orient3d(&a, &b, &c, &p3(0.0, 0.0, -1.0)),
+            Orientation::Positive
+        );
         assert_eq!(orient3d(&a, &b, &c, &p3(5.0, 7.0, 0.0)), Orientation::Zero);
     }
 
@@ -261,8 +267,14 @@ mod tests {
         let b = p3(1.0, 0.0, 0.0);
         let c = p3(0.0, 1.0, 0.0);
         let eps = 2f64.powi(-60);
-        assert_eq!(orient3d(&a, &b, &c, &p3(0.3, 0.3, eps)), Orientation::Negative);
-        assert_eq!(orient3d(&a, &b, &c, &p3(0.3, 0.3, -eps)), Orientation::Positive);
+        assert_eq!(
+            orient3d(&a, &b, &c, &p3(0.3, 0.3, eps)),
+            Orientation::Negative
+        );
+        assert_eq!(
+            orient3d(&a, &b, &c, &p3(0.3, 0.3, -eps)),
+            Orientation::Positive
+        );
         assert_eq!(orient3d(&a, &b, &c, &p3(0.3, 0.3, 0.0)), Orientation::Zero);
     }
 
@@ -301,7 +313,10 @@ mod tests {
         let b3 = p3(1.1, 0.2, 0.4);
         let c3 = p3(0.3, 1.5, 0.1);
         let d3 = p3(0.7, 0.7, 2.0);
-        assert_eq!(orient3d_exact(&a3, &b3, &c3, &d3), orient3d(&a3, &b3, &c3, &d3));
+        assert_eq!(
+            orient3d_exact(&a3, &b3, &c3, &d3),
+            orient3d(&a3, &b3, &c3, &d3)
+        );
         let d2 = p2(1.0, 1.0);
         assert_eq!(incircle_exact(&a, &b, &c, &d2), incircle(&a, &b, &c, &d2));
     }

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 fn small_coord() -> impl Strategy<Value = f64> {
     // Mix of smooth values and tiny-grid values that force near-degeneracy.
-    prop_oneof![
-        -1e3f64..1e3,
-        (-100i64..100).prop_map(|i| i as f64 * 0.5),
-    ]
+    prop_oneof![-1e3f64..1e3, (-100i64..100).prop_map(|i| i as f64 * 0.5),]
 }
 
 fn p2() -> impl Strategy<Value = Point2> {

@@ -86,8 +86,8 @@ pub fn beta_skeleton(points: &[Point2], beta: f64) -> Vec<(u32, u32)> {
                 let pw = points[w as usize];
                 let same_as_endpoint = pw == pu || pw == pv;
                 // Strictly inside both disks ⇒ inside the open lune.
-                let inside =
-                    pw.dist_sq(&c1) < r_sq * (1.0 - 1e-12) && pw.dist_sq(&c2) < r_sq * (1.0 - 1e-12);
+                let inside = pw.dist_sq(&c1) < r_sq * (1.0 - 1e-12)
+                    && pw.dist_sq(&c2) < r_sq * (1.0 - 1e-12);
                 same_as_endpoint || !inside
             })
         })

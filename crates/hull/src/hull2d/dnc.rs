@@ -36,10 +36,7 @@ pub fn hull2d_divide_conquer(points: &[Point2]) -> Vec<u32> {
         })
         .collect();
     // Conquer over the (few) candidates with the reservation algorithm.
-    let cand_points: Vec<Point2> = candidate_ids
-        .iter()
-        .map(|&i| points[i as usize])
-        .collect();
+    let cand_points: Vec<Point2> = candidate_ids.iter().map(|&i| points[i as usize]).collect();
     let final_local = hull2d_randinc(&cand_points);
     final_local
         .into_iter()
@@ -59,9 +56,15 @@ mod tests {
         let mut got = hull2d_divide_conquer(&pts);
         check_hull2d(&pts, &got).unwrap();
         let mut want = hull2d_seq(&pts);
-        let rg = got.iter().position(|v| v == got.iter().min().unwrap()).unwrap();
+        let rg = got
+            .iter()
+            .position(|v| v == got.iter().min().unwrap())
+            .unwrap();
         got.rotate_left(rg);
-        let rw = want.iter().position(|v| v == want.iter().min().unwrap()).unwrap();
+        let rw = want
+            .iter()
+            .position(|v| v == want.iter().min().unwrap())
+            .unwrap();
         want.rotate_left(rw);
         assert_eq!(got, want);
     }

@@ -111,10 +111,7 @@ mod tests {
     /// minimum — identical across algorithms even when duplicate input
     /// points make the index choice ambiguous.
     fn canonical(points: &[Point2], hull: &[u32]) -> Vec<[f64; 2]> {
-        let mut coords: Vec<[f64; 2]> = hull
-            .iter()
-            .map(|&i| points[i as usize].coords)
-            .collect();
+        let mut coords: Vec<[f64; 2]> = hull.iter().map(|&i| points[i as usize].coords).collect();
         if coords.is_empty() {
             return coords;
         }
@@ -133,7 +130,11 @@ mod tests {
         for (name, f) in algos() {
             let h = f(points);
             check_hull2d(points, &h).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(canonical(points, &h), reference, "{name} disagrees with seq");
+            assert_eq!(
+                canonical(points, &h),
+                reference,
+                "{name} disagrees with seq"
+            );
         }
     }
 
@@ -177,7 +178,9 @@ mod tests {
 
     #[test]
     fn collinear_input() {
-        let pts: Vec<Point2> = (0..100).map(|i| Point2::new([i as f64, 2.0 * i as f64])).collect();
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new([i as f64, 2.0 * i as f64]))
+            .collect();
         for (name, f) in algos() {
             let h = f(&pts);
             assert_eq!(h.len(), 2, "{name}");

@@ -71,7 +71,10 @@ fn seq_rec(points: &[Point2], a: u32, b: u32, cand: &mut Vec<u32>, out: &mut Vec
         return;
     }
     let mut best = cand[0];
-    let mut best_key = (line_dist(points, a, b, best), proj_along(points, a, b, best));
+    let mut best_key = (
+        line_dist(points, a, b, best),
+        proj_along(points, a, b, best),
+    );
     for &q in cand.iter().skip(1) {
         let key = (line_dist(points, a, b, q), proj_along(points, a, b, q));
         if key > best_key {

@@ -69,12 +69,32 @@ pub fn hull2d_randinc_seeded(points: &[Point2], seed: u64) -> Vec<u32> {
         (t0, t2, t1)
     };
     let mut edges: Vec<Edge> = vec![
-        Edge { a: v0, b: v1, prev: 2, next: 1, alive: true, pts: Vec::new() },
-        Edge { a: v1, b: v2, prev: 0, next: 2, alive: true, pts: Vec::new() },
-        Edge { a: v2, b: v0, prev: 1, next: 0, alive: true, pts: Vec::new() },
+        Edge {
+            a: v0,
+            b: v1,
+            prev: 2,
+            next: 1,
+            alive: true,
+            pts: Vec::new(),
+        },
+        Edge {
+            a: v1,
+            b: v2,
+            prev: 0,
+            next: 2,
+            alive: true,
+            pts: Vec::new(),
+        },
+        Edge {
+            a: v2,
+            b: v0,
+            prev: 1,
+            next: 0,
+            alive: true,
+            pts: Vec::new(),
+        },
     ];
-    let mut reservations: Vec<AtomicUsize> =
-        (0..3).map(|_| AtomicUsize::new(EMPTY)).collect();
+    let mut reservations: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(EMPTY)).collect();
 
     // Initial conflict assignment, in permutation order.
     let mut edge_of: Vec<u32> = vec![u32::MAX; n];
@@ -141,8 +161,22 @@ pub fn hull2d_randinc_seeded(points: &[Point2], seed: u64) -> Vec<u32> {
             let (u, v) = (edges[first].a, edges[last].b);
             let n1 = edges.len() as u32;
             let n2 = n1 + 1;
-            edges.push(Edge { a: u, b: q, prev: plan.left, next: n2, alive: true, pts: Vec::new() });
-            edges.push(Edge { a: q, b: v, prev: n1, next: plan.right, alive: true, pts: Vec::new() });
+            edges.push(Edge {
+                a: u,
+                b: q,
+                prev: plan.left,
+                next: n2,
+                alive: true,
+                pts: Vec::new(),
+            });
+            edges.push(Edge {
+                a: q,
+                b: v,
+                prev: n1,
+                next: plan.right,
+                alive: true,
+                pts: Vec::new(),
+            });
             reservations.push(AtomicUsize::new(EMPTY));
             reservations.push(AtomicUsize::new(EMPTY));
             edges[plan.left as usize].next = n1;
@@ -168,8 +202,7 @@ pub fn hull2d_randinc_seeded(points: &[Point2], seed: u64) -> Vec<u32> {
             winner_ids.par_iter().for_each(|&rank| {
                 // Capture the Send wrappers whole (2021 disjoint-field
                 // capture would otherwise move the raw pointers).
-                let (edges_ptr, edge_of_ptr, visible_ptr) =
-                    (edges_ptr, edge_of_ptr, visible_ptr);
+                let (edges_ptr, edge_of_ptr, visible_ptr) = (edges_ptr, edge_of_ptr, visible_ptr);
                 let plan = &plans_ref[rank];
                 let q = q_batch_ref[rank];
                 // The two new edges of this winner are the last pushed for
@@ -328,8 +361,7 @@ fn strip_collinear(points: &[Point2], hull: Vec<u32>) -> Vec<u32> {
     // Wrap-around: the seam at out[0] / out[last] may still be collinear.
     loop {
         let n = out.len();
-        if n >= 3 && orient(out[n - 2], out[n - 1], out[0]) == pargeo_geometry::Orientation::Zero
-        {
+        if n >= 3 && orient(out[n - 2], out[n - 1], out[0]) == pargeo_geometry::Orientation::Zero {
             out.pop();
             continue;
         }
@@ -365,9 +397,15 @@ mod tests {
         let mut got = hull2d_randinc(&pts);
         check_hull2d(&pts, &got).unwrap();
         let mut want = crate::hull2d::hull2d_seq(&pts);
-        let rg = got.iter().position(|v| v == got.iter().min().unwrap()).unwrap();
+        let rg = got
+            .iter()
+            .position(|v| v == got.iter().min().unwrap())
+            .unwrap();
         got.rotate_left(rg);
-        let rw = want.iter().position(|v| v == want.iter().min().unwrap()).unwrap();
+        let rw = want
+            .iter()
+            .position(|v| v == want.iter().min().unwrap())
+            .unwrap();
         want.rotate_left(rw);
         assert_eq!(got, want);
     }

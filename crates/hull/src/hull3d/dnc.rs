@@ -30,10 +30,7 @@ pub fn hull3d_divide_conquer(points: &[Point3]) -> Hull3d {
             local.vertices.into_iter().map(move |v| v + lo as u32)
         })
         .collect();
-    let cand_points: Vec<Point3> = candidate_ids
-        .iter()
-        .map(|&i| points[i as usize])
-        .collect();
+    let cand_points: Vec<Point3> = candidate_ids.iter().map(|&i| points[i as usize]).collect();
     let local = hull3d_quickhull_parallel(&cand_points);
     let facets = local
         .facets

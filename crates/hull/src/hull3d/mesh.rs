@@ -363,8 +363,11 @@ mod tests {
             let hull = mesh.extract();
             assert!(hull.vertices.contains(&q));
             // Still a closed triangulated surface.
-            assert_eq!(hull.vertices.len() as i64 - 3 * hull.facets.len() as i64 / 2
-                + hull.facets.len() as i64, 2);
+            assert_eq!(
+                hull.vertices.len() as i64 - 3 * hull.facets.len() as i64 / 2
+                    + hull.facets.len() as i64,
+                2
+            );
         }
     }
 }

@@ -48,9 +48,8 @@ pub(crate) fn initial_tetrahedron(points: &[Point3]) -> Option<[u32; 4]> {
     }
     // Furthest from the plane by |double det| as a heuristic, validated by
     // the exact predicate.
-    let p3 = pargeo_parlay::max_index_by(points, |p| {
-        ((*p - a).dot(&ab.cross(&(c - a)))).abs()
-    })? as u32;
+    let p3 =
+        pargeo_parlay::max_index_by(points, |p| ((*p - a).dot(&ab.cross(&(c - a)))).abs())? as u32;
     if orient3d(&a, &b, &c, &points[p3 as usize]) == Orientation::Zero {
         return None; // all coplanar
     }
@@ -198,7 +197,10 @@ mod tests {
         for (name, f) in algos() {
             let h = f(&line);
             assert!(h.facets.is_empty(), "{name}");
-            assert!(h.vertices.contains(&0) && h.vertices.contains(&49), "{name}");
+            assert!(
+                h.vertices.contains(&0) && h.vertices.contains(&49),
+                "{name}"
+            );
             assert!(f(&[]).vertices.is_empty(), "{name}");
             let single = f(&[Point3::new([1.0, 2.0, 3.0])]);
             assert_eq!(single.vertices, vec![0], "{name}");

@@ -76,10 +76,7 @@ pub fn hull3d_pseudo_with_threshold(points: &[Point3], threshold: usize) -> Hull
     candidates.sort_unstable();
     candidates.dedup();
     // Exact hull on the survivors.
-    let cand_points: Vec<Point3> = candidates
-        .iter()
-        .map(|&i| points[i as usize])
-        .collect();
+    let cand_points: Vec<Point3> = candidates.iter().map(|&i| points[i as usize]).collect();
     let local = hull3d_quickhull_parallel(&cand_points);
     remap(local, &candidates)
 }
@@ -180,7 +177,11 @@ fn remap(local: Hull3d, ids: &[u32]) -> Hull3d {
         .into_iter()
         .map(|f| [ids[f[0] as usize], ids[f[1] as usize], ids[f[2] as usize]])
         .collect();
-    let mut vertices: Vec<u32> = local.vertices.into_iter().map(|v| ids[v as usize]).collect();
+    let mut vertices: Vec<u32> = local
+        .vertices
+        .into_iter()
+        .map(|v| ids[v as usize])
+        .collect();
     vertices.sort_unstable();
     Hull3d { facets, vertices }
 }

@@ -69,8 +69,7 @@ fn drive(points: &[Point3], strategy: Strategy, seed: u64) -> (Hull3d, HullStats
         return (degenerate_hull3d(points), stats);
     };
     let mut mesh = Mesh::new_tetrahedron(points, tetra);
-    let mut reservations: Vec<AtomicUsize> =
-        (0..4).map(|_| AtomicUsize::new(EMPTY)).collect();
+    let mut reservations: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(EMPTY)).collect();
     let n = points.len();
     let mut facet_of: Vec<u32> = vec![u32::MAX; n];
     let mut visible: Vec<bool> = vec![false; n];
@@ -90,11 +89,10 @@ fn drive(points: &[Point3], strategy: Strategy, seed: u64) -> (Hull3d, HullStats
         })
         .collect();
     for f in 0..4u32 {
-        mesh.facets[f as usize].pts =
-            parlay::filter(&assignments, |&(_, g)| g == f)
-                .into_iter()
-                .map(|(q, _)| q)
-                .collect();
+        mesh.facets[f as usize].pts = parlay::filter(&assignments, |&(_, g)| g == f)
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect();
     }
     for &(q, f) in &assignments {
         facet_of[q as usize] = f;
@@ -120,9 +118,7 @@ fn drive(points: &[Point3], strategy: Strategy, seed: u64) -> (Hull3d, HullStats
                 let mut facets_chosen: Vec<u32> = Vec::with_capacity(r);
                 while facets_chosen.len() < r {
                     let Some(f) = active.pop() else { break };
-                    if mesh.facets[f as usize].alive
-                        && !mesh.facets[f as usize].pts.is_empty()
-                    {
+                    if mesh.facets[f as usize].alive && !mesh.facets[f as usize].pts.is_empty() {
                         facets_chosen.push(f);
                     }
                 }
@@ -137,9 +133,7 @@ fn drive(points: &[Point3], strategy: Strategy, seed: u64) -> (Hull3d, HullStats
                             .pts
                             .iter()
                             .max_by(|&&x, &&y| {
-                                mesh.height(f, x)
-                                    .partial_cmp(&mesh.height(f, y))
-                                    .unwrap()
+                                mesh.height(f, x).partial_cmp(&mesh.height(f, y)).unwrap()
                             })
                             .unwrap()
                     })

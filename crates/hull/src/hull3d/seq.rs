@@ -40,11 +40,7 @@ pub fn hull3d_seq_with_stats(points: &[Point3]) -> (Hull3d, HullStats) {
         let q = *mesh.facets[f as usize]
             .pts
             .iter()
-            .max_by(|&&x, &&y| {
-                mesh.height(f, x)
-                    .partial_cmp(&mesh.height(f, y))
-                    .unwrap()
-            })
+            .max_by(|&&x, &&y| mesh.height(f, x).partial_cmp(&mesh.height(f, y)).unwrap())
             .unwrap();
         let visible = mesh.visible_region(f, q);
         stats.points_touched += 1;

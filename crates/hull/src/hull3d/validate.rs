@@ -40,7 +40,9 @@ pub fn check_hull3d(points: &[Point3], hull: &Hull3d) -> Result<(), String> {
     }
     for &(a, b) in &ridges {
         if !ridges.contains(&(b, a)) {
-            return Err(format!("ridge ({a},{b}) lacks its reverse — surface not closed"));
+            return Err(format!(
+                "ridge ({a},{b}) lacks its reverse — surface not closed"
+            ));
         }
     }
     // Euler characteristic of a sphere.

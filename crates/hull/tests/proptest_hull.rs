@@ -1,10 +1,10 @@
 //! Property-based tests for the convex hull algorithms: validity and
 //! cross-algorithm agreement over arbitrary (degenerate-rich) inputs.
 
+use pargeo_geometry::{Point2, Point3};
 use pargeo_hull::hull2d::validate::check_hull2d;
 use pargeo_hull::hull3d::validate::check_hull3d;
 use pargeo_hull::*;
-use pargeo_geometry::{Point2, Point3};
 use proptest::prelude::*;
 
 /// Integer grids produce masses of collinear/coplanar/duplicate cases.
@@ -17,8 +17,7 @@ fn grid_points2(max: i32) -> impl Strategy<Value = Vec<Point2>> {
 
 fn grid_points3(max: i32) -> impl Strategy<Value = Vec<Point3>> {
     prop::collection::vec(
-        (0..max, 0..max, 0..max)
-            .prop_map(|(x, y, z)| Point3::new([x as f64, y as f64, z as f64])),
+        (0..max, 0..max, 0..max).prop_map(|(x, y, z)| Point3::new([x as f64, y as f64, z as f64])),
         1..100,
     )
 }

@@ -54,7 +54,8 @@ impl<const D: usize> B1Tree<D> {
     /// Batch insert: appends and rebuilds.
     pub fn insert(&mut self, batch: &[Point<D>]) {
         self.points.extend_from_slice(batch);
-        self.ids.extend((0..batch.len()).map(|i| self.next_id + i as u32));
+        self.ids
+            .extend((0..batch.len()).map(|i| self.next_id + i as u32));
         self.next_id += batch.len() as u32;
         self.rebuild();
     }
@@ -62,8 +63,7 @@ impl<const D: usize> B1Tree<D> {
     /// Batch delete by point value (all matching copies) and rebuild.
     /// Returns the number of points removed.
     pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
-        let victims: std::collections::HashSet<_> =
-            batch.iter().map(|p| coord_key(p)).collect();
+        let victims: std::collections::HashSet<_> = batch.iter().map(coord_key).collect();
         let before = self.points.len();
         let mut kept_pts = Vec::with_capacity(before);
         let mut kept_ids = Vec::with_capacity(before);
@@ -280,8 +280,7 @@ fn build_b2<const D: usize>(
             }
             if i == 0 || i == n {
                 let mid = n / 2;
-                items
-                    .select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
                 (mid, items[mid].0[dim])
             } else {
                 (i, val)
@@ -321,7 +320,7 @@ fn insert_rec<const D: usize>(node: &mut B2Node<D>, mut items: Vec<(Point<D>, u3
                 bbox.extend(p);
             }
             *live += items.len();
-            alive.extend(std::iter::repeat(true).take(items.len()));
+            alive.extend(std::iter::repeat_n(true, items.len()));
             points.append(&mut items);
         }
         B2Node::Internal {
@@ -372,7 +371,11 @@ fn delete_rec<const D: usize>(node: &mut B2Node<D>, queries: Vec<Point<D>>) -> u
             deleted
         }
         B2Node::Internal {
-            dim, val, left, right, ..
+            dim,
+            val,
+            left,
+            right,
+            ..
         } => {
             let dim = *dim as usize;
             let val = *val;
@@ -399,9 +402,7 @@ fn delete_rec<const D: usize>(node: &mut B2Node<D>, queries: Vec<Point<D>>) -> u
 
 fn knn_rec<const D: usize>(node: &B2Node<D>, q: &Point<D>, buf: &mut KnnBuffer) {
     match node {
-        B2Node::Leaf {
-            points, alive, ..
-        } => {
+        B2Node::Leaf { points, alive, .. } => {
             for (i, (p, id)) in points.iter().enumerate() {
                 if alive[i] {
                     buf.insert(q.dist_sq(p), *id);
@@ -409,7 +410,11 @@ fn knn_rec<const D: usize>(node: &B2Node<D>, q: &Point<D>, buf: &mut KnnBuffer) 
             }
         }
         B2Node::Internal {
-            dim, val, left, right, ..
+            dim,
+            val,
+            left,
+            right,
+            ..
         } => {
             let (near, far) = if q[*dim as usize] <= *val {
                 (left, right)

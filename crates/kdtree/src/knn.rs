@@ -164,7 +164,12 @@ pub fn knn_brute_force<const D: usize>(
             id: i as u32,
         })
         .collect();
-    all.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap().then(a.id.cmp(&b.id)));
+    all.sort_by(|a, b| {
+        a.dist_sq
+            .partial_cmp(&b.dist_sq)
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
     all.truncate(k);
     all
 }
@@ -228,7 +233,9 @@ mod tests {
     #[test]
     fn nearest_on_empty_tree() {
         let t = KdTree::<2>::build(&[], SplitRule::ObjectMedian);
-        assert!(t.nearest(&pargeo_geometry::Point2::new([0.0, 0.0])).is_none());
+        assert!(t
+            .nearest(&pargeo_geometry::Point2::new([0.0, 0.0]))
+            .is_none());
     }
 
     #[test]

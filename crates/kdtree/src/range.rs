@@ -96,7 +96,10 @@ impl<const D: usize> KdTree<D> {
     /// Data-parallel batch ball counting.
     pub fn count_ball_batch(&self, queries: &[(Point<D>, f64)]) -> Vec<usize> {
         if queries.len() < 16 {
-            queries.iter().map(|(c, r)| self.count_ball(c, *r)).collect()
+            queries
+                .iter()
+                .map(|(c, r)| self.count_ball(c, *r))
+                .collect()
         } else {
             queries
                 .par_iter()
@@ -139,7 +142,10 @@ impl<const D: usize> KdTree<D> {
     /// Data-parallel batch ball search.
     pub fn range_ball_batch(&self, queries: &[(Point<D>, f64)]) -> Vec<Vec<u32>> {
         if queries.len() < 16 {
-            queries.iter().map(|(c, r)| self.range_ball(c, *r)).collect()
+            queries
+                .iter()
+                .map(|(c, r)| self.range_ball(c, *r))
+                .collect()
         } else {
             queries
                 .par_iter()

@@ -107,7 +107,7 @@ impl<const D: usize> KdTree<D> {
             points: Vec::new(),
             ids: Vec::new(),
             nodes: Vec::new(),
-        leaf_size,
+            leaf_size,
         };
         if n == 0 {
             return tree;
@@ -283,9 +283,7 @@ fn build_recursive<const D: usize>(
                     a.0[dim].partial_cmp(&b.0[dim]).unwrap()
                 });
             } else {
-                items.select_nth_unstable_by(mid, |a, b| {
-                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
-                });
+                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
             }
             mid
         }
@@ -296,9 +294,7 @@ fn build_recursive<const D: usize>(
                 // Degenerate spatial split (points concentrated at the
                 // boundary) — fall back to the object median.
                 let mid = n / 2;
-                items.select_nth_unstable_by(mid, |a, b| {
-                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
-                });
+                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
                 mid
             } else {
                 mid
@@ -459,7 +455,7 @@ mod tests {
     fn build_handles_duplicates() {
         let mut pts = uniform_cube::<2>(100, 3);
         let dup = pts[0];
-        pts.extend(std::iter::repeat(dup).take(500));
+        pts.extend(std::iter::repeat_n(dup, 500));
         let t = KdTree::build(&pts, SplitRule::ObjectMedian);
         check_structure(&t);
         let t2 = KdTree::build(&pts, SplitRule::SpatialMedian);

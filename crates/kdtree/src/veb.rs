@@ -306,9 +306,7 @@ fn build_boxed<const D: usize>(
                     a.0[dim].partial_cmp(&b.0[dim]).unwrap()
                 });
             } else {
-                items.select_nth_unstable_by(mid, |a, b| {
-                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
-                });
+                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
             }
             (mid, items[mid].0[dim])
         }
@@ -327,9 +325,7 @@ fn build_boxed<const D: usize>(
             if i == 0 || i == n {
                 // Degenerate spatial split: fall back to the object median.
                 let mid = n / 2;
-                items.select_nth_unstable_by(mid, |a, b| {
-                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
-                });
+                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
                 (mid, items[mid].0[dim])
             } else {
                 (i, splitval)
@@ -425,7 +421,7 @@ impl<const D: usize> VebAssign<'_, D> {
             return 1 + a + b;
         }
         // lb = hyperceiling(floor((h+1)/2)), clamped so both halves advance.
-        let lb = hyperceiling((h + 1) / 2).clamp(1, h - 1);
+        let lb = hyperceiling(h.div_ceil(2)).clamp(1, h - 1);
         let lt = h - lb;
         let mut used = self.assign(node, lt, base);
         let mut roots = Vec::new();
@@ -573,7 +569,10 @@ mod tests {
     use pargeo_datagen::uniform_cube;
 
     fn items<const D: usize>(pts: &[Point<D>]) -> Vec<(Point<D>, u32)> {
-        pts.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect()
+        pts.iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect()
     }
 
     #[test]
@@ -623,7 +622,10 @@ mod tests {
         assert_eq!(t.node_count(), 15);
         assert_eq!(t.root, 0);
         let root = &t.nodes[0];
-        assert!(root.left < 3 && root.right < 3, "top half must occupy slots 0..3");
+        assert!(
+            root.left < 3 && root.right < 3,
+            "top half must occupy slots 0..3"
+        );
         let l = &t.nodes[root.left as usize];
         let r = &t.nodes[root.right as usize];
         let mut bottoms = vec![l.left, l.right, r.left, r.right];

@@ -41,9 +41,9 @@ pub mod sort;
 pub use atomics::{write_max_usize, write_min_usize, AtomicMinIndex};
 pub use histogram::{group_by_key, histogram};
 pub use pack::{filter, pack, pack_index, split_two};
-pub use samplesort::sample_sort_by;
 pub use pool::{num_threads, with_threads};
 pub use reduce::{max_index_by, min_index_by, reduce, reduce_map};
+pub use samplesort::sample_sort_by;
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
 pub use select::select_nth_unstable_by;
 pub use shuffle::{random_permutation, shuffle, shuffle_seeded};
@@ -58,14 +58,14 @@ pub const GRANULARITY: usize = 2048;
 ///
 /// A convenience wrapper over rayon's indexed parallel iterator that applies
 /// the crate-wide [`GRANULARITY`] so tiny loops do not pay fork-join overhead.
-pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
+pub fn parallel_for<F: Fn(usize) + Send + Sync>(n: usize, f: F) {
     use rayon::prelude::*;
     if n < GRANULARITY {
         for i in 0..n {
             f(i);
         }
     } else {
-        (0..n).into_par_iter().for_each(|i| f(i));
+        (0..n).into_par_iter().for_each(f);
     }
 }
 

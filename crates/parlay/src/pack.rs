@@ -142,9 +142,9 @@ where
     F: Fn(&T) -> bool + Sync,
 {
     let flags: Vec<bool> = if items.len() <= GRANULARITY {
-        items.iter().map(|x| pred(x)).collect()
+        items.iter().map(&pred).collect()
     } else {
-        items.par_iter().map(|x| pred(x)).collect()
+        items.par_iter().map(&pred).collect()
     };
     let yes = pack(items, &flags);
     let inv: Vec<bool> = if flags.len() <= GRANULARITY {

@@ -41,9 +41,8 @@ where
     sample.sort_unstable_by(|x, y| cmp(x, y));
     let splitters: Vec<T> = (1..BUCKETS).map(|b| sample[b * OVERSAMPLE]).collect();
     // Classify each element (branchless-ish binary search over splitters).
-    let bucket_of = |x: &T| -> usize {
-        splitters.partition_point(|sp| cmp(sp, x) != Ordering::Greater)
-    };
+    let bucket_of =
+        |x: &T| -> usize { splitters.partition_point(|sp| cmp(sp, x) != Ordering::Greater) };
     let nblocks = n.div_ceil(GRANULARITY);
     let hists: Vec<usize> = a
         .par_chunks(GRANULARITY)
@@ -165,7 +164,9 @@ mod tests {
 
     #[test]
     fn deterministic_across_pool_sizes() {
-        let a: Vec<u64> = (0..80_000u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let a: Vec<u64> = (0..80_000u64)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
         let mut x = a.clone();
         let mut y = a.clone();
         crate::pool::with_threads(1, || sample_sort_by(&mut x, |p, q| p.cmp(q)));

@@ -27,43 +27,40 @@ where
     T: Copy + Send + Sync,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
-    loop {
-        let n = a.len();
-        if n <= GRANULARITY.max(32) {
-            a.select_nth_unstable_by(nth, |x, y| cmp(x, y));
-            return;
-        }
-        let pivot = sample_pivot(a, cmp);
-        let flags_lt: Vec<bool> = a.par_iter().map(|x| cmp(x, &pivot) == Ordering::Less).collect();
-        let flags_eq: Vec<bool> = a
-            .par_iter()
-            .map(|x| cmp(x, &pivot) == Ordering::Equal)
-            .collect();
-        let less = pack(a, &flags_lt);
-        let equal = pack(a, &flags_eq);
-        let flags_gt: Vec<bool> = flags_lt
-            .par_iter()
-            .zip(flags_eq.par_iter())
-            .map(|(&l, &e)| !l && !e)
-            .collect();
-        let greater = pack(a, &flags_gt);
-        let (nl, ne) = (less.len(), equal.len());
-        // Write the three groups back contiguously.
-        a[..nl].copy_from_slice(&less);
-        a[nl..nl + ne].copy_from_slice(&equal);
-        a[nl + ne..].copy_from_slice(&greater);
-        if nth < nl {
-            // Recurse (iteratively) into the `less` prefix.
-            let (head, _) = a.split_at_mut(nl);
-            return select_rec(head, nth, cmp);
-        } else if nth < nl + ne {
-            return; // pivot block covers the target rank
-        } else {
-            let off = nl + ne;
-            let (_, tail) = a.split_at_mut(off);
-            return select_rec(tail, nth - off, cmp);
-        }
+    let n = a.len();
+    if n <= GRANULARITY.max(32) {
+        a.select_nth_unstable_by(nth, |x, y| cmp(x, y));
+        return;
     }
+    let pivot = sample_pivot(a, cmp);
+    let flags_lt: Vec<bool> = a
+        .par_iter()
+        .map(|x| cmp(x, &pivot) == Ordering::Less)
+        .collect();
+    let flags_eq: Vec<bool> = a
+        .par_iter()
+        .map(|x| cmp(x, &pivot) == Ordering::Equal)
+        .collect();
+    let less = pack(a, &flags_lt);
+    let equal = pack(a, &flags_eq);
+    let flags_gt: Vec<bool> = flags_lt
+        .par_iter()
+        .zip(flags_eq.par_iter())
+        .map(|(&l, &e)| !l && !e)
+        .collect();
+    let greater = pack(a, &flags_gt);
+    let (nl, ne) = (less.len(), equal.len());
+    // Write the three groups back contiguously.
+    a[..nl].copy_from_slice(&less);
+    a[nl..nl + ne].copy_from_slice(&equal);
+    a[nl + ne..].copy_from_slice(&greater);
+    if nth < nl {
+        select_rec(&mut a[..nl], nth, cmp);
+    } else if nth >= nl + ne {
+        let off = nl + ne;
+        select_rec(&mut a[off..], nth - off, cmp);
+    }
+    // Otherwise the pivot block covers the target rank.
 }
 
 /// Median of 25 evenly spaced samples — good enough to keep the expected

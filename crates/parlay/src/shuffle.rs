@@ -24,7 +24,7 @@ pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
 /// Large inputs use the parallel "sort by random keys" shuffle (the keys are
 /// derived per-element from a counter-mode hash, so the result is independent
 /// of thread schedule); small inputs use sequential Fisher–Yates.
-pub fn shuffle_seeded<T: Copy + Send + Sync>(items: &mut Vec<T>, seed: u64) {
+pub fn shuffle_seeded<T: Copy + Send + Sync>(items: &mut [T], seed: u64) {
     let n = items.len();
     if n <= GRANULARITY {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -37,7 +37,12 @@ pub fn shuffle_seeded<T: Copy + Send + Sync>(items: &mut Vec<T>, seed: u64) {
     let mut tagged: Vec<(u64, T)> = items
         .par_iter()
         .enumerate()
-        .map(|(i, &x)| (splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)), x))
+        .map(|(i, &x)| {
+            (
+                splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                x,
+            )
+        })
         .collect();
     radix_sort_u64_by_key(&mut tagged, |t| t.0);
     items
@@ -48,7 +53,7 @@ pub fn shuffle_seeded<T: Copy + Send + Sync>(items: &mut Vec<T>, seed: u64) {
 
 /// Shuffles `items` in place with a fixed default seed. Convenience for
 /// callers that only need *some* deterministic permutation.
-pub fn shuffle<T: Copy + Send + Sync>(items: &mut Vec<T>) {
+pub fn shuffle<T: Copy + Send + Sync>(items: &mut [T]) {
     shuffle_seeded(items, 0x5EED_0FAB);
 }
 

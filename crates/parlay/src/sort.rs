@@ -59,10 +59,7 @@ where
     let mid = n / 2;
     let (a1, a2) = a.split_at_mut(mid);
     let (b1, b2) = b.split_at_mut(mid);
-    rayon::join(
-        || sort_in_place(a1, b1, cmp),
-        || sort_in_place(a2, b2, cmp),
-    );
+    rayon::join(|| sort_in_place(a1, b1, cmp), || sort_in_place(a2, b2, cmp));
     par_merge(a1, a2, b, cmp);
 }
 
@@ -130,7 +127,7 @@ const RADIX_BLOCK: usize = 1 << 16;
 /// parallel, derives scatter offsets with one scan over the (block × bucket)
 /// matrix in bucket-major order, and scatters blocks independently. Passes
 /// whose digit is constant across all keys are skipped.
-pub fn radix_sort_u64_by_key<T, F>(items: &mut Vec<T>, key: F)
+pub fn radix_sort_u64_by_key<T, F>(items: &mut [T], key: F)
 where
     T: Copy + Send + Sync,
     F: Fn(&T) -> u64 + Sync,
@@ -207,7 +204,7 @@ where
 
 /// Sorts `items` in ascending order of an `f64` key (must be finite for all
 /// items), using the order-preserving bit transform + radix sort.
-pub fn sort_by_key_f64<T, F>(items: &mut Vec<T>, key: F)
+pub fn sort_by_key_f64<T, F>(items: &mut [T], key: F)
 where
     T: Copy + Send + Sync,
     F: Fn(&T) -> f64 + Sync,
@@ -239,7 +236,9 @@ mod tests {
     #[test]
     fn merge_sort_matches_std() {
         for n in [0usize, 1, 2, 1000, GRANULARITY + 1, 100_000] {
-            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 10_007).collect();
+            let mut a: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 2_654_435_761) % 10_007)
+                .collect();
             let mut want = a.clone();
             want.sort();
             merge_sort_by(&mut a, |x, y| x.cmp(y));

@@ -180,8 +180,7 @@ mod tests {
             let b = f(&same);
             assert!(b.radius <= 1e-9, "{name}");
 
-            let collinear: Vec<Point<2>> =
-                (0..50).map(|i| Point::new([i as f64, 0.0])).collect();
+            let collinear: Vec<Point<2>> = (0..50).map(|i| Point::new([i as f64, 0.0])).collect();
             let b = f(&collinear);
             assert!((b.radius - 24.5).abs() < 1e-7, "{name}: {}", b.radius);
         }

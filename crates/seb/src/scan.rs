@@ -85,7 +85,11 @@ pub fn seb_orthant_scan<const D: usize>(points: &[Point<D>]) -> Ball<D> {
         }
         let (b, s) = construct_ball(&support, &extremes);
         // Monotone growth guard against floating-point stalls.
-        ball = if b.radius > ball.radius { b } else { grow(ball, &extremes) };
+        ball = if b.radius > ball.radius {
+            b
+        } else {
+            grow(ball, &extremes)
+        };
         support = s;
     }
     crate::welzl::seb_welzl_parallel_mtf_pivot(points)
@@ -116,10 +120,7 @@ pub fn seb_sampling_with_batch<const D: usize>(points: &[Point<D>], c: usize) ->
     while scanned < n {
         seg.clear();
         for j in 0..c.min(n - scanned) {
-            let h = pargeo_parlay::shuffle::splitmix64(
-                0x5A11 ^ (scanned + j) as u64,
-            ) as usize
-                % n;
+            let h = pargeo_parlay::shuffle::splitmix64(0x5A11 ^ (scanned + j) as u64) as usize % n;
             seg.push(points[h]);
         }
         scanned += c;
@@ -128,7 +129,11 @@ pub fn seb_sampling_with_batch<const D: usize>(points: &[Point<D>], c: usize) ->
             break; // the current sample does not violate B
         }
         let (b, s) = construct_ball(&support, &extremes);
-        ball = if b.radius > ball.radius { b } else { grow(ball, &extremes) };
+        ball = if b.radius > ball.radius {
+            b
+        } else {
+            grow(ball, &extremes)
+        };
         support = s;
     }
     // Final computation phase (lines 15–20).
@@ -138,7 +143,11 @@ pub fn seb_sampling_with_batch<const D: usize>(points: &[Point<D>], c: usize) ->
             return ball;
         }
         let (b, s) = construct_ball(&support, &extremes);
-        ball = if b.radius > ball.radius { b } else { grow(ball, &extremes) };
+        ball = if b.radius > ball.radius {
+            b
+        } else {
+            grow(ball, &extremes)
+        };
         support = s;
     }
     crate::welzl::seb_welzl_parallel_mtf_pivot(points)

@@ -30,9 +30,7 @@ pub fn welzl_support<const D: usize>(points: &[Point<D>]) -> (Ball<D>, Vec<Point
     let r = ball.radius.max(1e-300);
     let mut sup: Vec<Point<D>> = Vec::new();
     for p in points {
-        if ((p.dist(&ball.center) - r) / r).abs() < 1e-7
-            && !sup.iter().any(|s| s == p)
-        {
+        if ((p.dist(&ball.center) - r) / r).abs() < 1e-7 && !sup.iter().any(|s| s == p) {
             sup.push(*p);
             if sup.len() == D + 1 {
                 break;
@@ -47,11 +45,7 @@ pub fn welzl_support<const D: usize>(points: &[Point<D>]) -> (Ball<D>, Vec<Point
 
 /// Welzl's recursion over `pts` with the boundary set `support`.
 /// `mtf` enables the move-to-front heuristic.
-fn seq_md<const D: usize>(
-    pts: &mut [Point<D>],
-    support: &mut Vec<Point<D>>,
-    mtf: bool,
-) -> Ball<D> {
+fn seq_md<const D: usize>(pts: &mut [Point<D>], support: &mut Vec<Point<D>>, mtf: bool) -> Ball<D> {
     let mut ball = ball_through(support);
     if support.len() == D + 1 {
         return ball;
@@ -148,8 +142,7 @@ fn par_md<const D: usize>(
                     // violator because one exists. Its big radius jump cuts
                     // the number of subsequent violators (Gärtner).
                     let center = ball.center;
-                    let far = parlay::max_index_by(pts, |p| p.dist_sq(&center))
-                        .expect("non-empty");
+                    let far = parlay::max_index_by(pts, |p| p.dist_sq(&center)).expect("non-empty");
                     if !ball.contains(&pts[far]) {
                         idx = far;
                     }

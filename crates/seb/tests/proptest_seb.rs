@@ -86,9 +86,8 @@ proptest! {
         let mut fat = pts.clone();
         // Add points on the segment between the center and existing points
         // (strictly inside the ball).
-        for i in 0..extra.min(pts.len()) {
-            let p = pts[i];
-            fat.push(base.center.midpoint(&p));
+        for p in pts.iter().take(extra) {
+            fat.push(base.center.midpoint(p));
         }
         let b2 = seb_welzl_seq(&fat);
         prop_assert!((b2.radius - base.radius).abs() <= 1e-9 * (1.0 + base.radius));

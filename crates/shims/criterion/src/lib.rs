@@ -1,0 +1,198 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Source-compatible with the subset the `pargeo-bench` criterion benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and `black_box`. Statistics are
+//! intentionally simple — one warmup iteration, then `sample_size` timed
+//! iterations reported as min/mean — because the paper-reproduction
+//! numbers come from `crates/bench/src/bin/*`, not from this harness.
+//!
+//! `CRITERION_SAMPLE_SIZE` caps the per-benchmark sample count from the
+//! environment (handy in CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named benchmark id (`function/parameter`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for source compatibility; this harness is iteration-count
+    /// driven, not time driven.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility; see [`Self::warm_up_time`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut b = Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        };
+        f(&mut b);
+        let (min, mean) = b.stats();
+        let prefix = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
+        println!(
+            "  {prefix}{id}: min {:.3} ms, mean {:.3} ms ({samples} samples)",
+            min * 1e3,
+            mean * 1e3
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the closure; `iter` runs the workload.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let _ = black_box(f()); // warmup / lazy-allocation pass
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            let _ = black_box(f());
+            self.times.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    fn stats(&self) -> (f64, f64) {
+        if self.times.is_empty() {
+            return (0.0, 0.0);
+        }
+        let min = self.times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = self.times.iter().sum::<f64>() / self.times.len() as f64;
+        (min, mean)
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(group_runs, sample_bench);
+
+    #[test]
+    fn harness_runs_and_records() {
+        group_runs();
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! Implements the subset this workspace's property suites use: composable
+//! generate-only strategies (ranges, tuples, `prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`), the `proptest!` macro, `prop_assert*!` /
+//! `prop_assume!`, and `ProptestConfig::with_cases`. No shrinking: a
+//! failing case panics with the full generated inputs instead, which the
+//! deterministic per-test RNG makes reproducible.
+//!
+//! Case counts honor the `PROPTEST_CASES` environment variable (it
+//! overrides each suite's `ProptestConfig`), matching real proptest, so CI
+//! can cap runtimes globally.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of real proptest's `prelude::prop` facade module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs a block of property tests. Supported grammar (the one real
+/// proptest documents and this workspace uses):
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn my_property(x in 0i32..10, v in prop::collection::vec(0f64..1.0, 1..50)) {
+///         prop_assert!((0..10).contains(&x));
+///         prop_assert!(!v.is_empty());
+///     }
+/// }
+/// my_property();
+/// ```
+///
+/// (In real test modules the function list carries `#[test]` attributes,
+/// which the macro re-emits.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let cases = $crate::test_runner::resolve_cases(($cfg).cases);
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted = 0usize;
+            let mut rejected = 0usize;
+            while accepted < cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::thread::Result<
+                    ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+                > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                }));
+                match outcome {
+                    Ok(Ok(())) => accepted += 1,
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {
+                        rejected += 1;
+                        if rejected > 64 * cases + 1024 {
+                            panic!(
+                                "proptest '{}': too many prop_assume! rejections \
+                                 ({rejected} rejected, {accepted} accepted)",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest '{}' failed after {accepted} passing cases: {msg}\n\
+                             minimal reproduction inputs: {inputs}",
+                            stringify!($name)
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest '{}' panicked after {accepted} passing cases;\n\
+                             inputs: {inputs}",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current test case with a message (formatted like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current test case (does not count toward the case budget)
+/// unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper_outside_macro(v: &[i32]) -> Result<(), TestCaseError> {
+        prop_assert!(!v.is_empty(), "empty input");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -50i64..50, y in 0f64..1.0, n in 1usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0i32..8, 0i32..8).prop_map(|(a, b)| (a * 2, b * 2))) {
+            prop_assert_eq!(p.0 % 2, 0);
+            prop_assert_eq!(p.1 % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            v in prop::collection::vec(prop_oneof![0i32..10, 100i32..110], 3..20)
+        ) {
+            prop_assert!(v.len() >= 3 && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x) || (100..110).contains(&x)));
+            helper_outside_macro(&v)?;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0i32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal reproduction inputs")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn always_fails(x in 0i32..10) {
+                prop_assert!(x > 100, "x too small");
+            }
+        }
+        always_fails();
+    }
+}

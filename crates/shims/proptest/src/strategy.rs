@@ -1,0 +1,158 @@
+//! Generate-only strategies: each strategy maps the deterministic test RNG
+//! to a value. No shrinking — see the crate docs.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategies behind a reference still generate.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Object-safe strategy for type erasure.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V: Debug> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// A fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone + Debug> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);

@@ -1,0 +1,749 @@
+//! Indexed parallel iterators over splittable producers.
+//!
+//! A [`Producer`] is a splittable unit of work: it can be cut in two at a
+//! unit boundary, and a leaf executes sequentially via internal iteration
+//! ([`Producer::each`]). Terminal operations recursively split the producer
+//! into roughly `8 × current_num_threads()` pieces and run the halves
+//! through [`crate::join`], so parallelism, budget limits and `T1`
+//! sequential behavior all come from the same fork-join primitive.
+//!
+//! Adapters that preserve one-item-per-unit (`map`, `enumerate`, `zip`)
+//! keep exact indexed semantics; `filter` / `filter_map` / `flat_map_iter`
+//! split on *input* units and may produce any number of items per unit,
+//! exactly like rayon's non-indexed adapters. `collect` always preserves
+//! input order.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A splittable, sequentially executable chunk of parallel work.
+pub trait Producer: Send + Sized {
+    type Item: Send;
+    /// Whether every split unit yields exactly one item. True for sources
+    /// and shape-preserving adapters (`map`, `enumerate`, `zip`); false once
+    /// `filter` / `filter_map` / `flat_map_iter` enters the chain. Indexed
+    /// adapters (`enumerate`, `zip`) require it — the restriction real rayon
+    /// expresses statically through `IndexedParallelIterator`.
+    const INDEXED: bool;
+    /// Number of remaining split units (≠ items for filtering adapters).
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequentially feeds every item to `f`.
+    fn each<F: FnMut(Self::Item)>(self, f: F);
+}
+
+/// Recursive fork-join driver: split until `min_units`, merge bottom-up.
+fn drive<P, R, L, M>(p: P, leaf: &L, merge: &M, min_units: usize) -> R
+where
+    P: Producer,
+    R: Send,
+    L: Fn(P) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    let n = p.len();
+    if n <= min_units.max(1) {
+        return leaf(p);
+    }
+    let (l, r) = p.split_at(n / 2);
+    let (a, b) = crate::join(
+        || drive(l, leaf, merge, min_units),
+        || drive(r, leaf, merge, min_units),
+    );
+    merge(a, b)
+}
+
+/// Target leaf size: enough pieces to keep every thread fed, few enough to
+/// keep fork overhead negligible.
+fn min_units(len: usize) -> usize {
+    let pieces = 8 * crate::current_num_threads();
+    len.div_ceil(pieces.max(1)).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Source producers
+// ---------------------------------------------------------------------------
+
+pub struct SliceProducer<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(mid);
+        (SliceProducer(l), SliceProducer(r))
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for x in self.0 {
+            f(x);
+        }
+    }
+}
+
+pub struct SliceMutProducer<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(mid);
+        (SliceMutProducer(l), SliceMutProducer(r))
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for x in self.0 {
+            f(x);
+        }
+    }
+}
+
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for c in self.slice.chunks(self.size) {
+            f(c);
+        }
+    }
+}
+
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for c in self.slice.chunks_mut(self.size) {
+            f(c);
+        }
+    }
+}
+
+pub struct RangeProducer(Range<usize>);
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.0.end.saturating_sub(self.0.start)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let m = self.0.start + mid;
+        (RangeProducer(self.0.start..m), RangeProducer(m..self.0.end))
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for i in self.0 {
+            f(i);
+        }
+    }
+}
+
+pub struct VecProducer<T: Send>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    const INDEXED: bool = true;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let right = self.0.split_off(mid);
+        (self, VecProducer(right))
+    }
+    fn each<F: FnMut(Self::Item)>(self, mut f: F) {
+        for x in self.0 {
+            f(x);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter producers
+// ---------------------------------------------------------------------------
+
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    const INDEXED: bool = P::INDEXED;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            MapProducer {
+                base: l,
+                f: self.f.clone(),
+            },
+            MapProducer { base: r, f: self.f },
+        )
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        let MapProducer { base, f } = self;
+        base.each(|x| g(f(x)));
+    }
+}
+
+pub struct FilterProducer<P, F> {
+    base: P,
+    pred: Arc<F>,
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    const INDEXED: bool = false;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FilterProducer {
+                base: l,
+                pred: self.pred.clone(),
+            },
+            FilterProducer {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        let FilterProducer { base, pred } = self;
+        base.each(|x| {
+            if pred(&x) {
+                g(x);
+            }
+        });
+    }
+}
+
+pub struct FilterMapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> Producer for FilterMapProducer<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+    const INDEXED: bool = false;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FilterMapProducer {
+                base: l,
+                f: self.f.clone(),
+            },
+            FilterMapProducer { base: r, f: self.f },
+        )
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        let FilterMapProducer { base, f } = self;
+        base.each(|x| {
+            if let Some(y) = f(x) {
+                g(y);
+            }
+        });
+    }
+}
+
+pub struct FlatMapIterProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, I, F> Producer for FlatMapIterProducer<P, F>
+where
+    P: Producer,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Send + Sync,
+{
+    type Item = I::Item;
+    const INDEXED: bool = false;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            FlatMapIterProducer {
+                base: l,
+                f: self.f.clone(),
+            },
+            FlatMapIterProducer { base: r, f: self.f },
+        )
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        let FlatMapIterProducer { base, f } = self;
+        base.each(|x| {
+            for y in f(x) {
+                g(y);
+            }
+        });
+    }
+}
+
+/// Valid on one-item-per-unit bases (sources, `map`, `zip`) — the same
+/// restriction rayon expresses through `IndexedParallelIterator`.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    const INDEXED: bool = P::INDEXED;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        let mut i = self.offset;
+        self.base.each(|x| {
+            g((i, x));
+            i += 1;
+        });
+    }
+}
+
+/// Lockstep pairing of two equal-length one-item-per-unit producers
+/// (truncated to the shorter at construction).
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    const INDEXED: bool = A::INDEXED && B::INDEXED;
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+    fn each<G: FnMut(Self::Item)>(self, mut g: G) {
+        // Internal iteration cannot interleave two producers, so one leaf's
+        // right side is buffered (items are usually references, and the
+        // buffer spans one leaf, not the input). Stepping both sides with
+        // split_at(1) would avoid the buffer but is O(n²) for Vec-backed
+        // producers, whose split_off shifts the tail on every split.
+        let mut right = Vec::with_capacity(self.b.len());
+        self.b.each(|y| right.push(y));
+        let mut it = right.into_iter();
+        self.a.each(|x| {
+            if let Some(y) = it.next() {
+                g((x, y));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The user-facing iterator wrapper
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator: a [`Producer`] plus adapter/terminal methods.
+pub struct ParIter<P>(P);
+
+impl<P: Producer> ParIter<P> {
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync,
+    {
+        ParIter(MapProducer {
+            base: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn filter<F>(self, pred: F) -> ParIter<FilterProducer<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        ParIter(FilterProducer {
+            base: self.0,
+            pred: Arc::new(pred),
+        })
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<FilterMapProducer<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> Option<R> + Send + Sync,
+    {
+        ParIter(FilterMapProducer {
+            base: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<FlatMapIterProducer<P, F>>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(P::Item) -> I + Send + Sync,
+    {
+        ParIter(FlatMapIterProducer {
+            base: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        assert!(
+            P::INDEXED,
+            "enumerate() after filter/filter_map/flat_map_iter is not indexed \
+             (real rayon rejects this at compile time via IndexedParallelIterator)"
+        );
+        ParIter(EnumerateProducer {
+            base: self.0,
+            offset: 0,
+        })
+    }
+
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<ZipProducer<P, Q>> {
+        assert!(
+            P::INDEXED && Q::INDEXED,
+            "zip() requires indexed sides (no filter/filter_map/flat_map_iter \
+             upstream); real rayon rejects this at compile time"
+        );
+        let n = self.0.len().min(other.0.len());
+        let (a, _) = self.0.split_at(n);
+        let (b, _) = other.0.split_at(n);
+        ParIter(ZipProducer { a, b })
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        let mu = min_units(self.0.len());
+        drive(self.0, &|p: P| p.each(&f), &|(), ()| (), mu);
+    }
+
+    pub fn collect<C: FromParallelIterator<P::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        let mu = min_units(self.0.len());
+        drive(
+            self.0,
+            &|p: P| {
+                let mut acc = Some(identity());
+                p.each(|x| acc = Some(op(acc.take().expect("reduce accumulator"), x)));
+                acc.expect("reduce accumulator")
+            },
+            &|a, b| op(a, b),
+            mu,
+        )
+    }
+
+    pub fn reduce_with<OP>(self, op: OP) -> Option<P::Item>
+    where
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        let mu = min_units(self.0.len());
+        drive(
+            self.0,
+            &|p: P| {
+                let mut acc: Option<P::Item> = None;
+                p.each(|x| {
+                    acc = Some(match acc.take() {
+                        Some(a) => op(a, x),
+                        None => x,
+                    });
+                });
+                acc
+            },
+            &|a, b| match (a, b) {
+                (Some(a), Some(b)) => Some(op(a, b)),
+                (a, None) => a,
+                (None, b) => b,
+            },
+            mu,
+        )
+    }
+
+    pub fn count(self) -> usize {
+        let mu = min_units(self.0.len());
+        drive(
+            self.0,
+            &|p: P| {
+                let mut n = 0usize;
+                p.each(|_| n += 1);
+                n
+            },
+            &|a, b| a + b,
+            mu,
+        )
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        let mu = min_units(self.0.len());
+        drive(
+            self.0,
+            &|p: P| {
+                let mut items = Vec::new();
+                p.each(|x| items.push(x));
+                items.into_iter().sum::<S>()
+            },
+            &|a, b| [a, b].into_iter().sum::<S>(),
+            mu,
+        )
+    }
+
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.reduce_with(|a, b| if b < a { b } else { a })
+    }
+
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.reduce_with(|a, b| if b > a { b } else { a })
+    }
+
+    pub fn any<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        self.map(pred).reduce(|| false, |a, b| a || b)
+    }
+
+    pub fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Send + Sync,
+    {
+        self.map(pred).reduce(|| true, |a, b| a && b)
+    }
+}
+
+/// Order-preserving parallel `collect`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
+        let mu = min_units(iter.0.len());
+        drive(
+            iter.0,
+            &|p: P| {
+                let mut v = Vec::new();
+                p.each(|x| v.push(x));
+                v
+            },
+            &|mut a: Vec<T>, mut b: Vec<T>| {
+                a.append(&mut b);
+                a
+            },
+            mu,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the prelude)
+// ---------------------------------------------------------------------------
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter(SliceProducer(self))
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksProducer { slice: self, size })
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter(SliceMutProducer(self))
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksMutProducer { slice: self, size })
+    }
+}
+
+/// `into_par_iter` on owning/indexable sources.
+pub trait IntoParallelIterator {
+    type Producer: Producer;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Producer = RangeProducer;
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        ParIter(RangeProducer(self))
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Producer = VecProducer<T>;
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        ParIter(VecProducer(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_adapters_match_sequential() {
+        let v: Vec<i64> = (0..50_000).collect();
+        let par: Vec<i64> = v
+            .par_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(i, &x)| x + i as i64)
+            .collect();
+        let seq: Vec<i64> = v
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(i, &x)| x + i as i64)
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zip_and_chunks_line_up() {
+        let a: Vec<u32> = (0..10_000).collect();
+        let mut out = vec![0u32; 10_000];
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(o, &x)| *o = x + 1);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+
+        let sums: Vec<u32> = a.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 100);
+        assert_eq!(sums.iter().sum::<u32>(), a.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn reduce_and_flat_map() {
+        let total = (0..1_000usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 499_500);
+        let doubled: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map_iter(|i| [i, i])
+            .collect();
+        assert_eq!(doubled.len(), 200);
+        assert_eq!(doubled[..4], [0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for [rayon](https://github.com/rayon-rs/rayon).
+//!
+//! This workspace vendors a minimal, dependency-free re-implementation of
+//! the rayon API surface it actually uses, so the build works with no
+//! registry access. The semantics mirror rayon where it matters:
+//!
+//! * [`join`] really runs both closures concurrently (scoped `std::thread`)
+//!   as long as the current pool's thread budget allows, and degrades to
+//!   sequential execution when it does not — so `ThreadPool` sizes behave
+//!   like rayon's (`num_threads(1)` is genuinely sequential `T1`).
+//! * The parallel iterators in [`prelude`] are *indexed* producers that
+//!   split recursively and execute leaves sequentially, driving the splits
+//!   through [`join`]. Ordering guarantees match rayon's indexed iterators:
+//!   `collect` preserves input order.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] scope a thread budget
+//!   (propagated into spawned workers), which `current_num_threads` reports.
+//!
+//! The scheduler is a budgeted fork-join, not a work-stealing deque; see
+//! DESIGN.md §7 for the substitution rationale and the upgrade path to real
+//! rayon when a registry is available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+pub mod iter;
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// A pool is just a thread budget shared by everything running "inside" it.
+struct PoolState {
+    /// Maximum number of concurrently running worker threads (including the
+    /// thread that called [`ThreadPool::install`]).
+    limit: usize,
+    /// Number of *extra* threads currently spawned by [`join`].
+    active: AtomicUsize,
+}
+
+impl PoolState {
+    fn new(limit: usize) -> Arc<Self> {
+        Arc::new(PoolState {
+            limit: limit.max(1),
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Try to reserve a slot for one more concurrent worker.
+    fn try_acquire(&self) -> bool {
+        self.active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
+                if a + 1 < self.limit {
+                    Some(a + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The process-wide pool every thread falls back to. Initialized lazily to
+/// the machine parallelism, or explicitly (once, before any parallel work)
+/// by [`ThreadPoolBuilder::build_global`].
+static DEFAULT: OnceLock<Arc<PoolState>> = OnceLock::new();
+
+fn default_state() -> Arc<PoolState> {
+    DEFAULT
+        .get_or_init(|| {
+            PoolState::new(
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+            )
+        })
+        .clone()
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<PoolState>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current_state() -> Arc<PoolState> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(default_state)
+}
+
+/// Runs `f` with `state` as the thread's current pool, restoring on exit.
+fn with_state<R>(state: Arc<PoolState>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<PoolState>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(state));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Number of threads in the current pool (the machine default when no
+/// explicit pool is installed).
+pub fn current_num_threads() -> usize {
+    current_state().limit
+}
+
+/// Runs `a` and `b`, in parallel when the current pool has a spare thread,
+/// sequentially otherwise. Returns both results; propagates panics.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let state = current_state();
+    if state.try_acquire() {
+        struct Release<'a>(&'a PoolState);
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                self.0.release();
+            }
+        }
+        let _release = Release(&state);
+        let worker_state = state.clone();
+        std::thread::scope(|s| {
+            let hb = s.spawn(move || with_state(worker_state, b));
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. This shim cannot actually fail
+/// to build a pool, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a fixed thread budget.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (`0` means the machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let limit = self.num_threads.unwrap_or_else(|| default_state().limit);
+        Ok(ThreadPool {
+            state: PoolState::new(limit),
+        })
+    }
+
+    /// Installs this budget as the process-wide default pool, visible from
+    /// every thread. Matches rayon's contract of failing if the global pool
+    /// was already initialized (explicitly, or implicitly by parallel work
+    /// that already ran).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        // Compute the limit without default_state(), which would itself
+        // initialize DEFAULT and make this set() always fail.
+        let limit = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+        DEFAULT
+            .set(PoolState::new(limit))
+            .map_err(|_| ThreadPoolBuildError(()))
+    }
+}
+
+/// A scoped thread budget. All parallel work executed under
+/// [`ThreadPool::install`] (including from threads [`join`] spawns) is
+/// limited to this pool's thread count.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        with_state(self.state.clone(), op)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.state.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "x".repeat(3));
+        assert_eq!(a, 4);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn join_actually_runs_concurrently_with_budget() {
+        use std::sync::mpsc;
+        // Rendezvous: both sides must be alive at once to finish.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let (txa, rxa) = mpsc::channel();
+            let (txb, rxb) = mpsc::channel();
+            join(
+                move || {
+                    txa.send(()).unwrap();
+                    rxb.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+                },
+                move || {
+                    txb.send(()).unwrap();
+                    rxa.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+                },
+            );
+        });
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Nested pools restore the outer budget.
+        let outer = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let (o, i) = outer.install(|| {
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            let i = inner.install(current_num_threads);
+            (current_num_threads(), i)
+        });
+        assert_eq!((o, i), (5, 2));
+    }
+
+    #[test]
+    fn single_thread_pool_never_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let main = std::thread::current().id();
+            let (ta, tb) = join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(ta, main);
+            assert_eq!(tb, main);
+        });
+    }
+
+    #[test]
+    fn budget_propagates_into_spawned_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let (_, inner) = join(|| (), current_num_threads);
+            assert_eq!(inner, 4);
+        });
+    }
+
+    #[test]
+    fn par_iter_collect_preserves_order() {
+        let v: Vec<u64> = (0..100_000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), v.len());
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| (), || panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

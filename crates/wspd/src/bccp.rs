@@ -6,11 +6,7 @@ use pargeo_kdtree::tree::{KdTree, NodeId, SplitRule};
 /// Closest pair between the point sets under two nodes of the same tree:
 /// `(original id in a, original id in b, distance)`. Standard dual-tree
 /// descent with box-distance pruning.
-pub fn bccp_nodes<const D: usize>(
-    tree: &KdTree<D>,
-    a: NodeId,
-    b: NodeId,
-) -> (u32, u32, f64) {
+pub fn bccp_nodes<const D: usize>(tree: &KdTree<D>, a: NodeId, b: NodeId) -> (u32, u32, f64) {
     let mut best = (u32::MAX, u32::MAX, f64::INFINITY);
     bccp_rec(tree, tree, a, b, &mut best);
     (best.0, best.1, best.2.sqrt())

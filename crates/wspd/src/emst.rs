@@ -125,9 +125,7 @@ fn sides_connected<const D: usize>(
     // Only exact when both nodes are single-component internally, which
     // holds for singleton/duplicate leaves; for larger nodes this filter
     // simply never fires (conservative).
-    tree.node_size(a) == 1
-        && tree.node_size(b) == 1
-        && uf.find_readonly(ia) == uf.find_readonly(ib)
+    tree.node_size(a) == 1 && tree.node_size(b) == 1 && uf.find_readonly(ia) == uf.find_readonly(ib)
 }
 
 fn connect_duplicates<const D: usize>(

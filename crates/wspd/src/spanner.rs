@@ -25,10 +25,7 @@ pub fn spanner<const D: usize>(points: &[Point<D>], t: f64) -> Vec<SpannerEdge> 
 
 /// Builds the spanner for an explicit WSPD separation `s` (stretch
 /// `t = (s+4)/(s-4)` for `s > 4`).
-pub fn spanner_with_separation<const D: usize>(
-    points: &[Point<D>],
-    s: f64,
-) -> Vec<SpannerEdge> {
+pub fn spanner_with_separation<const D: usize>(points: &[Point<D>], s: f64) -> Vec<SpannerEdge> {
     let (tree, pairs) = wspd(points, s);
     pairs
         .par_iter()

@@ -28,10 +28,7 @@ pub fn wspd<const D: usize>(points: &[Point<D>], s: f64) -> (KdTree<D>, Vec<(Nod
 /// leaf size 1 (asserted).
 pub fn wspd_from_tree<const D: usize>(tree: &KdTree<D>, s: f64) -> Vec<(NodeId, NodeId)> {
     assert!(s > 0.0, "separation must be positive");
-    assert!(
-        tree.leaf_size() == 1,
-        "WSPD requires a leaf-size-1 kd-tree"
-    );
+    assert!(tree.leaf_size() == 1, "WSPD requires a leaf-size-1 kd-tree");
     let Some(root) = tree.root_id() else {
         return Vec::new();
     };

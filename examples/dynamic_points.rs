@@ -20,7 +20,10 @@ fn main() {
     let batch = n / batches;
     let pts = uniform_cube::<3>(n, 13);
     let queries: Vec<Point3> = pts.iter().step_by(50).copied().collect();
-    println!("== Streaming updates: {batches} batches of {batch} points, {} queries ==\n", queries.len());
+    println!(
+        "== Streaming updates: {batches} batches of {batch} points, {} queries ==\n",
+        queries.len()
+    );
 
     // BDL-tree: the paper's contribution.
     let t = Instant::now();
@@ -121,6 +124,8 @@ fn main() {
     let d_b1 = b1.knn(q, 1)[0].dist_sq;
     let d_b2 = b2.knn(q, 1)[0].dist_sq;
     let d_zd = zd.knn(q, 1)[0].dist_sq;
-    assert!((d_bdl - d_b1).abs() < 1e-9 && (d_b1 - d_b2).abs() < 1e-9 && (d_b2 - d_zd).abs() < 1e-9);
+    assert!(
+        (d_bdl - d_b1).abs() < 1e-9 && (d_b1 - d_b2).abs() < 1e-9 && (d_b2 - d_zd).abs() < 1e-9
+    );
     println!("\nall four structures agree on nearest-neighbor distances ✓");
 }

@@ -100,7 +100,10 @@ fn main() {
         t.elapsed()
     );
     let nn = bdl.knn(&pts3[m / 2], 3);
-    println!("BDL 3-NN of a survivor: {:?}", nn.iter().map(|x| x.id).collect::<Vec<_>>());
+    println!(
+        "BDL 3-NN of a survivor: {:?}",
+        nn.iter().map(|x| x.id).collect::<Vec<_>>()
+    );
 
     println!("\nAll modules exercised. See EXPERIMENTS.md for the paper reproduction.");
 }

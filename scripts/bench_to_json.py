@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Parses a bench binary's markdown-table stdout into a baseline JSON.
+
+Used by record_bench.sh; keeps only machine-comparable facts (command,
+size, thread count, table rows) so baselines diff cleanly.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--n", type=int, required=True)
+    args = ap.parse_args()
+
+    header: list[str] = []
+    rows = []
+    title = ""
+    for line in sys.stdin:
+        line = line.strip()
+        if line.startswith("# "):
+            title = line[2:]
+            continue
+        if not (line.startswith("|") and line.endswith("|")):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if all(set(c) <= {"-"} for c in cells):
+            continue  # separator row
+        if not header:
+            header = cells
+        else:
+            rows.append(dict(zip(header, cells)))
+
+    json.dump(
+        {
+            "binary": args.binary,
+            "title": title,
+            "n": args.n,
+            "threads": os.cpu_count(),
+            "columns": header,
+            "rows": rows,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Records BENCH_<binary>.json baselines from the paper-reproduction
+# binaries (see EXPERIMENTS.md "Baselines"). Small-n smoke scale by
+# default: the goal is an end-to-end health anchor, not a publishable
+# number.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${PARGEO_N:-50000}"
+BINARIES=("$@")
+if [ ${#BINARIES[@]} -eq 0 ]; then
+    BINARIES=(table1 fig8_hull2d)
+fi
+
+cargo build --release -p pargeo-bench 2>&1 | tail -1
+
+for bin in "${BINARIES[@]}"; do
+    out="BENCH_${bin}.json"
+    echo "recording ${bin} (PARGEO_N=${N}) -> ${out}"
+    PARGEO_N="$N" "./target/release/${bin}" | python3 scripts/bench_to_json.py \
+        --binary "$bin" --n "$N" > "$out"
+done

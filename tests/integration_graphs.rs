@@ -7,10 +7,7 @@ use pargeo::prelude::*;
 use pargeo::wspd::emst::emst_prim_brute;
 
 fn edge_set(edges: &[(u32, u32)]) -> std::collections::HashSet<(u32, u32)> {
-    edges
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect()
+    edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect()
 }
 
 #[test]
@@ -21,10 +18,8 @@ fn graph_hierarchy_holds() {
     let gab = edge_set(&gabriel_graph(&pts, &d));
     let b2 = edge_set(&beta_skeleton(&pts, 2.0));
     let mst = emst(&pts);
-    let mst_edges: std::collections::HashSet<(u32, u32)> = mst
-        .iter()
-        .map(|e| (e.u.min(e.v), e.u.max(e.v)))
-        .collect();
+    let mst_edges: std::collections::HashSet<(u32, u32)> =
+        mst.iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
 
     assert!(gab.is_subset(&del), "Gabriel ⊆ Delaunay");
     assert!(b2.is_subset(&gab), "β=2 ⊆ Gabriel");
