@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "convex_hull_3d",
     "spatial_graphs",
     "dynamic_points",
+    "range_queries",
 ];
 
 const SMOKE_N: &str = "5000";
@@ -74,8 +75,13 @@ fn dynamic_points_runs() {
 }
 
 #[test]
+fn range_queries_runs() {
+    run_example("range_queries");
+}
+
+#[test]
 fn smoke_covers_every_example() {
     // Keep EXAMPLES and the per-example tests in sync with the manifest.
     let listed: std::collections::BTreeSet<_> = EXAMPLES.iter().copied().collect();
-    assert_eq!(listed.len(), 4);
+    assert_eq!(listed.len(), 5);
 }

@@ -14,13 +14,16 @@
 //! * [`statue_surface`] — stand-in for the Stanford *Thai Statue* / *Dragon*
 //!   scans: a dense sample of a closed, bumpy 2-manifold in `R³` (see
 //!   DESIGN.md §5 for the substitution rationale).
+//! * [`uniform_segments`] / [`uniform_rects`] / [`uniform_intervals`] —
+//!   object families for the `rangequery` subsystem (segment, rectangle,
+//!   and interval query workloads à la Sun & Blelloch).
 //!
 //! All generators except the (inherently sequential) seed spreader produce
 //! point `i` from a counter-mode hash of `(seed, i)`, so generation is
 //! embarrassingly parallel and the output is identical regardless of thread
 //! count.
 
-use pargeo_geometry::Point;
+use pargeo_geometry::{Bbox, Point};
 use pargeo_parlay::shuffle::splitmix64;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -55,9 +58,13 @@ impl Counter {
     }
 }
 
-fn gen_parallel<const D: usize, F>(n: usize, f: F) -> Vec<Point<D>>
+/// Counter-mode generation harness: `f(i)` produces object `i`, in
+/// parallel above the sequential cutoff (works for points, segment pairs,
+/// boxes — anything `Send`).
+fn gen_parallel<T, F>(n: usize, f: F) -> Vec<T>
 where
-    F: Fn(usize) -> Point<D> + Send + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
 {
     if n < 4096 {
         (0..n).map(f).collect()
@@ -216,6 +223,63 @@ pub fn statue_surface(n: usize, seed: u64) -> Vec<Point<3>> {
     })
 }
 
+/// `n` random segments in the standard `[0, √n]^D` domain: first endpoint
+/// uniform, direction uniform on the sphere, length uniform in
+/// `(0, max_len_frac × √n]`. Seeded and counter-mode parallel like the
+/// point generators. The second endpoint may stick out of the domain by up
+/// to the segment length — query workloads don't care, and clamping would
+/// bias directions near the boundary.
+pub fn uniform_segments<const D: usize>(
+    n: usize,
+    seed: u64,
+    max_len_frac: f64,
+) -> Vec<(Point<D>, Point<D>)> {
+    let side = cube_side(n);
+    gen_parallel(n, |i| {
+        let mut rng = Counter::new(seed, i);
+        let mut c = [0.0; D];
+        for x in c.iter_mut() {
+            *x = rng.next_f64() * side;
+        }
+        let a = Point::new(c);
+        let dir = unit_sphere_point::<D>(&mut rng);
+        let len = rng.next_f64() * max_len_frac * side;
+        (a, a + dir * len)
+    })
+}
+
+/// `n` random axis-aligned boxes in the `[0, √n]^D` domain: center uniform,
+/// each side length uniform in `(0, max_side_frac × √n]`. Seeded and
+/// counter-mode parallel.
+pub fn uniform_rects<const D: usize>(n: usize, seed: u64, max_side_frac: f64) -> Vec<Bbox<D>> {
+    let side = cube_side(n);
+    gen_parallel(n, |i| {
+        let mut rng = Counter::new(seed, i);
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for d in 0..D {
+            let center = rng.next_f64() * side;
+            let half = rng.next_f64() * max_side_frac * side / 2.0;
+            lo[d] = center - half;
+            hi[d] = center + half;
+        }
+        Bbox {
+            min: Point::new(lo),
+            max: Point::new(hi),
+        }
+    })
+}
+
+/// `n` random closed intervals `(lo, hi)` with `lo ≤ hi` in `[0, √n]` —
+/// the 1D specialization of [`uniform_segments`], pre-normalized for
+/// interval-tree workloads.
+pub fn uniform_intervals(n: usize, seed: u64, max_len_frac: f64) -> Vec<(f64, f64)> {
+    uniform_segments::<1>(n, seed, max_len_frac)
+        .into_iter()
+        .map(|(a, b)| (a[0].min(b[0]), a[0].max(b[0])))
+        .collect()
+}
+
 /// Uniform direction on the unit sphere (Gaussian normalization).
 fn unit_sphere_point<const D: usize>(rng: &mut Counter) -> Point<D> {
     loop {
@@ -337,6 +401,53 @@ mod tests {
         let mean: f64 = pts.iter().map(|p| p.norm()).sum::<f64>() / n as f64;
         let var: f64 = pts.iter().map(|p| (p.norm() - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(var.sqrt() > 0.05 * r);
+    }
+
+    #[test]
+    fn segments_are_bounded_and_deterministic() {
+        let n = 5_000;
+        let segs = uniform_segments::<2>(n, 1, 0.1);
+        assert_eq!(segs.len(), n);
+        assert_eq!(segs, uniform_segments::<2>(n, 1, 0.1));
+        assert_ne!(segs, uniform_segments::<2>(n, 2, 0.1));
+        let side = cube_side(n);
+        for (a, b) in &segs {
+            for d in 0..2 {
+                assert!(a[d] >= 0.0 && a[d] < side);
+            }
+            assert!(a.dist(b) <= 0.1 * side * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn rects_are_well_formed_and_bounded() {
+        let n = 5_000;
+        let rects = uniform_rects::<3>(n, 4, 0.2);
+        assert_eq!(rects.len(), n);
+        assert_eq!(rects, uniform_rects::<3>(n, 4, 0.2));
+        let side = cube_side(n);
+        for r in &rects {
+            assert!(!r.is_empty());
+            for d in 0..3 {
+                assert!(r.max[d] - r.min[d] <= 0.2 * side * (1.0 + 1e-9));
+                assert!(r.min[d] > -0.5 * side && r.max[d] < 1.5 * side);
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_are_normalized() {
+        let iv = uniform_intervals(3_000, 7, 0.05);
+        assert_eq!(iv.len(), 3_000);
+        for &(lo, hi) in &iv {
+            assert!(lo <= hi);
+        }
+        // Matches the 1D segment generator it is built on.
+        let segs = uniform_segments::<1>(3_000, 7, 0.05);
+        for ((lo, hi), (a, b)) in iv.iter().zip(&segs) {
+            assert_eq!(*lo, a[0].min(b[0]));
+            assert_eq!(*hi, a[0].max(b[0]));
+        }
     }
 
     #[test]

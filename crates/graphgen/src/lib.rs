@@ -76,8 +76,9 @@ pub fn beta_skeleton(points: &[Point2], beta: f64) -> Vec<(u32, u32)> {
             let r = beta * len / 2.0;
             let c1 = pu + (pv - pu) * (beta / 2.0);
             let c2 = pv + (pu - pv) * (beta / 2.0);
-            // Range search the smaller disk, then test lune membership.
-            let hits = tree.range_ball(&c1, r);
+            // Range search the smaller disk, then test lune membership
+            // (order-insensitive, so skip the sorted-output contract).
+            let hits = tree.range_ball_unsorted(&c1, r);
             let r_sq = r * r;
             hits.into_iter().all(|w| {
                 if w == u || w == v {

@@ -3,18 +3,25 @@
 //! Standard kd-tree range reporting: subtrees entirely inside the query are
 //! reported wholesale, disjoint subtrees are pruned, straddling subtrees
 //! recurse. Batch variants are data-parallel over queries.
+//!
+//! Reporting output is **deterministic**: ids come back sorted ascending
+//! regardless of tree shape, split rule, or thread count — the contract the
+//! `pargeo-rangequery` `BatchQuery` backends rely on so kd-tree and
+//! range-tree answers are comparable verbatim.
 
 use crate::tree::{KdTree, Node};
 use pargeo_geometry::{Bbox, Point};
 use rayon::prelude::*;
 
 impl<const D: usize> KdTree<D> {
-    /// Original ids of all points inside `query` (boundary inclusive).
+    /// Original ids of all points inside `query` (boundary inclusive),
+    /// sorted ascending.
     pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
         let mut out = Vec::new();
         if let Some(root) = self.root() {
             self.range_box_rec(root, query, &mut out);
         }
+        out.sort_unstable();
         out
     }
 
@@ -39,8 +46,17 @@ impl<const D: usize> KdTree<D> {
     }
 
     /// Original ids of all points within distance `radius` of `center`
-    /// (boundary inclusive).
+    /// (boundary inclusive), sorted ascending.
     pub fn range_ball(&self, center: &Point<D>, radius: f64) -> Vec<u32> {
+        let mut out = self.range_ball_unsorted(center, radius);
+        out.sort_unstable();
+        out
+    }
+
+    /// Like [`KdTree::range_ball`] but in traversal order (unspecified):
+    /// for membership-style consumers that don't need the sorted-output
+    /// contract and sit in hot loops (e.g. β-skeleton lune tests).
+    pub fn range_ball_unsorted(&self, center: &Point<D>, radius: f64) -> Vec<u32> {
         let mut out = Vec::new();
         let r_sq = radius * radius;
         if let Some(root) = self.root() {
@@ -190,8 +206,8 @@ mod tests {
                     min: Point2::new([side * f * 0.5, side * 0.1]),
                     max: Point2::new([side * (0.3 + f * 0.5), side * (0.2 + f * 0.6)]),
                 };
-                let mut got = t.range_box(&q);
-                got.sort();
+                // No sort on `got`: reporting output is sorted by contract.
+                let got = t.range_box(&q);
                 assert_eq!(got, brute_box(&pts, &q));
                 assert_eq!(t.count_box(&q), got.len());
             }
@@ -205,9 +221,7 @@ mod tests {
         let t = KdTree::build(&pts, SplitRule::ObjectMedian);
         for (i, c) in pts.iter().step_by(211).enumerate() {
             let r = side * (0.05 + 0.05 * i as f64);
-            let mut got = t.range_ball(c, r);
-            got.sort();
-            assert_eq!(got, brute_ball(&pts, c, r));
+            assert_eq!(t.range_ball(c, r), brute_ball(&pts, c, r));
         }
     }
 
@@ -221,8 +235,7 @@ mod tests {
         };
         assert!(t.range_box(&empty).is_empty());
         let all = t.bbox();
-        let mut got = t.range_box(&all);
-        got.sort();
+        let got = t.range_box(&all);
         assert_eq!(got.len(), 1_000);
     }
 
@@ -233,11 +246,26 @@ mod tests {
         let queries: Vec<(Point2, f64)> = pts.iter().step_by(83).map(|p| (*p, 3.0)).collect();
         let batch = t.range_ball_batch(&queries);
         for ((c, r), row) in queries.iter().zip(&batch) {
-            let mut want = t.range_ball(c, *r);
-            want.sort();
-            let mut got = row.clone();
-            got.sort();
-            assert_eq!(got, want);
+            assert_eq!(row, &t.range_ball(c, *r));
+        }
+    }
+
+    #[test]
+    fn reporting_is_sorted_regardless_of_split_rule() {
+        let pts = uniform_cube::<2>(3_000, 7);
+        let side = pargeo_datagen::cube_side(3_000);
+        let q = Bbox {
+            min: Point2::new([side * 0.2, side * 0.2]),
+            max: Point2::new([side * 0.8, side * 0.8]),
+        };
+        let want = brute_box(&pts, &q); // ascending by construction
+        for rule in [SplitRule::ObjectMedian, SplitRule::SpatialMedian] {
+            let t = KdTree::build(&pts, rule);
+            assert_eq!(t.range_box(&q), want);
+            assert!(t
+                .range_ball(&q.center(), side * 0.3)
+                .windows(2)
+                .all(|w| w[0] < w[1]));
         }
     }
 

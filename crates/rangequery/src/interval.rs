@@ -1,0 +1,288 @@
+//! Parallel centered interval tree for stabbing and segment queries.
+//!
+//! The 1D member of the Sun & Blelloch query family: a static set of closed
+//! intervals `[l, r]` answering
+//!
+//! * **stabbing count/report** — which intervals contain a point `x`, and
+//! * **intersection counting** — how many intervals meet a query interval
+//!   `[a, b]` (the segment-query analogue on the line).
+//!
+//! Counting needs no tree at all: with the left and right endpoints each
+//! sorted (two parallel [`sample_sort_by`] calls), a stab count is
+//! `|{l ≤ x}| − |{r < x}|` and an intersection count is
+//! `|{l ≤ b}| − |{r < a}|` — two binary searches per query, embarrassingly
+//! parallel over a batch. Reporting uses the classic centered interval
+//! tree, built with fork-join recursion ([`par_do`]): each node stores the
+//! intervals crossing its center sorted by left endpoint (ascending) and by
+//! right endpoint (descending), so a stab reports `k` intervals in
+//! `O(log n + k)`.
+
+use crate::batch::{BatchQuery, Count, Report};
+use pargeo_parlay::{par_do, sample_sort_by};
+
+/// Recursion size below which the build runs sequentially.
+const SEQ_BUILD_CUTOFF: usize = 2048;
+
+/// One node of the centered tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// The partition point: every stored interval satisfies `l ≤ c ≤ r`.
+    center: f64,
+    /// Crossing intervals as `(l, id)`, sorted by `l` ascending.
+    by_left: Vec<(f64, u32)>,
+    /// Crossing intervals as `(r, id)`, sorted by `r` descending.
+    by_right: Vec<(f64, u32)>,
+    /// Subtree of intervals entirely left of `center` (`r < c`).
+    left: Option<Box<Node>>,
+    /// Subtree of intervals entirely right of `center` (`l > c`).
+    right: Option<Box<Node>>,
+}
+
+/// A static set of closed 1D intervals supporting stabbing and
+/// intersection queries. Build once with [`IntervalTree::build`].
+#[derive(Debug, Clone)]
+pub struct IntervalTree {
+    n: usize,
+    /// All left endpoints, sorted ascending.
+    lefts: Vec<f64>,
+    /// All right endpoints, sorted ascending.
+    rights: Vec<f64>,
+    root: Option<Box<Node>>,
+}
+
+impl IntervalTree {
+    /// Builds the tree over `intervals`; each `(a, b)` is normalized to the
+    /// closed interval `[min(a,b), max(a,b)]` and identified by its index.
+    pub fn build(intervals: &[(f64, f64)]) -> Self {
+        let n = intervals.len();
+        let mut items: Vec<(f64, f64, u32)> = intervals
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (a.min(b), a.max(b), i as u32))
+            .collect();
+        let mut lefts: Vec<f64> = items.iter().map(|t| t.0).collect();
+        let mut rights: Vec<f64> = items.iter().map(|t| t.1).collect();
+        let (root, _) = par_do(
+            || build_node(&mut items),
+            || {
+                par_do(
+                    || sample_sort_by(&mut lefts, f64::total_cmp),
+                    || sample_sort_by(&mut rights, f64::total_cmp),
+                )
+            },
+        );
+        Self {
+            n,
+            lefts,
+            rights,
+            root,
+        }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of intervals containing `x` (boundary inclusive).
+    pub fn stab_count(&self, x: f64) -> usize {
+        let started = self.lefts.partition_point(|&l| l <= x);
+        let ended = self.rights.partition_point(|&r| r < x);
+        started - ended
+    }
+
+    /// Ids of all intervals containing `x`, sorted ascending.
+    pub fn stab_report(&self, x: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(nd) = node {
+            if x < nd.center {
+                for &(l, id) in &nd.by_left {
+                    if l <= x {
+                        out.push(id);
+                    } else {
+                        break;
+                    }
+                }
+                node = nd.left.as_deref();
+            } else {
+                for &(r, id) in &nd.by_right {
+                    if r >= x {
+                        out.push(id);
+                    } else {
+                        break;
+                    }
+                }
+                node = nd.right.as_deref();
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of intervals intersecting `[a, b]` (touching counts).
+    pub fn intersect_count(&self, a: f64, b: f64) -> usize {
+        let (a, b) = (a.min(b), a.max(b));
+        let possible = self.lefts.partition_point(|&l| l <= b);
+        let gone = self.rights.partition_point(|&r| r < a);
+        possible - gone
+    }
+}
+
+/// Recursive centered build: center = median interval midpoint; crossing
+/// intervals stay at the node, the rest split left/right and recurse in
+/// parallel. Both sides shrink strictly (at least one midpoint lies on each
+/// side of the median), so depth is bounded even on adversarial inputs.
+fn build_node(items: &mut [(f64, f64, u32)]) -> Option<Box<Node>> {
+    if items.is_empty() {
+        return None;
+    }
+    let mid = items.len() / 2;
+    pargeo_parlay::select_nth_unstable_by(items, mid, |a, b| {
+        (a.0 + a.1).total_cmp(&(b.0 + b.1)).then(a.2.cmp(&b.2))
+    });
+    let center = {
+        let (l, r, _) = items[mid];
+        (l + r) / 2.0
+    };
+    let mut cross: Vec<(f64, f64, u32)> = Vec::new();
+    let mut left_items: Vec<(f64, f64, u32)> = Vec::new();
+    let mut right_items: Vec<(f64, f64, u32)> = Vec::new();
+    for &it in items.iter() {
+        if it.1 < center {
+            left_items.push(it);
+        } else if it.0 > center {
+            right_items.push(it);
+        } else {
+            cross.push(it);
+        }
+    }
+    let mut by_left: Vec<(f64, u32)> = cross.iter().map(|&(l, _, id)| (l, id)).collect();
+    let mut by_right: Vec<(f64, u32)> = cross.iter().map(|&(_, r, id)| (r, id)).collect();
+    by_left.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    by_right.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let (left, right) = if items.len() >= SEQ_BUILD_CUTOFF {
+        par_do(
+            || build_node(&mut left_items),
+            || build_node(&mut right_items),
+        )
+    } else {
+        (build_node(&mut left_items), build_node(&mut right_items))
+    };
+    Some(Box::new(Node {
+        center,
+        by_left,
+        by_right,
+        left,
+        right,
+    }))
+}
+
+impl BatchQuery<Count<f64>> for IntervalTree {
+    type Answer = usize;
+
+    fn answer(&self, query: &Count<f64>) -> usize {
+        self.stab_count(query.0)
+    }
+}
+
+impl BatchQuery<Report<f64>> for IntervalTree {
+    type Answer = Vec<u32>;
+
+    fn answer(&self, query: &Report<f64>) -> Vec<u32> {
+        self.stab_report(query.0)
+    }
+}
+
+/// Interval-intersection counting: `Count((a, b))` answers how many stored
+/// intervals meet `[a, b]`.
+impl BatchQuery<Count<(f64, f64)>> for IntervalTree {
+    type Answer = usize;
+
+    fn answer(&self, query: &Count<(f64, f64)>) -> usize {
+        self.intersect_count(query.0 .0, query.0 .1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_intervals;
+
+    fn brute_stab(iv: &[(f64, f64)], x: f64) -> Vec<u32> {
+        iv.iter()
+            .enumerate()
+            .filter(|(_, &(l, r))| l <= x && x <= r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn stabbing_matches_brute_force() {
+        let iv = uniform_intervals(2_000, 1, 0.1);
+        let tree = IntervalTree::build(&iv);
+        assert_eq!(tree.len(), iv.len());
+        let domain = pargeo_datagen::cube_side(2_000);
+        for i in 0..200 {
+            let x = domain * i as f64 / 199.0;
+            let want = brute_stab(&iv, x);
+            assert_eq!(tree.stab_count(x), want.len(), "x={x}");
+            assert_eq!(tree.stab_report(x), want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn stabbing_endpoints_are_inclusive() {
+        let iv = [(0.0, 1.0), (1.0, 2.0), (3.0, 3.0)];
+        let tree = IntervalTree::build(&iv);
+        assert_eq!(tree.stab_report(1.0), vec![0, 1]);
+        assert_eq!(tree.stab_report(3.0), vec![2]);
+        assert_eq!(tree.stab_count(2.5), 0);
+        // Reversed endpoints normalize.
+        let rev = IntervalTree::build(&[(5.0, 4.0)]);
+        assert_eq!(rev.stab_count(4.5), 1);
+    }
+
+    #[test]
+    fn intersection_counts_match_brute_force() {
+        let iv = uniform_intervals(1_500, 2, 0.05);
+        let tree = IntervalTree::build(&iv);
+        let queries = uniform_intervals(300, 3, 0.2);
+        for &(a, b) in &queries {
+            let want = iv.iter().filter(|&&(l, r)| l <= b && r >= a).count();
+            assert_eq!(tree.intersect_count(a, b), want);
+        }
+        // Touching intervals count.
+        let t = IntervalTree::build(&[(0.0, 1.0)]);
+        assert_eq!(t.intersect_count(1.0, 2.0), 1);
+        assert_eq!(t.intersect_count(1.0 + 1e-12, 2.0), 0);
+    }
+
+    #[test]
+    fn nested_and_duplicate_intervals() {
+        // All intervals share the center: everything lands in one node.
+        let iv: Vec<(f64, f64)> = (0..100).map(|i| (-(i as f64), i as f64)).collect();
+        let tree = IntervalTree::build(&iv);
+        for x in [-50.5, 0.0, 50.5] {
+            assert_eq!(tree.stab_report(x), brute_stab(&iv, x), "x={x}");
+        }
+        let dup = vec![(1.0, 2.0); 64];
+        let tree = IntervalTree::build(&dup);
+        assert_eq!(tree.stab_count(1.5), 64);
+        assert_eq!(tree.stab_report(1.5).len(), 64);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = IntervalTree::build(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.stab_count(0.0), 0);
+        assert!(tree.stab_report(0.0).is_empty());
+        assert_eq!(tree.intersect_count(-1.0, 1.0), 0);
+    }
+}

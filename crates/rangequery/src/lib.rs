@@ -1,0 +1,55 @@
+//! # pargeo-rangequery — parallel range, segment, and rectangle queries
+//!
+//! The orthogonal-query module family of Sun & Blelloch's *"Parallel Range,
+//! Segment and Rectangle Queries with Augmented Maps"* (see PAPERS.md),
+//! grafted onto this workspace's ParGeo substrate. The original ParGeo stops
+//! at kd-tree spatial search; this crate adds the classic static structures
+//! for **batched** orthogonal queries over large query sets:
+//!
+//! * [`rangetree`] — a static 2D range tree ([`RangeTree2d`]): points sorted
+//!   by `x` with a layered hierarchy of `y`-sorted auxiliary arrays (the
+//!   flat-array form of the fractional-cascading range tree), built
+//!   bottom-up in parallel. Answers axis-aligned **count** and **report**
+//!   queries in `O(log² n)` / `O(log² n + k log k)` (the `k log k` pays
+//!   for the sorted-ids output contract).
+//! * [`interval`] — a centered interval tree ([`IntervalTree`]) over 1D
+//!   intervals. Answers **stabbing** count/report and interval
+//!   **intersection counting** (the 1D segment-query problem).
+//! * [`rect`] — a rectangle-intersection counter ([`RectangleSet`]) composed
+//!   from the two structures above: interval trees over the rectangles'
+//!   `x`/`y` shadows plus four dominance range trees over their corners.
+//! * [`batch`] — the shared [`BatchQuery`] trait: one `answer` per query
+//!   plus a data-parallel `answer_batch`, with [`Count`]/[`Report`] wrappers
+//!   selecting the answer mode. The kd-tree from `pargeo-kdtree` implements
+//!   the same trait, so tree backends are swappable in the benches.
+//!
+//! All structures are static (build once, query many), built with the
+//! `pargeo-parlay` primitives (`sample_sort_by`, fork-join recursion) and
+//! queried data-parallel over the batch — the parallelization strategy of
+//! the source paper, where inter-query parallelism dominates once batches
+//! are large.
+//!
+//! ```
+//! use pargeo_rangequery::{BatchQuery, Count, RangeTree2d};
+//! use pargeo_geometry::{Bbox, Point2};
+//!
+//! let pts = vec![
+//!     Point2::new([0.0, 0.0]),
+//!     Point2::new([1.0, 2.0]),
+//!     Point2::new([2.0, 1.0]),
+//! ];
+//! let tree = RangeTree2d::build(&pts);
+//! let q = Count(Bbox { min: Point2::new([0.5, 0.5]), max: Point2::new([2.5, 2.5]) });
+//! assert_eq!(tree.answer(&q), 2);
+//! assert_eq!(tree.answer_batch(&[q]), vec![2]);
+//! ```
+
+pub mod batch;
+pub mod interval;
+pub mod rangetree;
+pub mod rect;
+
+pub use batch::{BatchQuery, Count, Report, BATCH_GRAIN};
+pub use interval::IntervalTree;
+pub use rangetree::RangeTree2d;
+pub use rect::RectangleSet;

@@ -1,0 +1,109 @@
+//! Property-based cross-validation of the rangequery structures against
+//! O(n·q) brute force on adversarial (duplicate-heavy, axis-aligned
+//! lattice) inputs — the inputs most likely to expose boundary-semantics
+//! and tie-breaking bugs in the sorted auxiliary arrays.
+
+use pargeo_geometry::{Bbox, Point2};
+use pargeo_kdtree::{KdTree, SplitRule};
+use pargeo_rangequery::{BatchQuery, Count, IntervalTree, RangeTree2d, RectangleSet, Report};
+use proptest::prelude::*;
+
+fn lattice_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (0i32..24, 0i32..24).prop_map(|(x, y)| Point2::new([x as f64, y as f64])),
+        1..300,
+    )
+}
+
+fn lattice_boxes() -> impl Strategy<Value = Vec<Bbox<2>>> {
+    prop::collection::vec(
+        (0i32..24, 0i32..24, 0i32..12, 0i32..12).prop_map(|(x, y, w, h)| Bbox {
+            min: Point2::new([x as f64, y as f64]),
+            max: Point2::new([(x + w) as f64, (y + h) as f64]),
+        }),
+        1..120,
+    )
+}
+
+fn lattice_intervals() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        (0i32..48, 0i32..24).prop_map(|(l, w)| (l as f64, (l + w) as f64)),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Range-tree counts and reports agree with brute force and with the
+    /// kd-tree backend through the shared BatchQuery trait.
+    #[test]
+    fn range_tree_matches_brute_force_and_kdtree(pts in lattice_points(),
+                                                 queries in lattice_boxes()) {
+        let rt = RangeTree2d::build(&pts);
+        let kd = KdTree::build(&pts, SplitRule::ObjectMedian);
+        let count_qs: Vec<Count<Bbox<2>>> = queries.iter().map(|&q| Count(q)).collect();
+        let report_qs: Vec<Report<Bbox<2>>> = queries.iter().map(|&q| Report(q)).collect();
+        let rt_counts = rt.answer_batch(&count_qs);
+        let kd_counts = kd.answer_batch(&count_qs);
+        let rt_reports = rt.answer_batch(&report_qs);
+        let kd_reports = kd.answer_batch(&report_qs);
+        for (i, q) in queries.iter().enumerate() {
+            let want: Vec<u32> = pts.iter().enumerate()
+                .filter(|(_, p)| q.contains(p))
+                .map(|(j, _)| j as u32)
+                .collect();
+            prop_assert_eq!(rt_counts[i], want.len());
+            prop_assert_eq!(kd_counts[i], want.len());
+            prop_assert_eq!(&rt_reports[i], &want);
+            prop_assert_eq!(&kd_reports[i], &want);
+        }
+    }
+
+    /// Interval-tree stabbing and intersection counting agree with brute
+    /// force, including on degenerate (zero-length) intervals.
+    #[test]
+    fn interval_tree_matches_brute_force(iv in lattice_intervals(),
+                                         stabs in prop::collection::vec(0i32..72, 1..60),
+                                         seg in (0i32..72, 0i32..24)) {
+        let tree = IntervalTree::build(&iv);
+        for &x in &stabs {
+            let x = x as f64;
+            let want: Vec<u32> = iv.iter().enumerate()
+                .filter(|(_, &(l, r))| l <= x && x <= r)
+                .map(|(j, _)| j as u32)
+                .collect();
+            prop_assert_eq!(tree.stab_count(x), want.len());
+            prop_assert_eq!(tree.stab_report(x), want);
+        }
+        let (a, b) = (seg.0 as f64, (seg.0 + seg.1) as f64);
+        let want = iv.iter().filter(|&&(l, r)| l <= b && r >= a).count();
+        prop_assert_eq!(tree.intersect_count(a, b), want);
+    }
+
+    /// Rectangle-intersection counts agree with brute force.
+    #[test]
+    fn rectangle_counts_match_brute_force(rects in lattice_boxes(),
+                                          queries in lattice_boxes()) {
+        let set = RectangleSet::build(&rects);
+        let qs: Vec<Count<Bbox<2>>> = queries.iter().map(|&q| Count(q)).collect();
+        let got = set.answer_batch(&qs);
+        for (i, q) in queries.iter().enumerate() {
+            let want = rects.iter().filter(|r| r.intersects(q)).count();
+            prop_assert_eq!(got[i], want, "query {:?}", q);
+        }
+    }
+
+    /// Batched answers are positionally identical to one-at-a-time answers
+    /// (the BatchQuery alignment contract), for every backend.
+    #[test]
+    fn batch_answers_align_with_single_answers(pts in lattice_points(),
+                                               queries in lattice_boxes()) {
+        let rt = RangeTree2d::build(&pts);
+        let qs: Vec<Report<Bbox<2>>> = queries.iter().map(|&q| Report(q)).collect();
+        let batch = rt.answer_batch(&qs);
+        for (q, row) in qs.iter().zip(&batch) {
+            prop_assert_eq!(row, &rt.answer(q));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Range, segment, and rectangle queries: the `rangequery` subsystem on a
+//! batched workload, with the kd-tree as a swappable backend.
+//!
+//! ```sh
+//! cargo run --release --example range_queries
+//! ```
+
+use pargeo::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = std::env::var("PARGEO_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000usize);
+    let q = (n / 10).max(1);
+    println!("== ParGeo-rs range queries (n = {n}, batch = {q} queries) ==\n");
+
+    // Workload: points, intervals, and rectangles from the seeded datagen
+    // families, plus a batch of query boxes.
+    let pts = pargeo::datagen::uniform_cube::<2>(n, 42);
+    let intervals = pargeo::datagen::uniform_intervals(n, 43, 0.01);
+    let rects = pargeo::datagen::uniform_rects::<2>(n, 44, 0.01);
+    let query_boxes = pargeo::datagen::uniform_rects::<2>(q, 45, 0.02);
+    let count_queries: Vec<Count<Bbox<2>>> = query_boxes.iter().map(|&b| Count(b)).collect();
+
+    // 2D range tree: build once, answer the whole batch data-parallel.
+    let t = Instant::now();
+    let range_tree = RangeTree2d::build(&pts);
+    println!(
+        "range tree build                     {:>10.2?}",
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let rt_counts = range_tree.answer_batch(&count_queries);
+    let total: usize = rt_counts.iter().sum();
+    println!(
+        "range count batch: {:>9} hits     {:>10.2?}",
+        total,
+        t.elapsed()
+    );
+
+    // The kd-tree answers the same queries through the same trait.
+    let t = Instant::now();
+    let kd_tree = KdTree::build(&pts, SplitRule::ObjectMedian);
+    println!(
+        "kd-tree build (comparison backend)   {:>10.2?}",
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let kd_counts = kd_tree.answer_batch(&count_queries);
+    assert_eq!(rt_counts, kd_counts, "backends disagree");
+    println!(
+        "kd-tree count batch (same answers)   {:>10.2?}",
+        t.elapsed()
+    );
+
+    // Reporting: ids come back sorted from both backends.
+    let report_queries: Vec<Report<Bbox<2>>> =
+        query_boxes.iter().take(100).map(|&b| Report(b)).collect();
+    let reports = range_tree.answer_batch(&report_queries);
+    let reported: usize = reports.iter().map(Vec::len).sum();
+    println!("range report batch (100 queries): {reported} ids, sorted");
+
+    // Interval stabbing over the 1D segment set.
+    let t = Instant::now();
+    let interval_tree = IntervalTree::build(&intervals);
+    println!(
+        "interval tree build                  {:>10.2?}",
+        t.elapsed()
+    );
+    let side = pargeo::datagen::cube_side(n);
+    let stabs: Vec<Count<f64>> = (0..q).map(|i| Count(side * i as f64 / q as f64)).collect();
+    let t = Instant::now();
+    let stab_counts = interval_tree.answer_batch(&stabs);
+    println!(
+        "stabbing count batch: {:>8} hits  {:>10.2?}",
+        stab_counts.iter().sum::<usize>(),
+        t.elapsed()
+    );
+    let crossing = interval_tree.stab_report(side / 2.0);
+    println!("intervals crossing the midline: {}", crossing.len());
+
+    // Rectangle-intersection counting, composed from the two structures.
+    let t = Instant::now();
+    let rect_set = RectangleSet::build(&rects);
+    println!(
+        "rectangle set build                  {:>10.2?}",
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let rect_counts = rect_set.answer_batch(&count_queries);
+    println!(
+        "rect-intersection count batch: {:>6} {:>10.2?}",
+        rect_counts.iter().sum::<usize>(),
+        t.elapsed()
+    );
+
+    println!("\nAll rangequery structures exercised; see crates/rangequery.");
+}

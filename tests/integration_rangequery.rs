@@ -1,0 +1,107 @@
+//! Cross-module integration for the `rangequery` subsystem: the range
+//! tree, the kd-tree backend, the interval tree, and the rectangle counter
+//! answer 10k-object / 1k-query randomized instances exactly (vs O(n·q)
+//! brute force), identically across backends, and independently of thread
+//! count.
+
+use pargeo::datagen::{uniform_cube, uniform_intervals, uniform_rects};
+use pargeo::prelude::*;
+
+const N: usize = 10_000;
+const Q: usize = 1_000;
+
+#[test]
+fn range_tree_and_kdtree_match_brute_force_at_scale() {
+    let pts = uniform_cube::<2>(N, 1);
+    let queries: Vec<Count<Bbox<2>>> = uniform_rects::<2>(Q, 2, 0.1)
+        .into_iter()
+        .map(Count)
+        .collect();
+
+    let rt = RangeTree2d::build(&pts);
+    let kd = KdTree::build(&pts, SplitRule::ObjectMedian);
+    let rt_counts = rt.answer_batch(&queries);
+    let kd_counts = kd.answer_batch(&queries);
+
+    let mut nonzero = 0;
+    for (q, (&a, &b)) in queries.iter().zip(rt_counts.iter().zip(&kd_counts)) {
+        let want = pts.iter().filter(|p| q.0.contains(p)).count();
+        assert_eq!(a, want);
+        assert_eq!(b, want);
+        nonzero += (want > 0) as usize;
+    }
+    // The instance must actually exercise the structures.
+    assert!(nonzero > Q / 2, "degenerate instance: {nonzero} non-empty");
+
+    // Reports agree verbatim (both sorted by contract) on a subsample.
+    let reports: Vec<Report<Bbox<2>>> = queries[..100].iter().map(|q| Report(q.0)).collect();
+    assert_eq!(rt.answer_batch(&reports), kd.answer_batch(&reports));
+}
+
+#[test]
+fn interval_tree_matches_brute_force_at_scale() {
+    let iv = uniform_intervals(N, 3, 0.02);
+    let tree = IntervalTree::build(&iv);
+    let side = pargeo::datagen::cube_side(N);
+
+    let stabs: Vec<f64> = (0..Q).map(|i| side * i as f64 / (Q - 1) as f64).collect();
+    let mut hits = 0usize;
+    for &x in &stabs {
+        let want: Vec<u32> = iv
+            .iter()
+            .enumerate()
+            .filter(|(_, &(l, r))| l <= x && x <= r)
+            .map(|(j, _)| j as u32)
+            .collect();
+        assert_eq!(tree.stab_count(x), want.len(), "x={x}");
+        assert_eq!(tree.stab_report(x), want, "x={x}");
+        hits += want.len();
+    }
+    assert!(hits > 0, "degenerate stabbing instance");
+
+    for &(a, b) in &uniform_intervals(Q, 4, 0.05) {
+        let want = iv.iter().filter(|&&(l, r)| l <= b && r >= a).count();
+        assert_eq!(tree.intersect_count(a, b), want);
+    }
+}
+
+#[test]
+fn rectangle_counter_matches_brute_force_at_scale() {
+    let rects = uniform_rects::<2>(N, 5, 0.02);
+    let set = RectangleSet::build(&rects);
+    let queries: Vec<Count<Bbox<2>>> = uniform_rects::<2>(Q, 6, 0.05)
+        .into_iter()
+        .map(Count)
+        .collect();
+    let got = set.answer_batch(&queries);
+    let mut hits = 0usize;
+    for (q, &g) in queries.iter().zip(&got) {
+        let want = rects.iter().filter(|r| r.intersects(&q.0)).count();
+        assert_eq!(g, want, "{:?}", q.0);
+        hits += want;
+    }
+    assert!(hits > 0, "degenerate rectangle instance");
+}
+
+#[test]
+fn answers_are_identical_across_thread_counts() {
+    let pts = uniform_cube::<2>(N, 7);
+    let rects = uniform_rects::<2>(N / 2, 8, 0.03);
+    let queries: Vec<Count<Bbox<2>>> = uniform_rects::<2>(Q / 2, 9, 0.08)
+        .into_iter()
+        .map(Count)
+        .collect();
+    let run = || {
+        let rt = RangeTree2d::build(&pts);
+        let set = RectangleSet::build(&rects);
+        let tree = IntervalTree::build(&uniform_intervals(N / 2, 10, 0.02));
+        (
+            rt.answer_batch(&queries),
+            set.answer_batch(&queries),
+            tree.stab_report(pargeo::datagen::cube_side(N) / 2.0),
+        )
+    };
+    let sequential = pargeo::parlay::with_threads(1, run);
+    let parallel = pargeo::parlay::with_threads(4, run);
+    assert_eq!(sequential, parallel);
+}
