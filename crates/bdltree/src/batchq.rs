@@ -1,0 +1,76 @@
+//! `BatchQuery` backends for the batch-dynamic trees.
+//!
+//! The read path of the engine stays swappable with the static query
+//! structures of `pargeo-rangequery`: a [`BdlTree`] or [`ZdTree`] answers
+//! the same `Count<Bbox>` / `Report<Bbox>` batched queries as `RangeTree2d`
+//! and the static kd-tree, with the same sorted-ids reporting contract —
+//! so a serving layer can point read-only traffic at whichever backend the
+//! update rate justifies.
+
+use crate::{BdlTree, ZdTree};
+use pargeo_geometry::Bbox;
+use pargeo_rangequery::{BatchQuery, Count, Report};
+
+/// BDL-tree backend: box counting.
+impl<const D: usize> BatchQuery<Count<Bbox<D>>> for BdlTree<D> {
+    type Answer = usize;
+
+    fn answer(&self, query: &Count<Bbox<D>>) -> usize {
+        self.count_box(&query.0)
+    }
+}
+
+/// BDL-tree backend: box reporting (sorted insertion-order ids).
+impl<const D: usize> BatchQuery<Report<Bbox<D>>> for BdlTree<D> {
+    type Answer = Vec<u32>;
+
+    fn answer(&self, query: &Report<Bbox<D>>) -> Vec<u32> {
+        self.range_box(&query.0)
+    }
+}
+
+/// Zd-tree backend: box counting.
+impl<const D: usize> BatchQuery<Count<Bbox<D>>> for ZdTree<D> {
+    type Answer = usize;
+
+    fn answer(&self, query: &Count<Bbox<D>>) -> usize {
+        self.count_box(&query.0)
+    }
+}
+
+/// Zd-tree backend: box reporting (sorted insertion-order ids).
+impl<const D: usize> BatchQuery<Report<Bbox<D>>> for ZdTree<D> {
+    type Answer = Vec<u32>;
+
+    fn answer(&self, query: &Report<Bbox<D>>) -> Vec<u32> {
+        self.range_box(&query.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::{uniform_cube, uniform_rects};
+
+    #[test]
+    fn dynamic_backends_match_direct_calls() {
+        let pts = uniform_cube::<2>(2_000, 1);
+        let boxes = uniform_rects::<2>(40, 2, 0.3);
+        let mut bdl = BdlTree::<2>::with_buffer_size(128);
+        bdl.insert(&pts);
+        let mut zd = ZdTree::from_points(&pts[..1_000]);
+        zd.insert(&pts[1_000..]);
+        let counts: Vec<Count<Bbox<2>>> = boxes.iter().map(|&b| Count(b)).collect();
+        let reports: Vec<Report<Bbox<2>>> = boxes.iter().map(|&b| Report(b)).collect();
+        for (c, r) in bdl
+            .answer_batch(&counts)
+            .iter()
+            .zip(bdl.answer_batch(&reports))
+        {
+            assert_eq!(*c, r.len());
+        }
+        // Both dynamic backends report the same ids (insertion order is the
+        // same update stream).
+        assert_eq!(bdl.answer_batch(&reports), zd.answer_batch(&reports));
+    }
+}

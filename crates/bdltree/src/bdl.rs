@@ -1,6 +1,6 @@
 //! The BDL-tree (paper §5, Appendix C.2–C.4).
 
-use pargeo_geometry::Point;
+use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
 use pargeo_kdtree::tree::SplitRule;
 use pargeo_kdtree::veb::{VebTree, VEB_LEAF_SIZE};
@@ -23,6 +23,8 @@ pub struct BdlTree<const D: usize> {
     rule: SplitRule,
     live: usize,
     next_id: u32,
+    epoch: u64,
+    rebuilds: u64,
 }
 
 impl<const D: usize> BdlTree<D> {
@@ -47,6 +49,8 @@ impl<const D: usize> BdlTree<D> {
             rule,
             live: 0,
             next_id: 0,
+            epoch: 0,
+            rebuilds: 0,
         }
     }
 
@@ -72,6 +76,22 @@ impl<const D: usize> BdlTree<D> {
         self.x
     }
 
+    /// Update batches (inserts or deletes) applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Static vEB trees constructed so far by the logarithmic cascade
+    /// (including rebuild-after-shrink constructions).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total points ever inserted (ids are assigned from this counter).
+    pub fn total_inserted(&self) -> u64 {
+        self.next_id as u64
+    }
+
     /// Occupancy bitmask `F` of the static trees (bit `i` ⇔ `trees[i]`
     /// holds points).
     pub fn bitmask(&self) -> u64 {
@@ -86,6 +106,7 @@ impl<const D: usize> BdlTree<D> {
 
     /// Batch insert (Algorithm 3).
     pub fn insert(&mut self, batch: &[Point<D>]) {
+        self.epoch += 1;
         let items: Vec<(Point<D>, u32)> = batch
             .iter()
             .enumerate()
@@ -153,6 +174,7 @@ impl<const D: usize> BdlTree<D> {
             .into_par_iter()
             .map(|(i, pts)| (i, VebTree::build_with(&pts, VEB_LEAF_SIZE, rule)))
             .collect();
+        self.rebuilds += built.len() as u64;
         for (i, t) in built {
             debug_assert!(self.trees[i].is_none());
             if !t.is_empty() {
@@ -164,14 +186,15 @@ impl<const D: usize> BdlTree<D> {
     /// Batch delete by point value (Algorithm 4). All live copies of each
     /// query point are removed. Returns the number of deleted points.
     pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        self.epoch += 1;
         if batch.is_empty() || self.live == 0 {
             return 0;
         }
         // Buffer deletion.
-        let victims: std::collections::HashSet<_> = batch.iter().map(coord_key).collect();
+        let victims: std::collections::HashSet<_> = batch.iter().map(Point::bits_key).collect();
         let before_buf = self.buffer.len();
         self.buffer
-            .retain(|(p, _)| !victims.contains(&coord_key(p)));
+            .retain(|(p, _)| !victims.contains(&p.bits_key()));
         let mut deleted = before_buf - self.buffer.len();
         // Parallel bulk erase across all occupied trees.
         let counts: Vec<usize> = self
@@ -219,11 +242,46 @@ impl<const D: usize> BdlTree<D> {
 
     /// Data-parallel batch k-NN (parallel over the queries `S`).
     pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
-        if queries.len() < 64 {
-            queries.iter().map(|q| self.knn(q, k)).collect()
-        } else {
-            queries.par_iter().map(|q| self.knn(q, k)).collect()
+        pargeo_parlay::map_batch(queries, 64, |q| self.knn(q, k))
+    }
+
+    /// Insertion-order ids of all live points inside `query` (boundary
+    /// inclusive), sorted ascending. One answer accumulates across the
+    /// buffer and every occupied static tree, mirroring the shared-buffer
+    /// k-NN strategy.
+    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .buffer
+            .iter()
+            .filter(|(p, _)| query.contains(p))
+            .map(|&(_, id)| id)
+            .collect();
+        for t in self.trees.iter().flatten() {
+            t.range_into(query, &mut out);
         }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of live points inside `query` without materializing them.
+    pub fn count_box(&self, query: &Bbox<D>) -> usize {
+        let buffered = self
+            .buffer
+            .iter()
+            .filter(|(p, _)| query.contains(p))
+            .count();
+        buffered
+            + self
+                .trees
+                .iter()
+                .flatten()
+                .map(|t| t.count_box(query))
+                .sum::<usize>()
+    }
+
+    /// Data-parallel batch box reporting (parallel over the queries).
+    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        pargeo_parlay::map_batch(queries, 16, |q| self.range_box(q))
     }
 
     /// All live `(point, id)` pairs (diagnostics / tests).
@@ -248,14 +306,6 @@ impl<const D: usize> Default for BdlTree<D> {
     fn default() -> Self {
         Self::new()
     }
-}
-
-fn coord_key<const D: usize>(p: &Point<D>) -> [u64; D] {
-    let mut k = [0u64; D];
-    for i in 0..D {
-        k[i] = p[i].to_bits();
-    }
-    k
 }
 
 #[cfg(test)]

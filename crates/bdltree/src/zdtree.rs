@@ -45,9 +45,25 @@ pub struct ZdTree<const D: usize> {
     nodes: Vec<ZNode<D>>,
     leaf_size: usize,
     next_id: u32,
+    epoch: u64,
+    rebuilds: u64,
+    /// False until a non-empty point set establishes the universe; an
+    /// empty-start tree adopts its first non-empty insert batch's bounding
+    /// box instead of clamping everything onto a meaningless default grid.
+    universe_fixed: bool,
 }
 
 impl<const D: usize> ZdTree<D> {
+    /// Creates an empty tree. The Morton universe is fixed by the first
+    /// non-empty insert batch (its slightly inflated bounding box); points
+    /// inserted after that clamp onto the universe grid for Morton-code
+    /// purposes only — their true coordinates are kept and all queries
+    /// stay exact, so out-of-universe points cost code locality, never
+    /// correctness.
+    pub fn new() -> Self {
+        Self::empty(16)
+    }
+
     /// Builds over an initial point set; the bounding box of this set
     /// (slightly inflated) becomes the fixed universe. Points inserted
     /// later clamp onto the universe grid for code purposes (their true
@@ -58,29 +74,25 @@ impl<const D: usize> ZdTree<D> {
 
     /// Builds with an explicit leaf size.
     pub fn with_leaf_size(points: &[Point<D>], leaf_size: usize) -> Self {
-        let mut universe = parallel_bbox(points);
-        if universe.is_empty() {
-            universe = Bbox {
-                min: Point::origin(),
-                max: Point::new([1.0; D]),
-            };
-        } else {
-            // Inflate slightly so boundary points do not saturate the grid.
-            let pad = universe.diag_sq().sqrt() * 1e-6 + 1e-12;
-            for i in 0..D {
-                universe.min[i] -= pad;
-                universe.max[i] += pad;
-            }
-        }
-        let mut t = Self {
-            universe,
+        let mut t = Self::empty(leaf_size);
+        // The initial load counts as epoch 1 (even when empty), matching
+        // every other backend's `from_points`; `new()` stays at epoch 0.
+        t.insert(points);
+        t
+    }
+
+    /// An empty tree at epoch 0 with an unadopted universe.
+    fn empty(leaf_size: usize) -> Self {
+        Self {
+            universe: derive_universe::<D>(&[]),
             items: Vec::new(),
             nodes: Vec::new(),
             leaf_size,
             next_id: 0,
-        };
-        t.insert(points);
-        t
+            epoch: 0,
+            rebuilds: 0,
+            universe_fixed: false,
+        }
     }
 
     /// Number of stored points.
@@ -98,6 +110,22 @@ impl<const D: usize> ZdTree<D> {
         self.universe
     }
 
+    /// Update batches (inserts or deletes) applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Radix-structure rebuilds performed so far (one per update batch —
+    /// the Zd-tree rebuilds its implicit tree after every merge/filter).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total points ever inserted (ids are assigned from this counter).
+    pub fn total_inserted(&self) -> u64 {
+        self.next_id as u64
+    }
+
     fn code_of(&self, p: &Point<D>) -> u64 {
         morton_code(p, &self.universe)
     }
@@ -105,8 +133,13 @@ impl<const D: usize> ZdTree<D> {
     /// Batch insert: Morton-sort the batch, merge into the sorted array,
     /// rebuild the radix structure.
     pub fn insert(&mut self, batch: &[Point<D>]) {
+        self.epoch += 1;
         if batch.is_empty() {
             return;
+        }
+        if !self.universe_fixed {
+            self.universe = derive_universe(batch);
+            self.universe_fixed = true;
         }
         let mut add: Vec<(u64, Point<D>, u32)> = if batch.len() >= SEQ_CUTOFF {
             batch
@@ -132,6 +165,7 @@ impl<const D: usize> ZdTree<D> {
     /// Batch delete by point value (all matching copies). Returns the
     /// number deleted.
     pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        self.epoch += 1;
         if batch.is_empty() || self.items.is_empty() {
             return 0;
         }
@@ -151,7 +185,9 @@ impl<const D: usize> ZdTree<D> {
             let mut dead = false;
             let mut k = j;
             while k < victims.len() && victims[k].0 == it.0 {
-                if victims[k].1 == it.1 {
+                // Bitwise identity — the library-wide delete-by-value
+                // semantic (`Point::bits_key`), not float `==`.
+                if victims[k].1.bits_key() == it.1.bits_key() {
                     dead = true;
                     break;
                 }
@@ -177,11 +213,7 @@ impl<const D: usize> ZdTree<D> {
 
     /// Data-parallel batch k-NN.
     pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
-        if queries.len() < 64 {
-            queries.iter().map(|q| self.knn(q, k)).collect()
-        } else {
-            queries.par_iter().map(|q| self.knn(q, k)).collect()
-        }
+        parlay::map_batch(queries, 64, |q| self.knn(q, k))
     }
 
     fn knn_rec(&self, idx: u32, q: &Point<D>, buf: &mut KnnBuffer) {
@@ -200,16 +232,83 @@ impl<const D: usize> ZdTree<D> {
         } else {
             ((b, db), (a, da))
         };
-        if df < buf.bound() {
+        if df <= buf.bound() {
             self.knn_rec(first, q, buf);
         }
-        if ds < buf.bound() {
+        if ds <= buf.bound() {
             self.knn_rec(second, q, buf);
         }
     }
 
+    /// Insertion-order ids of all points inside `query` (boundary
+    /// inclusive), sorted ascending.
+    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+        let mut out = Vec::new();
+        if !self.nodes.is_empty() {
+            self.range_rec(0, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn range_rec(&self, idx: u32, query: &Bbox<D>, out: &mut Vec<u32>) {
+        let node = &self.nodes[idx as usize];
+        if !node.bbox.intersects(query) {
+            return;
+        }
+        if query.contains_box(&node.bbox) {
+            out.extend(
+                self.items[node.start as usize..node.end as usize]
+                    .iter()
+                    .map(|&(_, _, id)| id),
+            );
+            return;
+        }
+        if node.is_leaf() {
+            for (_, p, id) in &self.items[node.start as usize..node.end as usize] {
+                if query.contains(p) {
+                    out.push(*id);
+                }
+            }
+            return;
+        }
+        self.range_rec(node.left, query, out);
+        self.range_rec(node.right, query, out);
+    }
+
+    /// Number of points inside `query` without materializing them.
+    pub fn count_box(&self, query: &Bbox<D>) -> usize {
+        fn go<const D: usize>(t: &ZdTree<D>, idx: u32, query: &Bbox<D>) -> usize {
+            let node = &t.nodes[idx as usize];
+            if !node.bbox.intersects(query) {
+                return 0;
+            }
+            if query.contains_box(&node.bbox) {
+                return (node.end - node.start) as usize;
+            }
+            if node.is_leaf() {
+                return t.items[node.start as usize..node.end as usize]
+                    .iter()
+                    .filter(|(_, p, _)| query.contains(p))
+                    .count();
+            }
+            go(t, node.left, query) + go(t, node.right, query)
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            go(self, 0, query)
+        }
+    }
+
+    /// Data-parallel batch box reporting (parallel over the queries).
+    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        parlay::map_batch(queries, 16, |q| self.range_box(q))
+    }
+
     /// Rebuilds the implicit radix-tree structure over the sorted codes.
     fn rebuild_nodes(&mut self) {
+        self.rebuilds += 1;
         self.nodes.clear();
         let n = self.items.len();
         if n == 0 {
@@ -224,6 +323,32 @@ impl<const D: usize> ZdTree<D> {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+}
+
+impl<const D: usize> Default for ZdTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The slightly inflated bounding box of a point set (unit cube for an
+/// empty set — a placeholder replaced by the first real batch).
+fn derive_universe<const D: usize>(points: &[Point<D>]) -> Bbox<D> {
+    let mut universe = parallel_bbox(points);
+    if universe.is_empty() {
+        universe = Bbox {
+            min: Point::origin(),
+            max: Point::new([1.0; D]),
+        };
+    } else {
+        // Inflate slightly so boundary points do not saturate the grid.
+        let pad = universe.diag_sq().sqrt() * 1e-6 + 1e-12;
+        for i in 0..D {
+            universe.min[i] -= pad;
+            universe.max[i] += pad;
+        }
+    }
+    universe
 }
 
 enum BNode<const D: usize> {

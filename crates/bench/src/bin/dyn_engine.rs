@@ -1,0 +1,80 @@
+//! Mixed-workload sweep of the unified batch-dynamic engine: every
+//! `SpatialIndex` backend (dyn-kd, BDL, Zd) × every named workload preset
+//! (uniform mix, insert-heavy IS, sliding window, hotspot reads,
+//! seed-spreader churn) × T1/Tp thread counts. Answer digests are asserted
+//! equal across backends at full scale, and against the brute-force oracle
+//! at 1/10 scale, so every timed run is also a correctness run.
+//! Scale with `PARGEO_N` (initial load is `n/2`).
+
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, max_threads, t1_tp};
+
+fn make_backend(which: usize) -> Box<dyn SpatialIndex<2>> {
+    match which {
+        0 => Box::new(DynKdTree::<2>::new()),
+        1 => Box::new(BdlTree::<2>::new()),
+        _ => Box::new(ZdTree::<2>::new()),
+    }
+}
+
+const BACKENDS: [&str; 3] = ["dyn-kd", "bdl", "zd"];
+
+fn main() {
+    let n = env_n(50_000);
+    let p = max_threads();
+    println!(
+        "# Batch-dynamic engine — mixed workloads, initial = {}, Tp at {p} threads\n",
+        n / 2
+    );
+
+    // Correctness anchor at 1/10 scale: every backend vs the Vec oracle.
+    let small = WorkloadSpec::presets((n / 10).max(500));
+    for spec in &small {
+        let w: Workload<2> = spec.generate();
+        let mut oracle = VecIndex::<2>::new();
+        let want = run_workload(&mut oracle, &w);
+        for which in 0..BACKENDS.len() {
+            let mut b = make_backend(which);
+            let got = run_workload(b.as_mut(), &w);
+            assert_eq!(
+                got.digest(),
+                want.digest(),
+                "{} diverged from oracle on {}",
+                got.backend,
+                spec.name
+            );
+        }
+    }
+    println!(
+        "anchor: {} small-scale workloads match the brute-force oracle on all backends\n",
+        small.len()
+    );
+
+    header(&["Scenario", "Backend", "T1 (s)", "Tp (s)", "Speedup"]);
+    for spec in WorkloadSpec::presets(n) {
+        let w: Workload<2> = spec.generate();
+        // Full-scale digests must agree across backends (checked once,
+        // outside the timed region).
+        let digests: Vec<_> = (0..BACKENDS.len())
+            .map(|which| {
+                let mut b = make_backend(which);
+                run_workload(b.as_mut(), &w).digest()
+            })
+            .collect();
+        assert!(
+            digests.windows(2).all(|d| d[0] == d[1]),
+            "backends disagree on workload {}",
+            spec.name
+        );
+        for (which, name) in BACKENDS.iter().enumerate() {
+            let (t1, tp, speedup) = t1_tp(|| {
+                let mut b = make_backend(which);
+                run_workload(b.as_mut(), &w).final_live
+            });
+            println!(
+                "| {} | {name} | {t1:.3} | {tp:.3} | {speedup:.2}x |",
+                spec.name
+            );
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | `fig14_knn_k` | Figure 14 — k-NN throughput vs k after incremental builds |
 //! | `zdtree_compare` | §6.3 — BDL-tree vs Zd-tree |
 //! | `rangequery` | range/segment/rectangle query engine (Sun & Blelloch family): build + batch-query T1/Tp, kd-tree backend, brute-force baseline |
+//! | `dyn_engine` | unified batch-dynamic engine: `SpatialIndex` backends × mixed-workload presets × T1/Tp, oracle-anchored |
 //!
 //! Sizes scale with `PARGEO_N` (default laptop-scale; the paper used
 //! 10M–100M on 36 cores). `PARGEO_THREADS` caps the sweep. Shapes — which

@@ -11,6 +11,7 @@
 //! | Paper module | Here |
 //! |---|---|
 //! | (1) static & batch-dynamic kd-trees, k-NN, range search | [`kdtree`], [`bdltree`] |
+//! | (1a) unified batch-dynamic engine (`SpatialIndex` over all tree backends) | [`engine`] |
 //! | (1b) range / segment / rectangle query engine (Sun & Blelloch) | [`rangequery`] |
 //! | (2) computational geometry: hull, SEB, closest pair, BCCP, WSPD, Morton sort | [`hull`], [`seb`], [`closestpair`], [`wspd`], [`morton`] |
 //! | (3) spatial graph generators: k-NN graph, β-skeleton, Gabriel, Delaunay, EMST, spanner | [`graphgen`], [`delaunay`], [`wspd`] |
@@ -50,6 +51,92 @@
 //! assert_eq!(counts, tree.answer_batch(&queries));
 //! ```
 //!
+//! ## Module quickstarts
+//!
+//! **Build a tree** (Module 1) — every spatial index accepts batched
+//! updates and batched queries through one [`engine::SpatialIndex`] trait,
+//! so backends are interchangeable:
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
+//! let pts = pargeo::datagen::uniform_cube::<3>(2_000, 7);
+//! // Three batch-dynamic backends, one API.
+//! let mut backends: Vec<Box<dyn SpatialIndex<3>>> = vec![
+//!     Box::new(DynKdTree::new()),
+//!     Box::new(BdlTree::new()),
+//!     Box::new(ZdTree::new()),
+//! ];
+//! for b in &mut backends {
+//!     b.insert(&pts[..1_500]);
+//!     assert_eq!(b.delete(&pts[..500]), 500);
+//!     b.insert(&pts[1_500..]);
+//!     let s = b.snapshot();
+//!     assert_eq!((s.live, s.inserted, s.deleted), (1_500, 2_000, 500));
+//! }
+//! // All three serve identical k-NN answers (same neighbor ids, same
+//! // order — the deterministic (distance², id) contract).
+//! let answers: Vec<Vec<Vec<u32>>> = backends
+//!     .iter()
+//!     .map(|b| {
+//!         b.knn_batch(&pts[500..510], 3)
+//!             .into_iter()
+//!             .map(|row| row.into_iter().map(|n| n.id).collect())
+//!             .collect()
+//!     })
+//!     .collect();
+//! assert_eq!(answers[0], answers[1]);
+//! assert_eq!(answers[1], answers[2]);
+//! ```
+//!
+//! **Convex hull** (Module 2) — four parallel 2D methods agree:
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
+//! let pts = pargeo::datagen::on_sphere::<2>(2_000, 3);
+//! let h1 = hull2d_randinc(&pts);
+//! let h2 = hull2d_quickhull_parallel(&pts);
+//! let h3 = hull2d_divide_conquer(&pts);
+//! assert_eq!(h1.len(), h2.len());
+//! assert_eq!(h2.len(), h3.len());
+//! ```
+//!
+//! **Spatial graphs** (Module 3) — k-NN graph and Delaunay triangulation
+//! over the same point set:
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
+//! let pts = pargeo::datagen::uniform_cube::<2>(500, 5);
+//! // Directed k-NN graph: one edge per (point, neighbor) pair.
+//! let g = knn_graph(&pts, 4);
+//! assert_eq!(g.len(), 500 * 4);
+//! // Delaunay triangulation and its edge graph.
+//! let tri = delaunay(&pts);
+//! let edges = pargeo::delaunay::delaunay_edges(&tri);
+//! assert!(edges.len() >= 500); // ≤ 3n - 6, ≥ n for random points
+//! ```
+//!
+//! **Data and workload generation** (Module 4) — deterministic point
+//! families plus mixed batch-dynamic operation streams:
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
+//! let spec = WorkloadSpec::new("demo", Distribution::InSphere, 1_000, 10);
+//! let w: Workload<2> = spec.generate();
+//! assert_eq!(w.initial.len(), 1_000);
+//! assert_eq!(w.ops.len(), 10);
+//! // Replay it on a backend and on the brute-force oracle: identical
+//! // answer digests prove the backend served every query correctly.
+//! let mut tree = DynKdTree::<2>::new();
+//! let mut oracle = VecIndex::<2>::new();
+//! let a = run_workload(&mut tree, &w);
+//! let b = run_workload(&mut oracle, &w);
+//! assert_eq!(a.digest(), b.digest());
+//! ```
+//!
 //! ## Parallelism
 //!
 //! Every algorithm parallelizes through [`parlay`] on the ambient rayon
@@ -68,6 +155,7 @@ pub use pargeo_bdltree as bdltree;
 pub use pargeo_closestpair as closestpair;
 pub use pargeo_datagen as datagen;
 pub use pargeo_delaunay as delaunay;
+pub use pargeo_engine as engine;
 pub use pargeo_geometry as geometry;
 pub use pargeo_graphgen as graphgen;
 pub use pargeo_hull as hull;
@@ -82,7 +170,9 @@ pub use pargeo_wspd as wspd;
 pub mod prelude {
     pub use pargeo_bdltree::{BdlTree, ZdTree};
     pub use pargeo_closestpair::closest_pair;
+    pub use pargeo_datagen::{Distribution, Workload, WorkloadOp, WorkloadSpec};
     pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph};
+    pub use pargeo_engine::{run_workload, Snapshot, SpatialIndex, VecIndex, WorkloadReport};
     pub use pargeo_geometry::{Ball, Bbox, Point, Point2, Point3};
     pub use pargeo_graphgen::{beta_skeleton, knn_graph};
     pub use pargeo_hull::{
@@ -90,7 +180,7 @@ pub mod prelude {
         hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc,
         hull3d_seq, Hull3d,
     };
-    pub use pargeo_kdtree::{B1Tree, B2Tree, KdTree, SplitRule, VebTree};
+    pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, KdTree, SplitRule, VebTree};
     pub use pargeo_rangequery::{
         BatchQuery, Count, IntervalTree, RangeTree2d, RectangleSet, Report,
     };

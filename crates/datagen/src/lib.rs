@@ -22,6 +22,15 @@
 //! point `i` from a counter-mode hash of `(seed, i)`, so generation is
 //! embarrassingly parallel and the output is identical regardless of thread
 //! count.
+//!
+//! The [`workload`] module layers mixed batch-dynamic *operation streams*
+//! on top of the point families: [`WorkloadSpec`] describes
+//! insert/delete/query ratios, sliding-window churn, and query hotspots,
+//! and expands into a deterministic [`Workload`] for the engine driver.
+
+pub mod workload;
+
+pub use workload::{Distribution, Hotspot, QueryMix, Workload, WorkloadOp, WorkloadSpec};
 
 use pargeo_geometry::{Bbox, Point};
 use pargeo_parlay::shuffle::splitmix64;

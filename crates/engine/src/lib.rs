@@ -1,0 +1,235 @@
+//! # pargeo-engine — the unified batch-dynamic spatial index engine
+//!
+//! ParGeo's Module 1 grows three batch-dynamic backends — the
+//! delete-marking [`DynKdTree`], the log-structured [`BdlTree`] (paper §5),
+//! and the Morton-order [`ZdTree`] (§6.3) — which historically exposed
+//! ad-hoc, incompatible APIs. This crate unifies them behind one trait so a
+//! single workload can be served by, and cross-validated across, every
+//! backend:
+//!
+//! * [`SpatialIndex`] — batched `insert` / `delete` / `knn_batch` /
+//!   `range_batch` plus [`Snapshot`]-style epoch stats, implemented by all
+//!   three tree backends and by the brute-force [`VecIndex`] oracle.
+//! * [`VecIndex`] — the `Vec`-of-points oracle: trivially correct answers
+//!   for cross-validation in tests and benches.
+//! * [`driver`] — [`run_workload`]: applies a generated
+//!   [`Workload`](pargeo_datagen::Workload) (mixed insert/delete/k-NN/range
+//!   batches from `pargeo-datagen`'s
+//!   [`WorkloadSpec`](pargeo_datagen::WorkloadSpec)) to any backend and
+//!   returns a [`WorkloadReport`] with per-phase timings and
+//!   order-sensitive answer checksums — equal checksums across backends
+//!   prove they served identical answers.
+//!
+//! Read paths stay swappable with the static query structures: the same
+//! backends also implement `pargeo-rangequery`'s `BatchQuery` for box
+//! count/report, so a `RangeTree2d` can serve the read-only half of a
+//! workload interchangeably.
+//!
+//! ```
+//! use pargeo_engine::{SpatialIndex, VecIndex};
+//! use pargeo_bdltree::BdlTree;
+//! use pargeo_geometry::Point2;
+//!
+//! let pts: Vec<Point2> = (0..100)
+//!     .map(|i| Point2::new([i as f64, (i * 7 % 13) as f64]))
+//!     .collect();
+//! let mut bdl = BdlTree::<2>::new();
+//! let mut oracle = VecIndex::<2>::new();
+//! bdl.insert(&pts);
+//! oracle.insert(&pts);
+//! SpatialIndex::delete(&mut bdl, &pts[..50]);
+//! SpatialIndex::delete(&mut oracle, &pts[..50]);
+//! assert_eq!(bdl.snapshot().live, oracle.snapshot().live);
+//! let knn = SpatialIndex::knn_batch(&bdl, &pts[50..60], 3);
+//! let want = SpatialIndex::knn_batch(&oracle, &pts[50..60], 3);
+//! for (a, b) in knn.iter().zip(&want) {
+//!     assert_eq!(a.len(), b.len());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod oracle;
+
+pub use driver::{run_workload, WorkloadReport};
+pub use oracle::VecIndex;
+
+use pargeo_bdltree::{BdlTree, ZdTree};
+use pargeo_geometry::{Bbox, Point};
+use pargeo_kdtree::{DynKdTree, Neighbor};
+
+/// Point-in-time statistics of a [`SpatialIndex`] — the "epoch" view a
+/// serving layer reports per update round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Update batches (insert or delete) applied so far.
+    pub epoch: u64,
+    /// Live points currently stored.
+    pub live: usize,
+    /// Total points ever inserted (the id counter's high-water mark).
+    pub inserted: u64,
+    /// Total points deleted (`inserted - live` for value-delete backends).
+    pub deleted: u64,
+    /// Internal structure (re)builds performed — vEB trees constructed by
+    /// the BDL cascade, radix rebuilds of the Zd-tree, threshold rebuilds
+    /// of the dynamic kd-tree.
+    pub rebuilds: u64,
+}
+
+/// A batch-dynamic spatial index over `D`-dimensional points.
+///
+/// The unified surface of ParGeo's Module 1: every backend accepts batched
+/// updates (the paper's batch-dynamic model — updates arrive as batches,
+/// queries run between batches) and answers batched queries data-parallel
+/// over the batch. Ids are insertion-order ids assigned by the index;
+/// deletion is by point value (all live copies of a matching value go).
+///
+/// Determinism contract: `range_batch` reports ids sorted ascending;
+/// `knn_batch` rows are ordered by `(distance², id)`; all answers are
+/// independent of thread count.
+pub trait SpatialIndex<const D: usize> {
+    /// Short backend name for reports and benches.
+    fn backend_name(&self) -> &'static str;
+
+    /// Inserts a batch of points, assigning consecutive insertion-order
+    /// ids.
+    fn insert(&mut self, batch: &[Point<D>]);
+
+    /// Deletes every live point whose coordinates match a batch point.
+    /// Returns the number of points removed.
+    fn delete(&mut self, batch: &[Point<D>]) -> usize;
+
+    /// The k nearest live neighbors of every query, data-parallel over the
+    /// queries; each row ascends by `(distance², id)`.
+    fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>>;
+
+    /// Ids of the live points inside every query box (boundary inclusive),
+    /// data-parallel over the queries; each row sorted ascending.
+    fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>>;
+
+    /// Number of live points.
+    fn len(&self) -> usize;
+
+    /// True iff no live points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current epoch statistics.
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// Forwards [`SpatialIndex`] to a tree backend's inherent methods. All
+/// three tree backends expose the same surface (`insert`/`delete`/
+/// `knn_batch`/`range_box_batch`/`len` plus the `epoch`/`total_inserted`/
+/// `rebuilds` counters), so one definition serves them all — a new trait
+/// method or `Snapshot` field is added exactly once.
+macro_rules! impl_spatial_index {
+    ($backend:ident, $name:literal) => {
+        impl<const D: usize> SpatialIndex<D> for $backend<D> {
+            fn backend_name(&self) -> &'static str {
+                $name
+            }
+
+            fn insert(&mut self, batch: &[Point<D>]) {
+                $backend::insert(self, batch)
+            }
+
+            fn delete(&mut self, batch: &[Point<D>]) -> usize {
+                $backend::delete(self, batch)
+            }
+
+            fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+                $backend::knn_batch(self, queries, k)
+            }
+
+            fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+                $backend::range_box_batch(self, queries)
+            }
+
+            fn len(&self) -> usize {
+                $backend::len(self)
+            }
+
+            fn snapshot(&self) -> Snapshot {
+                Snapshot {
+                    epoch: self.epoch(),
+                    live: $backend::len(self),
+                    inserted: self.total_inserted(),
+                    deleted: self.total_inserted() - $backend::len(self) as u64,
+                    rebuilds: self.rebuilds(),
+                }
+            }
+        }
+    };
+}
+
+impl_spatial_index!(DynKdTree, "dyn-kd");
+impl_spatial_index!(BdlTree, "bdl");
+impl_spatial_index!(ZdTree, "zd");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+
+    fn backends<const D: usize>() -> Vec<Box<dyn SpatialIndex<D>>> {
+        vec![
+            Box::new(DynKdTree::<D>::new()),
+            Box::new(BdlTree::<D>::with_buffer_size(128)),
+            Box::new(ZdTree::<D>::new()),
+            Box::new(VecIndex::<D>::new()),
+        ]
+    }
+
+    #[test]
+    fn snapshots_agree_across_backends() {
+        let pts = uniform_cube::<2>(2_000, 1);
+        for mut b in backends::<2>() {
+            b.insert(&pts[..1_500]);
+            assert_eq!(b.delete(&pts[..500]), 500, "{}", b.backend_name());
+            b.insert(&pts[1_500..]);
+            let s = b.snapshot();
+            assert_eq!(s.live, 1_500, "{}", b.backend_name());
+            assert_eq!(s.inserted, 2_000, "{}", b.backend_name());
+            assert_eq!(s.deleted, 500, "{}", b.backend_name());
+            assert_eq!(s.epoch, 3, "{}", b.backend_name());
+            assert_eq!(b.len(), 1_500);
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_backends_answer_identically() {
+        let pts = uniform_cube::<2>(3_000, 2);
+        let side = pargeo_datagen::cube_side(3_000);
+        let queries: Vec<Point<2>> = pts.iter().step_by(101).copied().collect();
+        let boxes: Vec<Bbox<2>> = pargeo_datagen::uniform_rects::<2>(40, 3, 0.3);
+        let mut rows: Vec<(String, Vec<Vec<Neighbor>>, Vec<Vec<u32>>)> = Vec::new();
+        for mut b in backends::<2>() {
+            b.insert(&pts[..2_000]);
+            b.delete(&pts[..700]);
+            b.insert(&pts[2_000..]);
+            rows.push((
+                b.backend_name().to_string(),
+                b.knn_batch(&queries, 5),
+                b.range_batch(&boxes),
+            ));
+        }
+        let _ = side;
+        let (_, knn0, rng0) = &rows[0];
+        for (name, knn, rng) in &rows[1..] {
+            assert_eq!(rng, rng0, "range mismatch: {name}");
+            for (a, b) in knn.iter().zip(knn0) {
+                assert_eq!(a.len(), b.len(), "knn len mismatch: {name}");
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        (x.dist_sq - y.dist_sq).abs() <= 1e-9 * (1.0 + x.dist_sq),
+                        "knn mismatch: {name}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`ball`] — spheres through support sets (the Welzl base case), solved
 //!   via a small Gram-system Gaussian elimination.
 
+#![warn(missing_docs)]
+
 pub mod ball;
 pub mod bbox;
 pub mod expansion;

@@ -41,6 +41,15 @@ impl<const D: usize> Point<D> {
         Self { coords: [0.0; D] }
     }
 
+    /// Coordinate bit pattern, usable as an exact-equality hash key (the
+    /// delete-by-value semantics shared by every dynamic index). Note that
+    /// `to_bits` distinguishes `-0.0` from `+0.0` and distinct NaN
+    /// payloads, so this is bitwise identity, not float `==`.
+    #[inline]
+    pub fn bits_key(&self) -> [u64; D] {
+        self.coords.map(f64::to_bits)
+    }
+
     /// Dot product.
     #[inline]
     pub fn dot(&self, other: &Self) -> f64 {

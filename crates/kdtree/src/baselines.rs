@@ -63,12 +63,12 @@ impl<const D: usize> B1Tree<D> {
     /// Batch delete by point value (all matching copies) and rebuild.
     /// Returns the number of points removed.
     pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
-        let victims: std::collections::HashSet<_> = batch.iter().map(coord_key).collect();
+        let victims: std::collections::HashSet<_> = batch.iter().map(Point::bits_key).collect();
         let before = self.points.len();
         let mut kept_pts = Vec::with_capacity(before);
         let mut kept_ids = Vec::with_capacity(before);
         for (p, id) in self.points.iter().zip(&self.ids) {
-            if !victims.contains(&coord_key(p)) {
+            if !victims.contains(&p.bits_key()) {
                 kept_pts.push(*p);
                 kept_ids.push(*id);
             }
@@ -103,14 +103,6 @@ impl<const D: usize> B1Tree<D> {
             queries.par_iter().map(|q| self.knn(q, k)).collect()
         }
     }
-}
-
-fn coord_key<const D: usize>(p: &Point<D>) -> [u64; D] {
-    let mut k = [0u64; D];
-    for i in 0..D {
-        k[i] = p[i].to_bits();
-    }
-    k
 }
 
 // ---------------- B2 ----------------
@@ -361,7 +353,9 @@ fn delete_rec<const D: usize>(node: &mut B2Node<D>, queries: Vec<Point<D>>) -> u
             let mut deleted = 0;
             for q in &queries {
                 for (i, (p, _)) in points.iter().enumerate() {
-                    if alive[i] && p == q {
+                    // Bitwise identity, matching every other backend's
+                    // delete-by-value semantic.
+                    if alive[i] && p.bits_key() == q.bits_key() {
                         alive[i] = false;
                         *live -= 1;
                         deleted += 1;
@@ -421,10 +415,10 @@ fn knn_rec<const D: usize>(node: &B2Node<D>, q: &Point<D>, buf: &mut KnnBuffer) 
             } else {
                 (right, left)
             };
-            if node_bbox(near).dist_sq_to_point(q) < buf.bound() {
+            if node_bbox(near).dist_sq_to_point(q) <= buf.bound() {
                 knn_rec(near, q, buf);
             }
-            if node_bbox(far).dist_sq_to_point(q) < buf.bound() {
+            if node_bbox(far).dist_sq_to_point(q) <= buf.bound() {
                 knn_rec(far, q, buf);
             }
         }

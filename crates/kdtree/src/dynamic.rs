@@ -1,0 +1,480 @@
+//! A batch-dynamic kd-tree via delete-marking and threshold rebuilds.
+//!
+//! [`DynKdTree`] is the simplest industrial-strength way to make the static
+//! [`KdTree`] dynamic, sitting between the §6.3 baselines: **B1** rebuilds
+//! on every update (best queries, slowest updates) and **B2** never rebuilds
+//! (fastest updates, queries degrade). Here updates are O(batch) —
+//! insertions buffer into a flat side array, deletions tombstone points in
+//! place — and the whole structure is rebuilt from its live points only when
+//! the *rebuild fraction* is exceeded (buffered or tombstoned points
+//! outgrowing a fixed fraction of the indexed set), which keeps queries
+//! within a constant factor of a freshly built tree while amortizing
+//! rebuild cost over many batches.
+//!
+//! Points carry insertion-order ids (like [`BdlTree`]'s), all query output
+//! follows the library-wide deterministic contract — range reports sorted
+//! ascending by id, k-NN ordered by `(distance², id)` — and batch queries
+//! are data-parallel over the queries.
+//!
+//! [`BdlTree`]: https://docs.rs/pargeo-bdltree
+
+use crate::knn::{KnnBuffer, Neighbor};
+use crate::tree::{KdTree, Node, SplitRule};
+use pargeo_geometry::{Bbox, Point};
+
+/// Default rebuild threshold: rebuild when pending inserts or tombstones
+/// exceed this fraction of the indexed points.
+pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
+
+/// Pending-insert floor below which no rebuild is triggered (tiny trees
+/// would otherwise rebuild on every batch).
+const MIN_PENDING: usize = 256;
+
+/// A batch-dynamic kd-tree: tombstone deletes, buffered inserts, and a
+/// full parallel rebuild once either outgrows a threshold fraction.
+#[derive(Debug, Clone)]
+pub struct DynKdTree<const D: usize> {
+    /// Static tree over the points of the last rebuild.
+    tree: KdTree<D>,
+    /// Build-input points in input order (`range_box` candidate positions
+    /// index into this for bitwise delete matching).
+    pts: Vec<Point<D>>,
+    /// External insertion-order id of build-input position `i`.
+    ext: Vec<u32>,
+    /// Liveness of build-input position `i` (false = tombstoned).
+    alive: Vec<bool>,
+    /// Number of tombstones in `alive`.
+    dead: usize,
+    /// Inserts not yet folded into the static tree.
+    buffer: Vec<(Point<D>, u32)>,
+    rule: SplitRule,
+    rebuild_fraction: f64,
+    next_id: u32,
+    live: usize,
+    epoch: u64,
+    rebuilds: u64,
+}
+
+impl<const D: usize> DynKdTree<D> {
+    /// Creates an empty tree with object-median splits and the default
+    /// rebuild fraction.
+    pub fn new() -> Self {
+        Self::with_config(SplitRule::ObjectMedian, DEFAULT_REBUILD_FRACTION)
+    }
+
+    /// Creates an empty tree with an explicit split rule and rebuild
+    /// fraction (`0 < rebuild_fraction`; smaller = more eager rebuilds).
+    pub fn with_config(rule: SplitRule, rebuild_fraction: f64) -> Self {
+        assert!(rebuild_fraction > 0.0);
+        Self {
+            tree: KdTree::build(&[], rule),
+            pts: Vec::new(),
+            ext: Vec::new(),
+            alive: Vec::new(),
+            dead: 0,
+            buffer: Vec::new(),
+            rule,
+            rebuild_fraction,
+            next_id: 0,
+            live: 0,
+            epoch: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Builds directly over an initial point set (one batch insert).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        let mut t = Self::new();
+        t.insert(points);
+        t
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of update batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of full structure rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total points ever inserted (ids are assigned from this counter).
+    pub fn total_inserted(&self) -> u64 {
+        self.next_id as u64
+    }
+
+    /// Points currently buffered outside the static tree (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Tombstoned points still occupying tree slots (diagnostics).
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Batch insert: appends to the side buffer, then rebuilds if the
+    /// buffer outgrew the threshold.
+    pub fn insert(&mut self, batch: &[Point<D>]) {
+        self.epoch += 1;
+        self.buffer.extend(
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, self.next_id + i as u32)),
+        );
+        self.next_id += batch.len() as u32;
+        self.live += batch.len();
+        self.maybe_rebuild();
+    }
+
+    /// Batch delete by point value (all live copies of each query point are
+    /// removed). Tombstones tree points in place, filters the buffer, and
+    /// rebuilds if tombstones outgrew the threshold. Returns the number of
+    /// points deleted.
+    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        self.epoch += 1;
+        if batch.is_empty() || self.live == 0 {
+            return 0;
+        }
+        let mut deleted = 0usize;
+        // Buffer deletion by coordinate match.
+        if !self.buffer.is_empty() {
+            let victims: std::collections::HashSet<[u64; D]> =
+                batch.iter().map(Point::bits_key).collect();
+            let before = self.buffer.len();
+            self.buffer
+                .retain(|(p, _)| !victims.contains(&p.bits_key()));
+            deleted += before - self.buffer.len();
+        }
+        // Tree deletion: locate each victim's candidate positions with a
+        // degenerate box query (data-parallel over the batch), keep only
+        // bitwise matches (the box query compares with float `<=`, which
+        // would also admit `-0.0` for `+0.0` — the library-wide semantic is
+        // bitwise identity), then tombstone serially.
+        let tree = &self.tree;
+        let pts = &self.pts;
+        let hits: Vec<Vec<u32>> = pargeo_parlay::map_batch(batch, 64, |q| {
+            let hit = Bbox { min: *q, max: *q };
+            let mut positions = tree.range_box(&hit);
+            positions.retain(|&pos| pts[pos as usize].bits_key() == q.bits_key());
+            positions
+        });
+        for positions in &hits {
+            for &pos in positions {
+                let pos = pos as usize;
+                if self.alive[pos] {
+                    self.alive[pos] = false;
+                    self.dead += 1;
+                    deleted += 1;
+                }
+            }
+        }
+        self.live -= deleted;
+        self.maybe_rebuild();
+        deleted
+    }
+
+    /// Rebuilds the static tree from live points when pending inserts or
+    /// tombstones exceed `rebuild_fraction` of the indexed set.
+    fn maybe_rebuild(&mut self) {
+        let indexed = self.tree.len();
+        let threshold = ((indexed as f64 * self.rebuild_fraction) as usize).max(MIN_PENDING);
+        if self.buffer.len() <= threshold && self.dead <= threshold {
+            return;
+        }
+        // Collect survivors in external-id order: tree points (via the id
+        // permutation back to build-input positions), then the buffer.
+        let mut survivors: Vec<(Point<D>, u32)> = Vec::with_capacity(self.live);
+        for (slot, p) in self.tree.points().iter().enumerate() {
+            let pos = self.tree.original_id(slot) as usize;
+            if self.alive[pos] {
+                survivors.push((*p, self.ext[pos]));
+            }
+        }
+        survivors.extend(self.buffer.iter().copied());
+        survivors.sort_unstable_by_key(|&(_, id)| id);
+        let pts: Vec<Point<D>> = survivors.iter().map(|&(p, _)| p).collect();
+        self.tree = KdTree::build(&pts, self.rule);
+        self.ext = survivors.iter().map(|&(_, id)| id).collect();
+        self.alive = vec![true; pts.len()];
+        self.pts = pts;
+        self.dead = 0;
+        self.buffer.clear();
+        self.rebuilds += 1;
+        debug_assert_eq!(self.tree.len(), self.live);
+    }
+
+    // ---------- queries ----------
+
+    /// k nearest live neighbors of `q`, ascending by `(distance², id)`
+    /// (ids are insertion-order ids).
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut buf = KnnBuffer::new(k);
+        for (p, id) in &self.buffer {
+            buf.insert(q.dist_sq(p), *id);
+        }
+        if let Some(root) = self.tree.root() {
+            self.knn_rec(root, q, &mut buf);
+        }
+        buf.finish()
+    }
+
+    fn knn_rec(&self, node: &Node<D>, q: &Point<D>, buf: &mut KnnBuffer) {
+        if node.is_leaf() {
+            for i in node.start..node.end {
+                let pos = self.tree.original_id(i as usize) as usize;
+                if self.alive[pos] {
+                    buf.insert(q.dist_sq(&self.tree.points()[i as usize]), self.ext[pos]);
+                }
+            }
+            return;
+        }
+        let (near, far) = if q[node.dim as usize] <= node.val {
+            (self.tree.node(node.left), self.tree.node(node.right))
+        } else {
+            (self.tree.node(node.right), self.tree.node(node.left))
+        };
+        if near.bbox.dist_sq_to_point(q) <= buf.bound() {
+            self.knn_rec(near, q, buf);
+        }
+        if far.bbox.dist_sq_to_point(q) <= buf.bound() {
+            self.knn_rec(far, q, buf);
+        }
+    }
+
+    /// Data-parallel batch k-NN (parallel over the queries).
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        pargeo_parlay::map_batch(queries, 64, |q| self.knn(q, k))
+    }
+
+    /// Insertion-order ids of all live points inside `query` (boundary
+    /// inclusive), sorted ascending.
+    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (p, id) in &self.buffer {
+            if query.contains(p) {
+                out.push(*id);
+            }
+        }
+        if let Some(root) = self.tree.root() {
+            self.range_rec(root, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn range_rec(&self, node: &Node<D>, query: &Bbox<D>, out: &mut Vec<u32>) {
+        if !node.bbox.intersects(query) {
+            return;
+        }
+        let whole = query.contains_box(&node.bbox);
+        if node.is_leaf() || (whole && self.dead == 0) {
+            for i in node.start..node.end {
+                let pos = self.tree.original_id(i as usize) as usize;
+                if self.alive[pos] && (whole || query.contains(&self.tree.points()[i as usize])) {
+                    out.push(self.ext[pos]);
+                }
+            }
+            return;
+        }
+        self.range_rec(self.tree.node(node.left), query, out);
+        self.range_rec(self.tree.node(node.right), query, out);
+    }
+
+    /// Number of live points inside `query` without materializing them.
+    pub fn count_box(&self, query: &Bbox<D>) -> usize {
+        fn go<const D: usize>(t: &DynKdTree<D>, node: &Node<D>, query: &Bbox<D>) -> usize {
+            if !node.bbox.intersects(query) {
+                return 0;
+            }
+            let whole = query.contains_box(&node.bbox);
+            if whole && t.dead == 0 {
+                return (node.end - node.start) as usize;
+            }
+            if node.is_leaf() {
+                return (node.start..node.end)
+                    .filter(|&i| {
+                        let pos = t.tree.original_id(i as usize) as usize;
+                        t.alive[pos] && (whole || query.contains(&t.tree.points()[i as usize]))
+                    })
+                    .count();
+            }
+            go(t, t.tree.node(node.left), query) + go(t, t.tree.node(node.right), query)
+        }
+        let buffered = self
+            .buffer
+            .iter()
+            .filter(|(p, _)| query.contains(p))
+            .count();
+        match self.tree.root() {
+            Some(root) => buffered + go(self, root, query),
+            None => buffered,
+        }
+    }
+
+    /// Data-parallel batch box reporting.
+    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        pargeo_parlay::map_batch(queries, 16, |q| self.range_box(q))
+    }
+
+    /// All live `(point, id)` pairs, id-ascending (diagnostics / tests).
+    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        let mut out: Vec<(Point<D>, u32)> = self.buffer.clone();
+        for (slot, p) in self.tree.points().iter().enumerate() {
+            let pos = self.tree.original_id(slot) as usize;
+            if self.alive[pos] {
+                out.push((*p, self.ext[pos]));
+            }
+        }
+        out.sort_unstable_by_key(|&(_, id)| id);
+        out
+    }
+}
+
+impl<const D: usize> Default for DynKdTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn_brute_force;
+    use pargeo_datagen::uniform_cube;
+
+    fn check_knn<const D: usize>(t: &DynKdTree<D>, reference: &[Point<D>], k: usize) {
+        for q in reference.iter().step_by(163) {
+            let got = t.knn(q, k);
+            let want = knn_brute_force(reference, q, k);
+            assert_eq!(got.len(), want.len().min(k));
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.dist_sq - w.dist_sq).abs() <= 1e-9 * (1.0 + g.dist_sq),
+                    "{g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batches_preserve_all_points() {
+        let pts = uniform_cube::<3>(5_000, 1);
+        let mut t = DynKdTree::<3>::new();
+        for chunk in pts.chunks(500) {
+            t.insert(chunk);
+        }
+        assert_eq!(t.len(), 5_000);
+        let live = t.collect_live();
+        for (i, (p, id)) in live.iter().enumerate() {
+            assert_eq!(*id as usize, i);
+            assert_eq!(*p, pts[i]);
+        }
+        assert!(t.rebuilds() > 0, "threshold rebuilds should have fired");
+        check_knn(&t, &pts, 5);
+    }
+
+    #[test]
+    fn delete_tombstones_then_rebuilds() {
+        let pts = uniform_cube::<2>(4_000, 2);
+        let mut t = DynKdTree::from_points(&pts);
+        assert_eq!(t.delete(&pts[..400]), 400);
+        assert!(t.tombstones() > 0 || t.rebuilds() > 1);
+        check_knn(&t, &pts[400..], 4);
+        // Keep deleting until the threshold forces a rebuild.
+        let r0 = t.rebuilds();
+        for chunk in pts[400..2_400].chunks(400) {
+            t.delete(chunk);
+        }
+        assert!(t.rebuilds() > r0);
+        assert_eq!(t.len(), 1_600);
+        check_knn(&t, &pts[2_400..], 5);
+    }
+
+    #[test]
+    fn interleaved_updates_stay_exact() {
+        let pts = uniform_cube::<3>(3_000, 3);
+        let mut t = DynKdTree::<3>::new();
+        t.insert(&pts[..1_000]);
+        t.delete(&pts[..200]);
+        t.insert(&pts[1_000..2_000]);
+        t.delete(&pts[500..900]);
+        t.insert(&pts[2_000..]);
+        let expected: Vec<Point<3>> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(*i < 200 || (500..900).contains(i)))
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(t.len(), expected.len());
+        assert_eq!(t.epoch(), 5);
+        check_knn(&t, &expected, 3);
+    }
+
+    #[test]
+    fn range_box_matches_brute_force_under_churn() {
+        let pts = uniform_cube::<2>(3_000, 4);
+        let mut t = DynKdTree::from_points(&pts);
+        t.delete(&pts[1_000..1_500]);
+        t.insert(&pts[1_000..1_250]); // re-insert some under fresh ids
+        let side = pargeo_datagen::cube_side(3_000);
+        let live = t.collect_live();
+        for f in [0.1, 0.3, 0.7] {
+            let q = Bbox {
+                min: Point::new([side * 0.1 * f, side * 0.2]),
+                max: Point::new([side * (0.2 + 0.6 * f), side * (0.3 + 0.5 * f)]),
+            };
+            let want: Vec<u32> = live
+                .iter()
+                .filter(|(p, _)| q.contains(p))
+                .map(|&(_, id)| id)
+                .collect();
+            assert_eq!(t.range_box(&q), want);
+            assert_eq!(t.count_box(&q), want.len());
+        }
+    }
+
+    #[test]
+    fn delete_nonexistent_is_noop() {
+        let pts = uniform_cube::<2>(500, 5);
+        let mut t = DynKdTree::from_points(&pts);
+        assert_eq!(t.delete(&[Point::new([-9.0, -9.0])]), 0);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn duplicates_delete_all_copies() {
+        let p = Point::new([0.25, 0.75]);
+        let mut base = uniform_cube::<2>(300, 6);
+        base.push(p);
+        base.push(p);
+        let mut t = DynKdTree::from_points(&base);
+        assert_eq!(t.delete(&[p]), 2);
+        assert_eq!(t.len(), 300);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = DynKdTree::<2>::default();
+        assert!(t.is_empty());
+        assert!(t.knn(&Point::new([0.0, 0.0]), 3).is_empty());
+        assert!(t
+            .range_box(&Bbox {
+                min: Point::new([0.0, 0.0]),
+                max: Point::new([1.0, 1.0]),
+            })
+            .is_empty());
+    }
+}

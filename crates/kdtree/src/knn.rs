@@ -6,6 +6,11 @@
 //! half — amortized O(1) per insertion. Batch queries parallelize over the
 //! query points ("data-parallel k-NN"), each query descending the tree
 //! serially with near-side-first ordering and bound pruning.
+//!
+//! Output is **deterministic**: neighbors come back ordered by
+//! `(distance², id)`, so equal-distance ties resolve by ascending id — the
+//! same canonical contract the range-reporting paths follow. Results are
+//! identical across thread counts and repeat runs.
 
 use crate::tree::{KdTree, Node};
 use pargeo_geometry::Point;
@@ -47,10 +52,12 @@ impl KnnBuffer {
         self.bound
     }
 
-    /// Offers a candidate.
+    /// Offers a candidate. Candidates strictly beyond the bound are
+    /// rejected; ones *at* the bound are kept so that equal-distance ties
+    /// can still resolve toward the smaller id.
     #[inline]
     pub fn insert(&mut self, dist_sq: f64, id: u32) {
-        if dist_sq >= self.bound {
+        if dist_sq > self.bound {
             return;
         }
         self.items.push(Neighbor { dist_sq, id });
@@ -59,23 +66,33 @@ impl KnnBuffer {
         }
     }
 
-    /// Partitions around the k-th smallest and discards the rest.
+    /// Partitions around the k-th smallest `(distance², id)` pair and
+    /// discards the rest. The id tie-break makes the retained set — not
+    /// just its distances — deterministic.
     fn compact(&mut self) {
         let k = self.k;
-        self.items
-            .select_nth_unstable_by(k - 1, |a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap());
+        self.items.select_nth_unstable_by(k - 1, |a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         self.items.truncate(k);
         self.bound = self.items[k - 1].dist_sq;
     }
 
-    /// Consumes the buffer, returning the k nearest in ascending distance
-    /// (fewer if the data set had fewer points).
+    /// Consumes the buffer, returning the k nearest ascending by
+    /// `(distance², id)` (fewer if the data set had fewer points).
     pub fn finish(mut self) -> Vec<Neighbor> {
         if self.items.len() > self.k {
             self.compact();
         }
-        self.items
-            .sort_unstable_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap());
+        self.items.sort_unstable_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         self.items.truncate(self.k);
         self.items
     }
@@ -122,10 +139,10 @@ impl<const D: usize> KdTree<D> {
         } else {
             (self.node(node.right), self.node(node.left))
         };
-        if near.bbox.dist_sq_to_point(q) < buf.bound() {
+        if near.bbox.dist_sq_to_point(q) <= buf.bound() {
             self.knn_rec(near, q, buf);
         }
-        if far.bbox.dist_sq_to_point(q) < buf.bound() {
+        if far.bbox.dist_sq_to_point(q) <= buf.bound() {
             self.knn_rec(far, q, buf);
         }
     }

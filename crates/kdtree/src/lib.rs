@@ -15,14 +15,20 @@
 //! * [`baselines`] — the §6.3 comparison baselines: **B1** (rebuild on every
 //!   batch update) and **B2** (in-place leaf insertion + tombstone deletes,
 //!   no rebalancing).
+//! * [`dynamic`] — [`DynKdTree`], the delete-marking + threshold-rebuild
+//!   dynamic tree that backs the engine's kd-tree `SpatialIndex` backend.
+
+#![warn(missing_docs)]
 
 pub mod baselines;
+pub mod dynamic;
 pub mod knn;
 pub mod range;
 pub mod tree;
 pub mod veb;
 
 pub use baselines::{B1Tree, B2Tree};
+pub use dynamic::DynKdTree;
 pub use knn::{knn_brute_force, KnnBuffer, Neighbor};
 pub use tree::{KdTree, SplitRule};
 pub use veb::VebTree;

@@ -241,10 +241,10 @@ impl<const D: usize> VebTree<D> {
         } else {
             (node.right, node.left)
         };
-        if self.nodes[near as usize].bbox.dist_sq_to_point(q) < buf.bound() {
+        if self.nodes[near as usize].bbox.dist_sq_to_point(q) <= buf.bound() {
             self.knn_rec(near, q, buf);
         }
-        if self.nodes[far as usize].bbox.dist_sq_to_point(q) < buf.bound() {
+        if self.nodes[far as usize].bbox.dist_sq_to_point(q) <= buf.bound() {
             self.knn_rec(far, q, buf);
         }
     }
@@ -254,6 +254,65 @@ impl<const D: usize> VebTree<D> {
         let mut buf = KnnBuffer::new(k);
         self.knn_into(q, &mut buf);
         buf.finish()
+    }
+
+    // ---------- range search ----------
+
+    /// Appends the ids of all live points inside `query` (boundary
+    /// inclusive) to `out`, in unspecified order — the hook the BDL-tree
+    /// uses to accumulate one answer across its forest of trees.
+    ///
+    /// Node bounding boxes are conservative after deletions (supersets of
+    /// the live points), so pruning may over-visit but never misses.
+    pub fn range_into(&self, query: &Bbox<D>, out: &mut Vec<u32>) {
+        if self.root != u32::MAX {
+            self.range_rec(self.root, query, out);
+        }
+    }
+
+    fn range_rec(&self, idx: u32, query: &Bbox<D>, out: &mut Vec<u32>) {
+        let node = &self.nodes[idx as usize];
+        if !node.bbox.intersects(query) {
+            return;
+        }
+        if node.is_leaf() {
+            let leaf = &self.leaves[node.leaf as usize];
+            let whole = query.contains_box(&node.bbox);
+            for (i, &(p, id)) in leaf.points.iter().enumerate() {
+                if leaf.alive[i] && (whole || query.contains(&p)) {
+                    out.push(id);
+                }
+            }
+            return;
+        }
+        self.range_rec(node.left, query, out);
+        self.range_rec(node.right, query, out);
+    }
+
+    /// Number of live points inside `query` without materializing them.
+    pub fn count_box(&self, query: &Bbox<D>) -> usize {
+        fn go<const D: usize>(t: &VebTree<D>, idx: u32, query: &Bbox<D>) -> usize {
+            let node = &t.nodes[idx as usize];
+            if !node.bbox.intersects(query) {
+                return 0;
+            }
+            if node.is_leaf() {
+                let leaf = &t.leaves[node.leaf as usize];
+                let whole = query.contains_box(&node.bbox);
+                return leaf
+                    .points
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, (p, _))| leaf.alive[*i] && (whole || query.contains(p)))
+                    .count();
+            }
+            go(t, node.left, query) + go(t, node.right, query)
+        }
+        if self.root == u32::MAX {
+            0
+        } else {
+            go(self, self.root, query)
+        }
     }
 
     /// Number of tree nodes (diagnostics).
@@ -486,7 +545,9 @@ fn erase_rec<const D: usize>(
         let mut deleted = 0usize;
         for q in queries.iter() {
             for (i, (p, _)) in leaf.points.iter().enumerate() {
-                if leaf.alive[i] && p == q {
+                // Bitwise identity (`Point::bits_key`) — the library-wide
+                // delete-by-value semantic shared by every backend.
+                if leaf.alive[i] && p.bits_key() == q.bits_key() {
                     leaf.alive[i] = false;
                     leaf.live -= 1;
                     deleted += 1;

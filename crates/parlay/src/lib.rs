@@ -6,15 +6,15 @@
 //!
 //! * [`scan`] — parallel prefix sums (exclusive/inclusive) over arbitrary
 //!   associative operators.
-//! * [`pack`] — parallel filtering/packing driven by flag vectors or
+//! * [`mod@pack`] — parallel filtering/packing driven by flag vectors or
 //!   predicates (the `ParallelPack` of the paper's Figure 5, line 17).
-//! * [`reduce`] — parallel reductions, including the parallel
+//! * [`mod@reduce`] — parallel reductions, including the parallel
 //!   maximum-finding routine used by quickhull and the Welzl pivot heuristic.
 //! * [`atomics`] — the priority write (`WriteMin`/`WriteMax`) of
 //!   Shun et al. \[49\], the core of the reservation technique.
 //! * [`sort`] — a parallel merge sort and an LSD radix sort for 64-bit keys
 //!   (the Morton-sort substrate).
-//! * [`shuffle`] — deterministic random permutations, sequential
+//! * [`mod@shuffle`] — deterministic random permutations, sequential
 //!   (Fisher–Yates) and parallel (sort by random keys).
 //! * [`select`] — parallel quickselect (`nth_element`) used for
 //!   object-median kd-tree splits.
@@ -75,6 +75,23 @@ pub fn par_do<RA: Send, RB: Send>(
     b: impl FnOnce() -> RB + Send,
 ) -> (RA, RB) {
     rayon::join(a, b)
+}
+
+/// Maps `f` over a query batch, in order: sequentially below `grain`,
+/// data-parallel above it. The one batch-dispatch idiom every batched
+/// query surface (`knn_batch`, `range_box_batch`, `answer_batch`, the
+/// oracle) shares, so per-backend copies cannot drift.
+pub fn map_batch<T: Sync, R: Send>(
+    items: &[T],
+    grain: usize,
+    f: impl Fn(&T) -> R + Send + Sync,
+) -> Vec<R> {
+    use rayon::prelude::*;
+    if items.len() < grain {
+        items.iter().map(f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
 }
 
 #[cfg(test)]

@@ -93,7 +93,7 @@ where
 
 /// In-place exclusive scan over `usize` values; returns the total.
 ///
-/// This is the workhorse used by [`crate::pack`] where allocating a second
+/// This is the workhorse used by [`crate::pack()`] where allocating a second
 /// vector for the prefix array would double memory traffic.
 pub fn scan_inplace_exclusive(a: &mut [usize]) -> usize {
     let n = a.len();

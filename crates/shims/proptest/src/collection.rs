@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specifications accepted by [`vec`].
+/// Length specifications accepted by [`vec()`].
 pub trait SizeRange {
     /// Inclusive bounds `(min, max)`.
     fn bounds(&self) -> (usize, usize);

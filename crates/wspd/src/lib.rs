@@ -3,15 +3,15 @@
 //! Paper Modules (2)/(3): the WSPD \[26\] computed from the parallel
 //! kd-tree, and the algorithms built on it:
 //!
-//! * [`wspd`] — Callahan–Kosaraju well-separated pair decomposition with
+//! * [`mod@wspd`] — Callahan–Kosaraju well-separated pair decomposition with
 //!   parallel tree traversal.
 //! * [`bccp`] — bichromatic closest pair via pruned dual-tree traversal.
-//! * [`emst`] — Euclidean minimum spanning tree: WSPD pairs are candidate
+//! * [`mod@emst`] — Euclidean minimum spanning tree: WSPD pairs are candidate
 //!   MST edges (for separation `s ≥ 2` the MST is a subset of the pairs'
 //!   BCCPs); a lazy batched Kruskal realizes BCCPs only when the pair's
 //!   box-distance lower bound surfaces, in the spirit of
 //!   GeoFilterKruskal \[56\].
-//! * [`spanner`] — the WSPD t-spanner \[26\]: one representative edge per
+//! * [`mod@spanner`] — the WSPD t-spanner \[26\]: one representative edge per
 //!   well-separated pair with `s = 4(t+1)/(t-1)`.
 //! * [`unionfind`] — the union-find substrate under Kruskal.
 //! * [`dendrogram`] — single-linkage hierarchical clustering from the EMST

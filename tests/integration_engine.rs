@@ -1,0 +1,149 @@
+//! Cross-module integration: the unified batch-dynamic engine.
+//!
+//! One mixed workload (interleaved batch insert / delete / k-NN / range)
+//! replays identically over all three `SpatialIndex` backends, the
+//! brute-force `Vec` oracle, and two thread counts; answer digests must
+//! match bit-for-bit. The read path additionally cross-checks against the
+//! static `RangeTree2d` through the `BatchQuery` machinery.
+
+use pargeo::prelude::*;
+
+fn presets_small() -> Vec<WorkloadSpec> {
+    WorkloadSpec::presets(4_000)
+        .into_iter()
+        .map(|mut s| {
+            s.batch_size = s.batch_size.min(200);
+            s
+        })
+        .collect()
+}
+
+fn backends() -> Vec<Box<dyn SpatialIndex<2>>> {
+    vec![
+        Box::new(DynKdTree::<2>::new()),
+        Box::new(BdlTree::<2>::with_buffer_size(256)),
+        Box::new(ZdTree::<2>::new()),
+    ]
+}
+
+#[test]
+fn every_preset_workload_matches_the_oracle_on_every_backend() {
+    for spec in presets_small() {
+        let w: Workload<2> = spec.generate();
+        let mut oracle = VecIndex::<2>::new();
+        let want = run_workload(&mut oracle, &w);
+        for mut b in backends() {
+            let got = run_workload(b.as_mut(), &w);
+            assert_eq!(
+                got.digest(),
+                want.digest(),
+                "{}: answer digest diverged on workload {}",
+                got.backend,
+                spec.name
+            );
+            assert_eq!(got.final_live, want.final_live, "{}", spec.name);
+            assert_eq!(got.deleted, want.deleted, "{}", spec.name);
+            assert_eq!(got.knn_results, want.knn_results, "{}", spec.name);
+            assert_eq!(got.range_results, want.range_results, "{}", spec.name);
+            let s = b.snapshot();
+            assert_eq!(s.live, want.final_live);
+            assert_eq!(s.deleted as usize, want.deleted);
+        }
+    }
+}
+
+#[test]
+fn workload_replay_is_thread_count_invariant() {
+    let mut spec = WorkloadSpec::new("threads", Distribution::UniformCube, 3_000, 16);
+    spec.seed = 21;
+    let w: Workload<3> = spec.generate();
+    for mk in [0usize, 1, 2] {
+        let reports: Vec<WorkloadReport> = [1usize, 2]
+            .iter()
+            .map(|&threads| {
+                pargeo::parlay::with_threads(threads, || {
+                    let mut b: Box<dyn SpatialIndex<3>> = match mk {
+                        0 => Box::new(DynKdTree::<3>::new()),
+                        1 => Box::new(BdlTree::<3>::with_buffer_size(256)),
+                        _ => Box::new(ZdTree::<3>::new()),
+                    };
+                    run_workload(b.as_mut(), &w)
+                })
+            })
+            .collect();
+        assert_eq!(
+            reports[0].digest(),
+            reports[1].digest(),
+            "backend {mk}: answers changed with thread count"
+        );
+        assert_eq!(reports[0].final_live, reports[1].final_live);
+    }
+}
+
+#[test]
+fn read_path_is_swappable_with_the_static_range_tree() {
+    // Update the dynamic backends, then serve the same Report queries from
+    // a RangeTree2d built over the oracle's live set — all four answers
+    // must coincide (after translating tree positions to insertion ids).
+    let pts = pargeo::datagen::uniform_cube::<2>(3_000, 9);
+    let mut oracle = VecIndex::<2>::new();
+    let mut dynkd = DynKdTree::<2>::new();
+    let mut bdl = BdlTree::<2>::with_buffer_size(128);
+    let mut zd = ZdTree::<2>::new();
+    let stream: [(&[Point2], bool); 4] = [
+        (&pts[..2_000], true),
+        (&pts[..800], false),
+        (&pts[2_000..], true),
+        (&pts[1_200..1_500], false),
+    ];
+    for (batch, is_insert) in stream {
+        if is_insert {
+            SpatialIndex::insert(&mut oracle, batch);
+            dynkd.insert(batch);
+            bdl.insert(batch);
+            zd.insert(batch);
+        } else {
+            let n = SpatialIndex::delete(&mut oracle, batch);
+            assert_eq!(dynkd.delete(batch), n);
+            assert_eq!(bdl.delete(batch), n);
+            assert_eq!(zd.delete(batch), n);
+        }
+    }
+    let live_pts: Vec<Point2> = oracle.items().iter().map(|&(p, _)| p).collect();
+    let live_ids: Vec<u32> = oracle.items().iter().map(|&(_, id)| id).collect();
+    let rt = RangeTree2d::build(&live_pts);
+    let queries: Vec<Report<Bbox<2>>> = pargeo::datagen::uniform_rects::<2>(60, 10, 0.25)
+        .into_iter()
+        .map(Report)
+        .collect();
+    let want: Vec<Vec<u32>> = rt
+        .answer_batch(&queries)
+        .into_iter()
+        .map(|row| {
+            let mut ids: Vec<u32> = row.into_iter().map(|pos| live_ids[pos as usize]).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    assert_eq!(dynkd.answer_batch(&queries), want, "dyn-kd vs range tree");
+    assert_eq!(bdl.answer_batch(&queries), want, "bdl vs range tree");
+    assert_eq!(zd.answer_batch(&queries), want, "zd vs range tree");
+}
+
+#[test]
+fn epoch_stats_trace_the_update_stream() {
+    let pts = pargeo::datagen::uniform_cube::<2>(2_000, 4);
+    for mut b in backends() {
+        b.insert(&pts[..1_000]);
+        b.delete(&pts[..250]);
+        b.insert(&pts[1_000..]);
+        b.delete(&pts[500..750]);
+        let s = b.snapshot();
+        assert_eq!(s.epoch, 4, "{}", b.backend_name());
+        assert_eq!(s.live, 1_500, "{}", b.backend_name());
+        assert_eq!(s.inserted, 2_000, "{}", b.backend_name());
+        assert_eq!(s.deleted, 500, "{}", b.backend_name());
+        // Every tree backend must have built some structure by now.
+        assert!(s.rebuilds > 0, "{}", b.backend_name());
+    }
+}
