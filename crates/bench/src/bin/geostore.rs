@@ -1,0 +1,89 @@
+//! Mixed-serving sweep of the GeoStore façade: every dynamic backend
+//! (dyn-kd, BDL, Zd) × every store workload preset (mixed serving,
+//! analytics-heavy, churn + analytics, hotspot reads, seed-spreader) ×
+//! T1/Tp thread counts. Each preset mixes index updates, spatial queries,
+//! and whole-dataset derived structures (hull, SEB, closest pair, EMST,
+//! k-NN graph, Delaunay), so the epoch planner and the per-epoch memo
+//! cache are on the measured path. Answer digests are asserted equal
+//! across backends at full scale, and against the brute-force oracle
+//! store at 1/10 scale, so every timed run is also a correctness run.
+//! Scale with `PARGEO_N` (initial load is `n/2`).
+
+use pargeo::prelude::*;
+use pargeo_bench::{env_n, header, max_threads, t1_tp};
+
+fn make_store(backend: Backend) -> GeoStore<2> {
+    GeoStore::builder().backend(backend).build()
+}
+
+fn main() {
+    let n = env_n(50_000);
+    let p = max_threads();
+    println!(
+        "# GeoStore façade — mixed serving + analytics, initial = {}, Tp at {p} threads\n",
+        n / 2
+    );
+
+    // Correctness anchor at 1/10 scale: every backend vs the oracle store.
+    let small = WorkloadSpec::store_presets((n / 10).max(500));
+    for spec in &small {
+        let w: Workload<2> = spec.generate();
+        let mut oracle = make_store(Backend::Oracle);
+        let want = run_store_workload(&mut oracle, &w);
+        for backend in Backend::all() {
+            let mut store = make_store(backend);
+            let got = run_store_workload(&mut store, &w);
+            assert_eq!(
+                got.digest, want.digest,
+                "{} diverged from oracle on {}",
+                got.backend, spec.name
+            );
+            assert_eq!(got.errors, want.errors, "{}", spec.name);
+        }
+    }
+    println!(
+        "anchor: {} small-scale workloads match the oracle store on all backends\n",
+        small.len()
+    );
+
+    header(&[
+        "Scenario",
+        "Backend",
+        "T1 (s)",
+        "Tp (s)",
+        "Speedup",
+        "Derived",
+        "Cache h/m",
+    ]);
+    for spec in WorkloadSpec::store_presets(n) {
+        let w: Workload<2> = spec.generate();
+        // Full-scale digests must agree across backends (checked once,
+        // outside the timed region).
+        let reports: Vec<StoreReport> = Backend::all()
+            .into_iter()
+            .map(|b| {
+                let mut store = make_store(b);
+                run_store_workload(&mut store, &w)
+            })
+            .collect();
+        assert!(
+            reports.windows(2).all(|r| r[0].digest == r[1].digest),
+            "backends disagree on workload {}",
+            spec.name
+        );
+        for (backend, full) in Backend::all().into_iter().zip(&reports) {
+            let (t1, tp, speedup) = t1_tp(|| {
+                let mut store = make_store(backend);
+                run_store_workload(&mut store, &w).final_live
+            });
+            println!(
+                "| {} | {} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {}/{} |",
+                spec.name,
+                backend.label(),
+                full.ops.4,
+                full.cache.hits,
+                full.cache.misses,
+            );
+        }
+    }
+}

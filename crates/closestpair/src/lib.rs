@@ -6,14 +6,19 @@
 //! candidate pairs are bounded by a packing argument. The strip pass sorts
 //! by the next dimension and scans a constant-width window.
 
-use pargeo_geometry::Point;
+#![warn(missing_docs)]
+
+use pargeo_geometry::{GeoError, GeoResult, Point};
 use pargeo_parlay as parlay;
 
 /// The closest pair result: `(index a, index b, distance)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClosestPair {
+    /// Index of the first point of the pair (`a < b`).
     pub a: u32,
+    /// Index of the second point of the pair.
     pub b: u32,
+    /// Euclidean distance between the two points.
     pub dist: f64,
 }
 
@@ -26,8 +31,23 @@ fn window(d: usize) -> usize {
 
 /// Finds the closest pair of distinct indices (`n ≥ 2`). Duplicate points
 /// yield distance 0.
+///
+/// Panics on fewer than two points; [`try_closest_pair`] is the
+/// non-panicking equivalent.
 pub fn closest_pair<const D: usize>(points: &[Point<D>]) -> ClosestPair {
-    assert!(points.len() >= 2, "closest pair needs two points");
+    try_closest_pair(points).expect("closest pair needs two points")
+}
+
+/// Non-panicking [`closest_pair`]: rejects inputs with fewer than two
+/// points with [`GeoError::TooFewPoints`] instead of panicking.
+pub fn try_closest_pair<const D: usize>(points: &[Point<D>]) -> GeoResult<ClosestPair> {
+    if points.len() < 2 {
+        return Err(GeoError::TooFewPoints {
+            op: "closest_pair",
+            needed: 2,
+            got: points.len(),
+        });
+    }
     let mut items: Vec<(Point<D>, u32)> = points
         .iter()
         .enumerate()
@@ -36,11 +56,11 @@ pub fn closest_pair<const D: usize>(points: &[Point<D>]) -> ClosestPair {
     let dim = widest_dim(&items);
     parlay::sort_by_key_f64(&mut items, move |&(p, _)| p[dim]);
     let (a, b, d2) = solve(&items, dim);
-    ClosestPair {
+    Ok(ClosestPair {
         a: a.min(b),
         b: a.max(b),
         dist: d2.sqrt(),
-    }
+    })
 }
 
 fn widest_dim<const D: usize>(items: &[(Point<D>, u32)]) -> usize {
@@ -179,6 +199,30 @@ mod tests {
         let got = closest_pair(&pts);
         assert_eq!((got.a, got.b), (0, 1));
         assert!((got.dist - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_rejects_tiny_inputs_instead_of_panicking() {
+        let err = try_closest_pair::<2>(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            GeoError::TooFewPoints {
+                op: "closest_pair",
+                needed: 2,
+                got: 0
+            }
+        );
+        let one = [Point::new([1.0, 2.0])];
+        assert_eq!(
+            try_closest_pair(&one),
+            Err(GeoError::TooFewPoints {
+                op: "closest_pair",
+                needed: 2,
+                got: 1
+            })
+        );
+        let two = [Point::new([0.0, 0.0]), Point::new([3.0, 4.0])];
+        assert!(try_closest_pair(&two).is_ok());
     }
 
     #[test]

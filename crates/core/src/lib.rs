@@ -10,6 +10,7 @@
 //!
 //! | Paper module | Here |
 //! |---|---|
+//! | (0) service façade: one typed `Request`/`Response` surface over everything | [`store`] |
 //! | (1) static & batch-dynamic kd-trees, k-NN, range search | [`kdtree`], [`bdltree`] |
 //! | (1a) unified batch-dynamic engine (`SpatialIndex` over all tree backends) | [`engine`] |
 //! | (1b) range / segment / rectangle query engine (Sun & Blelloch) | [`rangequery`] |
@@ -19,12 +20,61 @@
 //! | — parallel primitives (ParlayLib's role) | [`parlay`] |
 //! | — geometry kernel with exact predicates | [`geometry`] |
 //!
-//! ## Quickstart
+//! ## Quickstart — the GeoStore façade
+//!
+//! Every capability below is also reachable through [`store::GeoStore`]:
+//! one object owns the point set plus a chosen batch-dynamic index and
+//! serves *mixed* batched traffic — updates, spatial queries, and
+//! whole-dataset derived structures — through one typed
+//! [`Request`](store::Request)/[`Response`](store::Response) surface.
 //!
 //! ```
 //! use pargeo::prelude::*;
 //!
 //! // 10k uniform points in a square (paper's U distribution).
+//! let pts = pargeo::datagen::uniform_cube::<2>(10_000, 42);
+//!
+//! // Pick a backend (dyn-kd, BDL, or Zd — identical answers), load.
+//! let mut store: GeoStore<2> = GeoStore::builder().backend(Backend::DynKd).build();
+//! store.insert(&pts);
+//!
+//! // Batched spatial queries …
+//! let nn = store.knn(&pts[..5], 8).unwrap();
+//! assert_eq!(nn.len(), 5);
+//!
+//! // … and whole-dataset derived structures through the same surface.
+//! let hull = store.hull().unwrap();
+//! assert!(hull.len() >= 3);
+//! let ball = store.seb().unwrap();
+//! assert!(pts.iter().all(|p| ball.contains(p)));
+//! let mst = store.emst().unwrap();
+//! assert_eq!(mst.len(), pts.len() - 1);
+//!
+//! // Mixed batches travel through the epoch planner: adjacent writes
+//! // coalesce into one index batch, reads fan out data-parallel, and
+//! // derived structures memoize per write epoch.
+//! let responses = store.execute(&[
+//!     Request::Delete(pts[..100].to_vec()),
+//!     Request::Hull,
+//!     Request::ClosestPair,
+//!     Request::Stats,
+//! ]);
+//! assert!(responses.iter().all(|r| r.is_ok()));
+//!
+//! // Degenerate input is a typed error, never a panic.
+//! let mut empty: GeoStore<2> = GeoStore::builder().build();
+//! assert_eq!(empty.hull(), Err(GeoError::EmptyInput { op: "hull2d" }));
+//! assert_eq!(
+//!     empty.knn(&pts[..1], 3),
+//!     Err(GeoError::KTooLarge { op: "knn", k: 3, n: 0 })
+//! );
+//! ```
+//!
+//! The per-crate surfaces stay available for direct use:
+//!
+//! ```
+//! use pargeo::prelude::*;
+//!
 //! let pts = pargeo::datagen::uniform_cube::<2>(10_000, 42);
 //!
 //! // Convex hull with the reservation-based parallel algorithm.
@@ -164,21 +214,22 @@ pub use pargeo_morton as morton;
 pub use pargeo_parlay as parlay;
 pub use pargeo_rangequery as rangequery;
 pub use pargeo_seb as seb;
+pub use pargeo_store as store;
 pub use pargeo_wspd as wspd;
 
 /// The most commonly used types and functions in one import.
 pub mod prelude {
     pub use pargeo_bdltree::{BdlTree, ZdTree};
-    pub use pargeo_closestpair::closest_pair;
-    pub use pargeo_datagen::{Distribution, Workload, WorkloadOp, WorkloadSpec};
-    pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph};
+    pub use pargeo_closestpair::{closest_pair, try_closest_pair, ClosestPair};
+    pub use pargeo_datagen::{DerivedOp, Distribution, Workload, WorkloadOp, WorkloadSpec};
+    pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph, try_delaunay};
     pub use pargeo_engine::{run_workload, Snapshot, SpatialIndex, VecIndex, WorkloadReport};
-    pub use pargeo_geometry::{Ball, Bbox, Point, Point2, Point3};
+    pub use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point, Point2, Point3};
     pub use pargeo_graphgen::{beta_skeleton, knn_graph};
     pub use pargeo_hull::{
         hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq,
         hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc,
-        hull3d_seq, Hull3d,
+        hull3d_seq, try_hull2d, try_hull3d, Hull3d,
     };
     pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, KdTree, SplitRule, VebTree};
     pub use pargeo_rangequery::{
@@ -186,9 +237,13 @@ pub mod prelude {
     };
     pub use pargeo_seb::{
         seb_orthant_scan, seb_sampling, seb_welzl_parallel, seb_welzl_parallel_mtf_pivot,
-        seb_welzl_seq,
+        seb_welzl_seq, try_seb,
     };
-    pub use pargeo_wspd::{bccp_points, emst, spanner, wspd};
+    pub use pargeo_store::{
+        run_store_workload, Backend, CacheStats, DerivedKind, GeoStore, GeoStoreBuilder, Request,
+        Response, StoreReport, StoreStats,
+    };
+    pub use pargeo_wspd::{bccp_points, emst, spanner, wspd, EmstEdge};
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "spatial_graphs",
     "dynamic_points",
     "range_queries",
+    "geostore",
 ];
 
 const SMOKE_N: &str = "5000";
@@ -80,8 +81,13 @@ fn range_queries_runs() {
 }
 
 #[test]
+fn geostore_runs() {
+    run_example("geostore");
+}
+
+#[test]
 fn smoke_covers_every_example() {
     // Keep EXAMPLES and the per-example tests in sync with the manifest.
     let listed: std::collections::BTreeSet<_> = EXAMPLES.iter().copied().collect();
-    assert_eq!(listed.len(), 5);
+    assert_eq!(listed.len(), 6);
 }

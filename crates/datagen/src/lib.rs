@@ -28,9 +28,13 @@
 //! insert/delete/query ratios, sliding-window churn, and query hotspots,
 //! and expands into a deterministic [`Workload`] for the engine driver.
 
+#![warn(missing_docs)]
+
 pub mod workload;
 
-pub use workload::{Distribution, Hotspot, QueryMix, Workload, WorkloadOp, WorkloadSpec};
+pub use workload::{
+    DerivedOp, Distribution, Hotspot, QueryMix, Workload, WorkloadOp, WorkloadSpec,
+};
 
 use pargeo_geometry::{Bbox, Point};
 use pargeo_parlay::shuffle::splitmix64;

@@ -84,6 +84,25 @@ impl Default for QueryMix {
     }
 }
 
+/// A whole-dataset derived structure requested by a workload — the
+/// analytics half of mixed serving traffic, executed by `pargeo-store`'s
+/// `GeoStore` (the engine's index-only driver skips them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivedOp {
+    /// Convex hull of the live set.
+    Hull,
+    /// Smallest enclosing ball of the live set.
+    Seb,
+    /// Closest pair of the live set.
+    ClosestPair,
+    /// Euclidean minimum spanning tree of the live set.
+    Emst,
+    /// Directed k-NN graph with this `k`.
+    KnnGraph(usize),
+    /// Delaunay edge graph (2D point sets only).
+    DelaunayGraph,
+}
+
 /// A skewed read region: a sub-box of the domain that attracts a fixed
 /// fraction of all queries.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +133,11 @@ pub struct WorkloadSpec {
     pub dist: Distribution,
     /// Query-side composition.
     pub query: QueryMix,
+    /// Fraction of query batches that request a whole-dataset derived
+    /// structure (hull, SEB, closest pair, EMST, k-NN graph, Delaunay)
+    /// instead of point queries. The analytics share of mixed traffic;
+    /// `0.0` (the default) reproduces the index-only streams.
+    pub derived_frac: f64,
     /// When true, deletes expire the oldest live points (FIFO) instead of
     /// uniformly random victims.
     pub sliding_window: bool,
@@ -136,6 +160,7 @@ impl WorkloadSpec {
             delete_frac: 0.2,
             dist,
             query: QueryMix::default(),
+            derived_frac: 0.0,
             sliding_window: false,
             hotspot: None,
             seed: 42,
@@ -189,6 +214,62 @@ impl WorkloadSpec {
         spreader.seed = 105;
 
         vec![uniform, insert_heavy, window, hotspot, spreader]
+    }
+
+    /// The named scenario set the `geostore` bench sweeps: the engine's
+    /// serving axes plus a derived-structure (analytics) share, so the
+    /// store's planner and memo cache see realistic mixed traffic.
+    pub fn store_presets(n: usize) -> Vec<WorkloadSpec> {
+        let initial = (n / 2).max(64);
+        let batches = 24;
+
+        let mut mixed =
+            WorkloadSpec::new("mixed-serving", Distribution::UniformCube, initial, batches);
+        mixed.derived_frac = 0.25;
+        mixed.seed = 201;
+
+        let mut analytics =
+            WorkloadSpec::new("analytics-heavy", Distribution::InSphere, initial, batches);
+        analytics.insert_frac = 0.15;
+        analytics.delete_frac = 0.05;
+        analytics.derived_frac = 0.7;
+        analytics.seed = 202;
+
+        let mut churn = WorkloadSpec::new(
+            "churn-analytics",
+            Distribution::UniformCube,
+            initial,
+            batches,
+        );
+        churn.insert_frac = 0.35;
+        churn.delete_frac = 0.35;
+        churn.sliding_window = true;
+        churn.derived_frac = 0.5;
+        churn.seed = 203;
+
+        let mut hotspot =
+            WorkloadSpec::new("hotspot-serving", Distribution::OnCube, initial, batches);
+        hotspot.insert_frac = 0.1;
+        hotspot.delete_frac = 0.1;
+        hotspot.derived_frac = 0.15;
+        hotspot.hotspot = Some(Hotspot {
+            frac: 0.9,
+            extent: 0.05,
+        });
+        hotspot.seed = 204;
+
+        let mut spreader = WorkloadSpec::new(
+            "spreader-analytics",
+            Distribution::SeedSpreader,
+            initial,
+            batches,
+        );
+        spreader.insert_frac = 0.3;
+        spreader.delete_frac = 0.25;
+        spreader.derived_frac = 0.35;
+        spreader.seed = 205;
+
+        vec![mixed, analytics, churn, hotspot, spreader]
     }
 
     /// Expands the spec into a concrete operation stream.
@@ -251,6 +332,18 @@ impl WorkloadSpec {
                         .collect()
                 };
                 ops.push(WorkloadOp::Delete(batch));
+            } else if self.derived_frac > 0.0 && rng.gen::<f64>() < self.derived_frac {
+                let palette = [
+                    DerivedOp::Hull,
+                    DerivedOp::Seb,
+                    DerivedOp::ClosestPair,
+                    DerivedOp::Emst,
+                    DerivedOp::KnnGraph(self.query.k.max(1)),
+                    DerivedOp::DelaunayGraph,
+                ];
+                ops.push(WorkloadOp::Derived(
+                    palette[rng.gen_range(0..palette.len())],
+                ));
             } else {
                 let centers: Vec<Point<D>> = (0..self.batch_size)
                     .map(|_| {
@@ -304,6 +397,9 @@ pub enum WorkloadOp<const D: usize> {
     Knn(Vec<Point<D>>, usize),
     /// Answer an orthogonal range-report batch.
     Range(Vec<Bbox<D>>),
+    /// Compute a whole-dataset derived structure over the live set
+    /// (served by `pargeo-store`; index-only drivers skip it).
+    Derived(DerivedOp),
 }
 
 /// A concrete, replayable operation stream produced by
@@ -317,7 +413,10 @@ pub struct Workload<const D: usize> {
 }
 
 impl<const D: usize> Workload<D> {
-    /// Counts of (insert, delete, knn, range) batches in the stream.
+    /// Counts of (insert, delete, knn, range) batches in the stream
+    /// (derived-structure batches are counted by [`derived_count`][d]).
+    ///
+    /// [d]: Workload::derived_count
     pub fn op_counts(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
         for op in &self.ops {
@@ -326,9 +425,18 @@ impl<const D: usize> Workload<D> {
                 WorkloadOp::Delete(_) => c.1 += 1,
                 WorkloadOp::Knn(..) => c.2 += 1,
                 WorkloadOp::Range(_) => c.3 += 1,
+                WorkloadOp::Derived(_) => {}
             }
         }
         c
+    }
+
+    /// Number of derived-structure batches in the stream.
+    pub fn derived_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Derived(_)))
+            .count()
     }
 }
 
@@ -441,6 +549,43 @@ mod tests {
         let side = cube_side(1_000 + 30 * (1_000 / 30));
         for d in 0..2 {
             assert!(bb.max[d] - bb.min[d] <= 0.06 * side, "hotspot too wide");
+        }
+    }
+
+    #[test]
+    fn derived_ops_are_deterministic_and_opt_in() {
+        // Default spec: no analytics traffic, bit-identical to the pre-
+        // derived-op streams.
+        let w: Workload<2> = spec().generate();
+        assert_eq!(w.derived_count(), 0);
+
+        let mut s = spec();
+        s.insert_frac = 0.2;
+        s.delete_frac = 0.2;
+        s.derived_frac = 0.6;
+        let a: Workload<2> = s.generate();
+        let b: Workload<2> = s.generate();
+        assert!(a.derived_count() > 0);
+        assert_eq!(a.derived_count(), b.derived_count());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            if let (WorkloadOp::Derived(p), WorkloadOp::Derived(q)) = (x, y) {
+                assert_eq!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn store_presets_cover_the_analytics_axes() {
+        let ps = WorkloadSpec::store_presets(10_000);
+        assert_eq!(ps.len(), 5);
+        assert!(ps.iter().all(|p| p.derived_frac > 0.0));
+        assert!(ps.iter().any(|p| p.sliding_window));
+        assert!(ps.iter().any(|p| p.hotspot.is_some()));
+        assert!(ps.iter().any(|p| p.dist == Distribution::SeedSpreader));
+        for p in &ps {
+            let w: Workload<2> = p.generate();
+            assert_eq!(w.initial.len(), 5_000);
+            assert!(w.derived_count() > 0, "{}: no analytics ops", p.name);
         }
     }
 

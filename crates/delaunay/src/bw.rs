@@ -2,7 +2,7 @@
 //! reservation-based batch insertion.
 
 use crate::tri::TriMesh;
-use pargeo_geometry::Point2;
+use pargeo_geometry::{GeoError, GeoResult, Point2};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -11,7 +11,7 @@ const EMPTY: usize = usize::MAX;
 
 /// A Delaunay triangulation of the input point set (duplicates collapse
 /// onto their first occurrence; collinear inputs produce no triangles).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delaunay {
     /// CCW triangles over original input indices.
     pub triangles: Vec<[u32; 3]>,
@@ -78,6 +78,31 @@ pub fn delaunay_seq(points: &[Point2]) -> Delaunay {
 /// Parallel reservation-based Delaunay (default seed).
 pub fn delaunay(points: &[Point2]) -> Delaunay {
     delaunay_seeded(points, 42)
+}
+
+/// Non-panicking Delaunay triangulation: rejects inputs that admit no
+/// full-dimensional triangulation — empty, fewer than three points, or all
+/// points collinear/coincident — with a typed [`GeoError`] instead of
+/// returning an empty triangle list.
+pub fn try_delaunay(points: &[Point2]) -> GeoResult<Delaunay> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyInput { op: "delaunay" });
+    }
+    if points.len() < 3 {
+        return Err(GeoError::TooFewPoints {
+            op: "delaunay",
+            needed: 3,
+            got: points.len(),
+        });
+    }
+    let d = delaunay(points);
+    if d.is_empty() {
+        return Err(GeoError::Degenerate {
+            op: "delaunay",
+            what: "collinear",
+        });
+    }
+    Ok(d)
 }
 
 struct Plan {
@@ -297,6 +322,33 @@ mod tests {
         let pts = seed_spreader::<2>(600, 5, SeedSpreaderParams::default());
         let d = delaunay(&pts);
         validate_delaunay(&pts, &d.triangles).unwrap();
+    }
+
+    #[test]
+    fn try_delaunay_rejects_degenerate_inputs() {
+        assert_eq!(
+            try_delaunay(&[]),
+            Err(GeoError::EmptyInput { op: "delaunay" })
+        );
+        let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 0.0])];
+        assert_eq!(
+            try_delaunay(&two),
+            Err(GeoError::TooFewPoints {
+                op: "delaunay",
+                needed: 3,
+                got: 2
+            })
+        );
+        let line: Vec<Point2> = (0..30).map(|i| Point2::new([i as f64, i as f64])).collect();
+        assert_eq!(
+            try_delaunay(&line),
+            Err(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            })
+        );
+        let pts = uniform_cube::<2>(100, 9);
+        assert!(!try_delaunay(&pts).unwrap().is_empty());
     }
 
     #[test]

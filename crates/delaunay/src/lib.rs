@@ -17,10 +17,12 @@
 //! trade-off of non-symbolic super-triangles; the `validate` module's
 //! empty-circumcircle check guards the experiments).
 
+#![warn(missing_docs)]
+
 mod bw;
 mod graphs;
 mod tri;
 
-pub use bw::{delaunay, delaunay_seeded, delaunay_seq, Delaunay};
+pub use bw::{delaunay, delaunay_seeded, delaunay_seq, try_delaunay, Delaunay};
 pub use graphs::{delaunay_edges, gabriel_graph};
 pub use tri::validate_delaunay;

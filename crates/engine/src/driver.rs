@@ -10,6 +10,7 @@
 
 use crate::{Snapshot, SpatialIndex};
 use pargeo_datagen::{Workload, WorkloadOp};
+use pargeo_parlay::mix64 as mix;
 use std::time::Instant;
 
 /// What happened when a workload was replayed against one backend.
@@ -56,15 +57,6 @@ impl WorkloadReport {
     pub fn digest(&self) -> (u64, u64) {
         (self.knn_checksum, self.range_checksum)
     }
-}
-
-/// splitmix64-style avalanche, used to fold ids order-sensitively.
-#[inline]
-fn mix(h: u64, v: u64) -> u64 {
-    let mut z = h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Replays `workload` against `index`, returning timings and answer
@@ -122,6 +114,10 @@ pub fn run_workload<const D: usize, I: SpatialIndex<D> + ?Sized>(
                 }
                 r.ops.3 += 1;
             }
+            // Derived-structure ops are the store façade's job
+            // (`pargeo-store::run_store_workload`); a bare index has no
+            // whole-dataset algorithms to serve them with.
+            WorkloadOp::Derived(_) => {}
         }
     }
     r.final_live = index.len();

@@ -1,0 +1,163 @@
+//! The shared error type of the library's non-panicking API surface.
+//!
+//! Historically every algorithm crate policed its own preconditions with
+//! `assert!`, so degenerate input (an empty point set, a closest-pair call
+//! on one point, `k` larger than the live set) crashed the process — fine
+//! for paper benchmarks, fatal for a serving system. [`GeoError`] is the
+//! one vocabulary those preconditions now speak: algorithm crates expose
+//! `try_*` entry points returning [`GeoResult`], and the `pargeo-store`
+//! façade maps every request through them so no client input can panic the
+//! store.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong with a geometric request.
+///
+/// Each variant carries `op`, the name of the operation that rejected the
+/// input (e.g. `"closest_pair"`, `"hull3d"`), so a batched caller can tell
+/// which request of a mixed batch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoError {
+    /// The operation needs at least one point and got none.
+    EmptyInput {
+        /// Operation that rejected the input.
+        op: &'static str,
+    },
+    /// The operation needs more points than it got (e.g. closest pair
+    /// needs two, a 3D hull needs four).
+    TooFewPoints {
+        /// Operation that rejected the input.
+        op: &'static str,
+        /// Minimum number of points required.
+        needed: usize,
+        /// Number of points actually supplied.
+        got: usize,
+    },
+    /// The input is geometrically degenerate for this operation — e.g. all
+    /// points collinear for a 2D hull or Delaunay triangulation, all
+    /// coplanar for a 3D hull.
+    Degenerate {
+        /// Operation that rejected the input.
+        op: &'static str,
+        /// What degeneracy was detected (`"collinear"`, `"coplanar"`, …).
+        what: &'static str,
+    },
+    /// The operation is not defined in this dimension (e.g. Delaunay
+    /// triangulation outside `D = 2`, convex hull outside `D ∈ {2, 3}`).
+    DimensionUnsupported {
+        /// Operation that rejected the input.
+        op: &'static str,
+        /// The dimension that was requested.
+        dim: usize,
+    },
+    /// A `k`-nearest-neighbor style parameter exceeds the live point count.
+    KTooLarge {
+        /// Operation that rejected the input.
+        op: &'static str,
+        /// The requested `k`.
+        k: usize,
+        /// The number of live points available.
+        n: usize,
+    },
+    /// A numeric or structural parameter is out of range.
+    BadParameter {
+        /// Operation that rejected the input.
+        op: &'static str,
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+}
+
+impl GeoError {
+    /// The name of the operation that produced this error.
+    pub fn op(&self) -> &'static str {
+        match self {
+            GeoError::EmptyInput { op }
+            | GeoError::TooFewPoints { op, .. }
+            | GeoError::Degenerate { op, .. }
+            | GeoError::DimensionUnsupported { op, .. }
+            | GeoError::KTooLarge { op, .. }
+            | GeoError::BadParameter { op, .. } => op,
+        }
+    }
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::EmptyInput { op } => write!(f, "{op}: empty input"),
+            GeoError::TooFewPoints { op, needed, got } => {
+                write!(f, "{op}: needs at least {needed} points, got {got}")
+            }
+            GeoError::Degenerate { op, what } => {
+                write!(f, "{op}: degenerate ({what}) input")
+            }
+            GeoError::DimensionUnsupported { op, dim } => {
+                write!(f, "{op}: not defined in dimension {dim}")
+            }
+            GeoError::KTooLarge { op, k, n } => {
+                write!(f, "{op}: k = {k} exceeds live point count {n}")
+            }
+            GeoError::BadParameter { op, what } => write!(f, "{op}: {what}"),
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+/// Shorthand for `Result<T, GeoError>`.
+pub type GeoResult<T> = Result<T, GeoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operation() {
+        let cases: Vec<(GeoError, &str)> = vec![
+            (GeoError::EmptyInput { op: "seb" }, "seb: empty input"),
+            (
+                GeoError::TooFewPoints {
+                    op: "closest_pair",
+                    needed: 2,
+                    got: 1,
+                },
+                "closest_pair: needs at least 2 points, got 1",
+            ),
+            (
+                GeoError::Degenerate {
+                    op: "hull3d",
+                    what: "coplanar",
+                },
+                "hull3d: degenerate (coplanar) input",
+            ),
+            (
+                GeoError::DimensionUnsupported {
+                    op: "delaunay",
+                    dim: 5,
+                },
+                "delaunay: not defined in dimension 5",
+            ),
+            (
+                GeoError::KTooLarge {
+                    op: "knn",
+                    k: 10,
+                    n: 3,
+                },
+                "knn: k = 10 exceeds live point count 3",
+            ),
+            (
+                GeoError::BadParameter {
+                    op: "knn_graph",
+                    what: "k must be positive",
+                },
+                "knn_graph: k must be positive",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+            assert_eq!(e.op(), want.split(':').next().unwrap());
+        }
+    }
+}

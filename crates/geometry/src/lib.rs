@@ -15,16 +15,20 @@
 //!   role CGAL's exact predicates play for the original ParGeo.
 //! * [`ball`] — spheres through support sets (the Welzl base case), solved
 //!   via a small Gram-system Gaussian elimination.
+//! * [`error`] — [`GeoError`], the shared vocabulary of the library's
+//!   non-panicking `try_*` entry points and of the `pargeo-store` façade.
 
 #![warn(missing_docs)]
 
 pub mod ball;
 pub mod bbox;
+pub mod error;
 pub mod expansion;
 pub mod point;
 pub mod predicates;
 
 pub use ball::{ball_through, Ball};
 pub use bbox::Bbox;
+pub use error::{GeoError, GeoResult};
 pub use point::{Point, Point2, Point3, Point4, Point5, Point7};
 pub use predicates::{incircle, orient2d, orient3d, Orientation};

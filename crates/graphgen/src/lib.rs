@@ -15,6 +15,8 @@
 //! * [`spanner`] / [`emst`] — re-exported WSPD clients, completing the
 //!   module's generator list.
 
+#![warn(missing_docs)]
+
 use pargeo_delaunay::{delaunay, delaunay_edges};
 use pargeo_geometry::{Point, Point2};
 use pargeo_kdtree::{KdTree, SplitRule};

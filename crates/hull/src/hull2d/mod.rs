@@ -17,7 +17,40 @@ pub use quickhull::hull2d_quickhull_parallel;
 pub use randinc::hull2d_randinc;
 pub use seq::hull2d_seq;
 
-use pargeo_geometry::{orient2d, Orientation, Point2};
+use pargeo_geometry::{orient2d, GeoError, GeoResult, Orientation, Point2};
+
+/// Non-panicking 2D hull that *rejects* inputs with no full-dimensional
+/// hull — empty, fewer than three points, all coincident, or all collinear
+/// — with a typed [`GeoError`] instead of silently returning the extreme
+/// points, then runs `algo` (any of this crate's `hull2d_*` entry points).
+pub fn try_hull2d_with(points: &[Point2], algo: fn(&[Point2]) -> Vec<u32>) -> GeoResult<Vec<u32>> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyInput { op: "hull2d" });
+    }
+    if points.len() < 3 {
+        return Err(GeoError::TooFewPoints {
+            op: "hull2d",
+            needed: 3,
+            got: points.len(),
+        });
+    }
+    match degenerate_hull(points) {
+        Some(v) if v.len() <= 1 => Err(GeoError::Degenerate {
+            op: "hull2d",
+            what: "coincident",
+        }),
+        Some(_) => Err(GeoError::Degenerate {
+            op: "hull2d",
+            what: "collinear",
+        }),
+        None => Ok(algo(points)),
+    }
+}
+
+/// [`try_hull2d_with`] using the parallel quickhull.
+pub fn try_hull2d(points: &[Point2]) -> GeoResult<Vec<u32>> {
+    try_hull2d_with(points, hull2d_quickhull_parallel)
+}
 
 /// True iff `q` lies strictly to the right of the directed line `a → b`
 /// (i.e. `q` sees the CCW hull edge `(a, b)` from outside).
@@ -186,6 +219,44 @@ mod tests {
             assert_eq!(h.len(), 2, "{name}");
             assert!(h.contains(&0) && h.contains(&99), "{name}");
         }
+    }
+
+    #[test]
+    fn try_hull2d_rejects_degenerate_inputs() {
+        assert_eq!(try_hull2d(&[]), Err(GeoError::EmptyInput { op: "hull2d" }));
+        let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 0.0])];
+        assert_eq!(
+            try_hull2d(&two),
+            Err(GeoError::TooFewPoints {
+                op: "hull2d",
+                needed: 3,
+                got: 2
+            })
+        );
+        let same = [Point2::new([1.0, 1.0]); 5];
+        assert_eq!(
+            try_hull2d(&same),
+            Err(GeoError::Degenerate {
+                op: "hull2d",
+                what: "coincident"
+            })
+        );
+        let collinear: Vec<Point2> = (0..40).map(|i| Point2::new([i as f64, i as f64])).collect();
+        for (_, f) in algos() {
+            assert_eq!(
+                try_hull2d_with(&collinear, f),
+                Err(GeoError::Degenerate {
+                    op: "hull2d",
+                    what: "collinear"
+                })
+            );
+        }
+        let tri = [
+            Point2::new([0.0, 0.0]),
+            Point2::new([1.0, 0.0]),
+            Point2::new([0.0, 1.0]),
+        ];
+        assert_eq!(try_hull2d(&tri).unwrap().len(), 3);
     }
 
     #[test]

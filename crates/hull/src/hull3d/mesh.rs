@@ -9,7 +9,7 @@
 use pargeo_geometry::{orient3d, Orientation, Point3};
 
 /// A 3D convex hull: outward-oriented triangles over the input points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hull3d {
     /// Triangles `[a, b, c]` (indices into the input), oriented so that the
     /// hull interior lies on the `Positive` side of `orient3d(a, b, c, ·)`.

@@ -25,7 +25,36 @@ pub use reservation::{
 };
 pub use seq::{hull3d_seq, hull3d_seq_with_stats};
 
-use pargeo_geometry::{orient3d, Orientation, Point3};
+use pargeo_geometry::{orient3d, GeoError, GeoResult, Orientation, Point3};
+
+/// Non-panicking 3D hull that *rejects* inputs with no full-dimensional
+/// hull — empty, fewer than four points, or all collinear/coplanar — with
+/// a typed [`GeoError`] instead of degrading to the projected 2D hull,
+/// then runs `algo` (any of this crate's `hull3d_*` entry points).
+pub fn try_hull3d_with(points: &[Point3], algo: fn(&[Point3]) -> Hull3d) -> GeoResult<Hull3d> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyInput { op: "hull3d" });
+    }
+    if points.len() < 4 {
+        return Err(GeoError::TooFewPoints {
+            op: "hull3d",
+            needed: 4,
+            got: points.len(),
+        });
+    }
+    if initial_tetrahedron(points).is_none() {
+        return Err(GeoError::Degenerate {
+            op: "hull3d",
+            what: "coplanar",
+        });
+    }
+    Ok(algo(points))
+}
+
+/// [`try_hull3d_with`] using the parallel quickhull.
+pub fn try_hull3d(points: &[Point3]) -> GeoResult<Hull3d> {
+    try_hull3d_with(points, hull3d_quickhull_parallel)
+}
 
 /// Picks four affinely independent points (used as the initial
 /// tetrahedron). Returns `None` when the input is degenerate (flat).
@@ -187,6 +216,56 @@ mod tests {
             assert!(h.facets.is_empty(), "{name} should have no 3D facets");
             assert!(!h.vertices.is_empty(), "{name}");
         }
+    }
+
+    #[test]
+    fn try_hull3d_rejects_degenerate_inputs() {
+        assert_eq!(try_hull3d(&[]), Err(GeoError::EmptyInput { op: "hull3d" }));
+        let tri = [
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+        ];
+        assert_eq!(
+            try_hull3d(&tri),
+            Err(GeoError::TooFewPoints {
+                op: "hull3d",
+                needed: 4,
+                got: 3
+            })
+        );
+        let coplanar: Vec<Point3> = (0..60)
+            .map(|i| {
+                let t = i as f64;
+                Point3::new([t.sin() * 10.0, t.cos() * 10.0, 5.0])
+            })
+            .collect();
+        for (_, f) in algos() {
+            assert_eq!(
+                try_hull3d_with(&coplanar, f),
+                Err(GeoError::Degenerate {
+                    op: "hull3d",
+                    what: "coplanar"
+                })
+            );
+        }
+        let line: Vec<Point3> = (0..50)
+            .map(|i| Point3::new([i as f64, 2.0 * i as f64, -i as f64]))
+            .collect();
+        assert_eq!(
+            try_hull3d(&line),
+            Err(GeoError::Degenerate {
+                op: "hull3d",
+                what: "coplanar"
+            })
+        );
+        let tetra = [
+            Point3::new([0.0, 0.0, 0.0]),
+            Point3::new([1.0, 0.0, 0.0]),
+            Point3::new([0.0, 1.0, 0.0]),
+            Point3::new([0.0, 0.0, 1.0]),
+        ];
+        assert_eq!(try_hull3d(&tetra).unwrap().facets.len(), 4);
     }
 
     #[test]

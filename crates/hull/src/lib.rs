@@ -30,11 +30,16 @@
 //! within a constant factor (each facet has 3 neighbors), and Figure 12's
 //! success-rate claims still hold — see the `fig12_reservation` bench.
 
+#![warn(missing_docs)]
+
 pub mod hull2d;
 pub mod hull3d;
 
-pub use hull2d::{hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq};
+pub use hull2d::{
+    hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq, try_hull2d,
+    try_hull2d_with,
+};
 pub use hull3d::{
     hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc, hull3d_seq,
-    Hull3d, HullStats,
+    try_hull3d, try_hull3d_with, Hull3d, HullStats,
 };

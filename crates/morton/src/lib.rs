@@ -10,6 +10,8 @@
 //! exact overhead the paper cites when explaining why the Zd-tree approach
 //! does not extend cheaply beyond 2–3 dimensions.
 
+#![warn(missing_docs)]
+
 use pargeo_geometry::{Bbox, Point};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;

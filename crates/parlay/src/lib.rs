@@ -46,7 +46,7 @@ pub use reduce::{max_index_by, min_index_by, reduce, reduce_map};
 pub use samplesort::sample_sort_by;
 pub use scan::{scan_exclusive, scan_inclusive, scan_inplace_exclusive};
 pub use select::select_nth_unstable_by;
-pub use shuffle::{random_permutation, shuffle, shuffle_seeded};
+pub use shuffle::{mix64, random_permutation, shuffle, shuffle_seeded};
 pub use sort::{merge_sort_by, radix_sort_u64_by_key, sort_by_key_f64};
 
 /// Grain size below which parallel primitives fall back to their sequential

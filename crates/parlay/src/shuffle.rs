@@ -81,6 +81,18 @@ pub fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Folds `v` into the running hash `h` with the [`splitmix64`] avalanche
+/// rounds — the order-sensitive digest step shared by the engine's and the
+/// store's workload drivers (equal digests across backends must mean equal
+/// answers, so there is exactly one definition of this fold).
+#[inline]
+pub fn mix64(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

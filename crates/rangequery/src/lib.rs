@@ -44,6 +44,8 @@
 //! assert_eq!(tree.answer_batch(&[q]), vec![2]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod interval;
 pub mod rangetree;

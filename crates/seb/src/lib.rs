@@ -17,6 +17,8 @@
 //!   (Figure 6): cheap orthant scans over random samples build a
 //!   near-optimal ball before the full scans start.
 
+#![warn(missing_docs)]
+
 mod scan;
 mod welzl;
 
@@ -26,7 +28,34 @@ pub use welzl::{
     welzl_support,
 };
 
-use pargeo_geometry::{Ball, Point};
+use pargeo_geometry::{Ball, GeoError, GeoResult, Point};
+
+/// Non-panicking smallest enclosing ball: rejects an empty input with
+/// [`GeoError::EmptyInput`] instead of panicking, then runs `algo` (any of
+/// this crate's `seb_*` entry points).
+///
+/// ```
+/// use pargeo_seb::{try_seb_with, seb_sampling};
+/// use pargeo_geometry::Point2;
+/// assert!(try_seb_with::<2>(&[], seb_sampling).is_err());
+/// let pts = [Point2::new([0.0, 0.0]), Point2::new([2.0, 0.0])];
+/// assert!((try_seb_with(&pts, seb_sampling).unwrap().radius - 1.0).abs() < 1e-12);
+/// ```
+pub fn try_seb_with<const D: usize>(
+    points: &[Point<D>],
+    algo: fn(&[Point<D>]) -> Ball<D>,
+) -> GeoResult<Ball<D>> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyInput { op: "seb" });
+    }
+    Ok(algo(points))
+}
+
+/// Non-panicking [`seb_sampling`] (the paper's fastest method), via
+/// [`try_seb_with`].
+pub fn try_seb<const D: usize>(points: &[Point<D>]) -> GeoResult<Ball<D>> {
+    try_seb_with(points, seb_sampling)
+}
 
 /// Brute-force smallest enclosing ball for testing (exponential in `D`,
 /// cubic-ish in `n`; only for tiny inputs).
@@ -184,6 +213,17 @@ mod tests {
             let b = f(&collinear);
             assert!((b.radius - 24.5).abs() < 1e-7, "{name}: {}", b.radius);
         }
+    }
+
+    #[test]
+    fn try_rejects_empty_input_for_every_algorithm() {
+        for (name, f) in algos2() {
+            let err = try_seb_with(&[], f).unwrap_err();
+            assert_eq!(err, GeoError::EmptyInput { op: "seb" }, "{name}");
+        }
+        assert_eq!(try_seb::<3>(&[]), Err(GeoError::EmptyInput { op: "seb" }));
+        let one = [Point::new([3.0, 4.0])];
+        assert_eq!(try_seb(&one).unwrap().radius, 0.0);
     }
 
     #[test]

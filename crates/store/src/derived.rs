@@ -1,0 +1,190 @@
+//! Derived-structure computation over the live point set.
+//!
+//! Each [`DerivedKind`] maps to one algorithm-crate call through its
+//! non-panicking `try_*` entry point, run on the *compacted* live view
+//! (positions `0..live`) and remapped to store ids before caching. The
+//! dimension-specific algorithms (hull, Delaunay) dispatch on the
+//! const-generic `D` at runtime; unsupported dimensions come back as
+//! [`GeoError::DimensionUnsupported`], never a panic.
+
+use crate::request::DerivedKind;
+use pargeo_closestpair::{try_closest_pair, ClosestPair};
+use pargeo_geometry::{Ball, GeoError, GeoResult, Point};
+use pargeo_wspd::EmstEdge;
+
+/// A computed derived structure, id-remapped, ready to cache.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DerivedVal<const D: usize> {
+    /// Hull vertex ids (CCW in 2D, sorted ascending in 3D).
+    Hull(Vec<u32>),
+    /// Smallest enclosing ball.
+    Seb(Ball<D>),
+    /// Closest pair over store ids.
+    ClosestPair(ClosestPair),
+    /// EMST edges over store ids.
+    Emst(Vec<EmstEdge>),
+    /// Graph edges over store ids (k-NN or Delaunay).
+    Graph(Vec<(u32, u32)>),
+}
+
+/// Reinterprets a point slice as a different compile-time dimension.
+/// Returns `None` unless `D == E`, in which case `Point<D>` and `Point<E>`
+/// are the *same* concrete type and the cast is the identity.
+fn cast_slice<const D: usize, const E: usize>(pts: &[Point<D>]) -> Option<&[Point<E>]> {
+    if D == E {
+        // SAFETY: D == E, so Point<D> and Point<E> are the same type; this
+        // is an identity cast the type system cannot express directly.
+        Some(unsafe { std::slice::from_raw_parts(pts.as_ptr().cast::<Point<E>>(), pts.len()) })
+    } else {
+        None
+    }
+}
+
+/// Computes `kind` over the live view: `pts[i]` is the live point with
+/// store id `ids[i]` (`ids` strictly ascending).
+pub(crate) fn compute<const D: usize>(
+    kind: DerivedKind,
+    ids: &[u32],
+    pts: &[Point<D>],
+) -> GeoResult<DerivedVal<D>> {
+    match kind {
+        DerivedKind::Hull => {
+            if let Some(p2) = cast_slice::<D, 2>(pts) {
+                let hull = pargeo_hull::try_hull2d(p2)?;
+                Ok(DerivedVal::Hull(remap_ids(&hull, ids)))
+            } else if let Some(p3) = cast_slice::<D, 3>(pts) {
+                let hull = pargeo_hull::try_hull3d(p3)?;
+                Ok(DerivedVal::Hull(remap_ids(&hull.vertices, ids)))
+            } else {
+                Err(GeoError::DimensionUnsupported { op: "hull", dim: D })
+            }
+        }
+        DerivedKind::Seb => Ok(DerivedVal::Seb(pargeo_seb::try_seb(pts)?)),
+        DerivedKind::ClosestPair => {
+            let cp = try_closest_pair(pts)?;
+            let (a, b) = (ids[cp.a as usize], ids[cp.b as usize]);
+            Ok(DerivedVal::ClosestPair(ClosestPair {
+                a: a.min(b),
+                b: a.max(b),
+                dist: cp.dist,
+            }))
+        }
+        DerivedKind::Emst => {
+            if pts.len() < 2 {
+                return Err(GeoError::TooFewPoints {
+                    op: "emst",
+                    needed: 2,
+                    got: pts.len(),
+                });
+            }
+            let edges = pargeo_wspd::emst(pts)
+                .into_iter()
+                .map(|e| EmstEdge {
+                    u: ids[e.u as usize],
+                    v: ids[e.v as usize],
+                    weight: e.weight,
+                })
+                .collect();
+            Ok(DerivedVal::Emst(edges))
+        }
+        DerivedKind::KnnGraph(k) => {
+            if pts.is_empty() {
+                return Err(GeoError::EmptyInput { op: "knn_graph" });
+            }
+            if k == 0 {
+                return Err(GeoError::BadParameter {
+                    op: "knn_graph",
+                    what: "k must be positive",
+                });
+            }
+            // Each vertex excludes itself, so a k-NN graph needs k < n;
+            // reject instead of silently truncating rows (the same typed
+            // policy as the Knn request path).
+            if k >= pts.len() {
+                return Err(GeoError::KTooLarge {
+                    op: "knn_graph",
+                    k,
+                    n: pts.len(),
+                });
+            }
+            let edges = pargeo_graphgen::knn_graph(pts, k);
+            Ok(DerivedVal::Graph(remap_edges(&edges, ids)))
+        }
+        DerivedKind::DelaunayGraph => {
+            if let Some(p2) = cast_slice::<D, 2>(pts) {
+                let tri = pargeo_delaunay::try_delaunay(p2)?;
+                let edges = pargeo_delaunay::delaunay_edges(&tri);
+                Ok(DerivedVal::Graph(remap_edges(&edges, ids)))
+            } else {
+                Err(GeoError::DimensionUnsupported {
+                    op: "delaunay",
+                    dim: D,
+                })
+            }
+        }
+    }
+}
+
+fn remap_ids(positions: &[u32], ids: &[u32]) -> Vec<u32> {
+    positions.iter().map(|&p| ids[p as usize]).collect()
+}
+
+fn remap_edges(edges: &[(u32, u32)], ids: &[u32]) -> Vec<(u32, u32)> {
+    edges
+        .iter()
+        .map(|&(u, v)| (ids[u as usize], ids[v as usize]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::uniform_cube;
+
+    #[test]
+    fn cast_slice_is_identity_only_for_matching_dims() {
+        let pts = uniform_cube::<2>(10, 1);
+        assert!(cast_slice::<2, 2>(&pts).is_some());
+        assert!(cast_slice::<2, 3>(&pts).is_none());
+        let p2 = cast_slice::<2, 2>(&pts).unwrap();
+        assert_eq!(p2.len(), pts.len());
+        assert_eq!(p2[3].coords, pts[3].coords);
+    }
+
+    #[test]
+    fn hull_rejects_unsupported_dimension() {
+        let pts = uniform_cube::<5>(50, 2);
+        let ids: Vec<u32> = (0..50).collect();
+        assert_eq!(
+            compute(DerivedKind::Hull, &ids, &pts),
+            Err(GeoError::DimensionUnsupported { op: "hull", dim: 5 })
+        );
+        assert_eq!(
+            compute(DerivedKind::DelaunayGraph, &ids, &pts),
+            Err(GeoError::DimensionUnsupported {
+                op: "delaunay",
+                dim: 5
+            })
+        );
+        // Dimension-agnostic structures still work in 5D.
+        assert!(compute(DerivedKind::Seb, &ids, &pts).is_ok());
+        assert!(compute(DerivedKind::Emst, &ids, &pts).is_ok());
+    }
+
+    #[test]
+    fn remapping_translates_compacted_positions_to_store_ids() {
+        // Live ids with gaps: position i ↔ id 2i+1.
+        let pts = uniform_cube::<2>(40, 3);
+        let ids: Vec<u32> = (0..40u32).map(|i| 2 * i + 1).collect();
+        let direct = pargeo_hull::try_hull2d(&pts).unwrap();
+        match compute(DerivedKind::Hull, &ids, &pts).unwrap() {
+            DerivedVal::Hull(h) => {
+                assert_eq!(h.len(), direct.len());
+                for (got, want) in h.iter().zip(&direct) {
+                    assert_eq!(*got, 2 * want + 1);
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The mixed-workload driver for the store façade.
+//!
+//! [`run_store_workload`] replays a generated [`Workload`] — including the
+//! derived-structure (analytics) ops the index-only engine driver skips —
+//! against a [`GeoStore`], timing each traffic class and folding every
+//! answer into one order-sensitive digest. Stores over different backends
+//! that served the workload correctly produce **identical** digests; the
+//! `geostore` bench and the integration suites assert exactly that.
+
+use crate::request::{Request, Response};
+use crate::store::GeoStore;
+use crate::CacheStats;
+use pargeo_datagen::{DerivedOp, Workload, WorkloadOp};
+use pargeo_geometry::GeoResult;
+use std::time::Instant;
+
+/// What happened when a workload was replayed against one store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreReport {
+    /// Backend label of the store that served the workload.
+    pub backend: &'static str,
+    /// Batches per traffic class: (insert, delete, knn, range, derived).
+    pub ops: (usize, usize, usize, usize, usize),
+    /// Wall-clock seconds in writes (including the initial bulk load).
+    pub write_secs: f64,
+    /// Wall-clock seconds answering k-NN and range batches.
+    pub read_secs: f64,
+    /// Wall-clock seconds in derived-structure requests (cache hits
+    /// included — their cost is the point).
+    pub derived_secs: f64,
+    /// Order-sensitive digest over every response (ids and counts;
+    /// typed errors fold in as a tag, so two stores agree only if they
+    /// also failed identically).
+    pub digest: u64,
+    /// Requests that returned a typed error (degenerate live sets).
+    pub errors: u64,
+    /// Live points after the final operation.
+    pub final_live: usize,
+    /// Memo-cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl StoreReport {
+    /// Total wall-clock seconds across all traffic classes.
+    pub fn total_secs(&self) -> f64 {
+        self.write_secs + self.read_secs + self.derived_secs
+    }
+}
+
+fn to_request<const D: usize>(op: &WorkloadOp<D>) -> Request<D> {
+    match op {
+        WorkloadOp::Insert(batch) => Request::Insert(batch.clone()),
+        WorkloadOp::Delete(batch) => Request::Delete(batch.clone()),
+        WorkloadOp::Knn(queries, k) => Request::Knn {
+            queries: queries.clone(),
+            k: *k,
+        },
+        WorkloadOp::Range(boxes) => Request::Range(boxes.clone()),
+        WorkloadOp::Derived(d) => match d {
+            DerivedOp::Hull => Request::Hull,
+            DerivedOp::Seb => Request::Seb,
+            DerivedOp::ClosestPair => Request::ClosestPair,
+            DerivedOp::Emst => Request::Emst,
+            DerivedOp::KnnGraph(k) => Request::KnnGraph { k: *k },
+            DerivedOp::DelaunayGraph => Request::DelaunayGraph,
+        },
+    }
+}
+
+/// Replays `workload` against `store`, returning timings, the answer
+/// digest, and cache counters. The store is mutated in place (callers
+/// pass a fresh one per run).
+pub fn run_store_workload<const D: usize>(
+    store: &mut GeoStore<D>,
+    workload: &Workload<D>,
+) -> StoreReport {
+    let mut r = StoreReport {
+        backend: store.backend().label(),
+        ..StoreReport::default()
+    };
+    let t = Instant::now();
+    let resp = store.run(Request::Insert(workload.initial.clone()));
+    r.write_secs += t.elapsed().as_secs_f64();
+    r.digest = fold(r.digest, &resp, &mut r.errors);
+
+    for op in &workload.ops {
+        let req = to_request(op);
+        let class = match &req {
+            Request::Insert(_) => 0,
+            Request::Delete(_) => 1,
+            Request::Knn { .. } => 2,
+            Request::Range(_) => 3,
+            _ => 4,
+        };
+        let t = Instant::now();
+        let resp = store.run(req);
+        let secs = t.elapsed().as_secs_f64();
+        match class {
+            0 => {
+                r.write_secs += secs;
+                r.ops.0 += 1;
+            }
+            1 => {
+                r.write_secs += secs;
+                r.ops.1 += 1;
+            }
+            2 => {
+                r.read_secs += secs;
+                r.ops.2 += 1;
+            }
+            3 => {
+                r.read_secs += secs;
+                r.ops.3 += 1;
+            }
+            _ => {
+                r.derived_secs += secs;
+                r.ops.4 += 1;
+            }
+        }
+        r.digest = fold(r.digest, &resp, &mut r.errors);
+    }
+    r.final_live = store.len();
+    r.cache = store.stats().cache;
+    r
+}
+
+fn fold<const D: usize>(digest: u64, resp: &GeoResult<Response<D>>, errors: &mut u64) -> u64 {
+    if resp.is_err() {
+        *errors += 1;
+    }
+    crate::request::fold_response_digest(digest, resp)
+}

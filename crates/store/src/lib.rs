@@ -1,0 +1,69 @@
+//! # pargeo-store — GeoStore, the service façade over every ParGeo module
+//!
+//! ParGeo's design claim is one library surface spanning trees,
+//! computational-geometry kernels, and spatial-graph generators. This
+//! crate turns that surface into a *service*: a [`GeoStore`] owns the
+//! point set plus a chosen batch-dynamic index backend and serves batched
+//! **mixed** traffic — index updates, spatial queries, and whole-dataset
+//! derived structures — through one typed [`Request`]/[`Response`] pair.
+//!
+//! * [`GeoStore`] — built via
+//!   [`GeoStore::builder()`](GeoStore::builder)`.backend(..).split_rule(..).threads(..)`;
+//!   every backend of `pargeo-engine`'s `SpatialIndex` (dyn-kd, BDL, Zd,
+//!   plus the brute-force oracle) serves the same requests with identical
+//!   answers.
+//! * [`Request`] / [`Response`] — `Insert`, `Delete`, `Knn`, `Range`,
+//!   `Hull`, `Seb`, `ClosestPair`, `Emst`, `KnnGraph`, `DelaunayGraph`,
+//!   `Stats`. Every algorithm runs through its crate's non-panicking
+//!   `try_*` path, so degenerate input (empty store, `k > n`, collinear
+//!   2D hulls, coplanar 3D hulls, unsupported dimensions) comes back as a
+//!   typed [`GeoError`](pargeo_geometry::GeoError) instead of a panic.
+//! * **Epoch planner** — [`GeoStore::execute`] walks a mixed batch once:
+//!   adjacent same-kind writes coalesce into single index batches (one
+//!   write epoch each) and each maximal run of reads is answered
+//!   data-parallel via `pargeo-parlay`.
+//! * **Memoization** — derived structures (hull, EMST, Delaunay, …) are
+//!   cached per write epoch: repeated reads between writes are free, any
+//!   write invalidates. [`CacheStats`] reports the hit rate.
+//! * [`run_store_workload`] — replays a `pargeo-datagen`
+//!   [`Workload`](pargeo_datagen::Workload) (including its
+//!   derived-structure ops) against a store and digests every answer, the
+//!   anchor the `geostore` bench asserts across backends.
+//!
+//! ```
+//! use pargeo_store::{Backend, GeoStore, Request, Response};
+//! use pargeo_datagen::uniform_cube;
+//!
+//! let pts = uniform_cube::<2>(1_000, 7);
+//! let mut store: GeoStore<2> = GeoStore::builder().backend(Backend::Bdl).build();
+//! store.insert(&pts);
+//!
+//! // One typed surface for index queries and derived structures alike.
+//! let hull = store.hull().unwrap();
+//! assert!(hull.len() >= 3);
+//! let knn = store.knn(&pts[..4], 3).unwrap();
+//! assert_eq!(knn.len(), 4);
+//!
+//! // A second hull between writes is a cache hit …
+//! let again = store.hull().unwrap();
+//! assert_eq!(hull, again);
+//! assert_eq!(store.stats().cache.hits, 1);
+//!
+//! // … and a write invalidates it.
+//! store.delete(&pts[..100]);
+//! let fresh = store.hull().unwrap();
+//! assert!(fresh.iter().all(|&id| id >= 100));
+//! ```
+
+#![warn(missing_docs)]
+
+mod derived;
+pub mod driver;
+pub mod request;
+pub mod store;
+
+pub use driver::{run_store_workload, StoreReport};
+pub use request::{
+    digest_responses, fold_response_digest, CacheStats, DerivedKind, Request, Response, StoreStats,
+};
+pub use store::{Backend, GeoStore, GeoStoreBuilder};

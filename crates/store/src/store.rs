@@ -1,0 +1,524 @@
+//! The store itself: builder, id mirror, epoch planner, memo cache.
+
+use crate::derived::{self, DerivedVal};
+use crate::request::{CacheStats, DerivedKind, Request, Response, StoreStats};
+use pargeo_bdltree::{BdlTree, ZdTree};
+use pargeo_engine::{SpatialIndex, VecIndex};
+use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point};
+use pargeo_kdtree::{DynKdTree, Neighbor, SplitRule};
+use pargeo_parlay as parlay;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The dynamic index backend serving a store's point queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Delete-marking dynamic kd-tree with threshold rebuilds.
+    DynKd,
+    /// Log-structured BDL-tree (paper §5).
+    Bdl,
+    /// Morton-order Zd-tree (paper §6.3).
+    Zd,
+    /// Brute-force `Vec` oracle — O(n) per query; for cross-validation
+    /// in tests and benches, never production traffic.
+    Oracle,
+}
+
+impl Backend {
+    /// Short label for reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::DynKd => "dyn-kd",
+            Backend::Bdl => "bdl",
+            Backend::Zd => "zd",
+            Backend::Oracle => "vec-oracle",
+        }
+    }
+
+    /// All production backends (the oracle excluded).
+    pub fn all() -> [Backend; 3] {
+        [Backend::DynKd, Backend::Bdl, Backend::Zd]
+    }
+}
+
+/// Configures and creates a [`GeoStore`].
+///
+/// ```
+/// use pargeo_store::{Backend, GeoStore};
+/// use pargeo_kdtree::SplitRule;
+///
+/// let store: GeoStore<2> = GeoStore::builder()
+///     .backend(Backend::Bdl)
+///     .split_rule(SplitRule::SpatialMedian)
+///     .threads(2)
+///     .build();
+/// assert!(store.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeoStoreBuilder<const D: usize> {
+    backend: Backend,
+    split_rule: SplitRule,
+    rebuild_fraction: f64,
+    buffer_size: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl<const D: usize> Default for GeoStoreBuilder<D> {
+    fn default() -> Self {
+        Self {
+            backend: Backend::DynKd,
+            split_rule: SplitRule::ObjectMedian,
+            rebuild_fraction: pargeo_kdtree::dynamic::DEFAULT_REBUILD_FRACTION,
+            buffer_size: None,
+            threads: None,
+        }
+    }
+}
+
+impl<const D: usize> GeoStoreBuilder<D> {
+    /// Selects the dynamic index backend (default: [`Backend::DynKd`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Split rule for the kd-tree backend (ignored by the others).
+    pub fn split_rule(mut self, rule: SplitRule) -> Self {
+        self.split_rule = rule;
+        self
+    }
+
+    /// Tombstone fraction that triggers a kd-tree rebuild (ignored by the
+    /// other backends).
+    pub fn rebuild_fraction(mut self, fraction: f64) -> Self {
+        self.rebuild_fraction = fraction;
+        self
+    }
+
+    /// Buffer size of the BDL cascade (ignored by the other backends).
+    pub fn buffer_size(mut self, size: usize) -> Self {
+        self.buffer_size = Some(size);
+        self
+    }
+
+    /// Pins every `execute` call to a dedicated pool of exactly this many
+    /// worker threads (default: the ambient rayon pool).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Creates the (empty) store.
+    pub fn build(self) -> GeoStore<D> {
+        let index: Box<dyn SpatialIndex<D> + Send + Sync> = match self.backend {
+            Backend::DynKd => Box::new(DynKdTree::<D>::with_config(
+                self.split_rule,
+                self.rebuild_fraction,
+            )),
+            Backend::Bdl => match self.buffer_size {
+                Some(x) => Box::new(BdlTree::<D>::with_buffer_size(x)),
+                None => Box::new(BdlTree::<D>::new()),
+            },
+            Backend::Zd => Box::new(ZdTree::<D>::new()),
+            Backend::Oracle => Box::new(VecIndex::<D>::new()),
+        };
+        let pool = self.threads.map(|t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("failed to build store pool")
+        });
+        GeoStore {
+            index,
+            backend: self.backend,
+            pool,
+            points: Vec::new(),
+            live_ids: Vec::new(),
+            by_key: HashMap::new(),
+            write_epoch: 0,
+            live_view: None,
+            cache: HashMap::new(),
+            cache_stats: CacheStats::default(),
+        }
+    }
+}
+
+/// Compacted live view: `pts[i]` is the live point with store id `ids[i]`
+/// (`ids` strictly ascending). Shared with read fan-outs via `Arc`.
+type LiveView<const D: usize> = (Vec<u32>, Vec<Point<D>>);
+
+/// One service-grade façade over every ParGeo module.
+///
+/// A `GeoStore` owns the point set and a chosen batch-dynamic
+/// [`SpatialIndex`] backend and serves *mixed* request batches through one
+/// typed surface: updates and spatial queries go to the index, and
+/// whole-dataset derived structures (hull, smallest enclosing ball,
+/// closest pair, EMST, k-NN graph, Delaunay graph) run over the live set
+/// through the algorithm crates' non-panicking `try_*` paths — memoized
+/// per write epoch.
+///
+/// [`execute`](GeoStore::execute) is the epoch planner: it splits the
+/// request stream into write runs and read runs, coalesces adjacent
+/// same-kind writes into single index batches (one write epoch each), and
+/// fans the reads of a run out data-parallel. Every request gets a
+/// `Result` — malformed or degenerate input yields a typed
+/// [`GeoError`], never a panic and never a poisoned store.
+pub struct GeoStore<const D: usize> {
+    index: Box<dyn SpatialIndex<D> + Send + Sync>,
+    backend: Backend,
+    /// Dedicated pool when built with `.threads(..)`, constructed once.
+    pool: Option<rayon::ThreadPool>,
+    /// Every point ever inserted, indexed by store id. Append-only: store
+    /// ids stay stable and `point(id)` remains answerable after deletion,
+    /// at the cost of `O(total inserted)` memory (compaction with an id
+    /// relocation map is future work).
+    points: Vec<Point<D>>,
+    /// Live store ids, sorted ascending — maintained incrementally so the
+    /// per-epoch live view costs `O(live)`, not `O(ever inserted)`.
+    live_ids: Vec<u32>,
+    /// Live ids per coordinate value (bitwise key) — the mirror of the
+    /// backends' delete-by-value semantics.
+    by_key: HashMap<[u64; D], Vec<u32>>,
+    /// Coalesced write batches applied so far.
+    write_epoch: u64,
+    live_view: Option<Arc<LiveView<D>>>,
+    /// Memoized derived structures for the *current* write epoch; cleared
+    /// wholesale on every write epoch bump, so stale values never linger.
+    cache: HashMap<DerivedKind, GeoResult<DerivedVal<D>>>,
+    cache_stats: CacheStats,
+}
+
+impl<const D: usize> Default for GeoStore<D> {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl<const D: usize> GeoStore<D> {
+    /// Starts configuring a store.
+    pub fn builder() -> GeoStoreBuilder<D> {
+        GeoStoreBuilder::default()
+    }
+
+    /// The backend this store was built with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live_ids.len()
+    }
+
+    /// True iff no live points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.live_ids.is_empty()
+    }
+
+    /// The point with this store id (live or deleted); `None` if the id
+    /// was never assigned.
+    pub fn point(&self, id: u32) -> Option<Point<D>> {
+        self.points.get(id as usize).copied()
+    }
+
+    /// Current statistics (index snapshot, write epoch, cache counters).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            snapshot: self.index.snapshot(),
+            write_epoch: self.write_epoch,
+            cache: self.cache_stats,
+        }
+    }
+
+    /// Executes a mixed request batch, one `Result` per request, in
+    /// request order.
+    ///
+    /// The planner walks the stream once: adjacent writes of the same kind
+    /// coalesce into one [`SpatialIndex`] batch (one write epoch), and
+    /// every maximal run of read requests is answered data-parallel
+    /// against the index state left by the preceding writes. Derived
+    /// structures are computed at most once per (kind, epoch) and served
+    /// from the memo cache afterwards.
+    pub fn execute(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        match self.pool.take() {
+            Some(pool) => {
+                let out = pool.install(|| self.execute_inner(requests));
+                self.pool = Some(pool);
+                out
+            }
+            None => self.execute_inner(requests),
+        }
+    }
+
+    /// Executes a single request (sugar over [`execute`](Self::execute)).
+    pub fn run(&mut self, request: Request<D>) -> GeoResult<Response<D>> {
+        self.execute(std::slice::from_ref(&request))
+            .pop()
+            .expect("one request, one response")
+    }
+
+    fn execute_inner(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        let mut out: Vec<GeoResult<Response<D>>> = Vec::with_capacity(requests.len());
+        let mut i = 0;
+        while i < requests.len() {
+            if requests[i].is_write() {
+                // Write run: coalesce adjacent same-kind writes.
+                let inserting = matches!(requests[i], Request::Insert(_));
+                let mut j = i;
+                while j < requests.len() {
+                    match (&requests[j], inserting) {
+                        (Request::Insert(_), true) | (Request::Delete(_), false) => j += 1,
+                        _ => break,
+                    }
+                }
+                if inserting {
+                    self.apply_inserts(&requests[i..j], &mut out);
+                } else {
+                    self.apply_deletes(&requests[i..j], &mut out);
+                }
+                i = j;
+            } else {
+                // Read run: everything until the next write.
+                let mut j = i;
+                while j < requests.len() && !requests[j].is_write() {
+                    j += 1;
+                }
+                self.answer_reads(&requests[i..j], &mut out);
+                i = j;
+            }
+        }
+        out
+    }
+
+    /// Applies a run of `Insert` requests as one coalesced index batch.
+    fn apply_inserts(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        let mut coalesced: Vec<Point<D>> = Vec::new();
+        for req in run {
+            let Request::Insert(batch) = req else {
+                unreachable!("insert run")
+            };
+            let first_id = if batch.is_empty() {
+                None
+            } else {
+                Some(self.points.len() as u32)
+            };
+            for &p in batch {
+                let id = self.points.len() as u32;
+                self.points.push(p);
+                self.live_ids.push(id); // fresh ids ascend: order preserved
+                self.by_key.entry(p.bits_key()).or_default().push(id);
+            }
+            coalesced.extend_from_slice(batch);
+            out.push(Ok(Response::Inserted {
+                count: batch.len(),
+                first_id,
+            }));
+        }
+        if !coalesced.is_empty() {
+            self.index.insert(&coalesced);
+            self.bump_epoch();
+        }
+    }
+
+    /// Applies a run of `Delete` requests as one coalesced index batch.
+    fn apply_deletes(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        let mut coalesced: Vec<Point<D>> = Vec::new();
+        let mut dying: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for req in run {
+            let Request::Delete(batch) = req else {
+                unreachable!("delete run")
+            };
+            // Mirror the backends' semantics: every live point whose value
+            // matches a batch point dies; requests earlier in the run
+            // claim the victims, later duplicates remove nothing.
+            let mut count = 0usize;
+            for p in batch {
+                if let Some(ids) = self.by_key.remove(&p.bits_key()) {
+                    count += ids.len();
+                    dying.extend(ids);
+                }
+            }
+            coalesced.extend_from_slice(batch);
+            out.push(Ok(Response::Deleted { count }));
+        }
+        if !coalesced.is_empty() {
+            self.live_ids.retain(|id| !dying.contains(id));
+            let removed = self.index.delete(&coalesced);
+            debug_assert_eq!(removed, dying.len(), "mirror diverged from index");
+            self.bump_epoch();
+        }
+    }
+
+    /// Advances the write epoch: everything derived from the previous
+    /// live set — memoized structures and the compacted view — is dropped
+    /// immediately, so stale values never outlive their epoch.
+    fn bump_epoch(&mut self) {
+        self.write_epoch += 1;
+        self.cache.clear();
+        self.live_view = None;
+    }
+
+    /// Answers a run of read requests: derived structures are memoized
+    /// first (in request order, so cache hit/miss counters reflect the
+    /// stream), then all responses are produced data-parallel.
+    fn answer_reads(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        for req in run {
+            if let Some(kind) = req.derived_kind() {
+                self.ensure_derived(kind);
+            }
+        }
+        let responses = parlay::map_batch(run, 2, |req| self.answer_one(req));
+        out.extend(responses);
+    }
+
+    /// Computes one derived structure into the memo cache (the cache only
+    /// ever holds current-epoch values — see [`bump_epoch`](Self::bump_epoch)).
+    fn ensure_derived(&mut self, kind: DerivedKind) {
+        if self.cache.contains_key(&kind) {
+            self.cache_stats.hits += 1;
+            return;
+        }
+        self.cache_stats.misses += 1;
+        let view = self.live_view();
+        let val = derived::compute(kind, &view.0, &view.1);
+        self.cache.insert(kind, val);
+    }
+
+    /// Answers one read request against the (now read-only) store state.
+    fn answer_one(&self, req: &Request<D>) -> GeoResult<Response<D>> {
+        match req {
+            Request::Knn { queries, k } => {
+                if *k == 0 {
+                    return Err(GeoError::BadParameter {
+                        op: "knn",
+                        what: "k must be positive",
+                    });
+                }
+                if *k > self.live_ids.len() {
+                    return Err(GeoError::KTooLarge {
+                        op: "knn",
+                        k: *k,
+                        n: self.live_ids.len(),
+                    });
+                }
+                Ok(Response::Knn(self.index.knn_batch(queries, *k)))
+            }
+            Request::Range(boxes) => Ok(Response::Range(self.index.range_batch(boxes))),
+            Request::Stats => Ok(Response::Stats(self.stats())),
+            _ => {
+                let kind = req
+                    .derived_kind()
+                    .expect("reads are knn/range/stats/derived");
+                let val = self.cache.get(&kind).expect("ensured before fan-out");
+                val.clone().map(|v| match v {
+                    DerivedVal::Hull(h) => Response::Hull(h),
+                    DerivedVal::Seb(b) => Response::Seb(b),
+                    DerivedVal::ClosestPair(cp) => Response::ClosestPair(cp),
+                    DerivedVal::Emst(e) => Response::Emst(e),
+                    DerivedVal::Graph(g) => match kind {
+                        DerivedKind::KnnGraph(_) => Response::KnnGraph(g),
+                        _ => Response::DelaunayGraph(g),
+                    },
+                })
+            }
+        }
+    }
+
+    /// The compacted live view for the current epoch (memoized; rebuilt
+    /// in `O(live)` from the incrementally maintained live-id list).
+    fn live_view(&mut self) -> Arc<LiveView<D>> {
+        if let Some(view) = &self.live_view {
+            return Arc::clone(view);
+        }
+        let ids = self.live_ids.clone();
+        let pts = ids.iter().map(|&id| self.points[id as usize]).collect();
+        let view = Arc::new((ids, pts));
+        self.live_view = Some(Arc::clone(&view));
+        view
+    }
+
+    // ---- typed sugar over `run` ----------------------------------------
+
+    /// Inserts a batch; returns the first assigned id (`None` when empty).
+    pub fn insert(&mut self, batch: &[Point<D>]) -> Option<u32> {
+        match self.run(Request::Insert(batch.to_vec())) {
+            Ok(Response::Inserted { first_id, .. }) => first_id,
+            _ => unreachable!("insert is infallible"),
+        }
+    }
+
+    /// Deletes by value; returns the number of points removed.
+    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        match self.run(Request::Delete(batch.to_vec())) {
+            Ok(Response::Deleted { count }) => count,
+            _ => unreachable!("delete is infallible"),
+        }
+    }
+
+    /// The `k` nearest live neighbors of every query.
+    pub fn knn(&mut self, queries: &[Point<D>], k: usize) -> GeoResult<Vec<Vec<Neighbor>>> {
+        match self.run(Request::Knn {
+            queries: queries.to_vec(),
+            k,
+        })? {
+            Response::Knn(rows) => Ok(rows),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Sorted live ids inside every query box.
+    pub fn range(&mut self, boxes: &[Bbox<D>]) -> GeoResult<Vec<Vec<u32>>> {
+        match self.run(Request::Range(boxes.to_vec()))? {
+            Response::Range(rows) => Ok(rows),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Convex hull vertex ids of the live set (memoized).
+    pub fn hull(&mut self) -> GeoResult<Vec<u32>> {
+        match self.run(Request::Hull)? {
+            Response::Hull(h) => Ok(h),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Smallest enclosing ball of the live set (memoized).
+    pub fn seb(&mut self) -> GeoResult<Ball<D>> {
+        match self.run(Request::Seb)? {
+            Response::Seb(b) => Ok(b),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Closest pair of the live set, over store ids (memoized).
+    pub fn closest_pair(&mut self) -> GeoResult<pargeo_closestpair::ClosestPair> {
+        match self.run(Request::ClosestPair)? {
+            Response::ClosestPair(cp) => Ok(cp),
+            _ => unreachable!(),
+        }
+    }
+
+    /// EMST edges of the live set, over store ids (memoized).
+    pub fn emst(&mut self) -> GeoResult<Vec<pargeo_wspd::EmstEdge>> {
+        match self.run(Request::Emst)? {
+            Response::Emst(e) => Ok(e),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Directed k-NN graph of the live set, over store ids (memoized).
+    pub fn knn_graph(&mut self, k: usize) -> GeoResult<Vec<(u32, u32)>> {
+        match self.run(Request::KnnGraph { k })? {
+            Response::KnnGraph(g) => Ok(g),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Delaunay edges of the live set, over store ids (memoized; 2D only).
+    pub fn delaunay_graph(&mut self) -> GeoResult<Vec<(u32, u32)>> {
+        match self.run(Request::DelaunayGraph)? {
+            Response::DelaunayGraph(g) => Ok(g),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -22,8 +22,11 @@ use std::collections::BinaryHeap;
 /// An MST edge between original point indices, with its length.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmstEdge {
+    /// First endpoint (index into the input point slice).
     pub u: u32,
+    /// Second endpoint (index into the input point slice).
     pub v: u32,
+    /// Euclidean length of the edge.
     pub weight: f64,
 }
 

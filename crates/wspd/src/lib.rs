@@ -17,6 +17,8 @@
 //! * [`dendrogram`] — single-linkage hierarchical clustering from the EMST
 //!   (the paper's §2 WSPD → HDBSCAN pipeline).
 
+#![warn(missing_docs)]
+
 pub mod bccp;
 pub mod dendrogram;
 pub mod emst;

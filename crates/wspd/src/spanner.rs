@@ -11,8 +11,11 @@ use rayon::prelude::*;
 /// A spanner edge between original point indices.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpannerEdge {
+    /// First endpoint (index into the input point slice).
     pub u: u32,
+    /// Second endpoint (index into the input point slice).
     pub v: u32,
+    /// Euclidean length of the edge.
     pub weight: f64,
 }
 

@@ -1,0 +1,355 @@
+//! Integration: the GeoStore façade serves every `Request` variant over
+//! all three dynamic backends with identical answers — cross-backend and
+//! against direct per-crate calls on the same live set.
+
+use pargeo::prelude::*;
+use pargeo::store::digest_responses;
+
+fn points(n: usize, seed: u64) -> Vec<Point2> {
+    pargeo::datagen::uniform_cube::<2>(n, seed)
+}
+
+/// A scripted mixed stream covering every request variant, with writes
+/// interleaved so memoized derived structures must invalidate.
+fn script(pts: &[Point2]) -> Vec<Request<2>> {
+    let n = pts.len();
+    let boxes = pargeo::datagen::uniform_rects::<2>(20, 9, 0.3);
+    vec![
+        Request::Insert(pts[..n / 2].to_vec()),
+        Request::Knn {
+            queries: pts.iter().step_by(97).copied().collect(),
+            k: 5,
+        },
+        Request::Range(boxes.clone()),
+        Request::Hull,
+        Request::Seb,
+        Request::ClosestPair,
+        Request::Emst,
+        Request::KnnGraph { k: 3 },
+        Request::DelaunayGraph,
+        Request::Delete(pts[..n / 4].to_vec()),
+        Request::Hull,
+        Request::Hull, // repeat: must be a cache hit with the same answer
+        Request::Emst,
+        Request::Insert(pts[n / 2..].to_vec()),
+        Request::Knn {
+            queries: pts.iter().step_by(61).copied().collect(),
+            k: 4,
+        },
+        Request::Range(boxes),
+        Request::DelaunayGraph,
+        Request::KnnGraph { k: 3 },
+        Request::Stats,
+    ]
+}
+
+fn stores() -> Vec<GeoStore<2>> {
+    let mut v: Vec<GeoStore<2>> = Backend::all()
+        .into_iter()
+        .map(|b| GeoStore::builder().backend(b).build())
+        .collect();
+    v.push(GeoStore::builder().backend(Backend::Oracle).build());
+    v
+}
+
+#[test]
+fn all_backends_serve_identical_digests() {
+    let pts = points(2_000, 31);
+    let reqs = script(&pts);
+    let mut all: Vec<(&'static str, Vec<GeoResult<Response<2>>>)> = Vec::new();
+    for mut store in stores() {
+        let name = store.backend().label();
+        all.push((name, store.execute(&reqs)));
+    }
+    let (ref_name, ref_responses) = &all[0];
+    let want = digest_responses(ref_responses);
+    for (name, responses) in &all[1..] {
+        assert_eq!(
+            digest_responses(responses),
+            want,
+            "{name} digest diverged from {ref_name}"
+        );
+        // Derived structures are computed from the store mirror (identical
+        // across backends), so those responses must be *exactly* equal.
+        for (i, (a, b)) in ref_responses.iter().zip(responses).enumerate() {
+            match (a, b) {
+                (Ok(Response::Knn(_)), Ok(Response::Knn(_))) => {} // ids checked via digest
+                (Ok(Response::Stats(_)), Ok(Response::Stats(_))) => {} // backend-specific
+                _ => assert_eq!(a, b, "{name} response {i} diverged"),
+            }
+        }
+    }
+}
+
+#[test]
+fn responses_match_direct_per_crate_calls() {
+    let pts = points(1_500, 32);
+    let mut store: GeoStore<2> = GeoStore::builder().backend(Backend::Bdl).build();
+    store.insert(&pts);
+    store.delete(&pts[100..400]);
+
+    // The live mirror: ids 0..100 and 400..1500 (delete is by value;
+    // uniform points are distinct).
+    let ids: Vec<u32> = (0..100u32).chain(400..1_500).collect();
+    let live: Vec<Point2> = ids.iter().map(|&i| pts[i as usize]).collect();
+
+    let hull = store.hull().unwrap();
+    let want: Vec<u32> = try_hull2d(&live)
+        .unwrap()
+        .into_iter()
+        .map(|p| ids[p as usize])
+        .collect();
+    assert_eq!(hull, want, "hull != direct hull2d call");
+
+    let ball = store.seb().unwrap();
+    assert_eq!(ball, try_seb(&live).unwrap(), "seb != direct call");
+
+    let cp = store.closest_pair().unwrap();
+    let direct = try_closest_pair(&live).unwrap();
+    let (a, b) = (ids[direct.a as usize], ids[direct.b as usize]);
+    assert_eq!((cp.a, cp.b), (a.min(b), a.max(b)));
+    assert_eq!(cp.dist, direct.dist);
+
+    let mst = store.emst().unwrap();
+    let direct = emst(&live);
+    assert_eq!(mst.len(), direct.len());
+    for (got, want) in mst.iter().zip(&direct) {
+        assert_eq!((got.u, got.v), (ids[want.u as usize], ids[want.v as usize]));
+        assert_eq!(got.weight, want.weight);
+    }
+
+    let graph = store.knn_graph(4).unwrap();
+    let direct: Vec<(u32, u32)> = knn_graph(&live, 4)
+        .into_iter()
+        .map(|(u, v)| (ids[u as usize], ids[v as usize]))
+        .collect();
+    assert_eq!(graph, direct, "knn graph != direct call");
+
+    let del = store.delaunay_graph().unwrap();
+    let direct: Vec<(u32, u32)> = delaunay_edges(&try_delaunay(&live).unwrap())
+        .into_iter()
+        .map(|(u, v)| (ids[u as usize], ids[v as usize]))
+        .collect();
+    assert_eq!(del, direct, "delaunay graph != direct call");
+
+    // Spatial queries agree with the brute-force oracle store.
+    let mut oracle: GeoStore<2> = GeoStore::builder().backend(Backend::Oracle).build();
+    oracle.insert(&pts);
+    oracle.delete(&pts[100..400]);
+    let queries: Vec<Point2> = pts.iter().step_by(83).copied().collect();
+    assert_eq!(
+        store.knn(&queries, 6).unwrap(),
+        oracle.knn(&queries, 6).unwrap()
+    );
+    let boxes = pargeo::datagen::uniform_rects::<2>(25, 5, 0.25);
+    assert_eq!(store.range(&boxes).unwrap(), oracle.range(&boxes).unwrap());
+}
+
+#[test]
+fn memoization_hits_between_writes_and_invalidates_on_them() {
+    let pts = points(1_200, 33);
+    let mut store: GeoStore<2> = GeoStore::builder().build();
+    store.insert(&pts);
+
+    let h1 = store.hull().unwrap();
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (0, 1));
+
+    let h2 = store.hull().unwrap();
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+    assert_eq!(h1, h2);
+
+    // A write invalidates; the recomputed hull reflects the new live set.
+    store.delete(&pts[..600]);
+    let h3 = store.hull().unwrap();
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (1, 2));
+    assert!(h3.iter().all(|&id| id >= 600));
+    let live: Vec<Point2> = pts[600..].to_vec();
+    let want: Vec<u32> = try_hull2d(&live)
+        .unwrap()
+        .into_iter()
+        .map(|p| p + 600)
+        .collect();
+    assert_eq!(h3, want);
+
+    // An *empty* write batch is a no-op and must not invalidate.
+    store.insert(&[]);
+    let _ = store.hull().unwrap();
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (2, 2));
+}
+
+#[test]
+fn typed_errors_are_identical_across_backends() {
+    for backend in Backend::all() {
+        let mut store: GeoStore<2> = GeoStore::builder().backend(backend).build();
+        let name = backend.label();
+        assert_eq!(
+            store.hull(),
+            Err(GeoError::EmptyInput { op: "hull2d" }),
+            "{name}"
+        );
+        assert_eq!(
+            store.seb(),
+            Err(GeoError::EmptyInput { op: "seb" }),
+            "{name}"
+        );
+        assert_eq!(
+            store.closest_pair(),
+            Err(GeoError::TooFewPoints {
+                op: "closest_pair",
+                needed: 2,
+                got: 0
+            }),
+            "{name}"
+        );
+        assert_eq!(
+            store.emst(),
+            Err(GeoError::TooFewPoints {
+                op: "emst",
+                needed: 2,
+                got: 0
+            }),
+            "{name}"
+        );
+        assert_eq!(
+            store.knn_graph(2),
+            Err(GeoError::EmptyInput { op: "knn_graph" }),
+            "{name}"
+        );
+        assert_eq!(
+            store.delaunay_graph(),
+            Err(GeoError::EmptyInput { op: "delaunay" }),
+            "{name}"
+        );
+
+        // k > n is a typed error, not a short row.
+        let pts = points(10, 34);
+        store.insert(&pts);
+        assert_eq!(
+            store.knn(&pts[..2], 11),
+            Err(GeoError::KTooLarge {
+                op: "knn",
+                k: 11,
+                n: 10
+            }),
+            "{name}"
+        );
+        assert_eq!(store.knn(&pts[..2], 10).unwrap()[0].len(), 10, "{name}");
+        assert_eq!(
+            store.knn(&pts[..2], 0),
+            Err(GeoError::BadParameter {
+                op: "knn",
+                what: "k must be positive"
+            }),
+            "{name}"
+        );
+
+        // k-NN graphs exclude self, so k must stay below the live count —
+        // a typed error, not silently truncated rows.
+        assert_eq!(
+            store.knn_graph(10),
+            Err(GeoError::KTooLarge {
+                op: "knn_graph",
+                k: 10,
+                n: 10
+            }),
+            "{name}"
+        );
+        assert_eq!(store.knn_graph(9).unwrap().len(), 90, "{name}");
+
+        // Collinear live sets: degenerate, typed, and the store survives.
+        let mut flat: GeoStore<2> = GeoStore::builder().backend(backend).build();
+        let line: Vec<Point2> = (0..50).map(|i| Point2::new([i as f64, i as f64])).collect();
+        flat.insert(&line);
+        assert_eq!(
+            flat.hull(),
+            Err(GeoError::Degenerate {
+                op: "hull2d",
+                what: "collinear"
+            }),
+            "{name}"
+        );
+        assert_eq!(
+            flat.delaunay_graph(),
+            Err(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            }),
+            "{name}"
+        );
+        // … and keeps serving after the error.
+        assert_eq!(flat.knn(&line[..1], 2).unwrap()[0].len(), 2, "{name}");
+    }
+
+    // Dimension dispatch: hull/Delaunay are typed errors outside 2D/3D.
+    let mut store5: GeoStore<5> = GeoStore::builder().build();
+    store5.insert(&pargeo::datagen::uniform_cube::<5>(100, 35));
+    assert_eq!(
+        store5.hull(),
+        Err(GeoError::DimensionUnsupported { op: "hull", dim: 5 })
+    );
+    assert_eq!(
+        store5.delaunay_graph(),
+        Err(GeoError::DimensionUnsupported {
+            op: "delaunay",
+            dim: 5
+        })
+    );
+    // Dimension-agnostic requests still work in 5D.
+    assert!(store5.seb().is_ok());
+    assert_eq!(store5.emst().unwrap().len(), 99);
+}
+
+#[test]
+fn hull3d_served_in_three_dimensions() {
+    let pts = pargeo::datagen::uniform_cube::<3>(800, 36);
+    let mut store: GeoStore<3> = GeoStore::builder().backend(Backend::Zd).build();
+    store.insert(&pts);
+    let hull = store.hull().unwrap();
+    let want = try_hull3d(&pts).unwrap();
+    assert_eq!(hull, want.vertices);
+
+    // Coplanar 3D input: typed degenerate error through the store path.
+    let mut flat: GeoStore<3> = GeoStore::builder().build();
+    let plane: Vec<Point3> = (0..40)
+        .map(|i| Point3::new([(i % 8) as f64, (i / 8) as f64, 1.0]))
+        .collect();
+    flat.insert(&plane);
+    assert_eq!(
+        flat.hull(),
+        Err(GeoError::Degenerate {
+            op: "hull3d",
+            what: "coplanar"
+        })
+    );
+}
+
+#[test]
+fn workload_replay_digests_agree_across_backends() {
+    let mut spec = WorkloadSpec::store_presets(2_000)
+        .into_iter()
+        .next()
+        .unwrap();
+    spec.seed = 77;
+    let w: Workload<2> = spec.generate();
+    assert!(w.derived_count() > 0, "preset generated no analytics ops");
+
+    let mut reports: Vec<StoreReport> = Vec::new();
+    for backend in Backend::all() {
+        let mut store = GeoStore::builder().backend(backend).build();
+        reports.push(run_store_workload(&mut store, &w));
+    }
+    let mut oracle = GeoStore::builder().backend(Backend::Oracle).build();
+    reports.push(run_store_workload(&mut oracle, &w));
+
+    let want = &reports[3];
+    for r in &reports[..3] {
+        assert_eq!(r.digest, want.digest, "{} digest", r.backend);
+        assert_eq!(r.final_live, want.final_live, "{}", r.backend);
+        assert_eq!(r.errors, want.errors, "{}", r.backend);
+        assert_eq!(r.ops, want.ops, "{}", r.backend);
+    }
+}
