@@ -13,7 +13,7 @@
 
 use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
-use pargeo_morton::{bits_per_dim, morton_code, parallel_bbox};
+use pargeo_morton::{morton_code, morton_shard_of, parallel_bbox, total_bits};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
 
@@ -314,8 +314,7 @@ impl<const D: usize> ZdTree<D> {
         if n == 0 {
             return;
         }
-        let total_bits = bits_per_dim(D) * D as u32;
-        let boxed = build_rec(&self.items, 0, n, total_bits as i32 - 1, self.leaf_size);
+        let boxed = build_rec(&self.items, 0, n, total_bits(D) as i32 - 1, self.leaf_size);
         flatten(&boxed, &mut self.nodes);
     }
 
@@ -378,9 +377,13 @@ fn build_rec<const D: usize>(
         }
         return BNode::Leaf(bb, start, end);
     }
-    // Codes are sorted: the split is the first index whose `bit` is set.
+    // Codes are sorted: the split is the first index whose `bit` is set —
+    // equivalently, the first whose depth-(total-bit) Z-order prefix is
+    // odd. Sharing `morton_shard_of` with the engine's router keeps both
+    // crates' notion of a prefix identical.
+    let depth = total_bits(D) - bit as u32;
     let range = &items[start..end];
-    let mid = start + range.partition_point(|(c, _, _)| c >> bit & 1 == 0);
+    let mid = start + range.partition_point(|(c, _, _)| morton_shard_of::<D>(*c, depth) & 1 == 0);
     if mid == start || mid == end {
         // Bit constant in this range — skip the level.
         return build_rec(items, start, end, bit - 1, leaf_size);

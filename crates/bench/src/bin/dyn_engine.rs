@@ -9,7 +9,7 @@
 use pargeo::prelude::*;
 use pargeo_bench::{env_n, header, max_threads, t1_tp};
 
-fn make_backend(which: usize) -> Box<dyn SpatialIndex<2>> {
+fn make_backend(which: usize) -> Box<dyn SpatialIndex<2> + Send + Sync> {
     match which {
         0 => Box::new(DynKdTree::<2>::new()),
         1 => Box::new(BdlTree::<2>::new()),
@@ -27,7 +27,9 @@ fn main() {
         n / 2
     );
 
-    // Correctness anchor at 1/10 scale: every backend vs the Vec oracle.
+    // Correctness anchor at 1/10 scale: every backend vs the Vec oracle,
+    // bare and behind the morton-routed 4-shard executor (the full shard
+    // sweep lives in the `shard_sweep` binary).
     let small = WorkloadSpec::presets((n / 10).max(500));
     for spec in &small {
         let w: Workload<2> = spec.generate();
@@ -43,10 +45,19 @@ fn main() {
                 got.backend,
                 spec.name
             );
+            let mut sharded = ShardedIndex::<2>::new(4, |_| make_backend(which));
+            let got = run_workload(&mut sharded, &w);
+            assert_eq!(
+                got.digest(),
+                want.digest(),
+                "{} diverged from oracle on {}",
+                got.backend,
+                spec.name
+            );
         }
     }
     println!(
-        "anchor: {} small-scale workloads match the brute-force oracle on all backends\n",
+        "anchor: {} small-scale workloads match the brute-force oracle on all backends (S in {{1, 4}})\n",
         small.len()
     );
 

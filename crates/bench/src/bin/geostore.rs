@@ -24,7 +24,9 @@ fn main() {
         n / 2
     );
 
-    // Correctness anchor at 1/10 scale: every backend vs the oracle store.
+    // Correctness anchor at 1/10 scale: every backend vs the oracle
+    // store, unsharded and through the morton-routed 4-shard executor
+    // (the full shard sweep lives in the `shard_sweep` binary).
     let small = WorkloadSpec::store_presets((n / 10).max(500));
     for spec in &small {
         let w: Workload<2> = spec.generate();
@@ -39,16 +41,24 @@ fn main() {
                 got.backend, spec.name
             );
             assert_eq!(got.errors, want.errors, "{}", spec.name);
+            let mut sharded = GeoStore::builder().backend(backend).shards(4).build();
+            let got = run_store_workload(&mut sharded, &w);
+            assert_eq!(
+                got.digest, want.digest,
+                "{} S=4 diverged from oracle on {}",
+                got.backend, spec.name
+            );
         }
     }
     println!(
-        "anchor: {} small-scale workloads match the oracle store on all backends\n",
+        "anchor: {} small-scale workloads match the oracle store on all backends (S in {{1, 4}})\n",
         small.len()
     );
 
     header(&[
         "Scenario",
         "Backend",
+        "Shards",
         "T1 (s)",
         "Tp (s)",
         "Speedup",
@@ -77,9 +87,10 @@ fn main() {
                 run_store_workload(&mut store, &w).final_live
             });
             println!(
-                "| {} | {} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {}/{} |",
+                "| {} | {} | {} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {}/{} |",
                 spec.name,
                 backend.label(),
+                full.shards,
                 full.ops.4,
                 full.cache.hits,
                 full.cache.misses,

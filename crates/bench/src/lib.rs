@@ -14,6 +14,8 @@
 //! | `zdtree_compare` | §6.3 — BDL-tree vs Zd-tree |
 //! | `rangequery` | range/segment/rectangle query engine (Sun & Blelloch family): build + batch-query T1/Tp, kd-tree backend, brute-force baseline |
 //! | `dyn_engine` | unified batch-dynamic engine: `SpatialIndex` backends × mixed-workload presets × T1/Tp, oracle-anchored |
+//! | `geostore` | GeoStore service façade: backends × store presets (mixed serving + analytics) × T1/Tp, oracle-anchored |
+//! | `shard_sweep` | morton-routed sharded execution: backends × shard counts {1, 4, 16} × store presets × T1/Tp, cross-shard digest anchors |
 //!
 //! Sizes scale with `PARGEO_N` (default laptop-scale; the paper used
 //! 10M–100M on 36 cores). `PARGEO_THREADS` caps the sweep. Shapes — which

@@ -61,6 +61,18 @@
 //! ]);
 //! assert!(responses.iter().all(|r| r.is_ok()));
 //!
+//! // Shard the spatial core: `.shards(S)` routes the same backend
+//! // through a morton-prefix `ShardedIndex` — write batches apply in
+//! // parallel across shards, reads fan out only to shards that can
+//! // contribute, and answers are bit-identical to the unsharded store.
+//! let mut sharded: GeoStore<2> = GeoStore::builder()
+//!     .backend(Backend::DynKd)
+//!     .shards(8)
+//!     .build();
+//! sharded.insert(&pts);
+//! assert_eq!(sharded.shard_count(), 8);
+//! assert_eq!(sharded.knn(&pts[..5], 8).unwrap(), nn);
+//!
 //! // Degenerate input is a typed error, never a panic.
 //! let mut empty: GeoStore<2> = GeoStore::builder().build();
 //! assert_eq!(empty.hull(), Err(GeoError::EmptyInput { op: "hull2d" }));
@@ -223,7 +235,9 @@ pub mod prelude {
     pub use pargeo_closestpair::{closest_pair, try_closest_pair, ClosestPair};
     pub use pargeo_datagen::{DerivedOp, Distribution, Workload, WorkloadOp, WorkloadSpec};
     pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph, try_delaunay};
-    pub use pargeo_engine::{run_workload, Snapshot, SpatialIndex, VecIndex, WorkloadReport};
+    pub use pargeo_engine::{
+        run_workload, ShardedIndex, Snapshot, SpatialIndex, VecIndex, WorkloadReport,
+    };
     pub use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point, Point2, Point3};
     pub use pargeo_graphgen::{beta_skeleton, knn_graph};
     pub use pargeo_hull::{

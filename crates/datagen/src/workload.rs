@@ -143,6 +143,13 @@ pub struct WorkloadSpec {
     pub sliding_window: bool,
     /// Optional query-skew region.
     pub hotspot: Option<Hotspot>,
+    /// Optional *write*-skew region: after the initial load (which keeps
+    /// the base distribution, so a store's routing universe still spans
+    /// the full domain), this fraction of op-stream insert points is
+    /// squeezed into a small sub-box — the "hot shard" pattern where one
+    /// spatial region absorbs most write traffic. `None` (the default)
+    /// leaves every stream bit-identical to the pre-skew generator.
+    pub write_hotspot: Option<Hotspot>,
     /// Master seed; everything derives deterministically from it.
     pub seed: u64,
 }
@@ -163,6 +170,7 @@ impl WorkloadSpec {
             derived_frac: 0.0,
             sliding_window: false,
             hotspot: None,
+            write_hotspot: None,
             seed: 42,
         }
     }
@@ -269,7 +277,25 @@ impl WorkloadSpec {
         spreader.derived_frac = 0.35;
         spreader.seed = 205;
 
-        vec![mixed, analytics, churn, hotspot, spreader]
+        // The sharding stressor: most op-stream inserts (and most reads)
+        // pile onto one tiny region, so one shard absorbs the write
+        // traffic while the initial load keeps the full domain populated.
+        let mut hot_shard =
+            WorkloadSpec::new("hotspot-shard", Distribution::UniformCube, initial, batches);
+        hot_shard.insert_frac = 0.45;
+        hot_shard.delete_frac = 0.15;
+        hot_shard.derived_frac = 0.35;
+        hot_shard.write_hotspot = Some(Hotspot {
+            frac: 0.85,
+            extent: 0.05,
+        });
+        hot_shard.hotspot = Some(Hotspot {
+            frac: 0.8,
+            extent: 0.08,
+        });
+        hot_shard.seed = 253;
+
+        vec![mixed, analytics, churn, hotspot, spreader, hot_shard]
     }
 
     /// Expands the spec into a concrete operation stream.
@@ -285,39 +311,48 @@ impl WorkloadSpec {
         let domain = Bbox::from_points(&pool);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-        // Hotspot region: a random sub-box of the domain.
-        let hot_box = self.hotspot.map(|h| {
-            let mut min = [0.0; D];
-            let mut max = [0.0; D];
-            for d in 0..D {
-                let extent = (domain.max[d] - domain.min[d]) * h.extent;
-                let lo = domain.min[d]
-                    + rng.gen::<f64>() * (domain.max[d] - domain.min[d] - extent).max(0.0);
-                min[d] = lo;
-                max[d] = lo + extent;
-            }
-            Bbox {
-                min: Point::new(min),
-                max: Point::new(max),
-            }
-        });
+        // Hotspot regions: random sub-boxes of the domain. The query box
+        // is drawn first, then (only when write skew is requested, so
+        // skew-free streams stay bit-identical) the write box.
+        let hot_box = self.hotspot.map(|h| sub_box(&mut rng, &domain, h.extent));
+        let write_box = self
+            .write_hotspot
+            .map(|h| sub_box(&mut rng, &domain, h.extent));
 
         let mut cursor = 0usize; // next fresh pool point
         let mut live: VecDeque<Point<D>> = VecDeque::new();
-        let take = |live: &mut VecDeque<Point<D>>, cursor: &mut usize, want: usize| {
+        let take = |cursor: &mut usize, want: usize| -> Vec<Point<D>> {
             let got = want.min(pool_size - *cursor);
-            let batch: Vec<Point<D>> = pool[*cursor..*cursor + got].to_vec();
+            let batch = pool[*cursor..*cursor + got].to_vec();
             *cursor += got;
-            live.extend(batch.iter().copied());
             batch
         };
 
-        let initial = take(&mut live, &mut cursor, self.initial);
+        // The initial load keeps the base distribution even under write
+        // skew: it spans the full domain, so an index universe derived
+        // from it covers the op stream's hotspot too.
+        let initial = take(&mut cursor, self.initial);
+        live.extend(initial.iter().copied());
         let mut ops: Vec<WorkloadOp<D>> = Vec::with_capacity(self.batches);
         for _ in 0..self.batches {
             let r: f64 = rng.gen();
             if r < self.insert_frac && cursor < pool_size {
-                let batch = take(&mut live, &mut cursor, self.batch_size);
+                let mut batch = take(&mut cursor, self.batch_size);
+                if let (Some(wb), Some(h)) = (write_box, self.write_hotspot) {
+                    // Squeeze this fraction of fresh points into the hot
+                    // box (an affine map — distinct points stay distinct,
+                    // so delete-by-value semantics are unchanged).
+                    for p in batch.iter_mut() {
+                        if rng.gen::<f64>() < h.frac {
+                            for d in 0..D {
+                                let side = (domain.max[d] - domain.min[d]).max(f64::MIN_POSITIVE);
+                                let t = (p[d] - domain.min[d]) / side;
+                                p[d] = wb.min[d] + t * (wb.max[d] - wb.min[d]);
+                            }
+                        }
+                    }
+                }
+                live.extend(batch.iter().copied());
                 ops.push(WorkloadOp::Insert(batch));
             } else if r < self.insert_frac + self.delete_frac && !live.is_empty() {
                 let want = self.batch_size.min(live.len());
@@ -383,6 +418,23 @@ impl WorkloadSpec {
             }
         }
         Workload { initial, ops }
+    }
+}
+
+/// A random `extent`-sided sub-box of the domain (one `gen` per
+/// dimension — the draw order every pre-existing stream depends on).
+fn sub_box<const D: usize>(rng: &mut ChaCha8Rng, domain: &Bbox<D>, extent: f64) -> Bbox<D> {
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    for d in 0..D {
+        let side = (domain.max[d] - domain.min[d]) * extent;
+        let lo = domain.min[d] + rng.gen::<f64>() * (domain.max[d] - domain.min[d] - side).max(0.0);
+        min[d] = lo;
+        max[d] = lo + side;
+    }
+    Bbox {
+        min: Point::new(min),
+        max: Point::new(max),
     }
 }
 
@@ -577,16 +629,58 @@ mod tests {
     #[test]
     fn store_presets_cover_the_analytics_axes() {
         let ps = WorkloadSpec::store_presets(10_000);
-        assert_eq!(ps.len(), 5);
+        assert_eq!(ps.len(), 6);
         assert!(ps.iter().all(|p| p.derived_frac > 0.0));
         assert!(ps.iter().any(|p| p.sliding_window));
         assert!(ps.iter().any(|p| p.hotspot.is_some()));
+        assert!(ps.iter().any(|p| p.write_hotspot.is_some()));
         assert!(ps.iter().any(|p| p.dist == Distribution::SeedSpreader));
         for p in &ps {
             let w: Workload<2> = p.generate();
             assert_eq!(w.initial.len(), 5_000);
             assert!(w.derived_count() > 0, "{}: no analytics ops", p.name);
         }
+    }
+
+    #[test]
+    fn write_hotspot_concentrates_op_inserts_but_not_the_initial_load() {
+        let mut s = spec();
+        s.insert_frac = 1.0;
+        s.delete_frac = 0.0;
+        s.write_hotspot = Some(Hotspot {
+            frac: 1.0,
+            extent: 0.05,
+        });
+        let w: Workload<2> = s.generate();
+        let mut op_inserts = Vec::new();
+        for op in &w.ops {
+            if let WorkloadOp::Insert(batch) = op {
+                op_inserts.extend(batch.iter().copied());
+            }
+        }
+        assert!(!op_inserts.is_empty());
+        let domain = Bbox::from_points(&w.initial);
+        let hot = Bbox::from_points(&op_inserts);
+        for d in 0..2 {
+            // All op-stream inserts squeeze into ≤ 6% of the domain side;
+            // the initial load still spans it.
+            assert!(
+                hot.max[d] - hot.min[d] <= 0.06 * (domain.max[d] - domain.min[d]),
+                "write hotspot too wide in dim {d}"
+            );
+        }
+        // Deterministic, and distinctness survives the affine squeeze
+        // (delete-by-value semantics rely on it).
+        let again: Workload<2> = s.generate();
+        for (x, y) in w.ops.iter().zip(&again.ops) {
+            if let (WorkloadOp::Insert(p), WorkloadOp::Insert(q)) = (x, y) {
+                assert_eq!(p, q);
+            }
+        }
+        let mut keys: Vec<[u64; 2]> = op_inserts.iter().map(|p| p.bits_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), op_inserts.len(), "squeeze collided points");
     }
 
     #[test]

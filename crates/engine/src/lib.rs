@@ -12,6 +12,10 @@
 //!   three tree backends and by the brute-force [`VecIndex`] oracle.
 //! * [`VecIndex`] — the `Vec`-of-points oracle: trivially correct answers
 //!   for cross-validation in tests and benches.
+//! * [`ShardedIndex`] — Morton-prefix sharded execution over any backend:
+//!   `S` independent shards, writes applied in parallel across shards,
+//!   reads fanned out only to the shards whose region can contribute —
+//!   answer-for-answer bit-identical to the unsharded backend.
 //! * [`driver`] — [`run_workload`]: applies a generated
 //!   [`Workload`](pargeo_datagen::Workload) (mixed insert/delete/k-NN/range
 //!   batches from `pargeo-datagen`'s
@@ -51,9 +55,11 @@
 
 pub mod driver;
 pub mod oracle;
+pub mod shard;
 
 pub use driver::{run_workload, WorkloadReport};
 pub use oracle::VecIndex;
+pub use shard::ShardedIndex;
 
 use pargeo_bdltree::{BdlTree, ZdTree};
 use pargeo_geometry::{Bbox, Point};

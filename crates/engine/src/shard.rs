@@ -1,0 +1,469 @@
+//! Morton-routed sharded execution over any [`SpatialIndex`] backend.
+//!
+//! [`ShardedIndex`] partitions space into `S` shards by Morton-code prefix
+//! (the Z-order cells at depth `log2 S` of the implicit radix tree — the
+//! same prefixes the Zd-tree splits on, via the shared
+//! [`morton_shard_of`]) over a universe box fixed by the first non-empty
+//! insert batch. Each shard owns an independent backend, so:
+//!
+//! * **writes** are bucketed per shard and applied *in parallel across
+//!   shards* — a write epoch becomes `S` concurrent tree batches instead
+//!   of one serial one;
+//! * **range queries** fan out only to shards whose region (the bounding
+//!   box of everything ever routed to them — tighter than the nominal
+//!   prefix cell, and correct even for points that clamp onto the
+//!   universe grid from outside) intersects the query box;
+//! * **k-NN** searches the home shard first (shards visited in ascending
+//!   distance from the query), then expands to neighbor shards only while
+//!   the current k-th `(distance², id)` bound still reaches their
+//!   regions — expansion stops at the first shard *strictly* beyond the
+//!   bound, and at-bound shards are always visited so equal-distance ties
+//!   still resolve toward the smaller id.
+//!
+//! Determinism is preserved exactly: shards assign *global* insertion-order
+//! ids through a per-shard id map, per-shard answers follow each backend's
+//! canonical contracts, and the merge orders by `(distance², global id)` /
+//! ascending id — so a `ShardedIndex` is answer-for-answer **bit-identical**
+//! to its unsharded backend at any shard count, which the proptest and
+//! bench anchors assert.
+
+use crate::{Snapshot, SpatialIndex};
+use pargeo_geometry::{Bbox, Point};
+use pargeo_kdtree::{canonical_order, Neighbor};
+use pargeo_morton::{morton_code, morton_shard_of, parallel_bbox};
+use pargeo_parlay as parlay;
+use rayon::prelude::*;
+
+/// Routing below this batch size stays sequential.
+const SEQ_CUTOFF: usize = 4096;
+
+/// One shard: an independent backend plus the glue that makes its local
+/// answers globally meaningful.
+struct Shard<const D: usize> {
+    index: Box<dyn SpatialIndex<D> + Send + Sync>,
+    /// Local insertion-order id → global id. Strictly increasing (points
+    /// route to a shard in global insertion order), so per-shard answers
+    /// ordered by local id are already ordered by global id.
+    global_ids: Vec<u32>,
+    /// Bounding box of every point ever routed here — the shard's
+    /// effective region. Never shrunk on delete (conservative), and
+    /// covers clamped out-of-universe points exactly.
+    bbox: Bbox<D>,
+}
+
+/// A Morton-prefix-sharded [`SpatialIndex`]: `S` independent backend
+/// shards behind the one batch-dynamic surface.
+///
+/// ```
+/// use pargeo_engine::{ShardedIndex, SpatialIndex, VecIndex};
+/// use pargeo_bdltree::ZdTree;
+/// use pargeo_geometry::Point2;
+///
+/// let pts: Vec<Point2> = (0..1_000)
+///     .map(|i| Point2::new([(i % 37) as f64, (i % 61) as f64]))
+///     .collect();
+/// let mut sharded = ShardedIndex::<2>::new(8, |_| Box::new(ZdTree::new()));
+/// let mut plain = ZdTree::<2>::new();
+/// sharded.insert(&pts);
+/// SpatialIndex::insert(&mut plain, &pts);
+/// // Bit-identical answers at any shard count.
+/// assert_eq!(
+///     sharded.knn_batch(&pts[..8], 5),
+///     SpatialIndex::knn_batch(&plain, &pts[..8], 5),
+/// );
+/// ```
+pub struct ShardedIndex<const D: usize> {
+    shards: Vec<Shard<D>>,
+    /// `log2(shard count)` — the Morton-prefix depth of the router.
+    shard_bits: u32,
+    universe: Bbox<D>,
+    universe_fixed: bool,
+    next_id: u32,
+    epoch: u64,
+    name: &'static str,
+}
+
+impl<const D: usize> ShardedIndex<D> {
+    /// Creates `shards` empty shards (rounded up to the next power of two
+    /// so every Morton prefix is a valid shard), each backed by a fresh
+    /// index from `factory` (called with the shard number). The routing
+    /// universe is fixed by the first non-empty insert batch, exactly like
+    /// the Zd-tree's; later points outside it clamp onto the boundary
+    /// cells for routing only — their true coordinates are kept and every
+    /// answer stays exact.
+    pub fn new<F>(shards: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn SpatialIndex<D> + Send + Sync>,
+    {
+        let shard_bits = shards.max(1).next_power_of_two().trailing_zeros();
+        let count = 1usize << shard_bits;
+        let shards: Vec<Shard<D>> = (0..count)
+            .map(|s| Shard {
+                index: factory(s),
+                global_ids: Vec::new(),
+                bbox: Bbox::empty(),
+            })
+            .collect();
+        let name = match shards[0].index.backend_name() {
+            "dyn-kd" => "sharded-dyn-kd",
+            "bdl" => "sharded-bdl",
+            "zd" => "sharded-zd",
+            "vec-oracle" => "sharded-vec-oracle",
+            _ => "sharded",
+        };
+        Self {
+            shards,
+            shard_bits,
+            universe: Bbox {
+                min: Point::origin(),
+                max: Point::new([1.0; D]),
+            },
+            universe_fixed: false,
+            next_id: 0,
+            epoch: 0,
+            name,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live points per shard — the router's balance diagnostic.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index.len()).collect()
+    }
+
+    /// The fixed routing universe (meaningful once a batch has been
+    /// inserted).
+    pub fn universe(&self) -> Bbox<D> {
+        self.universe
+    }
+
+    /// The shard a point routes to: the top `shard_bits` bits of its
+    /// Morton code over the universe.
+    fn shard_of(&self, p: &Point<D>) -> usize {
+        morton_shard_of::<D>(morton_code(p, &self.universe), self.shard_bits) as usize
+    }
+
+    /// Routes a batch (data-parallel when large), then buckets it per
+    /// shard preserving batch order inside each bucket — so local
+    /// insertion order equals global insertion order.
+    fn bucket(&self, batch: &[Point<D>]) -> (Vec<usize>, Vec<Vec<Point<D>>>) {
+        let routes: Vec<usize> = if batch.len() >= SEQ_CUTOFF {
+            batch.par_iter().map(|p| self.shard_of(p)).collect()
+        } else {
+            batch.iter().map(|p| self.shard_of(p)).collect()
+        };
+        let mut buckets: Vec<Vec<Point<D>>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (&s, &p) in routes.iter().zip(batch) {
+            buckets[s].push(p);
+        }
+        (routes, buckets)
+    }
+
+    /// One query's k nearest neighbors: home shard first, then neighbor
+    /// shards in ascending region distance, stopping at the first shard
+    /// strictly beyond the current k-th `(distance², id)` bound.
+    fn knn_one(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        let mut order: Vec<(f64, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.index.is_empty())
+            .map(|(i, s)| (s.bbox.dist_sq_to_point(q), i))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k);
+        for &(region_dist, s) in &order {
+            // Inclusive at-bound expansion: an equal-distance point in a
+            // farther shard can still win its id tie, so only a region
+            // strictly beyond the k-th bound is pruned (and with shards in
+            // ascending region distance, everything after it is too).
+            if best.len() == k && region_dist > best[k - 1].dist_sq {
+                break;
+            }
+            let shard = &self.shards[s];
+            let row: Vec<Neighbor> = shard.index.knn_batch(std::slice::from_ref(q), k)[0]
+                .iter()
+                .map(|n| Neighbor {
+                    dist_sq: n.dist_sq,
+                    id: shard.global_ids[n.id as usize],
+                })
+                .collect();
+            // Both runs ascend by the canonical order (the shard's local
+            // ids translate monotonically), so an O(k) two-way merge keeps
+            // `best` the exact global top-k — and `best[k-1]` the exact
+            // expansion bound — after every shard.
+            let mut merged: Vec<Neighbor> = Vec::with_capacity(k);
+            let (mut i, mut j) = (0, 0);
+            while merged.len() < k && (i < best.len() || j < row.len()) {
+                let from_best = match (best.get(i), row.get(j)) {
+                    (Some(a), Some(b)) => canonical_order(a, b) != std::cmp::Ordering::Greater,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if from_best {
+                    merged.push(best[i]);
+                    i += 1;
+                } else {
+                    merged.push(row[j]);
+                    j += 1;
+                }
+            }
+            best = merged;
+        }
+        best
+    }
+
+    /// One box query: fan out to intersecting shards only, translate to
+    /// global ids, merge sorted.
+    fn range_one(&self, query: &Bbox<D>) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for shard in &self.shards {
+            if shard.index.is_empty() || !shard.bbox.intersects(query) {
+                continue;
+            }
+            let rows = shard.index.range_batch(std::slice::from_ref(query));
+            out.extend(
+                rows.into_iter()
+                    .next()
+                    .expect("one query, one row")
+                    .into_iter()
+                    .map(|id| shard.global_ids[id as usize]),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn insert(&mut self, batch: &[Point<D>]) {
+        self.epoch += 1;
+        if batch.is_empty() {
+            return;
+        }
+        if !self.universe_fixed {
+            let mut u = parallel_bbox(batch);
+            // Inflate slightly (as the Zd-tree does) so boundary points do
+            // not saturate the top grid cell.
+            let pad = u.diag_sq().sqrt() * 1e-6 + 1e-12;
+            for i in 0..D {
+                u.min[i] -= pad;
+                u.max[i] += pad;
+            }
+            self.universe = u;
+            self.universe_fixed = true;
+        }
+        let (routes, buckets) = self.bucket(batch);
+        // Global ids ascend in batch order; bucketing is a stable
+        // partition of it, so appending per shard as we walk the batch
+        // keeps every `global_ids` map strictly increasing.
+        let mut id = self.next_id;
+        for (&s, p) in routes.iter().zip(batch) {
+            let shard = &mut self.shards[s];
+            shard.global_ids.push(id);
+            shard.bbox.extend(p);
+            id += 1;
+        }
+        self.next_id = id;
+        // The write epoch's parallel half: every shard applies its
+        // sub-batch concurrently.
+        self.shards
+            .par_iter_mut()
+            .zip(buckets.par_iter())
+            .for_each(|(shard, bucket)| {
+                if !bucket.is_empty() {
+                    shard.index.insert(bucket);
+                }
+            });
+    }
+
+    fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        self.epoch += 1;
+        if batch.is_empty() || self.next_id == 0 {
+            return 0;
+        }
+        // Value routing is deterministic (the universe never moves after
+        // fixing), so every victim lands on the shard that holds it.
+        let (_, buckets) = self.bucket(batch);
+        let removed: Vec<usize> = self
+            .shards
+            .par_iter_mut()
+            .zip(buckets.par_iter())
+            .map(|(shard, bucket)| {
+                if bucket.is_empty() || shard.index.is_empty() {
+                    0
+                } else {
+                    shard.index.delete(bucket)
+                }
+            })
+            .collect();
+        removed.iter().sum()
+    }
+
+    fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        parlay::map_batch(queries, 64, |q| self.knn_one(q, k))
+    }
+
+    fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        parlay::map_batch(queries, 16, |q| self.range_one(q))
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let live = self.len();
+        Snapshot {
+            epoch: self.epoch,
+            live,
+            inserted: self.next_id as u64,
+            deleted: self.next_id as u64 - live as u64,
+            rebuilds: self
+                .shards
+                .iter()
+                .map(|s| s.index.snapshot().rebuilds)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecIndex;
+    use pargeo_bdltree::{BdlTree, ZdTree};
+    use pargeo_datagen::uniform_cube;
+    use pargeo_kdtree::DynKdTree;
+
+    fn factories() -> Vec<(
+        &'static str,
+        Box<dyn Fn(usize) -> Box<dyn SpatialIndex<2> + Send + Sync>>,
+    )> {
+        vec![
+            ("dyn-kd", Box::new(|_| Box::new(DynKdTree::<2>::new()))),
+            (
+                "bdl",
+                Box::new(|_| Box::new(BdlTree::<2>::with_buffer_size(64))),
+            ),
+            ("zd", Box::new(|_| Box::new(ZdTree::<2>::new()))),
+            ("vec-oracle", Box::new(|_| Box::new(VecIndex::<2>::new()))),
+        ]
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (want_bits, s) in [(0u32, 1usize), (1, 2), (2, 3), (2, 4), (3, 5), (4, 16)] {
+            let t = ShardedIndex::<2>::new(s, |_| Box::new(VecIndex::new()));
+            assert_eq!(t.shard_count(), 1 << want_bits);
+            assert_eq!(t.shard_bits, want_bits);
+        }
+    }
+
+    #[test]
+    fn sharded_answers_equal_unsharded_bit_for_bit() {
+        let pts = uniform_cube::<2>(4_000, 11);
+        let queries: Vec<_> = pts.iter().step_by(53).copied().collect();
+        let boxes = pargeo_datagen::uniform_rects::<2>(30, 4, 0.35);
+        for (name, factory) in factories() {
+            let mut plain = factory(0);
+            plain.insert(&pts[..3_000]);
+            plain.delete(&pts[..1_000]);
+            plain.insert(&pts[3_000..]);
+            let want_knn = plain.knn_batch(&queries, 7);
+            let want_rng = plain.range_batch(&boxes);
+            for s in [1usize, 2, 8] {
+                let mut sharded = ShardedIndex::<2>::new(s, |_| factory(0));
+                sharded.insert(&pts[..3_000]);
+                assert_eq!(sharded.delete(&pts[..1_000]), 1_000, "{name}/{s}");
+                sharded.insert(&pts[3_000..]);
+                assert_eq!(sharded.len(), plain.len(), "{name}/{s}");
+                assert_eq!(sharded.knn_batch(&queries, 7), want_knn, "{name}/{s} knn");
+                assert_eq!(sharded.range_batch(&boxes), want_rng, "{name}/{s} range");
+            }
+        }
+    }
+
+    #[test]
+    fn writes_actually_spread_across_shards() {
+        let pts = uniform_cube::<2>(8_000, 3);
+        let mut t = ShardedIndex::<2>::new(8, |_| Box::new(ZdTree::new()));
+        t.insert(&pts);
+        let lens = t.shard_lens();
+        assert_eq!(lens.len(), 8);
+        assert_eq!(lens.iter().sum::<usize>(), 8_000);
+        // Uniform data over a power-of-two prefix router: every shard gets
+        // a meaningful slice (no shard starves, none hoards everything).
+        assert!(lens.iter().all(|&l| l > 0), "{lens:?}");
+        assert!(*lens.iter().max().unwrap() < 8_000, "{lens:?}");
+    }
+
+    #[test]
+    fn snapshot_aggregates_the_shards() {
+        let pts = uniform_cube::<2>(2_000, 5);
+        let mut t = ShardedIndex::<2>::new(4, |_| Box::new(DynKdTree::new()));
+        t.insert(&pts[..1_500]);
+        assert_eq!(t.delete(&pts[..500]), 500);
+        t.insert(&pts[1_500..]);
+        let s = t.snapshot();
+        assert_eq!(s.epoch, 3);
+        assert_eq!(s.live, 1_500);
+        assert_eq!(s.inserted, 2_000);
+        assert_eq!(s.deleted, 500);
+        assert_eq!(t.backend_name(), "sharded-dyn-kd");
+    }
+
+    #[test]
+    fn out_of_universe_points_route_and_answer_exactly() {
+        let pts = uniform_cube::<2>(1_000, 8);
+        let mut t = ShardedIndex::<2>::new(8, |_| Box::new(ZdTree::new()));
+        let mut plain = ZdTree::<2>::new();
+        t.insert(&pts);
+        SpatialIndex::insert(&mut plain, &pts);
+        // Far outside the fixed universe: clamps onto boundary cells for
+        // routing, but the shard bbox covers the true coordinates.
+        let far: Vec<Point<2>> = (0..64)
+            .map(|i| Point::new([1e4 + i as f64, -1e4 - i as f64]))
+            .collect();
+        t.insert(&far);
+        SpatialIndex::insert(&mut plain, &far);
+        let all_box = Bbox {
+            min: Point::new([-2e4, -2e4]),
+            max: Point::new([2e4, 2e4]),
+        };
+        assert_eq!(
+            t.range_batch(std::slice::from_ref(&all_box)),
+            SpatialIndex::range_batch(&plain, std::slice::from_ref(&all_box)),
+        );
+        assert_eq!(
+            t.knn_batch(&far[..4], 6),
+            SpatialIndex::knn_batch(&plain, &far[..4], 6),
+        );
+        assert_eq!(t.delete(&far), 64);
+        assert_eq!(t.len(), 1_000);
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches() {
+        let mut t = ShardedIndex::<2>::new(4, |_| Box::new(BdlTree::new()));
+        assert_eq!(t.delete(&[Point::new([1.0, 1.0])]), 0);
+        t.insert(&[]);
+        assert!(t.is_empty());
+        assert!(t.knn_batch(&[Point::new([0.0, 0.0])], 3)[0].is_empty());
+        assert!(t.range_batch(&[Bbox {
+            min: Point::new([0.0, 0.0]),
+            max: Point::new([1.0, 1.0]),
+        }])[0]
+            .is_empty());
+        let s = t.snapshot();
+        assert_eq!((s.epoch, s.live, s.inserted), (2, 0, 0));
+    }
+}

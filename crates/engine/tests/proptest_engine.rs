@@ -5,7 +5,7 @@
 //! counts.
 
 use pargeo_bdltree::{BdlTree, ZdTree};
-use pargeo_engine::{SpatialIndex, VecIndex};
+use pargeo_engine::{ShardedIndex, SpatialIndex, VecIndex};
 use pargeo_geometry::{Bbox, Point2};
 use pargeo_kdtree::DynKdTree;
 use proptest::prelude::*;
@@ -73,6 +73,47 @@ fn churn_and_check(
     Ok(())
 }
 
+type Factory = Box<dyn Fn() -> Box<dyn SpatialIndex<2> + Send + Sync>>;
+
+fn shardable_factories() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("dyn-kd", Box::new(|| Box::new(DynKdTree::<2>::new()))),
+        (
+            "bdl",
+            Box::new(|| Box::new(BdlTree::<2>::with_buffer_size(32))),
+        ),
+        ("zd", Box::new(|| Box::new(ZdTree::<2>::new()))),
+    ]
+}
+
+/// Replays one interleaved stream and returns the exact answer rows the
+/// sharded/unsharded/oracle comparison keys on.
+#[allow(clippy::type_complexity)]
+fn replay(
+    index: &mut dyn SpatialIndex<2>,
+    pts: &[Point2],
+    cut: usize,
+    k: usize,
+    boxes: &[Bbox<2>],
+) -> (
+    usize,
+    usize,
+    Vec<Vec<pargeo_kdtree::Neighbor>>,
+    Vec<Vec<u32>>,
+) {
+    let half = pts.len() / 2;
+    index.insert(&pts[..half]);
+    let removed = index.delete(&pts[..cut]);
+    index.insert(&pts[half..]);
+    let queries: Vec<Point2> = pts.iter().step_by(3).copied().collect();
+    (
+        removed,
+        index.len(),
+        index.knn_batch(&queries, k),
+        index.range_batch(boxes),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -90,6 +131,53 @@ proptest! {
         };
         for mut b in backends() {
             churn_and_check(b.as_mut(), &pts, cut, k, &q)?;
+        }
+    }
+
+    /// Sharded execution is invisible in the answers: for S ∈ {1, 2, 8}
+    /// (and at two thread counts) a `ShardedIndex` over any backend
+    /// returns *exactly* the rows the unsharded backend returns — global
+    /// ids included — and agrees with the brute-force oracle. Queries
+    /// sweep the whole lattice (straddling every shard boundary) and `k`
+    /// runs past per-shard populations, forcing multi-shard expansion.
+    #[test]
+    fn sharded_is_answer_identical_to_unsharded_and_oracle(
+        pts in lattice_points(),
+        cut in 0usize..100,
+        k in 1usize..32,
+        x0 in 0i32..24, y0 in 0i32..24, w in 0i32..24, h in 0i32..24,
+    ) {
+        let cut = cut % (pts.len() / 2).max(1);
+        let boxes = [
+            // A random box plus one straddling the center of the lattice
+            // (the top-level Morton split at every shard count).
+            Bbox {
+                min: Point2::new([x0 as f64, y0 as f64]),
+                max: Point2::new([(x0 + w) as f64, (y0 + h) as f64]),
+            },
+            Bbox {
+                min: Point2::new([10.0, 10.0]),
+                max: Point2::new([14.0, 14.0]),
+            },
+        ];
+        for threads in [1usize, 2] {
+            pargeo_parlay::with_threads(threads, || -> Result<(), TestCaseError> {
+                let mut oracle = VecIndex::<2>::new();
+                let want = replay(&mut oracle, &pts, cut, k, &boxes);
+                for (name, factory) in shardable_factories() {
+                    let mut plain = factory();
+                    let base = replay(plain.as_mut(), &pts, cut, k, &boxes);
+                    // Lattice distances are exact in f64, so the canonical
+                    // (distance², id) contract makes full rows comparable.
+                    prop_assert_eq!(&base, &want, "{} unsharded vs oracle", name);
+                    for s in [1usize, 2, 8] {
+                        let mut sharded = ShardedIndex::<2>::new(s, |_| factory());
+                        let got = replay(&mut sharded, &pts, cut, k, &boxes);
+                        prop_assert_eq!(&got, &base, "{} S={} vs unsharded", name, s);
+                    }
+                }
+                Ok(())
+            })?;
         }
     }
 

@@ -25,6 +25,16 @@ pub struct Neighbor {
     pub id: u32,
 }
 
+/// The canonical `(distance², id)` ordering every k-NN answer follows —
+/// equal distances resolve toward the smaller id. The one definition the
+/// buffer, the oracle, and the sharded merge all compare with.
+pub fn canonical_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.dist_sq
+        .partial_cmp(&b.dist_sq)
+        .expect("NaN distance")
+        .then(a.id.cmp(&b.id))
+}
+
 /// The k-NN buffer: maintains the k nearest candidates seen so far with
 /// amortized O(1) inserts using a 2k-slot scratch area.
 #[derive(Debug, Clone)]
@@ -71,12 +81,7 @@ impl KnnBuffer {
     /// just its distances — deterministic.
     fn compact(&mut self) {
         let k = self.k;
-        self.items.select_nth_unstable_by(k - 1, |a, b| {
-            a.dist_sq
-                .partial_cmp(&b.dist_sq)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
+        self.items.select_nth_unstable_by(k - 1, canonical_order);
         self.items.truncate(k);
         self.bound = self.items[k - 1].dist_sq;
     }
@@ -87,12 +92,7 @@ impl KnnBuffer {
         if self.items.len() > self.k {
             self.compact();
         }
-        self.items.sort_unstable_by(|a, b| {
-            a.dist_sq
-                .partial_cmp(&b.dist_sq)
-                .unwrap()
-                .then(a.id.cmp(&b.id))
-        });
+        self.items.sort_unstable_by(canonical_order);
         self.items.truncate(self.k);
         self.items
     }

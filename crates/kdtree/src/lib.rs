@@ -29,6 +29,6 @@ pub mod veb;
 
 pub use baselines::{B1Tree, B2Tree};
 pub use dynamic::DynKdTree;
-pub use knn::{knn_brute_force, KnnBuffer, Neighbor};
+pub use knn::{canonical_order, knn_brute_force, KnnBuffer, Neighbor};
 pub use tree::{KdTree, SplitRule};
 pub use veb::VebTree;

@@ -21,6 +21,26 @@ pub const fn bits_per_dim(d: usize) -> u32 {
     (63 / d) as u32
 }
 
+/// Total significant bits of a `D`-dimensional Morton code
+/// (`bits_per_dim(d) * d`; the remaining high bits of the `u64` are zero).
+pub const fn total_bits(d: usize) -> u32 {
+    bits_per_dim(d) * d as u32
+}
+
+/// The shard a Morton code routes to under `shard_bits` bits of prefix
+/// routing: the top `shard_bits` significant bits of the code, i.e. the
+/// index of the Z-order cell at depth `shard_bits` of the implicit radix
+/// tree. `shard_bits = 0` puts everything in shard 0. Shared by the
+/// engine's `ShardedIndex` router and the Zd-tree's radix splitter, so
+/// both agree on what a prefix means.
+pub const fn morton_shard_of<const D: usize>(code: u64, shard_bits: u32) -> u64 {
+    if shard_bits == 0 {
+        0
+    } else {
+        code >> (total_bits(D) - shard_bits)
+    }
+}
+
 /// Morton code of `p` within `bbox` (coordinates outside the box clamp to
 /// its boundary).
 pub fn morton_code<const D: usize>(p: &Point<D>, bbox: &Bbox<D>) -> u64 {
@@ -62,7 +82,7 @@ pub fn deinterleave<const D: usize>(code: u64, bits: u32) -> [u64; D] {
 
 /// Sorts `points` in place along the Z-order curve over their bounding box.
 /// Returns the permutation's original indices alongside.
-pub fn morton_sort<const D: usize>(points: &mut Vec<Point<D>>) -> Vec<u32> {
+pub fn morton_sort<const D: usize>(points: &mut [Point<D>]) -> Vec<u32> {
     let bbox = parallel_bbox(points);
     let mut tagged: Vec<(Point<D>, u32)> = if points.len() >= 4096 {
         points
@@ -79,7 +99,16 @@ pub fn morton_sort<const D: usize>(points: &mut Vec<Point<D>>) -> Vec<u32> {
     };
     parlay::radix_sort_u64_by_key(&mut tagged, |(p, _)| morton_code(p, &bbox));
     let ids: Vec<u32> = tagged.iter().map(|&(_, id)| id).collect();
-    *points = tagged.into_iter().map(|(p, _)| p).collect();
+    if points.len() >= 4096 {
+        points
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, dst)| *dst = tagged[i].0);
+    } else {
+        for (dst, &(p, _)) in points.iter_mut().zip(&tagged) {
+            *dst = p;
+        }
+    }
     ids
 }
 
@@ -187,5 +216,46 @@ mod tests {
         for d in 1..=9 {
             assert!(bits_per_dim(d) * d as u32 <= 63);
         }
+    }
+
+    #[test]
+    fn shard_of_is_the_code_prefix() {
+        assert_eq!(total_bits(2), 62);
+        assert_eq!(total_bits(3), 63);
+        let code = 0b10_01_11_10u64 << (total_bits(2) - 8);
+        assert_eq!(morton_shard_of::<2>(code, 0), 0);
+        assert_eq!(morton_shard_of::<2>(code, 1), 0b1);
+        assert_eq!(morton_shard_of::<2>(code, 2), 0b10);
+        assert_eq!(morton_shard_of::<2>(code, 4), 0b1001);
+        // Codes sorted by value are also sorted by any prefix: routing by
+        // shard preserves Z-order between shards.
+        let bbox = Bbox {
+            min: Point2::new([0.0, 0.0]),
+            max: Point2::new([1.0, 1.0]),
+        };
+        let pts = pargeo_datagen::uniform_cube::<2>(1_000, 9);
+        let mut codes: Vec<u64> = pts.iter().map(|p| morton_code(p, &bbox)).collect();
+        codes.sort_unstable();
+        for bits in [1u32, 2, 3, 4] {
+            let shards: Vec<u64> = codes
+                .iter()
+                .map(|&c| morton_shard_of::<2>(c, bits))
+                .collect();
+            assert!(shards.windows(2).all(|w| w[0] <= w[1]));
+            assert!(*shards.last().unwrap() < (1 << bits));
+        }
+    }
+
+    #[test]
+    fn sort_accepts_plain_slices() {
+        // `&mut [Point<D>]` — a subrange of a larger buffer sorts in place.
+        let mut pts = pargeo_datagen::uniform_cube::<2>(512, 6);
+        let tail = pts[256..].to_vec();
+        let ids = morton_sort(&mut pts[..256]);
+        assert_eq!(ids.len(), 256);
+        assert_eq!(&pts[256..], &tail[..], "out-of-range points untouched");
+        let bbox = parallel_bbox(&pts[..256]);
+        let codes = morton_codes(&pts[..256], &bbox);
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
     }
 }

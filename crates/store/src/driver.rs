@@ -19,6 +19,9 @@ use std::time::Instant;
 pub struct StoreReport {
     /// Backend label of the store that served the workload.
     pub backend: &'static str,
+    /// Morton-prefix shards the index ran over (1 = unsharded; the digest
+    /// is shard-count-invariant, the timings are the point).
+    pub shards: usize,
     /// Batches per traffic class: (insert, delete, knn, range, derived).
     pub ops: (usize, usize, usize, usize, usize),
     /// Wall-clock seconds in writes (including the initial bulk load).
@@ -76,6 +79,7 @@ pub fn run_store_workload<const D: usize>(
 ) -> StoreReport {
     let mut r = StoreReport {
         backend: store.backend().label(),
+        shards: store.shard_count(),
         ..StoreReport::default()
     };
     let t = Instant::now();

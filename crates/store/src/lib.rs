@@ -22,9 +22,17 @@
 //!   adjacent same-kind writes coalesce into single index batches (one
 //!   write epoch each) and each maximal run of reads is answered
 //!   data-parallel via `pargeo-parlay`.
+//! * **Sharded execution** — [`GeoStore::builder()`](GeoStore::builder)`.shards(S)`
+//!   routes the index through `pargeo-engine`'s morton-prefix
+//!   `ShardedIndex`: each coalesced write batch becomes per-shard
+//!   sub-batches applied in parallel across shards, reads fan out only to
+//!   the shards whose region can contribute, and answers stay
+//!   bit-identical to the unsharded store at any shard count.
 //! * **Memoization** — derived structures (hull, EMST, Delaunay, …) are
-//!   cached per write epoch: repeated reads between writes are free, any
-//!   write invalidates. [`CacheStats`] reports the hit rate.
+//!   cached per write epoch: repeated reads between writes are free, and
+//!   any write that changes the live set invalidates. No-op writes (empty
+//!   batches, deletes matching nothing live) spare the cache instead —
+//!   [`CacheStats`] reports hits, misses, and spared epochs.
 //! * [`run_store_workload`] — replays a `pargeo-datagen`
 //!   [`Workload`](pargeo_datagen::Workload) (including its
 //!   derived-structure ops) against a store and digests every answer, the

@@ -113,6 +113,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Derived-structure requests that had to (re)compute.
     pub misses: u64,
+    /// Coalesced write runs that changed nothing in the live set (empty
+    /// batches, deletes matching no live point) and therefore spared the
+    /// write epoch and the memo cache instead of invalidating them.
+    pub spared: u64,
 }
 
 /// Point-in-time view of a store, answered by [`Request::Stats`].

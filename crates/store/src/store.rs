@@ -3,7 +3,7 @@
 use crate::derived::{self, DerivedVal};
 use crate::request::{CacheStats, DerivedKind, Request, Response, StoreStats};
 use pargeo_bdltree::{BdlTree, ZdTree};
-use pargeo_engine::{SpatialIndex, VecIndex};
+use pargeo_engine::{ShardedIndex, SpatialIndex, VecIndex};
 use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point};
 use pargeo_kdtree::{DynKdTree, Neighbor, SplitRule};
 use pargeo_parlay as parlay;
@@ -50,9 +50,11 @@ impl Backend {
 /// let store: GeoStore<2> = GeoStore::builder()
 ///     .backend(Backend::Bdl)
 ///     .split_rule(SplitRule::SpatialMedian)
+///     .shards(4)
 ///     .threads(2)
 ///     .build();
 /// assert!(store.is_empty());
+/// assert_eq!(store.shard_count(), 4);
 /// ```
 #[derive(Debug, Clone)]
 pub struct GeoStoreBuilder<const D: usize> {
@@ -61,6 +63,7 @@ pub struct GeoStoreBuilder<const D: usize> {
     rebuild_fraction: f64,
     buffer_size: Option<usize>,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl<const D: usize> Default for GeoStoreBuilder<D> {
@@ -71,6 +74,7 @@ impl<const D: usize> Default for GeoStoreBuilder<D> {
             rebuild_fraction: pargeo_kdtree::dynamic::DEFAULT_REBUILD_FRACTION,
             buffer_size: None,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -108,20 +112,42 @@ impl<const D: usize> GeoStoreBuilder<D> {
         self
     }
 
+    /// Shards the index by Morton prefix into this many independent
+    /// backend shards (rounded up to a power of two): the epoch planner's
+    /// coalesced write batches become per-shard sub-batches applied in
+    /// parallel across shards, and reads fan out only to the shards whose
+    /// region can contribute. Answers are bit-identical to the unsharded
+    /// store at any shard count. Default: unsharded (one backend).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
     /// Creates the (empty) store.
     pub fn build(self) -> GeoStore<D> {
-        let index: Box<dyn SpatialIndex<D> + Send + Sync> = match self.backend {
-            Backend::DynKd => Box::new(DynKdTree::<D>::with_config(
-                self.split_rule,
-                self.rebuild_fraction,
-            )),
-            Backend::Bdl => match self.buffer_size {
-                Some(x) => Box::new(BdlTree::<D>::with_buffer_size(x)),
-                None => Box::new(BdlTree::<D>::new()),
-            },
-            Backend::Zd => Box::new(ZdTree::<D>::new()),
-            Backend::Oracle => Box::new(VecIndex::<D>::new()),
+        let make = || -> Box<dyn SpatialIndex<D> + Send + Sync> {
+            match self.backend {
+                Backend::DynKd => Box::new(DynKdTree::<D>::with_config(
+                    self.split_rule,
+                    self.rebuild_fraction,
+                )),
+                Backend::Bdl => match self.buffer_size {
+                    Some(x) => Box::new(BdlTree::<D>::with_buffer_size(x)),
+                    None => Box::new(BdlTree::<D>::new()),
+                },
+                Backend::Zd => Box::new(ZdTree::<D>::new()),
+                Backend::Oracle => Box::new(VecIndex::<D>::new()),
+            }
         };
+        let (index, shard_count): (Box<dyn SpatialIndex<D> + Send + Sync>, usize) =
+            match self.shards {
+                None => (make(), 1),
+                Some(s) => {
+                    let sharded = ShardedIndex::<D>::new(s, |_| make());
+                    let count = sharded.shard_count();
+                    (Box::new(sharded), count)
+                }
+            };
         let pool = self.threads.map(|t| {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(t)
@@ -131,6 +157,7 @@ impl<const D: usize> GeoStoreBuilder<D> {
         GeoStore {
             index,
             backend: self.backend,
+            shard_count,
             pool,
             points: Vec::new(),
             live_ids: Vec::new(),
@@ -166,6 +193,8 @@ type LiveView<const D: usize> = (Vec<u32>, Vec<Point<D>>);
 pub struct GeoStore<const D: usize> {
     index: Box<dyn SpatialIndex<D> + Send + Sync>,
     backend: Backend,
+    /// Morton-prefix shards of the index (1 = unsharded).
+    shard_count: usize,
     /// Dedicated pool when built with `.threads(..)`, constructed once.
     pool: Option<rayon::ThreadPool>,
     /// Every point ever inserted, indexed by store id. Append-only: store
@@ -203,6 +232,12 @@ impl<const D: usize> GeoStore<D> {
     /// The backend this store was built with.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Number of Morton-prefix shards the index runs over (1 when built
+    /// without [`shards`](GeoStoreBuilder::shards)).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
     }
 
     /// Number of live points.
@@ -314,7 +349,12 @@ impl<const D: usize> GeoStore<D> {
                 first_id,
             }));
         }
-        if !coalesced.is_empty() {
+        if coalesced.is_empty() {
+            // Nothing entered the live set: the memoized derived
+            // structures are still exact, so the epoch (and with it the
+            // memo cache) is spared.
+            self.cache_stats.spared += 1;
+        } else {
             self.index.insert(&coalesced);
             self.bump_epoch();
         }
@@ -341,7 +381,13 @@ impl<const D: usize> GeoStore<D> {
             coalesced.extend_from_slice(batch);
             out.push(Ok(Response::Deleted { count }));
         }
-        if !coalesced.is_empty() {
+        if dying.is_empty() {
+            // A delete run that matched no live point (or was empty) is a
+            // no-op: the id mirror says the index would remove nothing, so
+            // the batch is not applied, the epoch does not advance, and
+            // the memoized derived structures stay valid.
+            self.cache_stats.spared += 1;
+        } else {
             self.live_ids.retain(|id| !dying.contains(id));
             let removed = self.index.delete(&coalesced);
             debug_assert_eq!(removed, dying.len(), "mirror diverged from index");

@@ -67,6 +67,36 @@ fn main() {
         );
     }
 
+    // Sharded execution: the same backend behind a morton-prefix router.
+    // Writes apply in parallel across shards, reads fan out only to the
+    // shards whose region can contribute — and the answers (here: the
+    // k-NN rows of the same queries) are bit-identical to the unsharded
+    // store's at every shard count.
+    println!("\n== Sharded spatial core (Backend::Zd) ==\n");
+    let queries: Vec<Point2> = pts.iter().step_by(101).copied().collect();
+    let mut unsharded: GeoStore<2> = GeoStore::builder().backend(Backend::Zd).build();
+    unsharded.insert(&pts);
+    let want = unsharded.knn(&queries, 8).unwrap();
+    for shards in [1usize, 4, 16] {
+        let mut store: GeoStore<2> = GeoStore::builder()
+            .backend(Backend::Zd)
+            .shards(shards)
+            .build();
+        let t = Instant::now();
+        store.insert(&pts);
+        let load = t.elapsed();
+        let t = Instant::now();
+        let got = store.knn(&queries, 8).unwrap();
+        let knn = t.elapsed();
+        assert_eq!(got, want, "sharded answers diverged");
+        println!(
+            "shards {:>2}  load {:>8.1?}  knn batch {:>8.1?}  (answers identical)",
+            store.shard_count(),
+            load,
+            knn,
+        );
+    }
+
     // Degenerate input is a typed error, never a panic.
     let mut empty: GeoStore<2> = GeoStore::builder().build();
     println!("\nhull of empty store  -> {}", empty.hull().unwrap_err());

@@ -9,13 +9,14 @@ cd "$(dirname "$0")/.."
 N="${PARGEO_N:-50000}"
 BINARIES=("$@")
 if [ ${#BINARIES[@]} -eq 0 ]; then
-    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore)
+    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore shard_sweep)
 fi
 
 cargo build --release -p pargeo-bench 2>&1 | tail -1
 
 for bin in "${BINARIES[@]}"; do
-    out="BENCH_${bin}.json"
+    # The shard sweep records as BENCH_shard.json (the sharding baseline).
+    out="BENCH_${bin/shard_sweep/shard}.json"
     echo "recording ${bin} (PARGEO_N=${N}) -> ${out}"
     PARGEO_N="$N" "./target/release/${bin}" | python3 scripts/bench_to_json.py \
         --binary "$bin" --n "$N" > "$out"

@@ -53,6 +53,39 @@ fn every_preset_workload_matches_the_oracle_on_every_backend() {
 }
 
 #[test]
+fn sharded_engine_replays_every_preset_digest_identically() {
+    // The shard dimension of the digest anchors: a ShardedIndex over any
+    // backend is a drop-in SpatialIndex, and its workload digests equal
+    // the unsharded backend's and the oracle's at every shard count.
+    for spec in presets_small() {
+        let w: Workload<2> = spec.generate();
+        let mut oracle = VecIndex::<2>::new();
+        let want = run_workload(&mut oracle, &w);
+        for s in [1usize, 2, 8] {
+            let sharded: Vec<Box<dyn SpatialIndex<2>>> = vec![
+                Box::new(ShardedIndex::<2>::new(s, |_| Box::new(DynKdTree::new()))),
+                Box::new(ShardedIndex::<2>::new(s, |_| {
+                    Box::new(BdlTree::with_buffer_size(256))
+                })),
+                Box::new(ShardedIndex::<2>::new(s, |_| Box::new(ZdTree::new()))),
+            ];
+            for mut b in sharded {
+                let got = run_workload(b.as_mut(), &w);
+                assert_eq!(
+                    got.digest(),
+                    want.digest(),
+                    "{} S={s}: digest diverged on {}",
+                    got.backend,
+                    spec.name
+                );
+                assert_eq!(got.final_live, want.final_live, "{} S={s}", spec.name);
+                assert_eq!(got.deleted, want.deleted, "{} S={s}", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
 fn workload_replay_is_thread_count_invariant() {
     let mut spec = WorkloadSpec::new("threads", Distribution::UniformCube, 3_000, 16);
     spec.seed = 21;

@@ -328,6 +328,109 @@ fn hull3d_served_in_three_dimensions() {
 }
 
 #[test]
+fn sharded_stores_are_digest_identical_for_every_backend_and_preset() {
+    // The acceptance sweep: for every backend and every store preset,
+    // GeoStore with S ∈ {1, 2, 8} shards produces bit-identical workload
+    // digests to the unsharded store and to the oracle store.
+    for mut spec in WorkloadSpec::store_presets(1_600) {
+        spec.batch_size = spec.batch_size.min(100);
+        let w: Workload<2> = spec.generate();
+        let mut oracle: GeoStore<2> = GeoStore::builder().backend(Backend::Oracle).build();
+        let want = run_store_workload(&mut oracle, &w);
+        for backend in Backend::all() {
+            let mut base = GeoStore::builder().backend(backend).build();
+            let b = run_store_workload(&mut base, &w);
+            assert_eq!(b.shards, 1);
+            assert_eq!(
+                b.digest, want.digest,
+                "{} unsharded vs oracle on {}",
+                b.backend, spec.name
+            );
+            for s in [1usize, 2, 8] {
+                let mut store = GeoStore::builder().backend(backend).shards(s).build();
+                let r = run_store_workload(&mut store, &w);
+                assert_eq!(r.shards, s, "1/2/8 are powers of two already");
+                assert_eq!(
+                    r.digest, want.digest,
+                    "{} S={s} digest diverged on {}",
+                    r.backend, spec.name
+                );
+                assert_eq!(r.errors, want.errors, "{} S={s}", spec.name);
+                assert_eq!(r.final_live, want.final_live, "{} S={s}", spec.name);
+                assert_eq!(r.ops, want.ops, "{} S={s}", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_execute_matches_the_scripted_stream_exactly() {
+    // The scripted mixed stream (every Request variant) through sharded
+    // stores: responses must be exactly those of the unsharded store.
+    let pts = points(2_000, 38);
+    let reqs = script(&pts);
+    for backend in Backend::all() {
+        let mut base = GeoStore::builder().backend(backend).build();
+        let want = base.execute(&reqs);
+        for s in [2usize, 8] {
+            let mut store = GeoStore::builder().backend(backend).shards(s).build();
+            let responses = store.execute(&reqs);
+            assert_eq!(store.shard_count(), s);
+            assert_eq!(
+                digest_responses(&responses),
+                digest_responses(&want),
+                "{} S={s} digest",
+                backend.label()
+            );
+            for (i, (a, b)) in want.iter().zip(&responses).enumerate() {
+                match (a, b) {
+                    (Ok(Response::Stats(_)), Ok(Response::Stats(_))) => {} // index-internal
+                    _ => assert_eq!(a, b, "{} S={s} response {i}", backend.label()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn noop_writes_spare_the_memo_cache() {
+    let pts = points(400, 37);
+    let mut store: GeoStore<2> = GeoStore::builder().build();
+    store.insert(&pts[..300]);
+    let h1 = store.hull().unwrap();
+    assert_eq!(store.stats().cache.misses, 1);
+    let epoch = store.stats().write_epoch;
+
+    // A delete matching nothing live removes zero points: the write epoch
+    // must not advance and the memoized hull must survive.
+    assert_eq!(store.delete(&pts[300..]), 0);
+    let stats = store.stats();
+    assert_eq!(stats.write_epoch, epoch, "no-op delete bumped the epoch");
+    assert_eq!(stats.cache.spared, 1);
+    let h2 = store.hull().unwrap();
+    assert_eq!(h1, h2);
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+
+    // Empty insert and empty delete runs are spared too.
+    store.insert(&[]);
+    assert_eq!(store.delete(&[]), 0);
+    assert_eq!(store.stats().cache.spared, 3);
+    assert_eq!(store.hull().unwrap(), h1);
+    assert_eq!(store.stats().cache.hits, 2);
+    assert_eq!(store.stats().write_epoch, epoch);
+
+    // A delete that actually removes points invalidates as before.
+    assert_eq!(store.delete(&pts[..100]), 100);
+    let h3 = store.hull().unwrap();
+    assert!(h3.iter().all(|&id| id >= 100));
+    let stats = store.stats();
+    assert_eq!((stats.cache.hits, stats.cache.misses), (2, 2));
+    assert_eq!(stats.write_epoch, epoch + 1);
+    assert_eq!(stats.cache.spared, 3);
+}
+
+#[test]
 fn workload_replay_digests_agree_across_backends() {
     let mut spec = WorkloadSpec::store_presets(2_000)
         .into_iter()
