@@ -1,0 +1,144 @@
+//! Incremental-vs-rebuild crossover for maintained derived structures:
+//! repeated rounds of "insert a batch, re-ask hull + Delaunay" served by
+//! the delta-maintaining store (the default) against the
+//! wholesale-recompute baseline (`.incremental(false)`), sweeping the
+//! batch size from far below to near the live-set size. Small batches are
+//! the incremental regime (the engines absorb the delta in place); large
+//! batches cross over as the damage budget sends the store back to full
+//! recomputes. A delete-churn scenario pins the rebuild fallback. Every
+//! timed configuration first asserts digest equality between the two
+//! maintenance modes, so the sweep is also a correctness run. Scale with
+//! `PARGEO_N` (initial live set; batches are fractions of it).
+
+use pargeo::prelude::*;
+use pargeo::store::digest_responses;
+use pargeo_bench::{env_n, header, ms, time_best};
+
+/// Builds the request stream for one churn scenario: the initial load,
+/// then `rounds` epochs of (insert `batch` points[, delete some], ask
+/// hull + Delaunay).
+fn stream(
+    initial: &[Point2],
+    pool: &[Point2],
+    rounds: usize,
+    batch: usize,
+    delete_every: Option<usize>,
+) -> Vec<Request<2>> {
+    let mut reqs = vec![Request::Insert(initial.to_vec())];
+    reqs.push(Request::Hull);
+    reqs.push(Request::DelaunayGraph);
+    let mut cursor = 0usize;
+    for round in 0..rounds {
+        let b: Vec<Point2> = pool
+            .iter()
+            .cycle()
+            .skip(cursor)
+            .take(batch)
+            .copied()
+            .collect();
+        cursor = (cursor + batch) % pool.len().max(1);
+        reqs.push(Request::Insert(b));
+        if let Some(every) = delete_every {
+            if round % every == every - 1 {
+                // Delete a slice of the initial load: engines cannot
+                // survive this, the next compute is a rebuild.
+                let s = (round / every * 16) % (initial.len() / 2);
+                reqs.push(Request::Delete(initial[s..s + 8].to_vec()));
+            }
+        }
+        reqs.push(Request::Hull);
+        reqs.push(Request::DelaunayGraph);
+    }
+    reqs
+}
+
+fn run(reqs: &[Request<2>], incremental: bool) -> (u64, CacheStats) {
+    let mut store: GeoStore<2> = GeoStore::builder().incremental(incremental).build();
+    let responses = store.execute(reqs);
+    (digest_responses(&responses), store.stats().cache)
+}
+
+fn main() {
+    let n = env_n(20_000);
+    let rounds = 8usize;
+    let pool = pargeo::datagen::uniform_cube::<2>(n * 3, 11);
+
+    // Pin the dataset bbox into the initial load (its four corners), so
+    // later batches never land outside the Delaunay engine's super
+    // bounds: bbox growth is a legitimate rebuild trigger, but this sweep
+    // measures the damage-budget crossover, not bbox churn.
+    let (mut lo, mut hi) = ([f64::MAX; 2], [f64::MIN; 2]);
+    for p in &pool {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p.coords[d]);
+            hi[d] = hi[d].max(p.coords[d]);
+        }
+    }
+    let mut initial: Vec<Point2> = vec![
+        Point2::new([lo[0], lo[1]]),
+        Point2::new([hi[0], lo[1]]),
+        Point2::new([lo[0], hi[1]]),
+        Point2::new([hi[0], hi[1]]),
+    ];
+    initial.extend_from_slice(&pool[..n]);
+    let spare = &pool[n..];
+
+    println!(
+        "# incr_derived — delta maintenance vs wholesale recompute, initial = {}, {rounds} insert rounds\n",
+        initial.len()
+    );
+    header(&[
+        "Scenario",
+        "Batch",
+        "Incr (s)",
+        "Rebuild (s)",
+        "Speedup",
+        "Applies",
+        "Fallbacks",
+    ]);
+
+    // Insert-only churn: batch fraction sweeps across the crossover.
+    for frac in [0.0005f64, 0.005, 0.05, 0.5] {
+        let batch = ((n as f64 * frac) as usize).max(1);
+        let reqs = stream(&initial, spare, rounds, batch, None);
+        let (digest_inc, cache) = run(&reqs, true);
+        let (digest_whole, _) = run(&reqs, false);
+        assert_eq!(
+            digest_inc, digest_whole,
+            "maintenance modes disagree at batch {batch}"
+        );
+        let t_inc = time_best(3, || run(&reqs, true).0);
+        let t_whole = time_best(3, || run(&reqs, false).0);
+        println!(
+            "| insert-only | {batch} | {} | {} | {:.2}x | {} | {} |",
+            ms(t_inc),
+            ms(t_whole),
+            t_whole / t_inc,
+            cache.incremental,
+            cache.rebuilds,
+        );
+    }
+
+    // Delete churn: every other round removes points, forcing the
+    // rebuild fallback — both modes should track each other closely.
+    let batch = ((n as f64 * 0.005) as usize).max(1);
+    let reqs = stream(&initial, spare, rounds, batch, Some(2));
+    let (digest_inc, cache) = run(&reqs, true);
+    let (digest_whole, _) = run(&reqs, false);
+    assert_eq!(
+        digest_inc, digest_whole,
+        "maintenance modes disagree under deletes"
+    );
+    let t_inc = time_best(3, || run(&reqs, true).0);
+    let t_whole = time_best(3, || run(&reqs, false).0);
+    println!(
+        "| delete-churn | {batch} | {} | {} | {:.2}x | {} | {} |",
+        ms(t_inc),
+        ms(t_whole),
+        t_whole / t_inc,
+        cache.incremental,
+        cache.rebuilds,
+    );
+
+    println!("\nanchor: all configurations digest-identical across maintenance modes");
+}

@@ -234,7 +234,10 @@ pub mod prelude {
     pub use pargeo_bdltree::{BdlTree, ZdTree};
     pub use pargeo_closestpair::{closest_pair, try_closest_pair, ClosestPair};
     pub use pargeo_datagen::{DerivedOp, Distribution, Workload, WorkloadOp, WorkloadSpec};
-    pub use pargeo_delaunay::{delaunay, delaunay_edges, gabriel_graph, try_delaunay};
+    pub use pargeo_delaunay::{
+        delaunay, delaunay_edges, gabriel_graph, try_delaunay, DelaunayBatchOutcome,
+        DelaunayIncremental,
+    };
     pub use pargeo_engine::{
         run_workload, ShardedIndex, Snapshot, SpatialIndex, VecIndex, WorkloadReport,
     };
@@ -243,7 +246,7 @@ pub mod prelude {
     pub use pargeo_hull::{
         hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq,
         hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc,
-        hull3d_seq, try_hull2d, try_hull3d, Hull3d,
+        hull3d_seq, try_hull2d, try_hull3d, Hull2dIncremental, Hull3d, HullBatchOutcome,
     };
     pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, KdTree, SplitRule, VebTree};
     pub use pargeo_rangequery::{
@@ -254,8 +257,8 @@ pub mod prelude {
         seb_welzl_seq, try_seb,
     };
     pub use pargeo_store::{
-        run_store_workload, Backend, CacheStats, DerivedKind, GeoStore, GeoStoreBuilder, Request,
-        Response, StoreReport, StoreStats,
+        run_store_workload, Backend, CacheStats, DerivedKind, GeoStore, GeoStoreBuilder, MemoPath,
+        Request, Response, StoreReport, StoreStats, DEFAULT_DAMAGE_THRESHOLD,
     };
     pub use pargeo_wspd::{bccp_points, emst, spanner, wspd, EmstEdge};
 }

@@ -1,0 +1,405 @@
+//! Resumable batch-insert maintenance of a 2D Delaunay triangulation.
+//!
+//! [`DelaunayIncremental`] keeps the Bowyer–Watson mesh of a growing
+//! *prefix* of a point slice alive across insert batches. Determinism is
+//! the whole point: after inserting a fixed point sequence into a fixed
+//! super-triangle, the alive triangle **set** is uniquely determined —
+//! each insertion removes exactly the (connected) set of triangles whose
+//! circumcircle strictly contains the new point and stars the cavity —
+//! so [`DelaunayIncremental::edges`] after any batch schedule is
+//! bit-identical to a fresh index-order build over the same prefix, even
+//! on maximally cocircular inputs where the triangulation itself is not
+//! unique.
+//!
+//! Two preconditions guard that equivalence:
+//!
+//! - the super-triangle is a pure function of the input bbox, so every
+//!   appended point must lie inside the bbox of the originally-built
+//!   prefix ([`DelaunayBatchOutcome::OutsideBounds`] otherwise — the
+//!   caller rebuilds);
+//! - batches append in index order, matching the canonical full build
+//!   ([`DelaunayIncremental::try_build`], which the store also uses for
+//!   its full recomputes).
+
+use crate::bw::Delaunay;
+use crate::tri::TriMesh;
+use pargeo_geometry::{orient2d, Bbox, GeoError, GeoResult, Orientation, Point2};
+
+/// What a batch insert did to the maintained triangulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelaunayBatchOutcome {
+    /// The batch was applied; the engine now covers the longer prefix.
+    Applied {
+        /// Non-duplicate points actually inserted.
+        inserted: usize,
+        /// Triangles killed by cavity retriangulation.
+        killed: usize,
+    },
+    /// The batch killed more than `max_damage` of the structure; the
+    /// engine is poisoned and must be discarded (rebuild from scratch).
+    DamageExceeded {
+        /// Triangles killed before the budget ran out.
+        killed: usize,
+    },
+    /// A batch point falls outside the bbox the super-triangle was built
+    /// from; applying it would diverge from a fresh build. The engine is
+    /// left untouched — the caller should rebuild.
+    OutsideBounds,
+}
+
+/// Incrementally maintained Delaunay triangulation over a growing point
+/// prefix, with index-order insertion as the canonical schedule.
+#[derive(Debug)]
+pub struct DelaunayIncremental {
+    mesh: TriMesh,
+    /// Bbox of the prefix the super-triangle was derived from.
+    bbox: Bbox<2>,
+    /// Hint triangle for point-location walks.
+    hint: u32,
+    /// Set when a batch aborted mid-flight; the mesh is incomplete.
+    poisoned: bool,
+}
+
+impl DelaunayIncremental {
+    /// Builds the engine by inserting `points` in index order (the
+    /// canonical schedule batches resume), with the same typed errors as
+    /// [`try_delaunay`](crate::try_delaunay).
+    pub fn try_build(points: &[Point2]) -> GeoResult<Self> {
+        if points.is_empty() {
+            return Err(GeoError::EmptyInput { op: "delaunay" });
+        }
+        if points.len() < 3 {
+            return Err(GeoError::TooFewPoints {
+                op: "delaunay",
+                needed: 3,
+                got: points.len(),
+            });
+        }
+        let mut bbox = Bbox::empty();
+        for p in points {
+            bbox.extend(p);
+        }
+        let mut eng = DelaunayIncremental {
+            mesh: TriMesh::new(points),
+            bbox,
+            hint: 0,
+            poisoned: false,
+        };
+        // Conflict-list insertion (as in `delaunay_seq`) in index order:
+        // every uninserted point tracks one triangle containing it, so no
+        // location walks are needed during the build.
+        let n = points.len();
+        let mut tri_of: Vec<u32> = vec![0; n];
+        eng.mesh.tris[0].pts = (0..n as u32).collect();
+        for q in 0..n as u32 {
+            let mut t0 = tri_of[q as usize];
+            if !eng.mesh.tris[t0 as usize].alive {
+                // Redistribution keeps `tri_of` fresh; this is a defensive
+                // re-location, never expected to run.
+                match eng.locate(q) {
+                    Some(t) => t0 = t,
+                    None => continue,
+                }
+            }
+            if eng.mesh.is_vertex_of(t0, q) {
+                continue; // duplicate point collapses onto the first copy
+            }
+            let region = eng.mesh.conflict_region(t0, q);
+            let new_tris = eng.mesh.insert_vertex(q, &region);
+            eng.hint = *new_tris.last().expect("cavity produces triangles");
+            for &dead in &region {
+                let pts = std::mem::take(&mut eng.mesh.tris[dead as usize].pts);
+                for t in pts {
+                    if t == q {
+                        continue;
+                    }
+                    if let Some(&nt) = new_tris.iter().find(|&&nt| eng.mesh.contains(nt, t)) {
+                        tri_of[t as usize] = nt;
+                        eng.mesh.tris[nt as usize].pts.push(t);
+                    }
+                }
+            }
+        }
+        // Drop leftover conflict lists (uninserted duplicates); batch
+        // appends locate by walking instead.
+        for t in &mut eng.mesh.tris {
+            t.pts = Vec::new();
+        }
+        if eng.mesh.extract().is_empty() {
+            return Err(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear",
+            });
+        }
+        Ok(eng)
+    }
+
+    /// Length of the consumed prefix.
+    pub fn consumed(&self) -> usize {
+        self.mesh.super_base as usize
+    }
+
+    /// Appends `new_pts` (the points after the consumed prefix, in index
+    /// order) to the triangulation.
+    ///
+    /// Returns [`DelaunayBatchOutcome::DamageExceeded`] — poisoning the
+    /// engine — once more than `max_damage · (alive triangles at batch
+    /// start + 3 · batch size)` triangles have been killed.
+    pub fn try_insert_batch(
+        &mut self,
+        new_pts: &[Point2],
+        max_damage: f64,
+    ) -> GeoResult<DelaunayBatchOutcome> {
+        if self.poisoned {
+            return Err(GeoError::BadParameter {
+                op: "delaunay_insert_batch",
+                what: "engine poisoned by an aborted batch; rebuild required",
+            });
+        }
+        if new_pts.iter().any(|p| !self.bbox.contains(p)) {
+            return Ok(DelaunayBatchOutcome::OutsideBounds);
+        }
+        let budget = max_damage * (self.mesh.alive_count + 3 * new_pts.len()) as f64;
+        let first = self.mesh.super_base;
+        self.mesh.append_points(new_pts);
+        if self.hint >= self.mesh.tris.len() as u32 {
+            self.hint = 0;
+        }
+        let mut inserted = 0usize;
+        let mut killed = 0usize;
+        for q in first..first + new_pts.len() as u32 {
+            match self.insert_one(q) {
+                Some(k) => {
+                    killed += k;
+                    if k > 0 {
+                        inserted += 1;
+                    }
+                }
+                None => {
+                    // Locate failed: the mesh no longer encloses q. Treat
+                    // like an out-of-bounds point, but the mesh already
+                    // holds part of the batch — poison it.
+                    self.poisoned = true;
+                    return Ok(DelaunayBatchOutcome::OutsideBounds);
+                }
+            }
+            if killed as f64 > budget {
+                self.poisoned = true;
+                return Ok(DelaunayBatchOutcome::DamageExceeded { killed });
+            }
+        }
+        Ok(DelaunayBatchOutcome::Applied { inserted, killed })
+    }
+
+    /// Inserts point `q`, returning the number of triangles its cavity
+    /// killed (0 for a duplicate), or `None` if no triangle contains `q`.
+    fn insert_one(&mut self, q: u32) -> Option<usize> {
+        let t0 = self.locate(q)?;
+        if self.mesh.is_vertex_of(t0, q) {
+            return Some(0); // duplicate point collapses onto the first copy
+        }
+        let region = self.mesh.conflict_region(t0, q);
+        let killed = region.len();
+        let new_tris = self.mesh.insert_vertex(q, &region);
+        self.hint = *new_tris.last().expect("cavity produces triangles");
+        Some(killed)
+    }
+
+    /// Orientation walk from the hint triangle, with a step cap and an
+    /// exhaustive-scan fallback so location terminates on any mesh (walks
+    /// can cycle on degenerate inputs).
+    fn locate(&mut self, q: u32) -> Option<u32> {
+        let tris = &self.mesh.tris;
+        let mut t = self.hint;
+        if !tris[t as usize].alive {
+            t = tris.iter().position(|t| t.alive)? as u32;
+        }
+        let cap = tris.len();
+        let mut steps = 0usize;
+        'walk: while steps < cap {
+            let tri = &tris[t as usize];
+            for i in 0..3 {
+                let a = &self.mesh.points[tri.v[i] as usize];
+                let b = &self.mesh.points[tri.v[(i + 1) % 3] as usize];
+                if orient2d(a, b, &self.mesh.points[q as usize]) == Orientation::Negative {
+                    let g = tri.nbr[i];
+                    if g == u32::MAX {
+                        break 'walk; // outside the super-triangle
+                    }
+                    t = g;
+                    steps += 1;
+                    continue 'walk;
+                }
+            }
+            self.hint = t;
+            return Some(t);
+        }
+        // Fallback: linear scan (degenerate walk cycle or outside hint).
+        let found =
+            (0..tris.len() as u32).find(|&t| tris[t as usize].alive && self.mesh.contains(t, q));
+        if let Some(t) = found {
+            self.hint = t;
+        }
+        found
+    }
+
+    /// The triangulation over the consumed prefix (real triangles only).
+    pub fn triangulation(&self) -> GeoResult<Delaunay> {
+        if self.poisoned {
+            return Err(GeoError::BadParameter {
+                op: "delaunay_extract",
+                what: "engine poisoned by an aborted batch; rebuild required",
+            });
+        }
+        Ok(Delaunay {
+            triangles: self.mesh.extract(),
+        })
+    }
+
+    /// Sorted, deduplicated `(min, max)` edge list — the canonical output
+    /// the store compares across incremental and full recomputes.
+    pub fn edges(&self) -> GeoResult<Vec<(u32, u32)>> {
+        Ok(crate::graphs::delaunay_edges(&self.triangulation()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tri::validate_delaunay;
+    use crate::try_delaunay;
+    use pargeo_datagen::uniform_cube;
+
+    fn lattice(w: usize) -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..w {
+            for j in 0..w {
+                pts.push(Point2::new([i as f64, j as f64]));
+            }
+        }
+        pts
+    }
+
+    /// Prepends the dataset's bbox corners so every prefix from 4 on has
+    /// the full bbox (batch appends must stay inside the built bbox).
+    fn with_corner_prefix(pts: Vec<Point2>) -> Vec<Point2> {
+        let mut bbox = Bbox::empty();
+        for p in &pts {
+            bbox.extend(p);
+        }
+        let (lo, hi) = (bbox.min, bbox.max);
+        let mut out = vec![
+            Point2::new([lo[0], lo[1]]),
+            Point2::new([hi[0], lo[1]]),
+            Point2::new([hi[0], hi[1]]),
+            Point2::new([lo[0], hi[1]]),
+        ];
+        out.extend(pts);
+        out
+    }
+
+    /// Batched insertion must stay edge-identical to a fresh index-order
+    /// build on every prefix — including a maximally cocircular lattice,
+    /// where the triangulation is not unique and only the fixed insertion
+    /// schedule pins the answer.
+    #[test]
+    fn batches_match_full_build_bit_identically() {
+        for (name, mut pts) in [
+            ("uniform", with_corner_prefix(uniform_cube::<2>(500, 5))),
+            ("lattice", with_corner_prefix(lattice(14))),
+        ] {
+            // Duplicate-heavy tail, kept inside the prefix bbox.
+            let dups: Vec<Point2> = pts.iter().step_by(3).copied().collect();
+            pts.extend(dups);
+            let mut eng = DelaunayIncremental::try_build(&pts[..64]).unwrap();
+            let mut at = 64;
+            for step in [1usize, 5, 23, 64, 150] {
+                let to = (at + step).min(pts.len());
+                match eng.try_insert_batch(&pts[at..to], 1.0).unwrap() {
+                    DelaunayBatchOutcome::Applied { .. } => {}
+                    other => panic!("{name}: unexpected outcome {other:?}"),
+                }
+                at = to;
+                let fresh = DelaunayIncremental::try_build(&pts[..to]).unwrap();
+                assert_eq!(eng.edges().unwrap(), fresh.edges().unwrap(), "{name}@{to}");
+            }
+            validate_delaunay(&pts[..at], &eng.triangulation().unwrap().triangles).unwrap();
+        }
+    }
+
+    /// The index-order build is a valid Delaunay triangulation and agrees
+    /// with the randomized builders on the edge set for inputs in general
+    /// position (where the triangulation is unique).
+    #[test]
+    fn index_order_build_matches_randomized_in_general_position() {
+        let pts = uniform_cube::<2>(400, 9);
+        let eng = DelaunayIncremental::try_build(&pts).unwrap();
+        validate_delaunay(&pts, &eng.triangulation().unwrap().triangles).unwrap();
+        let rand = try_delaunay(&pts).unwrap();
+        assert_eq!(eng.edges().unwrap(), crate::delaunay_edges(&rand));
+    }
+
+    /// Same typed errors as `try_delaunay` on degenerate inputs.
+    #[test]
+    fn degenerate_inputs_error_like_try_delaunay() {
+        assert_eq!(
+            DelaunayIncremental::try_build(&[]).err(),
+            Some(GeoError::EmptyInput { op: "delaunay" })
+        );
+        let two = [Point2::new([0.0, 0.0]), Point2::new([1.0, 0.0])];
+        assert_eq!(
+            DelaunayIncremental::try_build(&two).err(),
+            Some(GeoError::TooFewPoints {
+                op: "delaunay",
+                needed: 3,
+                got: 2
+            })
+        );
+        let line: Vec<Point2> = (0..30).map(|i| Point2::new([i as f64, i as f64])).collect();
+        assert_eq!(
+            DelaunayIncremental::try_build(&line).err(),
+            Some(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            })
+        );
+        let dup = [Point2::new([1.0, 1.0]); 7];
+        assert_eq!(
+            DelaunayIncremental::try_build(&dup).err(),
+            Some(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            })
+        );
+    }
+
+    /// Points outside the built prefix's bbox must be refused without
+    /// corrupting the engine.
+    #[test]
+    fn outside_bbox_is_refused_and_engine_survives() {
+        let pts = uniform_cube::<2>(200, 3);
+        let mut eng = DelaunayIncremental::try_build(&pts).unwrap();
+        let edges_before = eng.edges().unwrap();
+        let far = [Point2::new([1e9, 1e9])];
+        assert_eq!(
+            eng.try_insert_batch(&far, 1.0).unwrap(),
+            DelaunayBatchOutcome::OutsideBounds
+        );
+        assert_eq!(eng.edges().unwrap(), edges_before);
+        assert_eq!(eng.consumed(), 200);
+    }
+
+    /// A zero damage budget aborts on the first cavity and poisons the
+    /// engine.
+    #[test]
+    fn damage_threshold_aborts_and_poisons() {
+        let pts = with_corner_prefix(uniform_cube::<2>(300, 7));
+        let mut eng = DelaunayIncremental::try_build(&pts[..200]).unwrap();
+        match eng.try_insert_batch(&pts[200..], 0.0).unwrap() {
+            DelaunayBatchOutcome::DamageExceeded { killed } => assert!(killed > 0),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(eng.try_insert_batch(&pts[200..], 1.0).is_err());
+        assert!(eng.edges().is_err());
+    }
+}

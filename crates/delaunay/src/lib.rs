@@ -21,8 +21,10 @@
 
 mod bw;
 mod graphs;
+mod inc;
 mod tri;
 
 pub use bw::{delaunay, delaunay_seeded, delaunay_seq, try_delaunay, Delaunay};
 pub use graphs::{delaunay_edges, gabriel_graph};
+pub use inc::{DelaunayBatchOutcome, DelaunayIncremental};
 pub use tri::validate_delaunay;

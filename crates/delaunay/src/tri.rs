@@ -15,6 +15,7 @@ pub(crate) struct Tri {
     pub alive: bool,
 }
 
+#[derive(Debug)]
 pub(crate) struct TriMesh {
     /// Input points followed by the three super-triangle corners.
     pub points: Vec<Point2>,
@@ -209,6 +210,27 @@ impl TriMesh {
         self.alive_count += k as usize;
         self.alive_count -= region.len();
         (base..base + k).collect()
+    }
+
+    /// Splices `extra` input points in front of the super-triangle
+    /// corners, shifting the three super ids in every triangle's vertex
+    /// list. Conflict lists and neighbor links hold real-point and
+    /// triangle ids respectively, so they are unaffected. The new points
+    /// must lie inside the bbox the super-triangle was built from, or the
+    /// mesh no longer encloses its input.
+    pub fn append_points(&mut self, extra: &[Point2]) {
+        let old_base = self.super_base;
+        let add = extra.len() as u32;
+        let at = old_base as usize;
+        self.points.splice(at..at, extra.iter().copied());
+        self.super_base += add;
+        for t in &mut self.tris {
+            for v in &mut t.v {
+                if *v >= old_base {
+                    *v += add;
+                }
+            }
+        }
     }
 
     /// Extracts the real triangles (no super vertices).

@@ -7,12 +7,14 @@
 //! extreme points only.
 
 mod dnc;
+mod inc;
 mod quickhull;
 mod randinc;
 mod seq;
 pub mod validate;
 
 pub use dnc::hull2d_divide_conquer;
+pub use inc::{Hull2dIncremental, HullBatchOutcome};
 pub use quickhull::hull2d_quickhull_parallel;
 pub use randinc::hull2d_randinc;
 pub use seq::hull2d_seq;
@@ -95,6 +97,50 @@ pub(crate) fn proj_along(points: &[Point2], a: u32, b: u32, q: u32) -> f64 {
     let pb = points[b as usize];
     let pq = points[q as usize];
     (pq - pa).dot(&(pb - pa))
+}
+
+/// Removes vertices that lie on the segment between their hull neighbors.
+///
+/// The incremental algorithms never revisit a vertex once added, so a point
+/// inserted early can end up exactly *on* a final hull edge (a later point
+/// extended the edge past it). Quickhull's strict recursion excludes such
+/// points; stripping them here keeps all algorithms' outputs identical
+/// (strict hull semantics).
+pub(crate) fn strip_collinear(points: &[Point2], hull: Vec<u32>) -> Vec<u32> {
+    if hull.len() < 3 {
+        return hull;
+    }
+    let orient = |a: u32, b: u32, c: u32| {
+        orient2d(
+            &points[a as usize],
+            &points[b as usize],
+            &points[c as usize],
+        )
+    };
+    let mut out: Vec<u32> = Vec::with_capacity(hull.len());
+    for &v in &hull {
+        while out.len() >= 2
+            && orient(out[out.len() - 2], out[out.len() - 1], v) == Orientation::Zero
+        {
+            out.pop();
+        }
+        out.push(v);
+    }
+    // Wrap-around: the seam at out[0] / out[last] may still be collinear.
+    loop {
+        let n = out.len();
+        if n >= 3 && orient(out[n - 2], out[n - 1], out[0]) == Orientation::Zero {
+            out.pop();
+            continue;
+        }
+        let n = out.len();
+        if n >= 3 && orient(out[n - 1], out[0], out[1]) == Orientation::Zero {
+            out.remove(0);
+            continue;
+        }
+        break;
+    }
+    out
 }
 
 /// Handles the degenerate cases shared by all algorithms. Returns `Some`

@@ -327,52 +327,7 @@ fn walk_hull(points: &[Point2], edges: &[Edge]) -> Vec<u32> {
             break;
         }
     }
-    strip_collinear(points, out)
-}
-
-/// Removes vertices that lie on the segment between their hull neighbors.
-///
-/// The incremental algorithm never revisits a vertex once added, so a point
-/// inserted early can end up exactly *on* a final hull edge (a later point
-/// extended the edge past it). Quickhull's strict recursion excludes such
-/// points; stripping them here keeps all algorithms' outputs identical
-/// (strict hull semantics).
-fn strip_collinear(points: &[Point2], hull: Vec<u32>) -> Vec<u32> {
-    if hull.len() < 3 {
-        return hull;
-    }
-    let orient = |a: u32, b: u32, c: u32| {
-        pargeo_geometry::orient2d(
-            &points[a as usize],
-            &points[b as usize],
-            &points[c as usize],
-        )
-    };
-    let mut out: Vec<u32> = Vec::with_capacity(hull.len());
-    for &v in &hull {
-        while out.len() >= 2
-            && orient(out[out.len() - 2], out[out.len() - 1], v)
-                == pargeo_geometry::Orientation::Zero
-        {
-            out.pop();
-        }
-        out.push(v);
-    }
-    // Wrap-around: the seam at out[0] / out[last] may still be collinear.
-    loop {
-        let n = out.len();
-        if n >= 3 && orient(out[n - 2], out[n - 1], out[0]) == pargeo_geometry::Orientation::Zero {
-            out.pop();
-            continue;
-        }
-        let n = out.len();
-        if n >= 3 && orient(out[n - 1], out[0], out[1]) == pargeo_geometry::Orientation::Zero {
-            out.remove(0);
-            continue;
-        }
-        break;
-    }
-    out
+    super::strip_collinear(points, out)
 }
 
 struct SendPtr<T>(*mut T);

@@ -6,10 +6,21 @@
 //! dimension-specific algorithms (hull, Delaunay) dispatch on the
 //! const-generic `D` at runtime; unsupported dimensions come back as
 //! [`GeoError::DimensionUnsupported`], never a panic.
+//!
+//! The 2D hull and Delaunay kinds are *maintainable*: a full compute can
+//! additionally hand back a delta [`Engine`] which later epochs advance
+//! in place over insert-only batches ([`advance_engine`]), producing
+//! values bit-identical to a fresh compute on the same live view. The
+//! canonical full-recompute paths are chosen to make that equivalence
+//! exact: quickhull for the hull (minimal-index tie-breaks) and the
+//! index-order Bowyer–Watson build for the Delaunay graph (fixed
+//! insertion schedule pins the triangle set even on cocircular inputs).
 
 use crate::request::DerivedKind;
 use pargeo_closestpair::{try_closest_pair, ClosestPair};
+use pargeo_delaunay::{DelaunayBatchOutcome, DelaunayIncremental};
 use pargeo_geometry::{Ball, GeoError, GeoResult, Point};
+use pargeo_hull::{Hull2dIncremental, HullBatchOutcome};
 use pargeo_wspd::EmstEdge;
 
 /// A computed derived structure, id-remapped, ready to cache.
@@ -112,14 +123,111 @@ pub(crate) fn compute<const D: usize>(
         }
         DerivedKind::DelaunayGraph => {
             if let Some(p2) = cast_slice::<D, 2>(pts) {
-                let tri = pargeo_delaunay::try_delaunay(p2)?;
-                let edges = pargeo_delaunay::delaunay_edges(&tri);
-                Ok(DerivedVal::Graph(remap_edges(&edges, ids)))
+                // Canonical index-order build (not the randomized parallel
+                // variant): on cocircular inputs the triangulation is not
+                // unique, and only a fixed insertion schedule keeps full
+                // recomputes bit-identical to engine-advanced results.
+                let eng = DelaunayIncremental::try_build(p2)?;
+                Ok(DerivedVal::Graph(remap_edges(&eng.edges()?, ids)))
             } else {
                 Err(GeoError::DimensionUnsupported {
                     op: "delaunay",
                     dim: D,
                 })
+            }
+        }
+    }
+}
+
+/// A delta-maintenance engine carried inside the memo cache between
+/// insert-only epochs. Engines exist only for the maintainable kinds in
+/// 2D; everything else always recomputes.
+pub(crate) enum Engine {
+    /// Incremental 2D hull over the compacted live view.
+    Hull2(Hull2dIncremental),
+    /// Incremental 2D Delaunay over the compacted live view.
+    Delaunay2(DelaunayIncremental),
+}
+
+/// Computes `kind` like [`compute`], additionally returning a delta
+/// engine for the maintainable kinds when `want_engine` is set (and the
+/// value is `Ok`). The engine-extracted value IS the canonical value:
+/// both paths run the same algorithm on the same input.
+pub(crate) fn compute_full<const D: usize>(
+    kind: DerivedKind,
+    ids: &[u32],
+    pts: &[Point<D>],
+    want_engine: bool,
+) -> (GeoResult<DerivedVal<D>>, Option<Engine>) {
+    match kind {
+        DerivedKind::Hull if want_engine => {
+            let Some(p2) = cast_slice::<D, 2>(pts) else {
+                return (compute(kind, ids, pts), None);
+            };
+            match Hull2dIncremental::try_build(p2) {
+                Ok(eng) => match eng.hull(p2) {
+                    Ok(h) => (
+                        Ok(DerivedVal::Hull(remap_ids(&h, ids))),
+                        Some(Engine::Hull2(eng)),
+                    ),
+                    Err(e) => (Err(e), None),
+                },
+                Err(e) => (Err(e), None),
+            }
+        }
+        DerivedKind::DelaunayGraph if want_engine => {
+            let Some(p2) = cast_slice::<D, 2>(pts) else {
+                return (compute(kind, ids, pts), None);
+            };
+            match DelaunayIncremental::try_build(p2) {
+                Ok(eng) => match eng.edges() {
+                    Ok(es) => (
+                        Ok(DerivedVal::Graph(remap_edges(&es, ids))),
+                        Some(Engine::Delaunay2(eng)),
+                    ),
+                    Err(e) => (Err(e), None),
+                },
+                Err(e) => (Err(e), None),
+            }
+        }
+        _ => (compute(kind, ids, pts), None),
+    }
+}
+
+/// Advances a delta engine over the current live view (whose consumed
+/// prefix must be unchanged — the store checks the id anchor before
+/// calling). Returns the new canonical value, or `None` when the engine
+/// declined (damage threshold, bbox growth, shrunken prefix) — the caller
+/// must then drop the engine and recompute wholesale.
+pub(crate) fn advance_engine<const D: usize>(
+    engine: &mut Engine,
+    ids: &[u32],
+    pts: &[Point<D>],
+    max_damage: f64,
+) -> Option<DerivedVal<D>> {
+    match engine {
+        Engine::Hull2(h) => {
+            let p2 = cast_slice::<D, 2>(pts)?;
+            match h.try_insert_batch(p2, max_damage) {
+                Ok(HullBatchOutcome::Applied { .. }) => {
+                    let hull = h.hull(p2).ok()?;
+                    Some(DerivedVal::Hull(remap_ids(&hull, ids)))
+                }
+                _ => None,
+            }
+        }
+        Engine::Delaunay2(d) => {
+            let p2 = cast_slice::<D, 2>(pts)?;
+            let consumed = d.consumed();
+            if consumed > p2.len() {
+                return None;
+            }
+            match d.try_insert_batch(&p2[consumed..], max_damage) {
+                Ok(DelaunayBatchOutcome::Applied { .. }) => {
+                    let edges = d.edges().ok()?;
+                    Some(DerivedVal::Graph(remap_edges(&edges, ids)))
+                }
+                _ => None,
             }
         }
     }
@@ -144,11 +252,14 @@ mod tests {
     #[test]
     fn cast_slice_is_identity_only_for_matching_dims() {
         let pts = uniform_cube::<2>(10, 1);
-        assert!(cast_slice::<2, 2>(&pts).is_some());
         assert!(cast_slice::<2, 3>(&pts).is_none());
-        let p2 = cast_slice::<2, 2>(&pts).unwrap();
-        assert_eq!(p2.len(), pts.len());
-        assert_eq!(p2[3].coords, pts[3].coords);
+        match cast_slice::<2, 2>(&pts) {
+            Some(p2) => {
+                assert_eq!(p2.len(), pts.len());
+                assert_eq!(p2[3].coords, pts[3].coords);
+            }
+            None => panic!("identity cast must succeed"),
+        }
     }
 
     #[test]

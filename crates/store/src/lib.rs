@@ -28,11 +28,20 @@
 //!   sub-batches applied in parallel across shards, reads fan out only to
 //!   the shards whose region can contribute, and answers stay
 //!   bit-identical to the unsharded store at any shard count.
-//! * **Memoization** — derived structures (hull, EMST, Delaunay, …) are
-//!   cached per write epoch: repeated reads between writes are free, and
-//!   any write that changes the live set invalidates. No-op writes (empty
-//!   batches, deletes matching nothing live) spare the cache instead —
-//!   [`CacheStats`] reports hits, misses, and spared epochs.
+//! * **Memoization with delta maintenance** — derived structures (hull,
+//!   EMST, Delaunay, …) are cached per write epoch: repeated reads
+//!   between writes are free, and any write that changes the live set
+//!   invalidates. No-op writes (empty batches, deletes matching nothing
+//!   live) spare the cache instead. The memoized 2D hull and Delaunay
+//!   graph go further: across insert-only epochs a delta engine applies
+//!   the coalesced batch to the existing structure instead of
+//!   recomputing, falling back to a full rebuild on deletes or past a
+//!   configurable damage threshold
+//!   ([`damage_threshold`](GeoStoreBuilder::damage_threshold)) — with
+//!   answers bit-identical to a fresh compute either way.
+//!   [`CacheStats`] reports hits, misses, spared epochs, incremental
+//!   applies, and rebuild fallbacks; [`GeoStore::derived_path`] names
+//!   the path ([`MemoPath`]) that produced the current value.
 //! * [`run_store_workload`] — replays a `pargeo-datagen`
 //!   [`Workload`](pargeo_datagen::Workload) (including its
 //!   derived-structure ops) against a store and digests every answer, the
@@ -72,6 +81,7 @@ pub mod store;
 
 pub use driver::{run_store_workload, StoreReport};
 pub use request::{
-    digest_responses, fold_response_digest, CacheStats, DerivedKind, Request, Response, StoreStats,
+    digest_responses, fold_response_digest, CacheStats, DerivedKind, MemoPath, Request, Response,
+    StoreStats,
 };
-pub use store::{Backend, GeoStore, GeoStoreBuilder};
+pub use store::{Backend, GeoStore, GeoStoreBuilder, DEFAULT_DAMAGE_THRESHOLD};

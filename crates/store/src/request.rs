@@ -111,12 +111,45 @@ impl<const D: usize> Request<D> {
 pub struct CacheStats {
     /// Derived-structure requests answered from the memo cache.
     pub hits: u64,
-    /// Derived-structure requests that had to (re)compute.
+    /// Derived-structure requests that had to (re)compute — the sum of
+    /// fresh computes, incremental applies, and rebuild fallbacks.
     pub misses: u64,
     /// Coalesced write runs that changed nothing in the live set (empty
     /// batches, deletes matching no live point) and therefore spared the
     /// write epoch and the memo cache instead of invalidating them.
     pub spared: u64,
+    /// Misses answered by a delta engine applying the coalesced insert
+    /// batch to the previous epoch's structure instead of recomputing.
+    pub incremental: u64,
+    /// Misses where a previous structure existed but had to be recomputed
+    /// wholesale (deletes, damage threshold, bbox growth).
+    pub rebuilds: u64,
+}
+
+/// Which path produced the memoized derived value of the current epoch.
+///
+/// Reported by [`GeoStore::derived_path`](crate::GeoStore::derived_path);
+/// the per-path totals live in [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoPath {
+    /// Computed from scratch with no prior structure for this kind.
+    Fresh,
+    /// A live delta engine applied the insert batch in place.
+    Incremental,
+    /// A prior structure existed but was recomputed wholesale (deletes,
+    /// damage threshold exceeded, bbox growth, or an unsupported delta).
+    Rebuilt,
+}
+
+impl MemoPath {
+    /// Short label for reports and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoPath::Fresh => "fresh",
+            MemoPath::Incremental => "incremental",
+            MemoPath::Rebuilt => "rebuilt",
+        }
+    }
 }
 
 /// Point-in-time view of a store, answered by [`Request::Stats`].

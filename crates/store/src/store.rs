@@ -1,7 +1,7 @@
 //! The store itself: builder, id mirror, epoch planner, memo cache.
 
-use crate::derived::{self, DerivedVal};
-use crate::request::{CacheStats, DerivedKind, Request, Response, StoreStats};
+use crate::derived::{self, DerivedVal, Engine};
+use crate::request::{CacheStats, DerivedKind, MemoPath, Request, Response, StoreStats};
 use pargeo_bdltree::{BdlTree, ZdTree};
 use pargeo_engine::{ShardedIndex, SpatialIndex, VecIndex};
 use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point};
@@ -64,7 +64,14 @@ pub struct GeoStoreBuilder<const D: usize> {
     buffer_size: Option<usize>,
     threads: Option<usize>,
     shards: Option<usize>,
+    incremental: bool,
+    damage_threshold: f64,
 }
+
+/// Default fraction of a derived structure one coalesced insert batch may
+/// tear down before the delta engine gives up and the store recomputes
+/// wholesale (see [`GeoStoreBuilder::damage_threshold`]).
+pub const DEFAULT_DAMAGE_THRESHOLD: f64 = 0.5;
 
 impl<const D: usize> Default for GeoStoreBuilder<D> {
     fn default() -> Self {
@@ -75,6 +82,8 @@ impl<const D: usize> Default for GeoStoreBuilder<D> {
             buffer_size: None,
             threads: None,
             shards: None,
+            incremental: true,
+            damage_threshold: DEFAULT_DAMAGE_THRESHOLD,
         }
     }
 }
@@ -123,8 +132,58 @@ impl<const D: usize> GeoStoreBuilder<D> {
         self
     }
 
-    /// Creates the (empty) store.
+    /// Keeps memoized 2D hull and Delaunay results alive across
+    /// insert-only write epochs by applying the coalesced insert batch to
+    /// the existing structure instead of recomputing (default: on).
+    /// Answers are bit-identical either way; turning this off forces the
+    /// wholesale-recompute baseline.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Fraction of a derived structure (hull edges, alive triangles —
+    /// each relative to structure size plus batch size) one insert batch
+    /// may destroy before the delta engine aborts and the store falls
+    /// back to a wholesale recompute (default:
+    /// [`DEFAULT_DAMAGE_THRESHOLD`]). `0.0` rebuilds on any damage;
+    /// `1.0` effectively never falls back.
+    pub fn damage_threshold(mut self, fraction: f64) -> Self {
+        self.damage_threshold = fraction;
+        self
+    }
+
+    /// Creates the (empty) store, returning a typed error if the
+    /// dedicated thread pool cannot be constructed.
+    pub fn try_build(self) -> GeoResult<GeoStore<D>> {
+        let pool = match self.threads {
+            None => None,
+            Some(t) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .map_err(|_| GeoError::BadParameter {
+                        op: "geostore_build",
+                        what: "dedicated thread pool construction failed",
+                    })?,
+            ),
+        };
+        Ok(self.finish(pool))
+    }
+
+    /// Creates the (empty) store. If the dedicated thread pool cannot be
+    /// constructed, the store falls back to the ambient rayon pool rather
+    /// than panicking (use [`try_build`](Self::try_build) to observe the
+    /// failure as a typed error instead).
     pub fn build(self) -> GeoStore<D> {
+        let pool = self
+            .threads
+            .and_then(|t| rayon::ThreadPoolBuilder::new().num_threads(t).build().ok());
+        self.finish(pool)
+    }
+
+    /// Assembles the store around an already-constructed pool (infallible).
+    fn finish(self, pool: Option<rayon::ThreadPool>) -> GeoStore<D> {
         let make = || -> Box<dyn SpatialIndex<D> + Send + Sync> {
             match self.backend {
                 Backend::DynKd => Box::new(DynKdTree::<D>::with_config(
@@ -148,17 +207,13 @@ impl<const D: usize> GeoStoreBuilder<D> {
                     (Box::new(sharded), count)
                 }
             };
-        let pool = self.threads.map(|t| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(t)
-                .build()
-                .expect("failed to build store pool")
-        });
         GeoStore {
             index,
             backend: self.backend,
             shard_count,
             pool,
+            incremental: self.incremental,
+            damage_threshold: self.damage_threshold,
             points: Vec::new(),
             live_ids: Vec::new(),
             by_key: HashMap::new(),
@@ -173,6 +228,33 @@ impl<const D: usize> GeoStoreBuilder<D> {
 /// Compacted live view: `pts[i]` is the live point with store id `ids[i]`
 /// (`ids` strictly ascending). Shared with read fan-outs via `Arc`.
 type LiveView<const D: usize> = (Vec<u32>, Vec<Point<D>>);
+
+/// One slot of the per-kind memo cache — the `Fresh | Incremental |
+/// Rebuilt` state machine.
+///
+/// An entry whose `epoch` matches the store's write epoch serves reads
+/// directly (a hit). A *stale* entry survives epoch bumps only to carry
+/// maintenance state forward: a live [`Engine`] across insert-only epochs
+/// (advanced on the next request), or a `rebuild_pending` marker across
+/// delete epochs (so the next compute is counted as a rebuild fallback,
+/// not a fresh start). Stale values are never served.
+struct MemoEntry<const D: usize> {
+    /// Write epoch `value` was computed at.
+    epoch: u64,
+    value: GeoResult<DerivedVal<D>>,
+    /// Delta engine for maintainable kinds (2D hull / Delaunay), present
+    /// only while `value` is `Ok` and no delete has intervened.
+    engine: Option<Engine>,
+    /// `(consumed, last_id)` of the engine's live-view prefix: an O(1)
+    /// append-only check (live ids ascend, inserts append) guarding the
+    /// engine against any planner bug that would reorder the prefix.
+    anchor: Option<(usize, u32)>,
+    /// How `value` was produced.
+    path: MemoPath,
+    /// A delete invalidated the prior structure; the next compute is a
+    /// rebuild, not a fresh start.
+    rebuild_pending: bool,
+}
 
 /// One service-grade façade over every ParGeo module.
 ///
@@ -197,6 +279,10 @@ pub struct GeoStore<const D: usize> {
     shard_count: usize,
     /// Dedicated pool when built with `.threads(..)`, constructed once.
     pool: Option<rayon::ThreadPool>,
+    /// Delta-maintain memoized hull/Delaunay across insert-only epochs.
+    incremental: bool,
+    /// Damage fraction past which a delta engine falls back to rebuild.
+    damage_threshold: f64,
     /// Every point ever inserted, indexed by store id. Append-only: store
     /// ids stay stable and `point(id)` remains answerable after deletion,
     /// at the cost of `O(total inserted)` memory (compaction with an id
@@ -211,9 +297,10 @@ pub struct GeoStore<const D: usize> {
     /// Coalesced write batches applied so far.
     write_epoch: u64,
     live_view: Option<Arc<LiveView<D>>>,
-    /// Memoized derived structures for the *current* write epoch; cleared
-    /// wholesale on every write epoch bump, so stale values never linger.
-    cache: HashMap<DerivedKind, GeoResult<DerivedVal<D>>>,
+    /// Per-kind memo state machine. Entries at the current epoch serve
+    /// reads; stale entries only carry delta engines (insert-only bumps)
+    /// or rebuild markers (delete bumps) into the next compute.
+    cache: HashMap<DerivedKind, MemoEntry<D>>,
     cache_stats: CacheStats,
 }
 
@@ -289,7 +376,10 @@ impl<const D: usize> GeoStore<D> {
     pub fn run(&mut self, request: Request<D>) -> GeoResult<Response<D>> {
         self.execute(std::slice::from_ref(&request))
             .pop()
-            .expect("one request, one response")
+            .unwrap_or(Err(GeoError::BadParameter {
+                op: "geostore",
+                what: "planner produced no response for the request",
+            }))
     }
 
     fn execute_inner(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
@@ -356,7 +446,7 @@ impl<const D: usize> GeoStore<D> {
             self.cache_stats.spared += 1;
         } else {
             self.index.insert(&coalesced);
-            self.bump_epoch();
+            self.bump_epoch(false);
         }
     }
 
@@ -391,17 +481,34 @@ impl<const D: usize> GeoStore<D> {
             self.live_ids.retain(|id| !dying.contains(id));
             let removed = self.index.delete(&coalesced);
             debug_assert_eq!(removed, dying.len(), "mirror diverged from index");
-            self.bump_epoch();
+            self.bump_epoch(true);
         }
     }
 
-    /// Advances the write epoch: everything derived from the previous
-    /// live set — memoized structures and the compacted view — is dropped
-    /// immediately, so stale values never outlive their epoch.
-    fn bump_epoch(&mut self) {
+    /// Advances the write epoch. Values derived from the previous live
+    /// set — memoized structures and the compacted view — expire
+    /// immediately, so stale values are never served. What *survives* the
+    /// bump is maintenance state: across an insert-only epoch, entries
+    /// with a live delta engine (the engine absorbs the batch on the next
+    /// request); across a delete epoch, a rebuild marker per maintainable
+    /// entry (deletes shuffle compacted positions, so no engine survives).
+    fn bump_epoch(&mut self, deleting: bool) {
         self.write_epoch += 1;
-        self.cache.clear();
         self.live_view = None;
+        if !self.incremental {
+            self.cache.clear();
+        } else if deleting {
+            self.cache.retain(|_, e| {
+                let maintained = e.engine.is_some() || e.rebuild_pending;
+                e.engine = None;
+                e.anchor = None;
+                e.rebuild_pending = maintained;
+                maintained
+            });
+        } else {
+            self.cache
+                .retain(|_, e| e.engine.is_some() || e.rebuild_pending);
+        }
     }
 
     /// Answers a run of read requests: derived structures are memoized
@@ -417,17 +524,81 @@ impl<const D: usize> GeoStore<D> {
         out.extend(responses);
     }
 
-    /// Computes one derived structure into the memo cache (the cache only
-    /// ever holds current-epoch values — see [`bump_epoch`](Self::bump_epoch)).
+    /// Brings the memo entry for `kind` to the current epoch: a hit when
+    /// already current, an incremental engine advance when an insert-only
+    /// delta can be applied, and a full (re)compute otherwise.
     fn ensure_derived(&mut self, kind: DerivedKind) {
-        if self.cache.contains_key(&kind) {
-            self.cache_stats.hits += 1;
-            return;
+        if let Some(e) = self.cache.get(&kind) {
+            if e.epoch == self.write_epoch {
+                self.cache_stats.hits += 1;
+                return;
+            }
         }
         self.cache_stats.misses += 1;
         let view = self.live_view();
-        let val = derived::compute(kind, &view.0, &view.1);
-        self.cache.insert(kind, val);
+        let mut prior = self.cache.remove(&kind);
+        let had_structure = prior
+            .as_ref()
+            .is_some_and(|e| e.engine.is_some() || e.rebuild_pending);
+
+        // Incremental path: a live engine whose consumed prefix is intact
+        // (live ids ascend and inserts append, so one id pins the prefix)
+        // absorbs the delta in place.
+        if self.incremental {
+            if let Some(mut entry) = prior.take() {
+                let anchored = entry.anchor.is_some_and(|(consumed, last_id)| {
+                    consumed >= 1 && view.0.len() >= consumed && view.0[consumed - 1] == last_id
+                });
+                let advanced = match (anchored, entry.engine.as_mut()) {
+                    (true, Some(engine)) => {
+                        derived::advance_engine(engine, &view.0, &view.1, self.damage_threshold)
+                    }
+                    _ => None,
+                };
+                if let (Some(val), Some(&last)) = (advanced, view.0.last()) {
+                    self.cache_stats.incremental += 1;
+                    entry.epoch = self.write_epoch;
+                    entry.value = Ok(val);
+                    entry.anchor = Some((view.0.len(), last));
+                    entry.path = MemoPath::Incremental;
+                    entry.rebuild_pending = false;
+                    self.cache.insert(kind, entry);
+                    return;
+                }
+            }
+        }
+
+        // Full (re)compute — the rebuild path when a structure existed.
+        let (value, engine) = derived::compute_full(kind, &view.0, &view.1, self.incremental);
+        let path = if had_structure {
+            self.cache_stats.rebuilds += 1;
+            MemoPath::Rebuilt
+        } else {
+            MemoPath::Fresh
+        };
+        let anchor = engine
+            .as_ref()
+            .and_then(|_| view.0.last().map(|&last| (view.0.len(), last)));
+        self.cache.insert(
+            kind,
+            MemoEntry {
+                epoch: self.write_epoch,
+                value,
+                engine,
+                anchor,
+                path,
+                rebuild_pending: false,
+            },
+        );
+    }
+
+    /// Which path produced the memoized value for `kind`, if one is
+    /// cached for the current epoch.
+    pub fn derived_path(&self, kind: DerivedKind) -> Option<MemoPath> {
+        self.cache
+            .get(&kind)
+            .filter(|e| e.epoch == self.write_epoch)
+            .map(|e| e.path)
     }
 
     /// Answers one read request against the (now read-only) store state.
@@ -452,11 +623,25 @@ impl<const D: usize> GeoStore<D> {
             Request::Range(boxes) => Ok(Response::Range(self.index.range_batch(boxes))),
             Request::Stats => Ok(Response::Stats(self.stats())),
             _ => {
-                let kind = req
-                    .derived_kind()
-                    .expect("reads are knn/range/stats/derived");
-                let val = self.cache.get(&kind).expect("ensured before fan-out");
-                val.clone().map(|v| match v {
+                // Planner invariants ("only reads reach the fan-out" and
+                // "every derived kind was ensured first") are answered
+                // with typed errors, not panics: a violation must never
+                // take the serve path down.
+                let Some(kind) = req.derived_kind() else {
+                    return Err(GeoError::BadParameter {
+                        op: "geostore",
+                        what: "non-read request reached the read fan-out",
+                    });
+                };
+                let entry = self
+                    .cache
+                    .get(&kind)
+                    .filter(|e| e.epoch == self.write_epoch)
+                    .ok_or(GeoError::BadParameter {
+                        op: "geostore",
+                        what: "derived value missing from the memo cache",
+                    })?;
+                entry.value.clone().map(|v| match v {
                     DerivedVal::Hull(h) => Response::Hull(h),
                     DerivedVal::Seb(b) => Response::Seb(b),
                     DerivedVal::ClosestPair(cp) => Response::ClosestPair(cp),

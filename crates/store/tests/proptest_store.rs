@@ -303,12 +303,17 @@ fn check_response(
             );
         }
         Request::DelaunayGraph => {
-            let want = pargeo_delaunay::try_delaunay(live).map(|d| {
-                pargeo_delaunay::delaunay_edges(&d)
-                    .into_iter()
-                    .map(|(u, v)| (ids[u as usize], ids[v as usize]))
-                    .collect::<Vec<_>>()
-            });
+            // The store's canonical Delaunay path is the index-order
+            // incremental build (fixed insertion schedule ⇒ unique triangle
+            // set even on cocircular lattice inputs); mirror it exactly.
+            let want = pargeo_delaunay::DelaunayIncremental::try_build(live)
+                .and_then(|d| d.edges())
+                .map(|edges| {
+                    edges
+                        .into_iter()
+                        .map(|(u, v)| (ids[u as usize], ids[v as usize]))
+                        .collect::<Vec<_>>()
+                });
             prop_assert_eq!(
                 resp,
                 &want.map(Response::DelaunayGraph),

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 N="${PARGEO_N:-50000}"
 BINARIES=("$@")
 if [ ${#BINARIES[@]} -eq 0 ]; then
-    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore shard_sweep)
+    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore shard_sweep incr_derived)
 fi
 
 cargo build --release -p pargeo-bench 2>&1 | tail -1

@@ -431,6 +431,266 @@ fn noop_writes_spare_the_memo_cache() {
 }
 
 #[test]
+fn incremental_maintenance_is_bit_identical_across_backends_and_shards() {
+    // The tentpole's acceptance sweep: the delta-maintaining store (the
+    // default) must answer the scripted mixed stream — fresh computes,
+    // insert-only epochs, delete-forced rebuilds — bit-identically to a
+    // wholesale-recompute store, for every backend and shard count.
+    let pts = points(2_000, 39);
+    let reqs = script(&pts);
+    for backend in Backend::all() {
+        let mut plain = GeoStore::<2>::builder()
+            .backend(backend)
+            .incremental(false)
+            .build();
+        let want = plain.execute(&reqs);
+        assert_eq!(
+            plain.stats().cache.incremental,
+            0,
+            "wholesale baseline must never take the delta path"
+        );
+        for shards in [1usize, 4] {
+            let mut store = GeoStore::<2>::builder()
+                .backend(backend)
+                .shards(shards)
+                .build();
+            let responses = store.execute(&reqs);
+            assert_eq!(
+                digest_responses(&responses),
+                digest_responses(&want),
+                "{} S={shards}: incremental digest != wholesale digest",
+                backend.label()
+            );
+            for (i, (a, b)) in want.iter().zip(&responses).enumerate() {
+                match (a, b) {
+                    // Cache counters legitimately differ between the two
+                    // maintenance modes; everything else is bit-for-bit.
+                    (Ok(Response::Stats(_)), Ok(Response::Stats(_))) => {}
+                    _ => assert_eq!(a, b, "{} S={shards} response {i}", backend.label()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_live_views_after_deletes_stay_typed_for_every_kind() {
+    // Deletes can leave the live set degenerate in ways inserts never
+    // exhibit (the delta engines are torn down, the rebuild hits the
+    // degenerate case directly). Every derived kind must come back as a
+    // typed error or a well-defined result — never a panic — and the
+    // store must keep serving afterwards.
+    let k_kinds = |s: &mut GeoStore<2>| {
+        (
+            s.hull(),
+            s.seb(),
+            s.closest_pair(),
+            s.emst(),
+            s.knn_graph(1),
+            s.delaunay_graph(),
+        )
+    };
+    for backend in Backend::all() {
+        let name = backend.label();
+        let grid: Vec<Point2> = (0..36)
+            .map(|i| Point2::new([(i % 6) as f64, (i / 6) as f64]))
+            .collect();
+
+        // Warm the memo (engines alive), then delete down to two points.
+        let mut store: GeoStore<2> = GeoStore::builder().backend(backend).build();
+        store.insert(&grid);
+        store.hull().unwrap();
+        store.delaunay_graph().unwrap();
+        store.delete(&grid[..34]);
+        let (hull, seb, cp, mst, kg, del) = k_kinds(&mut store);
+        assert_eq!(
+            hull,
+            Err(GeoError::TooFewPoints {
+                op: "hull2d",
+                needed: 3,
+                got: 2
+            }),
+            "{name}"
+        );
+        assert!(seb.is_ok(), "{name}: {seb:?}");
+        assert!(cp.is_ok(), "{name}: {cp:?}");
+        assert_eq!(mst.map(|m| m.len()), Ok(1), "{name}");
+        assert_eq!(kg.map(|g| g.len()), Ok(2), "{name}");
+        assert_eq!(
+            del,
+            Err(GeoError::TooFewPoints {
+                op: "delaunay",
+                needed: 3,
+                got: 2
+            }),
+            "{name}"
+        );
+
+        // … and down to zero.
+        store.delete(&grid[34..]);
+        assert_eq!(
+            store.hull(),
+            Err(GeoError::EmptyInput { op: "hull2d" }),
+            "{name}"
+        );
+        assert_eq!(
+            store.delaunay_graph(),
+            Err(GeoError::EmptyInput { op: "delaunay" }),
+            "{name}"
+        );
+        assert_eq!(
+            store.seb(),
+            Err(GeoError::EmptyInput { op: "seb" }),
+            "{name}"
+        );
+
+        // Collinear remainder: delete every row but one.
+        let mut flat: GeoStore<2> = GeoStore::builder().backend(backend).build();
+        flat.insert(&grid);
+        flat.hull().unwrap();
+        flat.delaunay_graph().unwrap();
+        let not_row_2: Vec<Point2> = grid
+            .iter()
+            .filter(|p| p.coords[1] != 2.0)
+            .copied()
+            .collect();
+        flat.delete(&not_row_2);
+        assert_eq!(flat.len(), 6, "{name}");
+        let (hull, seb, cp, mst, kg, del) = k_kinds(&mut flat);
+        assert_eq!(
+            hull,
+            Err(GeoError::Degenerate {
+                op: "hull2d",
+                what: "collinear"
+            }),
+            "{name}"
+        );
+        assert_eq!(
+            del,
+            Err(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            }),
+            "{name}"
+        );
+        assert!(seb.is_ok() && cp.is_ok(), "{name}");
+        assert_eq!(mst.map(|m| m.len()), Ok(5), "{name}");
+        assert_eq!(kg.map(|g| g.len()), Ok(6), "{name}");
+
+        // All-duplicate remainder: several live copies of one coordinate.
+        let mut dup: GeoStore<2> = GeoStore::builder().backend(backend).build();
+        // Off-lattice coordinate: deleting the grid (by value) must not
+        // also take the copies down.
+        let copies: Vec<Point2> = (0..5).map(|_| Point2::new([2.5, 3.5])).collect();
+        dup.insert(&grid);
+        dup.insert(&copies);
+        dup.hull().unwrap();
+        dup.delaunay_graph().unwrap();
+        dup.delete(&grid);
+        assert_eq!(dup.len(), 5, "{name}");
+        let (hull, seb, cp, mst, kg, del) = k_kinds(&mut dup);
+        assert_eq!(
+            hull,
+            Err(GeoError::Degenerate {
+                op: "hull2d",
+                what: "coincident"
+            }),
+            "{name}"
+        );
+        assert_eq!(
+            del,
+            Err(GeoError::Degenerate {
+                op: "delaunay",
+                what: "collinear"
+            }),
+            "{name}"
+        );
+        let ball = seb.unwrap();
+        assert_eq!(ball.radius, 0.0, "{name}: coincident ball has radius 0");
+        assert_eq!(cp.unwrap().dist, 0.0, "{name}");
+        let mst = mst.unwrap();
+        assert_eq!(mst.len(), 4, "{name}");
+        assert!(mst.iter().all(|e| e.weight == 0.0), "{name}");
+        assert_eq!(kg.map(|g| g.len()), Ok(5), "{name}");
+
+        // The store survives every degenerate answer above.
+        assert_eq!(dup.knn(&copies[..1], 3).unwrap()[0].len(), 3, "{name}");
+    }
+}
+
+#[test]
+fn malformed_request_streams_yield_typed_errors_never_panics() {
+    // The serve path has no panicking branch left: pool construction,
+    // single-request dispatch, and the read fan-out all answer impossible
+    // input with typed errors.
+    let built = GeoStore::<2>::builder().threads(2).try_build();
+    let mut store = built.expect("thread pool construction succeeds here");
+
+    let reqs: Vec<Request<2>> = vec![
+        Request::Knn {
+            queries: vec![Point2::new([0.0, 0.0])],
+            k: 0,
+        },
+        Request::Knn {
+            queries: vec![Point2::new([0.0, 0.0])],
+            k: 5,
+        },
+        Request::KnnGraph { k: 0 },
+        Request::Hull,
+        Request::DelaunayGraph,
+        Request::Insert(vec![]),
+        Request::Delete(vec![Point2::new([9.0, 9.0])]),
+        Request::Emst,
+        Request::Stats,
+    ];
+    let responses = store.execute(&reqs);
+    assert_eq!(responses.len(), reqs.len());
+    assert_eq!(
+        responses[0],
+        Err(GeoError::BadParameter {
+            op: "knn",
+            what: "k must be positive"
+        })
+    );
+    assert_eq!(
+        responses[1],
+        Err(GeoError::KTooLarge {
+            op: "knn",
+            k: 5,
+            n: 0
+        })
+    );
+    // The emptiness check precedes the k check, matching `knn_graph`'s
+    // own argument-validation order.
+    assert_eq!(responses[2], Err(GeoError::EmptyInput { op: "knn_graph" }));
+    assert_eq!(responses[3], Err(GeoError::EmptyInput { op: "hull2d" }));
+    assert_eq!(responses[4], Err(GeoError::EmptyInput { op: "delaunay" }));
+    assert_eq!(
+        responses[5],
+        Ok(Response::Inserted {
+            count: 0,
+            first_id: None
+        })
+    );
+    assert_eq!(responses[6], Ok(Response::Deleted { count: 0 }));
+    assert_eq!(
+        responses[7],
+        Err(GeoError::TooFewPoints {
+            op: "emst",
+            needed: 2,
+            got: 0
+        })
+    );
+    assert!(matches!(responses[8], Ok(Response::Stats(_))));
+
+    // After the error barrage the store still serves normal traffic.
+    let pts = points(64, 40);
+    store.insert(&pts);
+    assert!(store.hull().is_ok());
+    assert_eq!(store.knn(&pts[..2], 3).unwrap().len(), 2);
+}
+
+#[test]
 fn workload_replay_digests_agree_across_backends() {
     let mut spec = WorkloadSpec::store_presets(2_000)
         .into_iter()
