@@ -61,30 +61,43 @@ fn main() {
         small.len()
     );
 
-    header(&["Scenario", "Backend", "T1 (s)", "Tp (s)", "Speedup"]);
+    header(&[
+        "Scenario",
+        "Backend",
+        "T1 (s)",
+        "Tp (s)",
+        "Speedup",
+        "kNN p50 (ms)",
+        "kNN p99 (ms)",
+        "Range p99 (ms)",
+    ]);
     for spec in WorkloadSpec::presets(n) {
         let w: Workload<2> = spec.generate();
         // Full-scale digests must agree across backends (checked once,
-        // outside the timed region).
-        let digests: Vec<_> = (0..BACKENDS.len())
+        // outside the timed region); the same untimed runs supply the
+        // per-batch latency percentiles.
+        let reports: Vec<WorkloadReport> = (0..BACKENDS.len())
             .map(|which| {
                 let mut b = make_backend(which);
-                run_workload(b.as_mut(), &w).digest()
+                run_workload(b.as_mut(), &w)
             })
             .collect();
         assert!(
-            digests.windows(2).all(|d| d[0] == d[1]),
+            reports.windows(2).all(|r| r[0].digest() == r[1].digest()),
             "backends disagree on workload {}",
             spec.name
         );
-        for (which, name) in BACKENDS.iter().enumerate() {
+        for ((which, name), full) in BACKENDS.iter().enumerate().zip(&reports) {
             let (t1, tp, speedup) = t1_tp(|| {
                 let mut b = make_backend(which);
                 run_workload(b.as_mut(), &w).final_live
             });
             println!(
-                "| {} | {name} | {t1:.3} | {tp:.3} | {speedup:.2}x |",
-                spec.name
+                "| {} | {name} | {t1:.3} | {tp:.3} | {speedup:.2}x | {:.3} | {:.3} | {:.3} |",
+                spec.name,
+                full.knn_lat.p50_ms(),
+                full.knn_lat.p99_ms(),
+                full.range_lat.p99_ms(),
             );
         }
     }

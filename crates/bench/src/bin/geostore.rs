@@ -55,6 +55,61 @@ fn main() {
         small.len()
     );
 
+    // Observability anchor: the same preset served with `.observe(..)`
+    // on must produce a bit-identical digest, non-empty per-class latency
+    // histograms, and memo-path counters that mirror CacheStats. Set
+    // PARGEO_OBS_DUMP=1 to dump the rendered registry (JSON then
+    // Prometheus text) for external validation.
+    {
+        let spec = &small[0];
+        let w: Workload<2> = spec.generate();
+        let mut plain = make_store(Backend::DynKd);
+        let want = run_store_workload(&mut plain, &w);
+        let mut observed: GeoStore<2> = GeoStore::builder()
+            .backend(Backend::DynKd)
+            .shards(4)
+            .observe(ObsLevel::Trace)
+            .build();
+        let got = run_store_workload(&mut observed, &w);
+        assert_eq!(
+            got.digest, want.digest,
+            "observe(Trace) perturbed the digest on {}",
+            spec.name
+        );
+        let registry = observed.registry().expect("observed store has a registry");
+        let counters = registry.counter_values();
+        let memo_compute: u64 = counters
+            .iter()
+            .filter(|(key, _)| {
+                key.starts_with("geostore_memo_total")
+                    && ["fresh", "incremental", "rebuilt"]
+                        .iter()
+                        .any(|p| key.contains(&format!("path=\"{p}\"")))
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        let cache = observed.stats().cache;
+        assert_eq!(
+            memo_compute, cache.misses,
+            "memo-path counters diverged from CacheStats"
+        );
+        println!(
+            "obs anchor: observe(Trace) digest-identical on {}; {} span events traced, read p50 {:.3} ms / p99 {:.3} ms",
+            spec.name,
+            registry.trace_events().len(),
+            got.read_lat.p50_ms(),
+            got.read_lat.p99_ms(),
+        );
+        if std::env::var("PARGEO_OBS_DUMP").is_ok() {
+            println!("--- obs json ---");
+            println!("{}", registry.render_json());
+            println!("--- obs prometheus ---");
+            println!("{}", registry.render_prometheus());
+            println!("--- obs end ---");
+        }
+    }
+    println!();
+
     header(&[
         "Scenario",
         "Backend",
@@ -64,6 +119,10 @@ fn main() {
         "Speedup",
         "Derived",
         "Cache h/m",
+        "Read p50 (ms)",
+        "Read p99 (ms)",
+        "Derived p50 (ms)",
+        "Derived p99 (ms)",
     ]);
     for spec in WorkloadSpec::store_presets(n) {
         let w: Workload<2> = spec.generate();
@@ -87,13 +146,17 @@ fn main() {
                 run_store_workload(&mut store, &w).final_live
             });
             println!(
-                "| {} | {} | {} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {}/{} |",
+                "| {} | {} | {} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {}/{} | {:.3} | {:.3} | {:.3} | {:.3} |",
                 spec.name,
                 backend.label(),
                 full.shards,
                 full.ops.4,
                 full.cache.hits,
                 full.cache.misses,
+                full.read_lat.p50_ms(),
+                full.read_lat.p99_ms(),
+                full.derived_lat.p50_ms(),
+                full.derived_lat.p99_ms(),
             );
         }
     }

@@ -58,6 +58,24 @@ fn run(reqs: &[Request<2>], incremental: bool) -> (u64, CacheStats) {
     (digest_responses(&responses), store.stats().cache)
 }
 
+/// Replays the stream once through an observed store (digest must match
+/// the unobserved run) and returns the per-request derived-structure
+/// latency distribution from the store's registry.
+fn observed_derived_lat(reqs: &[Request<2>], want_digest: u64) -> HistSummary {
+    let mut store: GeoStore<2> = GeoStore::builder().observe(ObsLevel::Metrics).build();
+    let responses = store.execute(reqs);
+    assert_eq!(
+        digest_responses(&responses),
+        want_digest,
+        "observe(Metrics) perturbed the digest"
+    );
+    store
+        .registry()
+        .expect("observed store has a registry")
+        .histogram("geostore_request_nanos", &[("class", "derived")])
+        .summary()
+}
+
 fn main() {
     let n = env_n(20_000);
     let rounds = 8usize;
@@ -95,6 +113,8 @@ fn main() {
         "Speedup",
         "Applies",
         "Fallbacks",
+        "Derived p50 (ms)",
+        "Derived p99 (ms)",
     ]);
 
     // Insert-only churn: batch fraction sweeps across the crossover.
@@ -107,15 +127,18 @@ fn main() {
             digest_inc, digest_whole,
             "maintenance modes disagree at batch {batch}"
         );
+        let lat = observed_derived_lat(&reqs, digest_inc);
         let t_inc = time_best(3, || run(&reqs, true).0);
         let t_whole = time_best(3, || run(&reqs, false).0);
         println!(
-            "| insert-only | {batch} | {} | {} | {:.2}x | {} | {} |",
+            "| insert-only | {batch} | {} | {} | {:.2}x | {} | {} | {:.3} | {:.3} |",
             ms(t_inc),
             ms(t_whole),
             t_whole / t_inc,
             cache.incremental,
             cache.rebuilds,
+            lat.p50_ms(),
+            lat.p99_ms(),
         );
     }
 
@@ -129,15 +152,18 @@ fn main() {
         digest_inc, digest_whole,
         "maintenance modes disagree under deletes"
     );
+    let lat = observed_derived_lat(&reqs, digest_inc);
     let t_inc = time_best(3, || run(&reqs, true).0);
     let t_whole = time_best(3, || run(&reqs, false).0);
     println!(
-        "| delete-churn | {batch} | {} | {} | {:.2}x | {} | {} |",
+        "| delete-churn | {batch} | {} | {} | {:.2}x | {} | {} | {:.3} | {:.3} |",
         ms(t_inc),
         ms(t_whole),
         t_whole / t_inc,
         cache.incremental,
         cache.rebuilds,
+        lat.p50_ms(),
+        lat.p99_ms(),
     );
 
     println!("\nanchor: all configurations digest-identical across maintenance modes");

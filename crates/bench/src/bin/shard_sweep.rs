@@ -56,7 +56,15 @@ fn main() {
     );
 
     header(&[
-        "Scenario", "Backend", "Shards", "T1 (s)", "Tp (s)", "Speedup", "Live",
+        "Scenario",
+        "Backend",
+        "Shards",
+        "T1 (s)",
+        "Tp (s)",
+        "Speedup",
+        "Live",
+        "Shard live min..max",
+        "Read p99 (ms)",
     ]);
     for spec in WorkloadSpec::store_presets(n) {
         let w: Workload<2> = spec.generate();
@@ -77,11 +85,17 @@ fn main() {
                     let mut store = make(backend, s);
                     run_store_workload(&mut store, &w).final_live
                 });
+                // Router balance: live points per morton shard, as
+                // reported by the store's per-shard snapshots.
+                debug_assert_eq!(r.shard_live.iter().sum::<usize>(), r.final_live);
+                let lo = r.shard_live.iter().min().copied().unwrap_or(0);
+                let hi = r.shard_live.iter().max().copied().unwrap_or(0);
                 println!(
-                    "| {} | {} | {s} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} |",
+                    "| {} | {} | {s} | {t1:.3} | {tp:.3} | {speedup:.2}x | {} | {lo}..{hi} | {:.3} |",
                     spec.name,
                     backend.label(),
                     r.final_live,
+                    r.read_lat.p99_ms(),
                 );
             }
         }

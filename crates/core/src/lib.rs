@@ -19,6 +19,7 @@
 //! | (4) point data generators | [`datagen`] |
 //! | — parallel primitives (ParlayLib's role) | [`parlay`] |
 //! | — geometry kernel with exact predicates | [`geometry`] |
+//! | — observability: metrics registry, spans, latency histograms | [`obs`] |
 //!
 //! ## Quickstart — the GeoStore façade
 //!
@@ -72,6 +73,22 @@
 //! sharded.insert(&pts);
 //! assert_eq!(sharded.shard_count(), 8);
 //! assert_eq!(sharded.knn(&pts[..5], 8).unwrap(), nn);
+//!
+//! // Observe the serve path: `.observe(..)` gives the store a metrics
+//! // registry — per-request-class latency histograms, memo-path
+//! // counters, per-shard routing counters — rendered as Prometheus text
+//! // or JSON. Off (the default) records nothing; answers are
+//! // bit-identical at every level.
+//! let mut observed: GeoStore<2> = GeoStore::builder()
+//!     .backend(Backend::DynKd)
+//!     .shards(4)
+//!     .observe(ObsLevel::Metrics)
+//!     .build();
+//! observed.insert(&pts);
+//! assert_eq!(observed.knn(&pts[..5], 8).unwrap(), nn);
+//! let registry = observed.registry().unwrap();
+//! assert!(registry.render_prometheus().contains("geostore_requests_total"));
+//! assert!(registry.render_json().starts_with('{'));
 //!
 //! // Degenerate input is a typed error, never a panic.
 //! let mut empty: GeoStore<2> = GeoStore::builder().build();
@@ -223,6 +240,7 @@ pub use pargeo_graphgen as graphgen;
 pub use pargeo_hull as hull;
 pub use pargeo_kdtree as kdtree;
 pub use pargeo_morton as morton;
+pub use pargeo_obs as obs;
 pub use pargeo_parlay as parlay;
 pub use pargeo_rangequery as rangequery;
 pub use pargeo_seb as seb;
@@ -249,6 +267,7 @@ pub mod prelude {
         hull3d_seq, try_hull2d, try_hull3d, Hull2dIncremental, Hull3d, HullBatchOutcome,
     };
     pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, KdTree, SplitRule, VebTree};
+    pub use pargeo_obs::{HistSummary, ObsLevel, Registry};
     pub use pargeo_rangequery::{
         BatchQuery, Count, IntervalTree, RangeTree2d, RectangleSet, Report,
     };

@@ -10,6 +10,7 @@
 
 use crate::{Snapshot, SpatialIndex};
 use pargeo_datagen::{Workload, WorkloadOp};
+use pargeo_obs::{HistSummary, Histogram};
 use pargeo_parlay::mix64 as mix;
 use std::time::Instant;
 
@@ -44,6 +45,15 @@ pub struct WorkloadReport {
     pub final_live: usize,
     /// The backend's closing epoch statistics.
     pub snapshot: Snapshot,
+    /// Per-batch insert latency distribution (nanoseconds; one
+    /// observation per batch, the initial load included).
+    pub insert_lat: HistSummary,
+    /// Per-batch delete latency distribution (nanoseconds).
+    pub delete_lat: HistSummary,
+    /// Per-batch k-NN latency distribution (nanoseconds).
+    pub knn_lat: HistSummary,
+    /// Per-batch range latency distribution (nanoseconds).
+    pub range_lat: HistSummary,
 }
 
 impl WorkloadReport {
@@ -70,9 +80,15 @@ pub fn run_workload<const D: usize, I: SpatialIndex<D> + ?Sized>(
         backend: index.backend_name(),
         ..WorkloadReport::default()
     };
+    let insert_h = Histogram::new();
+    let delete_h = Histogram::new();
+    let knn_h = Histogram::new();
+    let range_h = Histogram::new();
     let t = Instant::now();
     index.insert(&workload.initial);
-    r.insert_secs += t.elapsed().as_secs_f64();
+    let dt = t.elapsed();
+    insert_h.record_duration(dt);
+    r.insert_secs += dt.as_secs_f64();
     r.inserted += workload.initial.len();
 
     for op in &workload.ops {
@@ -80,20 +96,26 @@ pub fn run_workload<const D: usize, I: SpatialIndex<D> + ?Sized>(
             WorkloadOp::Insert(batch) => {
                 let t = Instant::now();
                 index.insert(batch);
-                r.insert_secs += t.elapsed().as_secs_f64();
+                let dt = t.elapsed();
+                insert_h.record_duration(dt);
+                r.insert_secs += dt.as_secs_f64();
                 r.inserted += batch.len();
                 r.ops.0 += 1;
             }
             WorkloadOp::Delete(batch) => {
                 let t = Instant::now();
                 r.deleted += index.delete(batch);
-                r.delete_secs += t.elapsed().as_secs_f64();
+                let dt = t.elapsed();
+                delete_h.record_duration(dt);
+                r.delete_secs += dt.as_secs_f64();
                 r.ops.1 += 1;
             }
             WorkloadOp::Knn(queries, k) => {
                 let t = Instant::now();
                 let rows = index.knn_batch(queries, *k);
-                r.knn_secs += t.elapsed().as_secs_f64();
+                let dt = t.elapsed();
+                knn_h.record_duration(dt);
+                r.knn_secs += dt.as_secs_f64();
                 for row in &rows {
                     r.knn_results += row.len() as u64;
                     for n in row {
@@ -105,7 +127,9 @@ pub fn run_workload<const D: usize, I: SpatialIndex<D> + ?Sized>(
             WorkloadOp::Range(boxes) => {
                 let t = Instant::now();
                 let rows = index.range_batch(boxes);
-                r.range_secs += t.elapsed().as_secs_f64();
+                let dt = t.elapsed();
+                range_h.record_duration(dt);
+                r.range_secs += dt.as_secs_f64();
                 for row in &rows {
                     r.range_results += row.len() as u64;
                     for id in row {
@@ -122,6 +146,10 @@ pub fn run_workload<const D: usize, I: SpatialIndex<D> + ?Sized>(
     }
     r.final_live = index.len();
     r.snapshot = index.snapshot();
+    r.insert_lat = insert_h.summary();
+    r.delete_lat = delete_h.summary();
+    r.knn_lat = knn_h.summary();
+    r.range_lat = range_h.summary();
     r
 }
 

@@ -124,6 +124,15 @@ pub trait SpatialIndex<const D: usize> {
 
     /// Current epoch statistics.
     fn snapshot(&self) -> Snapshot;
+
+    /// Per-shard epoch statistics: one [`Snapshot`] per shard for sharded
+    /// executors, a single-element vector (the whole index) otherwise.
+    /// The per-shard `live`/`inserted`/`deleted` counts sum to the
+    /// aggregate [`snapshot`](Self::snapshot) — the spread across them is
+    /// the router's balance diagnostic.
+    fn shard_snapshots(&self) -> Vec<Snapshot> {
+        vec![self.snapshot()]
+    }
 }
 
 /// Forwards [`SpatialIndex`] to a tree backend's inherent methods. All

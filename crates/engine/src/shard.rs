@@ -31,8 +31,10 @@ use crate::{Snapshot, SpatialIndex};
 use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::{canonical_order, Neighbor};
 use pargeo_morton::{morton_code, morton_shard_of, parallel_bbox};
+use pargeo_obs::{Counter, Registry};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Routing below this batch size stays sequential.
 const SEQ_CUTOFF: usize = 4096;
@@ -49,6 +51,47 @@ struct Shard<const D: usize> {
     /// effective region. Never shrunk on delete (conservative), and
     /// covers clamped out-of-universe points exactly.
     bbox: Bbox<D>,
+}
+
+/// Cached per-shard metric handles (see [`ShardedIndex::attach_obs`]):
+/// recording is pure atomics, so the parallel per-shard write apply and
+/// the read fan-out touch them without locks.
+struct ShardObs {
+    /// Write sub-batches (insert or delete) applied per shard.
+    write_ops: Vec<Arc<Counter>>,
+    /// Points routed to each shard by insert batches (sums to the
+    /// aggregate `inserted` total).
+    routed_points: Vec<Arc<Counter>>,
+    /// Read visits (k-NN or range) served per shard.
+    read_ops: Vec<Arc<Counter>>,
+    /// Non-empty shards searched during k-NN expansion.
+    knn_visited: Arc<Counter>,
+    /// Non-empty shards skipped because their region lay strictly beyond
+    /// the k-th neighbor bound.
+    knn_pruned: Arc<Counter>,
+    /// Shards whose region intersected a range query box.
+    range_visited: Arc<Counter>,
+    /// Non-empty shards skipped because their region missed the box.
+    range_pruned: Arc<Counter>,
+}
+
+impl ShardObs {
+    fn new(registry: &Registry, shards: usize) -> Self {
+        let per_shard = |name: &'static str| -> Vec<Arc<Counter>> {
+            (0..shards)
+                .map(|s| registry.counter(name, &[("shard", &s.to_string())]))
+                .collect()
+        };
+        Self {
+            write_ops: per_shard("shard_write_ops_total"),
+            routed_points: per_shard("shard_routed_points_total"),
+            read_ops: per_shard("shard_read_ops_total"),
+            knn_visited: registry.counter("shard_knn_visited_total", &[]),
+            knn_pruned: registry.counter("shard_knn_pruned_total", &[]),
+            range_visited: registry.counter("shard_range_visited_total", &[]),
+            range_pruned: registry.counter("shard_range_pruned_total", &[]),
+        }
+    }
 }
 
 /// A Morton-prefix-sharded [`SpatialIndex`]: `S` independent backend
@@ -81,6 +124,10 @@ pub struct ShardedIndex<const D: usize> {
     next_id: u32,
     epoch: u64,
     name: &'static str,
+    /// Per-shard metric handles when observed (see [`attach_obs`]).
+    ///
+    /// [`attach_obs`]: ShardedIndex::attach_obs
+    obs: Option<ShardObs>,
 }
 
 impl<const D: usize> ShardedIndex<D> {
@@ -122,7 +169,20 @@ impl<const D: usize> ShardedIndex<D> {
             next_id: 0,
             epoch: 0,
             name,
+            obs: None,
         }
+    }
+
+    /// Registers this index's per-shard counters on `registry` and starts
+    /// recording into them: `shard_write_ops_total{shard=..}` /
+    /// `shard_routed_points_total{shard=..}` /
+    /// `shard_read_ops_total{shard=..}`, plus the region-pruning totals
+    /// `shard_{knn,range}_{visited,pruned}_total` whose ratio is the read
+    /// fan-out's pruning hit rate. Unobserved indexes (the default) skip
+    /// a single `Option` branch per operation. Observation never changes
+    /// answers.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(ShardObs::new(registry, self.shards.len()));
     }
 
     /// Number of shards (always a power of two).
@@ -176,13 +236,20 @@ impl<const D: usize> ShardedIndex<D> {
             .collect();
         order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         let mut best: Vec<Neighbor> = Vec::with_capacity(k);
-        for &(region_dist, s) in &order {
+        for (visited, &(region_dist, s)) in order.iter().enumerate() {
             // Inclusive at-bound expansion: an equal-distance point in a
             // farther shard can still win its id tie, so only a region
             // strictly beyond the k-th bound is pruned (and with shards in
             // ascending region distance, everything after it is too).
             if best.len() == k && region_dist > best[k - 1].dist_sq {
-                break;
+                if let Some(o) = &self.obs {
+                    o.knn_visited.add(visited as u64);
+                    o.knn_pruned.add((order.len() - visited) as u64);
+                }
+                return best;
+            }
+            if let Some(o) = &self.obs {
+                o.read_ops[s].inc();
             }
             let shard = &self.shards[s];
             let row: Vec<Neighbor> = shard.index.knn_batch(std::slice::from_ref(q), k)[0]
@@ -214,6 +281,9 @@ impl<const D: usize> ShardedIndex<D> {
             }
             best = merged;
         }
+        if let Some(o) = &self.obs {
+            o.knn_visited.add(order.len() as u64);
+        }
         best
     }
 
@@ -221,9 +291,19 @@ impl<const D: usize> ShardedIndex<D> {
     /// global ids, merge sorted.
     fn range_one(&self, query: &Bbox<D>) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
-        for shard in &self.shards {
-            if shard.index.is_empty() || !shard.bbox.intersects(query) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.index.is_empty() {
                 continue;
+            }
+            if !shard.bbox.intersects(query) {
+                if let Some(o) = &self.obs {
+                    o.range_pruned.inc();
+                }
+                continue;
+            }
+            if let Some(o) = &self.obs {
+                o.range_visited.inc();
+                o.read_ops[s].inc();
             }
             let rows = shard.index.range_batch(std::slice::from_ref(query));
             out.extend(
@@ -273,6 +353,14 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
             id += 1;
         }
         self.next_id = id;
+        if let Some(o) = &self.obs {
+            for (s, bucket) in buckets.iter().enumerate() {
+                if !bucket.is_empty() {
+                    o.write_ops[s].inc();
+                    o.routed_points[s].add(bucket.len() as u64);
+                }
+            }
+        }
         // The write epoch's parallel half: every shard applies its
         // sub-batch concurrently.
         self.shards
@@ -293,6 +381,13 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
         // Value routing is deterministic (the universe never moves after
         // fixing), so every victim lands on the shard that holds it.
         let (_, buckets) = self.bucket(batch);
+        if let Some(o) = &self.obs {
+            for (s, bucket) in buckets.iter().enumerate() {
+                if !bucket.is_empty() {
+                    o.write_ops[s].inc();
+                }
+            }
+        }
         let removed: Vec<usize> = self
             .shards
             .par_iter_mut()
@@ -333,6 +428,10 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
                 .map(|s| s.index.snapshot().rebuilds)
                 .sum(),
         }
+    }
+
+    fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(|s| s.index.snapshot()).collect()
     }
 }
 

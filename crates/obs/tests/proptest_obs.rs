@@ -1,0 +1,119 @@
+//! Property tests for the metrics registry: counter monotonicity under
+//! concurrent recording, histogram bucket-count conservation, and
+//! quantile estimates bounded by bucket-boundary error against a sorted
+//! oracle.
+
+use pargeo_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, Registry, NUM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concurrent adds through independently resolved handles of the
+    /// same (name, labels) key land on one shared counter, every add is
+    /// preserved, and a sampling reader never observes a decrease.
+    #[test]
+    fn counter_is_monotonic_and_lossless_under_concurrency(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(1u64..1_000, 1..50),
+            1..6,
+        ),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let writers: Vec<_> = per_thread
+            .into_iter()
+            .map(|adds| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    // Resolve the handle inside the thread: registration
+                    // races must still converge on one counter.
+                    let c = registry.counter("prop_total", &[("case", "conc")]);
+                    for v in adds {
+                        c.add(v);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let c = registry.counter("prop_total", &[("case", "conc")]);
+                let mut last = 0u64;
+                for _ in 0..500 {
+                    let now = c.get();
+                    assert!(now >= last, "counter moved backwards: {last} -> {now}");
+                    last = now;
+                }
+            })
+        };
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        reader.join().expect("reader panicked");
+        let got = registry.counter("prop_total", &[("case", "conc")]).get();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A histogram conserves its observations: total count equals the
+    /// sum of the bucket counts, the sum equals the sum of recorded
+    /// values, and the max is exact.
+    #[test]
+    fn histogram_count_equals_bucket_sum(
+        values in prop::collection::vec(0u64..5_000_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let buckets = h.bucket_counts();
+        prop_assert_eq!(buckets.len(), NUM_BUCKETS);
+        prop_assert_eq!(buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap());
+    }
+
+    /// Quantile estimates are bounded by bucket-boundary error: for any
+    /// rank the estimate is at least the oracle's rank value and at most
+    /// the upper bound of that value's bucket (exact below 4, ≤25%
+    /// relative width above).
+    #[test]
+    fn quantiles_are_within_bucket_boundary_error(
+        values in prop::collection::vec(0u64..5_000_000_000, 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(
+                est >= oracle,
+                "q={q}: estimate {est} below oracle {oracle}"
+            );
+            prop_assert!(
+                est <= bucket_upper(bucket_index(oracle)),
+                "q={q}: estimate {est} above oracle {oracle}'s bucket bound"
+            );
+        }
+    }
+
+    /// Every value lands in a bucket that actually contains it, and the
+    /// bucket layout is contiguous and monotone.
+    #[test]
+    fn bucket_layout_contains_and_orders(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        if i > 0 {
+            prop_assert_eq!(bucket_upper(i - 1) + 1, bucket_lower(i));
+        }
+    }
+}

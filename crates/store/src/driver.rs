@@ -12,6 +12,7 @@ use crate::store::GeoStore;
 use crate::CacheStats;
 use pargeo_datagen::{DerivedOp, Workload, WorkloadOp};
 use pargeo_geometry::GeoResult;
+use pargeo_obs::{HistSummary, Histogram};
 use std::time::Instant;
 
 /// What happened when a workload was replayed against one store.
@@ -41,6 +42,19 @@ pub struct StoreReport {
     pub final_live: usize,
     /// Memo-cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Per-request write latency distribution (nanoseconds; one
+    /// observation per insert/delete request, the initial load included).
+    pub write_lat: HistSummary,
+    /// Per-request read latency distribution (nanoseconds; k-NN and range
+    /// requests).
+    pub read_lat: HistSummary,
+    /// Per-request derived-structure latency distribution (nanoseconds;
+    /// cache hits included — their cost is the point).
+    pub derived_lat: HistSummary,
+    /// Live points per Morton-prefix shard at the end of the run
+    /// (single-element when unsharded); sums to `final_live`, and the
+    /// spread across entries is the router's balance diagnostic.
+    pub shard_live: Vec<usize>,
 }
 
 impl StoreReport {
@@ -82,9 +96,14 @@ pub fn run_store_workload<const D: usize>(
         shards: store.shard_count(),
         ..StoreReport::default()
     };
+    let write_h = Histogram::new();
+    let read_h = Histogram::new();
+    let derived_h = Histogram::new();
     let t = Instant::now();
     let resp = store.run(Request::Insert(workload.initial.clone()));
-    r.write_secs += t.elapsed().as_secs_f64();
+    let dt = t.elapsed();
+    write_h.record_duration(dt);
+    r.write_secs += dt.as_secs_f64();
     r.digest = fold(r.digest, &resp, &mut r.errors);
 
     for op in &workload.ops {
@@ -98,25 +117,31 @@ pub fn run_store_workload<const D: usize>(
         };
         let t = Instant::now();
         let resp = store.run(req);
-        let secs = t.elapsed().as_secs_f64();
+        let dt = t.elapsed();
+        let secs = dt.as_secs_f64();
         match class {
             0 => {
+                write_h.record_duration(dt);
                 r.write_secs += secs;
                 r.ops.0 += 1;
             }
             1 => {
+                write_h.record_duration(dt);
                 r.write_secs += secs;
                 r.ops.1 += 1;
             }
             2 => {
+                read_h.record_duration(dt);
                 r.read_secs += secs;
                 r.ops.2 += 1;
             }
             3 => {
+                read_h.record_duration(dt);
                 r.read_secs += secs;
                 r.ops.3 += 1;
             }
             _ => {
+                derived_h.record_duration(dt);
                 r.derived_secs += secs;
                 r.ops.4 += 1;
             }
@@ -125,6 +150,10 @@ pub fn run_store_workload<const D: usize>(
     }
     r.final_live = store.len();
     r.cache = store.stats().cache;
+    r.write_lat = write_h.summary();
+    r.read_lat = read_h.summary();
+    r.derived_lat = derived_h.summary();
+    r.shard_live = store.shard_snapshots().iter().map(|s| s.live).collect();
     r
 }
 

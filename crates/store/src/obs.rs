@@ -1,0 +1,93 @@
+//! Store-side observability: the metric handles a [`GeoStore`]
+//! (crate::GeoStore) registers once at build time and records into on the
+//! serve path.
+//!
+//! All handles are `Arc`s resolved at construction, so the hot path never
+//! touches the registry's lock — recording is relaxed atomics only. When
+//! the store is built with [`ObsLevel::Off`] (the default) none of this
+//! exists and the serve path skips a single `Option` branch.
+
+use crate::request::{MemoPath, Request};
+use pargeo_obs::{Counter, Histogram, ObsLevel, Registry};
+use std::sync::Arc;
+
+/// Request classes metered per store request, in
+/// `geostore_requests_total{class=..}` label order.
+pub(crate) const CLASSES: [&str; 6] = ["insert", "delete", "knn", "range", "derived", "stats"];
+
+/// Index of `req`'s traffic class in [`CLASSES`].
+pub(crate) fn class_of<const D: usize>(req: &Request<D>) -> usize {
+    match req {
+        Request::Insert(_) => 0,
+        Request::Delete(_) => 1,
+        Request::Knn { .. } => 2,
+        Request::Range(_) => 3,
+        Request::Stats => 5,
+        _ => 4,
+    }
+}
+
+/// `geostore_memo_total{path=..}` label order: the three compute paths
+/// (mirroring [`MemoPath`]) plus cache hits and spared write runs.
+pub(crate) const MEMO_PATHS: [&str; 5] = ["fresh", "incremental", "rebuilt", "hit", "spared"];
+
+/// Index of the memo counter that mirrors `path` in [`MEMO_PATHS`].
+pub(crate) fn memo_idx(path: MemoPath) -> usize {
+    match path {
+        MemoPath::Fresh => 0,
+        MemoPath::Incremental => 1,
+        MemoPath::Rebuilt => 2,
+    }
+}
+
+/// Slot of the cache-hit counter in [`MEMO_PATHS`].
+pub(crate) const MEMO_HIT: usize = 3;
+/// Slot of the spared-write-run counter in [`MEMO_PATHS`].
+pub(crate) const MEMO_SPARED: usize = 4;
+
+/// Pre-resolved metric handles for one store. Cloned as an `Arc` at the
+/// top of every instrumented method so span guards never borrow `self`.
+pub(crate) struct StoreObs {
+    /// The registry backing every handle (also serves exposition).
+    pub registry: Arc<Registry>,
+    /// The level the store was built at (`Metrics` or `Trace`; never
+    /// `Off` — an off store has no `StoreObs` at all).
+    pub level: ObsLevel,
+    /// `geostore_requests_total{class=..}`, indexed by [`CLASSES`].
+    pub requests: Vec<Arc<Counter>>,
+    /// `geostore_request_nanos{class=..}`, indexed by [`CLASSES`].
+    /// Insert/delete observe one coalesced write run per sample; the read
+    /// classes observe one sample per request.
+    pub class_nanos: Vec<Arc<Histogram>>,
+    /// `geostore_memo_total{path=..}`, indexed by [`MEMO_PATHS`].
+    pub memo: Vec<Arc<Counter>>,
+    /// `geostore_write_epochs_total` — epoch bumps applied.
+    pub epochs: Arc<Counter>,
+}
+
+impl StoreObs {
+    /// Registers every store-level metric family against `registry`.
+    pub(crate) fn new(registry: Arc<Registry>, level: ObsLevel) -> Self {
+        let requests = CLASSES
+            .iter()
+            .map(|c| registry.counter("geostore_requests_total", &[("class", c)]))
+            .collect();
+        let class_nanos = CLASSES
+            .iter()
+            .map(|c| registry.histogram("geostore_request_nanos", &[("class", c)]))
+            .collect();
+        let memo = MEMO_PATHS
+            .iter()
+            .map(|p| registry.counter("geostore_memo_total", &[("path", p)]))
+            .collect();
+        let epochs = registry.counter("geostore_write_epochs_total", &[]);
+        Self {
+            registry,
+            level,
+            requests,
+            class_nanos,
+            memo,
+            epochs,
+        }
+    }
+}

@@ -1,14 +1,17 @@
 //! The store itself: builder, id mirror, epoch planner, memo cache.
 
 use crate::derived::{self, DerivedVal, Engine};
+use crate::obs::{self, StoreObs};
 use crate::request::{CacheStats, DerivedKind, MemoPath, Request, Response, StoreStats};
 use pargeo_bdltree::{BdlTree, ZdTree};
-use pargeo_engine::{ShardedIndex, SpatialIndex, VecIndex};
+use pargeo_engine::{ShardedIndex, Snapshot, SpatialIndex, VecIndex};
 use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point};
 use pargeo_kdtree::{DynKdTree, Neighbor, SplitRule};
+use pargeo_obs::{ObsLevel, Registry};
 use pargeo_parlay as parlay;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The dynamic index backend serving a store's point queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +69,8 @@ pub struct GeoStoreBuilder<const D: usize> {
     shards: Option<usize>,
     incremental: bool,
     damage_threshold: f64,
+    observe: ObsLevel,
+    slow_op_nanos: Option<u64>,
 }
 
 /// Default fraction of a derived structure one coalesced insert batch may
@@ -84,6 +89,8 @@ impl<const D: usize> Default for GeoStoreBuilder<D> {
             shards: None,
             incremental: true,
             damage_threshold: DEFAULT_DAMAGE_THRESHOLD,
+            observe: ObsLevel::Off,
+            slow_op_nanos: None,
         }
     }
 }
@@ -153,6 +160,29 @@ impl<const D: usize> GeoStoreBuilder<D> {
         self
     }
 
+    /// Observability level (default: [`ObsLevel::Off`]).
+    ///
+    /// `Metrics` gives the store a [`Registry`] with per-request-class
+    /// latency histograms, memo-path counters, write-epoch counters, and
+    /// per-shard routing counters when sharded; `Trace` additionally
+    /// keeps a bounded in-memory ring of serve-path span events. `Off`
+    /// registers nothing and the serve path skips one `Option` branch —
+    /// answers (and their digests) are bit-identical at every level.
+    pub fn observe(mut self, level: ObsLevel) -> Self {
+        self.observe = level;
+        self
+    }
+
+    /// Captures any serve-path span at least this long into the registry's
+    /// slow-op log (requires [`observe`](Self::observe) ≠ `Off`; default:
+    /// no slow-op capture).
+    pub fn slow_op_threshold(mut self, threshold: Duration) -> Self {
+        // Zero disables capture in the registry, so an explicit zero
+        // threshold maps to 1ns ("capture everything").
+        self.slow_op_nanos = Some((threshold.as_nanos() as u64).max(1));
+        self
+    }
+
     /// Creates the (empty) store, returning a typed error if the
     /// dedicated thread pool cannot be constructed.
     pub fn try_build(self) -> GeoResult<GeoStore<D>> {
@@ -184,6 +214,10 @@ impl<const D: usize> GeoStoreBuilder<D> {
 
     /// Assembles the store around an already-constructed pool (infallible).
     fn finish(self, pool: Option<rayon::ThreadPool>) -> GeoStore<D> {
+        let registry = self.observe.build_registry();
+        if let (Some(r), Some(nanos)) = (&registry, self.slow_op_nanos) {
+            r.set_slow_op_threshold_nanos(nanos);
+        }
         let make = || -> Box<dyn SpatialIndex<D> + Send + Sync> {
             match self.backend {
                 Backend::DynKd => Box::new(DynKdTree::<D>::with_config(
@@ -202,13 +236,17 @@ impl<const D: usize> GeoStoreBuilder<D> {
             match self.shards {
                 None => (make(), 1),
                 Some(s) => {
-                    let sharded = ShardedIndex::<D>::new(s, |_| make());
+                    let mut sharded = ShardedIndex::<D>::new(s, |_| make());
+                    if let Some(r) = &registry {
+                        sharded.attach_obs(r);
+                    }
                     let count = sharded.shard_count();
                     (Box::new(sharded), count)
                 }
             };
         GeoStore {
             index,
+            obs: registry.map(|r| Arc::new(StoreObs::new(r, self.observe))),
             backend: self.backend,
             shard_count,
             pool,
@@ -274,6 +312,9 @@ struct MemoEntry<const D: usize> {
 /// [`GeoError`], never a panic and never a poisoned store.
 pub struct GeoStore<const D: usize> {
     index: Box<dyn SpatialIndex<D> + Send + Sync>,
+    /// Metric handles when built with `.observe(..)` ≠ `Off`; `None` (the
+    /// default) costs the serve path one skipped branch.
+    obs: Option<Arc<StoreObs>>,
     backend: Backend,
     /// Morton-prefix shards of the index (1 = unsharded).
     shard_count: usize,
@@ -325,6 +366,27 @@ impl<const D: usize> GeoStore<D> {
     /// without [`shards`](GeoStoreBuilder::shards)).
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// The metrics registry, when built with
+    /// [`observe`](GeoStoreBuilder::observe) ≠ `Off`. Render it with
+    /// [`Registry::render_prometheus`] / [`Registry::render_json`] or
+    /// inspect counters directly.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.obs.as_ref().map(|o| &o.registry)
+    }
+
+    /// The observability level this store was built at.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.obs.as_ref().map_or(ObsLevel::Off, |o| o.level)
+    }
+
+    /// Per-shard epoch statistics of the backing index: one [`Snapshot`]
+    /// per Morton-prefix shard (a single-element vector when unsharded).
+    /// The per-shard live counts sum to [`stats`](Self::stats)'s snapshot
+    /// — their spread is the router's balance diagnostic.
+    pub fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.index.shard_snapshots()
     }
 
     /// Number of live points.
@@ -383,6 +445,19 @@ impl<const D: usize> GeoStore<D> {
     }
 
     fn execute_inner(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        // Clone the handle so span guards borrow the local, not `self`
+        // (declared before the guard: guards drop first, recording their
+        // wall-time on the way out).
+        let obs = self.obs.clone();
+        let _plan = obs.as_ref().map(|o| {
+            for req in requests {
+                o.requests[obs::class_of(req)].inc();
+            }
+            let mut g = o.registry.span("plan_coalesce", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("requests", requests.len());
+            g
+        });
         let mut out: Vec<GeoResult<Response<D>>> = Vec::with_capacity(requests.len());
         let mut i = 0;
         while i < requests.len() {
@@ -417,6 +492,14 @@ impl<const D: usize> GeoStore<D> {
 
     /// Applies a run of `Insert` requests as one coalesced index batch.
     fn apply_inserts(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        let obs = self.obs.clone();
+        let mut span = obs.as_ref().map(|o| {
+            let mut g = o.registry.span("write_apply", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("kind", "insert");
+            g
+        });
+        let t = Instant::now();
         let mut coalesced: Vec<Point<D>> = Vec::new();
         for req in run {
             let Request::Insert(batch) = req else {
@@ -444,14 +527,31 @@ impl<const D: usize> GeoStore<D> {
             // structures are still exact, so the epoch (and with it the
             // memo cache) is spared.
             self.cache_stats.spared += 1;
+            if let Some(o) = &obs {
+                o.memo[obs::MEMO_SPARED].inc();
+            }
         } else {
             self.index.insert(&coalesced);
             self.bump_epoch(false);
+        }
+        if let Some(o) = &obs {
+            o.class_nanos[0].record_duration(t.elapsed());
+            if let Some(s) = span.as_mut() {
+                s.label("points", coalesced.len());
+            }
         }
     }
 
     /// Applies a run of `Delete` requests as one coalesced index batch.
     fn apply_deletes(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        let obs = self.obs.clone();
+        let mut span = obs.as_ref().map(|o| {
+            let mut g = o.registry.span("write_apply", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("kind", "delete");
+            g
+        });
+        let t = Instant::now();
         let mut coalesced: Vec<Point<D>> = Vec::new();
         let mut dying: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for req in run {
@@ -477,11 +577,20 @@ impl<const D: usize> GeoStore<D> {
             // the batch is not applied, the epoch does not advance, and
             // the memoized derived structures stay valid.
             self.cache_stats.spared += 1;
+            if let Some(o) = &obs {
+                o.memo[obs::MEMO_SPARED].inc();
+            }
         } else {
             self.live_ids.retain(|id| !dying.contains(id));
             let removed = self.index.delete(&coalesced);
             debug_assert_eq!(removed, dying.len(), "mirror diverged from index");
             self.bump_epoch(true);
+        }
+        if let Some(o) = &obs {
+            o.class_nanos[1].record_duration(t.elapsed());
+            if let Some(s) = span.as_mut() {
+                s.label("points", dying.len());
+            }
         }
     }
 
@@ -494,6 +603,9 @@ impl<const D: usize> GeoStore<D> {
     /// entry (deletes shuffle compacted positions, so no engine survives).
     fn bump_epoch(&mut self, deleting: bool) {
         self.write_epoch += 1;
+        if let Some(o) = &self.obs {
+            o.epochs.inc();
+        }
         self.live_view = None;
         if !self.incremental {
             self.cache.clear();
@@ -515,11 +627,25 @@ impl<const D: usize> GeoStore<D> {
     /// first (in request order, so cache hit/miss counters reflect the
     /// stream), then all responses are produced data-parallel.
     fn answer_reads(&mut self, run: &[Request<D>], out: &mut Vec<GeoResult<Response<D>>>) {
+        let obs = self.obs.clone();
         for req in run {
             if let Some(kind) = req.derived_kind() {
+                // The derived class's latency sample is taken here, around
+                // the memo ensure, so it captures compute/advance cost —
+                // the parallel fetch below is a cache read.
+                let t = obs.as_ref().map(|_| Instant::now());
                 self.ensure_derived(kind);
+                if let (Some(o), Some(t)) = (&obs, t) {
+                    o.class_nanos[4].record_duration(t.elapsed());
+                }
             }
         }
+        let _span = obs.as_ref().map(|o| {
+            let mut g = o.registry.span("read_fanout", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("requests", run.len());
+            g
+        });
         let responses = parlay::map_batch(run, 2, |req| self.answer_one(req));
         out.extend(responses);
     }
@@ -528,13 +654,23 @@ impl<const D: usize> GeoStore<D> {
     /// already current, an incremental engine advance when an insert-only
     /// delta can be applied, and a full (re)compute otherwise.
     fn ensure_derived(&mut self, kind: DerivedKind) {
+        let obs = self.obs.clone();
         if let Some(e) = self.cache.get(&kind) {
             if e.epoch == self.write_epoch {
                 self.cache_stats.hits += 1;
+                if let Some(o) = &obs {
+                    o.memo[obs::MEMO_HIT].inc();
+                }
                 return;
             }
         }
         self.cache_stats.misses += 1;
+        let mut span = obs.as_ref().map(|o| {
+            let mut g = o.registry.span("derived_memo", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("kind", kind.label());
+            g
+        });
         let view = self.live_view();
         let mut prior = self.cache.remove(&kind);
         let had_structure = prior
@@ -557,6 +693,12 @@ impl<const D: usize> GeoStore<D> {
                 };
                 if let (Some(val), Some(&last)) = (advanced, view.0.last()) {
                     self.cache_stats.incremental += 1;
+                    if let Some(o) = &obs {
+                        o.memo[obs::memo_idx(MemoPath::Incremental)].inc();
+                    }
+                    if let Some(s) = span.as_mut() {
+                        s.label("path", MemoPath::Incremental.label());
+                    }
                     entry.epoch = self.write_epoch;
                     entry.value = Ok(val);
                     entry.anchor = Some((view.0.len(), last));
@@ -576,6 +718,12 @@ impl<const D: usize> GeoStore<D> {
         } else {
             MemoPath::Fresh
         };
+        if let Some(o) = &obs {
+            o.memo[obs::memo_idx(path)].inc();
+        }
+        if let Some(s) = span.as_mut() {
+            s.label("path", path.label());
+        }
         let anchor = engine
             .as_ref()
             .and_then(|_| view.0.last().map(|&last| (view.0.len(), last)));
@@ -601,8 +749,27 @@ impl<const D: usize> GeoStore<D> {
             .map(|e| e.path)
     }
 
-    /// Answers one read request against the (now read-only) store state.
+    /// Answers one read request against the (now read-only) store state,
+    /// recording its latency into the per-class histogram for the classes
+    /// whose cost lives here (k-NN, range, stats — the derived classes
+    /// sample around the memo ensure instead). Runs inside the parallel
+    /// fan-out: recording is atomics only.
     fn answer_one(&self, req: &Request<D>) -> GeoResult<Response<D>> {
+        let Some(o) = &self.obs else {
+            return self.answer_one_inner(req);
+        };
+        let class = obs::class_of(req);
+        if class == 4 {
+            return self.answer_one_inner(req);
+        }
+        let t = Instant::now();
+        let resp = self.answer_one_inner(req);
+        o.class_nanos[class].record_duration(t.elapsed());
+        resp
+    }
+
+    /// The untimed body of [`answer_one`](Self::answer_one).
+    fn answer_one_inner(&self, req: &Request<D>) -> GeoResult<Response<D>> {
         match req {
             Request::Knn { queries, k } => {
                 if *k == 0 {

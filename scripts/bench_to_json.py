@@ -19,10 +19,17 @@ def main() -> None:
     header: list[str] = []
     rows = []
     title = ""
+    anchors = []
     for line in sys.stdin:
         line = line.strip()
         if line.startswith("# "):
             title = line[2:]
+            continue
+        # Correctness/observability anchor lines ("anchor: ...",
+        # "obs anchor: ...") are part of the baseline: they assert the
+        # timed runs were also correct runs.
+        if "anchor:" in line.split("|")[0]:
+            anchors.append(line)
             continue
         if not (line.startswith("|") and line.endswith("|")):
             continue
@@ -42,6 +49,7 @@ def main() -> None:
             "threads": os.cpu_count(),
             "columns": header,
             "rows": rows,
+            "anchors": anchors,
         },
         sys.stdout,
         indent=2,
