@@ -293,6 +293,16 @@ impl<const D: usize> BdlTree<D> {
         out
     }
 
+    /// Bounding box of the live points — the cascade's current effective
+    /// region (shrinks when deletes remove extreme points).
+    pub fn live_bbox(&self) -> Bbox<D> {
+        let mut b = Bbox::empty();
+        for (p, _) in self.collect_live() {
+            b.extend(&p);
+        }
+        b
+    }
+
     /// Sizes of the occupied static trees, smallest first (diagnostics).
     pub fn tree_sizes(&self) -> Vec<usize> {
         self.trees

@@ -126,6 +126,16 @@ impl<const D: usize> ZdTree<D> {
         self.next_id as u64
     }
 
+    /// Bounding box of the stored points — the tree's current effective
+    /// region (every stored point is live; deletes remove entries).
+    pub fn live_bbox(&self) -> Bbox<D> {
+        let mut b = Bbox::empty();
+        for (_, p, _) in &self.items {
+            b.extend(p);
+        }
+        b
+    }
+
     fn code_of(&self, p: &Point<D>) -> u64 {
         morton_code(p, &self.universe)
     }

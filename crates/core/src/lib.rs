@@ -257,7 +257,8 @@ pub mod prelude {
         DelaunayIncremental,
     };
     pub use pargeo_engine::{
-        run_workload, ShardedIndex, Snapshot, SpatialIndex, VecIndex, WorkloadReport,
+        run_workload, Frozen, ShardedIndex, Snapshot, SnapshotView, SpatialIndex, VecIndex,
+        WorkloadReport,
     };
     pub use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point, Point2, Point3};
     pub use pargeo_graphgen::{beta_skeleton, knn_graph};
@@ -266,7 +267,7 @@ pub mod prelude {
         hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc,
         hull3d_seq, try_hull2d, try_hull3d, Hull2dIncremental, Hull3d, HullBatchOutcome,
     };
-    pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, KdTree, SplitRule, VebTree};
+    pub use pargeo_kdtree::{B1Tree, B2Tree, DynKdTree, DynKdView, KdTree, SplitRule, VebTree};
     pub use pargeo_obs::{HistSummary, ObsLevel, Registry};
     pub use pargeo_rangequery::{
         BatchQuery, Count, IntervalTree, RangeTree2d, RectangleSet, Report,
@@ -277,7 +278,7 @@ pub mod prelude {
     };
     pub use pargeo_store::{
         run_store_workload, Backend, CacheStats, DerivedKind, GeoStore, GeoStoreBuilder, MemoPath,
-        Request, Response, StoreReport, StoreStats, DEFAULT_DAMAGE_THRESHOLD,
+        Request, Response, StoreReport, StoreSnapshot, StoreStats, DEFAULT_DAMAGE_THRESHOLD,
     };
     pub use pargeo_wspd::{bccp_points, emst, spanner, wspd, EmstEdge};
 }

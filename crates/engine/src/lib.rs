@@ -10,6 +10,12 @@
 //! * [`SpatialIndex`] — batched `insert` / `delete` / `knn_batch` /
 //!   `range_batch` plus [`Snapshot`]-style epoch stats, implemented by all
 //!   three tree backends and by the brute-force [`VecIndex`] oracle.
+//! * [`SnapshotView`] — the epoch-pinned immutable read half:
+//!   [`SpatialIndex::pin`] freezes the current epoch into an owned view
+//!   that answers bit-identically to a frozen copy while later write
+//!   epochs apply on the live side (O(1) for the copy-on-write
+//!   `DynKdTree`, per-shard pinned roots + id-map watermarks for
+//!   [`ShardedIndex`], clone-freeze elsewhere).
 //! * [`VecIndex`] — the `Vec`-of-points oracle: trivially correct answers
 //!   for cross-validation in tests and benches.
 //! * [`ShardedIndex`] — Morton-prefix sharded execution over any backend:
@@ -133,6 +139,102 @@ pub trait SpatialIndex<const D: usize> {
     fn shard_snapshots(&self) -> Vec<Snapshot> {
         vec![self.snapshot()]
     }
+
+    /// Pins an immutable snapshot of the current epoch. The returned view
+    /// owns its state (`'static`, [`Send`] + [`Sync`]) and answers every
+    /// read bit-identically to a frozen clone of `self` taken now, no
+    /// matter how many insert/delete/rebuild epochs apply to `self`
+    /// afterwards — the isolation primitive the pipelined store executor
+    /// overlaps read fan-out with write application on.
+    ///
+    /// Cost: [`DynKdTree`] pins in O(1) (its queryable core is `Arc`-backed
+    /// copy-on-write; the *next* write batch pays one copy per pinned
+    /// epoch), [`ShardedIndex`] pins in O(S) shard
+    /// pins, and the remaining backends clone-freeze (O(n), the default
+    /// strategy for any backend without a native persistent core).
+    fn pin(&self) -> Box<dyn SnapshotView<D>>;
+
+    /// Bounding box of the live points — the index's current effective
+    /// region, which *shrinks* when deletes remove extreme points (unlike
+    /// a cumulative routed-points box).
+    fn live_bbox(&self) -> Bbox<D>;
+}
+
+/// The immutable read half of a [`SpatialIndex`], pinned at one epoch.
+///
+/// Created by [`SpatialIndex::pin`]; fully owned (no borrow of the live
+/// index), so reads against epoch E proceed concurrently with — and are
+/// bit-identical regardless of — write batches applying epoch E+1 on the
+/// live side. Any backend clone can serve as a view through the
+/// [`Frozen`] adapter (the default clone-freeze pin strategy).
+///
+/// Determinism contract is inherited unchanged: `range_batch` rows sorted
+/// ascending, `knn_batch` rows ordered by `(distance², id)`, all answers
+/// independent of thread count.
+pub trait SnapshotView<const D: usize>: Send + Sync {
+    /// Short backend name for reports and benches.
+    fn backend_name(&self) -> &'static str;
+
+    /// The k nearest pinned-live neighbors of every query, data-parallel
+    /// over the queries; each row ascends by `(distance², id)`.
+    fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>>;
+
+    /// Ids of the pinned-live points inside every query box (boundary
+    /// inclusive), data-parallel over the queries; each row sorted
+    /// ascending.
+    fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>>;
+
+    /// Number of live points at the pinned epoch.
+    fn len(&self) -> usize;
+
+    /// True iff the pinned epoch held no live points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Epoch statistics as of the pin.
+    fn snapshot(&self) -> Snapshot;
+
+    /// Per-shard epoch statistics as of the pin (single-element for
+    /// unsharded backends) — reported against the pinned epoch, never the
+    /// live one.
+    fn shard_snapshots(&self) -> Vec<Snapshot> {
+        vec![self.snapshot()]
+    }
+}
+
+/// Clone-freeze adapter: hands a frozen clone of any backend out as a
+/// [`SnapshotView`]. This is the default pin strategy — O(n) for a deep
+/// clone, O(1) for backends with `Arc`-backed copy-on-write cores (the
+/// clone shares the core and later writes copy before mutating). A
+/// newtype rather than a blanket impl so no backend implements both
+/// traits and read-method calls never turn ambiguous at call sites.
+pub struct Frozen<T>(pub T);
+
+impl<const D: usize, T: SpatialIndex<D> + Send + Sync> SnapshotView<D> for Frozen<T> {
+    fn backend_name(&self) -> &'static str {
+        self.0.backend_name()
+    }
+
+    fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        self.0.knn_batch(queries, k)
+    }
+
+    fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        self.0.range_batch(queries)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.0.snapshot()
+    }
+
+    fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.0.shard_snapshots()
+    }
 }
 
 /// Forwards [`SpatialIndex`] to a tree backend's inherent methods. All
@@ -175,6 +277,18 @@ macro_rules! impl_spatial_index {
                     deleted: self.total_inserted() - $backend::len(self) as u64,
                     rebuilds: self.rebuilds(),
                 }
+            }
+
+            fn pin(&self) -> Box<dyn SnapshotView<D>> {
+                // Clone-freeze: `DynKdTree`'s core is `Arc`-backed, so its
+                // clone is an O(1) copy-on-write pin; BDL and Zd clones are
+                // O(n) frozen copies. Either way `Frozen` makes the clone
+                // the view.
+                Box::new(Frozen(self.clone()))
+            }
+
+            fn live_bbox(&self) -> Bbox<D> {
+                $backend::live_bbox(self)
             }
         }
     };

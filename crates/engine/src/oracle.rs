@@ -6,7 +6,7 @@
 //! exactly what the cross-validation suites and the bench's correctness
 //! anchor need.
 
-use crate::{Snapshot, SpatialIndex};
+use crate::{Frozen, Snapshot, SnapshotView, SpatialIndex};
 use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::Neighbor;
 
@@ -110,6 +110,21 @@ impl<const D: usize> SpatialIndex<D> for VecIndex<D> {
             deleted: self.next_id as u64 - self.items.len() as u64,
             rebuilds: 0,
         }
+    }
+
+    fn pin(&self) -> Box<dyn SnapshotView<D>> {
+        // Clone-freeze: the oracle is the reference implementation of the
+        // default pin strategy — an O(n) frozen copy is the semantic every
+        // cheaper pin must match bit-for-bit.
+        Box::new(Frozen(self.clone()))
+    }
+
+    fn live_bbox(&self) -> Bbox<D> {
+        let mut b = Bbox::empty();
+        for (p, _) in &self.items {
+            b.extend(p);
+        }
+        b
     }
 }
 

@@ -9,10 +9,8 @@
 //! * **writes** are bucketed per shard and applied *in parallel across
 //!   shards* — a write epoch becomes `S` concurrent tree batches instead
 //!   of one serial one;
-//! * **range queries** fan out only to shards whose region (the bounding
-//!   box of everything ever routed to them — tighter than the nominal
-//!   prefix cell, and correct even for points that clamp onto the
-//!   universe grid from outside) intersects the query box;
+//! * **range queries** fan out only to shards whose effective region
+//!   intersects the query box;
 //! * **k-NN** searches the home shard first (shards visited in ascending
 //!   distance from the query), then expands to neighbor shards only while
 //!   the current k-th `(distance², id)` bound still reaches their
@@ -20,14 +18,33 @@
 //!   bound, and at-bound shards are always visited so equal-distance ties
 //!   still resolve toward the smaller id.
 //!
+//! A shard's *effective region* is the bounding box of the points it
+//! currently holds: grown incrementally as inserts route in (covering
+//! points that clamp onto the universe grid from outside, at their true
+//! coordinates), and **recomputed from the live points after any delete
+//! that removed from the shard** — so delete-heavy epochs shrink regions
+//! back and stale extremes cannot inflate the read fan-out.
+//!
 //! Determinism is preserved exactly: shards assign *global* insertion-order
 //! ids through a per-shard id map, per-shard answers follow each backend's
 //! canonical contracts, and the merge orders by `(distance², global id)` /
 //! ascending id — so a `ShardedIndex` is answer-for-answer **bit-identical**
 //! to its unsharded backend at any shard count, which the proptest and
 //! bench anchors assert.
+//!
+//! ## Epoch-pinned snapshots
+//!
+//! [`SpatialIndex::pin`] on a `ShardedIndex` pins every shard's backend
+//! (O(1) per copy-on-write backend, clone-freeze otherwise) together with
+//! its id map — the maps live behind `Arc`s, appended via `Arc::make_mut`
+//! (in place while unpinned, copied once per pinned epoch otherwise), and
+//! each pinned map carries its *watermark* (length at pin), below which
+//! every local id the pinned backend can return must fall. The resulting
+//! view answers reads bit-identically to a frozen copy of the whole
+//! sharded index while later write epochs apply, and reports
+//! `shard_snapshots()` against the pinned epoch.
 
-use crate::{Snapshot, SpatialIndex};
+use crate::{Snapshot, SnapshotView, SpatialIndex};
 use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::{canonical_order, Neighbor};
 use pargeo_morton::{morton_code, morton_shard_of, parallel_bbox};
@@ -45,17 +62,158 @@ struct Shard<const D: usize> {
     index: Box<dyn SpatialIndex<D> + Send + Sync>,
     /// Local insertion-order id → global id. Strictly increasing (points
     /// route to a shard in global insertion order), so per-shard answers
-    /// ordered by local id are already ordered by global id.
-    global_ids: Vec<u32>,
-    /// Bounding box of every point ever routed here — the shard's
-    /// effective region. Never shrunk on delete (conservative), and
-    /// covers clamped out-of-universe points exactly.
+    /// ordered by local id are already ordered by global id. Behind an
+    /// `Arc` so pins share it copy-on-write: appends go through
+    /// `Arc::make_mut` — in place while unpinned, one copy per pinned
+    /// epoch otherwise.
+    global_ids: Arc<Vec<u32>>,
+    /// Bounding box of the points currently held — the shard's effective
+    /// region. Grown on insert (covering clamped out-of-universe points
+    /// at their true coordinates), recomputed from the live points after
+    /// any delete that removed here, so it shrinks back when extremes die.
     bbox: Bbox<D>,
+}
+
+/// The per-shard surface the read fan-out needs. Implemented by live
+/// [`Shard`]s and pinned [`ShardView`]s, so the home-first k-NN expansion
+/// and the region-pruned range fan-out are written exactly once and are
+/// bit-identical on both sides by construction.
+trait ReadShard<const D: usize> {
+    fn is_empty(&self) -> bool;
+    fn bbox(&self) -> &Bbox<D>;
+    /// One query's k nearest neighbors, already translated to global ids
+    /// (the id map is monotone, so canonical order is preserved).
+    fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor>;
+    /// One box query's matches, already translated to global ids (sorted,
+    /// by the same monotonicity).
+    fn range(&self, query: &Bbox<D>) -> Vec<u32>;
+}
+
+impl<const D: usize> ReadShard<D> for Shard<D> {
+    fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn bbox(&self) -> &Bbox<D> {
+        &self.bbox
+    }
+
+    fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        self.index.knn_batch(std::slice::from_ref(q), k)[0]
+            .iter()
+            .map(|n| Neighbor {
+                dist_sq: n.dist_sq,
+                id: self.global_ids[n.id as usize],
+            })
+            .collect()
+    }
+
+    fn range(&self, query: &Bbox<D>) -> Vec<u32> {
+        self.index
+            .range_batch(std::slice::from_ref(query))
+            .into_iter()
+            .next()
+            .expect("one query, one row")
+            .into_iter()
+            .map(|id| self.global_ids[id as usize])
+            .collect()
+    }
+}
+
+/// One query's k nearest neighbors across `shards`: home shard first, then
+/// neighbor shards in ascending region distance, stopping at the first
+/// shard strictly beyond the current k-th `(distance², id)` bound.
+fn knn_one<const D: usize, S: ReadShard<D>>(
+    shards: &[S],
+    obs: Option<&ShardObs>,
+    q: &Point<D>,
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut order: Vec<(f64, usize)> = shards
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, s)| (s.bbox().dist_sq_to_point(q), i))
+        .collect();
+    order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut best: Vec<Neighbor> = Vec::with_capacity(k);
+    for (visited, &(region_dist, s)) in order.iter().enumerate() {
+        // Inclusive at-bound expansion: an equal-distance point in a
+        // farther shard can still win its id tie, so only a region
+        // strictly beyond the k-th bound is pruned (and with shards in
+        // ascending region distance, everything after it is too).
+        if best.len() == k && region_dist > best[k - 1].dist_sq {
+            if let Some(o) = obs {
+                o.knn_visited.add(visited as u64);
+                o.knn_pruned.add((order.len() - visited) as u64);
+            }
+            return best;
+        }
+        if let Some(o) = obs {
+            o.read_ops[s].inc();
+        }
+        let row = shards[s].knn(q, k);
+        // Both runs ascend by the canonical order (the shard's local ids
+        // translate monotonically), so an O(k) two-way merge keeps `best`
+        // the exact global top-k — and `best[k-1]` the exact expansion
+        // bound — after every shard.
+        let mut merged: Vec<Neighbor> = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < k && (i < best.len() || j < row.len()) {
+            let from_best = match (best.get(i), row.get(j)) {
+                (Some(a), Some(b)) => canonical_order(a, b) != std::cmp::Ordering::Greater,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if from_best {
+                merged.push(best[i]);
+                i += 1;
+            } else {
+                merged.push(row[j]);
+                j += 1;
+            }
+        }
+        best = merged;
+    }
+    if let Some(o) = obs {
+        o.knn_visited.add(order.len() as u64);
+    }
+    best
+}
+
+/// One box query across `shards`: fan out to intersecting regions only,
+/// merge the (already global, already sorted) per-shard answers.
+fn range_one<const D: usize, S: ReadShard<D>>(
+    shards: &[S],
+    obs: Option<&ShardObs>,
+    query: &Bbox<D>,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for (s, shard) in shards.iter().enumerate() {
+        if shard.is_empty() {
+            continue;
+        }
+        if !shard.bbox().intersects(query) {
+            if let Some(o) = obs {
+                o.range_pruned.inc();
+            }
+            continue;
+        }
+        if let Some(o) = obs {
+            o.range_visited.inc();
+            o.read_ops[s].inc();
+        }
+        out.extend(shard.range(query));
+    }
+    out.sort_unstable();
+    out
 }
 
 /// Cached per-shard metric handles (see [`ShardedIndex::attach_obs`]):
 /// recording is pure atomics, so the parallel per-shard write apply and
-/// the read fan-out touch them without locks.
+/// the read fan-out touch them without locks — and pinned views share the
+/// same handles through the `Arc`, so reads served from a snapshot still
+/// count toward the live index's fan-out/pruning totals.
 struct ShardObs {
     /// Write sub-batches (insert or delete) applied per shard.
     write_ops: Vec<Arc<Counter>>,
@@ -124,10 +282,11 @@ pub struct ShardedIndex<const D: usize> {
     next_id: u32,
     epoch: u64,
     name: &'static str,
-    /// Per-shard metric handles when observed (see [`attach_obs`]).
+    /// Per-shard metric handles when observed (see [`attach_obs`]),
+    /// shared with pinned views.
     ///
     /// [`attach_obs`]: ShardedIndex::attach_obs
-    obs: Option<ShardObs>,
+    obs: Option<Arc<ShardObs>>,
 }
 
 impl<const D: usize> ShardedIndex<D> {
@@ -147,7 +306,7 @@ impl<const D: usize> ShardedIndex<D> {
         let shards: Vec<Shard<D>> = (0..count)
             .map(|s| Shard {
                 index: factory(s),
-                global_ids: Vec::new(),
+                global_ids: Arc::new(Vec::new()),
                 bbox: Bbox::empty(),
             })
             .collect();
@@ -182,7 +341,7 @@ impl<const D: usize> ShardedIndex<D> {
     /// a single `Option` branch per operation. Observation never changes
     /// answers.
     pub fn attach_obs(&mut self, registry: &Registry) {
-        self.obs = Some(ShardObs::new(registry, self.shards.len()));
+        self.obs = Some(Arc::new(ShardObs::new(registry, self.shards.len())));
     }
 
     /// Number of shards (always a power of two).
@@ -199,6 +358,13 @@ impl<const D: usize> ShardedIndex<D> {
     /// inserted).
     pub fn universe(&self) -> Bbox<D> {
         self.universe
+    }
+
+    /// Per-shard effective regions (live-point bounding boxes) — the
+    /// boxes the read fan-out prunes against. Empty shards report empty
+    /// boxes.
+    pub fn shard_regions(&self) -> Vec<Bbox<D>> {
+        self.shards.iter().map(|s| s.bbox).collect()
     }
 
     /// The shard a point routes to: the top `shard_bits` bits of its
@@ -221,101 +387,6 @@ impl<const D: usize> ShardedIndex<D> {
             buckets[s].push(p);
         }
         (routes, buckets)
-    }
-
-    /// One query's k nearest neighbors: home shard first, then neighbor
-    /// shards in ascending region distance, stopping at the first shard
-    /// strictly beyond the current k-th `(distance², id)` bound.
-    fn knn_one(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
-        let mut order: Vec<(f64, usize)> = self
-            .shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.index.is_empty())
-            .map(|(i, s)| (s.bbox.dist_sq_to_point(q), i))
-            .collect();
-        order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-        let mut best: Vec<Neighbor> = Vec::with_capacity(k);
-        for (visited, &(region_dist, s)) in order.iter().enumerate() {
-            // Inclusive at-bound expansion: an equal-distance point in a
-            // farther shard can still win its id tie, so only a region
-            // strictly beyond the k-th bound is pruned (and with shards in
-            // ascending region distance, everything after it is too).
-            if best.len() == k && region_dist > best[k - 1].dist_sq {
-                if let Some(o) = &self.obs {
-                    o.knn_visited.add(visited as u64);
-                    o.knn_pruned.add((order.len() - visited) as u64);
-                }
-                return best;
-            }
-            if let Some(o) = &self.obs {
-                o.read_ops[s].inc();
-            }
-            let shard = &self.shards[s];
-            let row: Vec<Neighbor> = shard.index.knn_batch(std::slice::from_ref(q), k)[0]
-                .iter()
-                .map(|n| Neighbor {
-                    dist_sq: n.dist_sq,
-                    id: shard.global_ids[n.id as usize],
-                })
-                .collect();
-            // Both runs ascend by the canonical order (the shard's local
-            // ids translate monotonically), so an O(k) two-way merge keeps
-            // `best` the exact global top-k — and `best[k-1]` the exact
-            // expansion bound — after every shard.
-            let mut merged: Vec<Neighbor> = Vec::with_capacity(k);
-            let (mut i, mut j) = (0, 0);
-            while merged.len() < k && (i < best.len() || j < row.len()) {
-                let from_best = match (best.get(i), row.get(j)) {
-                    (Some(a), Some(b)) => canonical_order(a, b) != std::cmp::Ordering::Greater,
-                    (Some(_), None) => true,
-                    _ => false,
-                };
-                if from_best {
-                    merged.push(best[i]);
-                    i += 1;
-                } else {
-                    merged.push(row[j]);
-                    j += 1;
-                }
-            }
-            best = merged;
-        }
-        if let Some(o) = &self.obs {
-            o.knn_visited.add(order.len() as u64);
-        }
-        best
-    }
-
-    /// One box query: fan out to intersecting shards only, translate to
-    /// global ids, merge sorted.
-    fn range_one(&self, query: &Bbox<D>) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::new();
-        for (s, shard) in self.shards.iter().enumerate() {
-            if shard.index.is_empty() {
-                continue;
-            }
-            if !shard.bbox.intersects(query) {
-                if let Some(o) = &self.obs {
-                    o.range_pruned.inc();
-                }
-                continue;
-            }
-            if let Some(o) = &self.obs {
-                o.range_visited.inc();
-                o.read_ops[s].inc();
-            }
-            let rows = shard.index.range_batch(std::slice::from_ref(query));
-            out.extend(
-                rows.into_iter()
-                    .next()
-                    .expect("one query, one row")
-                    .into_iter()
-                    .map(|id| shard.global_ids[id as usize]),
-            );
-        }
-        out.sort_unstable();
-        out
     }
 }
 
@@ -344,11 +415,13 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
         let (routes, buckets) = self.bucket(batch);
         // Global ids ascend in batch order; bucketing is a stable
         // partition of it, so appending per shard as we walk the batch
-        // keeps every `global_ids` map strictly increasing.
+        // keeps every `global_ids` map strictly increasing. `make_mut`
+        // appends in place unless a pin shares the map (then it copies
+        // once and the pinned map keeps its watermark-length prefix).
         let mut id = self.next_id;
         for (&s, p) in routes.iter().zip(batch) {
             let shard = &mut self.shards[s];
-            shard.global_ids.push(id);
+            Arc::make_mut(&mut shard.global_ids).push(id);
             shard.bbox.extend(p);
             id += 1;
         }
@@ -396,7 +469,16 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
                 if bucket.is_empty() || shard.index.is_empty() {
                     0
                 } else {
-                    shard.index.delete(bucket)
+                    let n = shard.index.delete(bucket);
+                    if n > 0 {
+                        // The effective region must shrink with its
+                        // points: a cumulative box kept after deleting
+                        // extreme points would keep pulling k-NN
+                        // expansion and range fan-out into a shard that
+                        // can no longer answer there.
+                        shard.bbox = shard.index.live_bbox();
+                    }
+                    n
                 }
             })
             .collect();
@@ -404,11 +486,144 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
     }
 
     fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
-        parlay::map_batch(queries, 64, |q| self.knn_one(q, k))
+        parlay::map_batch(queries, 64, |q| {
+            knn_one(&self.shards, self.obs.as_deref(), q, k)
+        })
     }
 
     fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
-        parlay::map_batch(queries, 16, |q| self.range_one(q))
+        parlay::map_batch(queries, 16, |q| {
+            range_one(&self.shards, self.obs.as_deref(), q)
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let live = SpatialIndex::len(self);
+        Snapshot {
+            epoch: self.epoch,
+            live,
+            inserted: self.next_id as u64,
+            deleted: self.next_id as u64 - live as u64,
+            rebuilds: self
+                .shards
+                .iter()
+                .map(|s| s.index.snapshot().rebuilds)
+                .sum(),
+        }
+    }
+
+    fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.shards.iter().map(|s| s.index.snapshot()).collect()
+    }
+
+    fn pin(&self) -> Box<dyn SnapshotView<D>> {
+        Box::new(ShardedView {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardView {
+                    index: s.index.pin(),
+                    global_ids: Arc::clone(&s.global_ids),
+                    watermark: s.global_ids.len(),
+                    bbox: s.bbox,
+                })
+                .collect(),
+            epoch: self.epoch,
+            next_id: self.next_id,
+            name: self.name,
+            obs: self.obs.clone(),
+        })
+    }
+
+    fn live_bbox(&self) -> Bbox<D> {
+        self.shards
+            .iter()
+            .fold(Bbox::empty(), |acc, s| acc.union(&s.bbox))
+    }
+}
+
+/// One pinned shard: the backend's pinned view, the id map as of the pin
+/// (shared `Arc`; the live side copies before appending), its watermark,
+/// and the pinned effective region.
+struct ShardView<const D: usize> {
+    index: Box<dyn SnapshotView<D>>,
+    global_ids: Arc<Vec<u32>>,
+    /// Id-map length at pin time. Every local id the pinned backend can
+    /// return is below it — the live side never mutates this `Arc` (it
+    /// copies on append), so the invariant `global_ids.len() == watermark`
+    /// holds for the view's whole lifetime.
+    watermark: usize,
+    bbox: Bbox<D>,
+}
+
+impl<const D: usize> ReadShard<D> for ShardView<D> {
+    fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn bbox(&self) -> &Bbox<D> {
+        &self.bbox
+    }
+
+    fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        debug_assert_eq!(self.global_ids.len(), self.watermark);
+        self.index.knn_batch(std::slice::from_ref(q), k)[0]
+            .iter()
+            .map(|n| {
+                debug_assert!((n.id as usize) < self.watermark);
+                Neighbor {
+                    dist_sq: n.dist_sq,
+                    id: self.global_ids[n.id as usize],
+                }
+            })
+            .collect()
+    }
+
+    fn range(&self, query: &Bbox<D>) -> Vec<u32> {
+        self.index
+            .range_batch(std::slice::from_ref(query))
+            .into_iter()
+            .next()
+            .expect("one query, one row")
+            .into_iter()
+            .map(|id| {
+                debug_assert!((id as usize) < self.watermark);
+                self.global_ids[id as usize]
+            })
+            .collect()
+    }
+}
+
+/// An epoch-pinned view of a whole [`ShardedIndex`]: per-shard pinned
+/// backends + pinned id maps behind the same fan-out/merge logic as the
+/// live reads.
+struct ShardedView<const D: usize> {
+    shards: Vec<ShardView<D>>,
+    epoch: u64,
+    next_id: u32,
+    name: &'static str,
+    obs: Option<Arc<ShardObs>>,
+}
+
+impl<const D: usize> SnapshotView<D> for ShardedView<D> {
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        parlay::map_batch(queries, 64, |q| {
+            knn_one(&self.shards, self.obs.as_deref(), q, k)
+        })
+    }
+
+    fn range_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        parlay::map_batch(queries, 16, |q| {
+            range_one(&self.shards, self.obs.as_deref(), q)
+        })
     }
 
     fn len(&self) -> usize {
@@ -564,5 +779,84 @@ mod tests {
             .is_empty());
         let s = t.snapshot();
         assert_eq!((s.epoch, s.live, s.inserted), (2, 0, 0));
+    }
+
+    #[test]
+    fn shard_regions_shrink_after_deletes() {
+        // Two well-separated clusters over a 2-shard router: deleting the
+        // whole far cluster must shrink its shard's effective region so
+        // queries over the vacated area stop fanning out there.
+        let near: Vec<Point<2>> = (0..256)
+            .map(|i| Point::new([(i % 16) as f64, (i / 16) as f64]))
+            .collect();
+        let far: Vec<Point<2>> = (0..256)
+            .map(|i| Point::new([1e3 + (i % 16) as f64, 1e3 + (i / 16) as f64]))
+            .collect();
+        let mut all = near.clone();
+        all.extend_from_slice(&far);
+        let mut t = ShardedIndex::<2>::new(4, |_| Box::new(DynKdTree::new()));
+        t.insert(&all);
+        let far_box = Bbox::from_points(&far);
+        let covering_before = t
+            .shard_regions()
+            .iter()
+            .filter(|b| b.intersects(&far_box))
+            .count();
+        assert!(covering_before > 0);
+        assert_eq!(t.delete(&far), 256);
+        let covering_after = t
+            .shard_regions()
+            .iter()
+            .filter(|b| !b.is_empty() && b.intersects(&far_box))
+            .count();
+        assert_eq!(
+            covering_after,
+            0,
+            "effective regions must shrink off deleted extremes: {:?}",
+            t.shard_regions()
+        );
+    }
+
+    #[test]
+    fn pinned_view_isolates_reads_from_later_epochs() {
+        let pts = uniform_cube::<2>(3_000, 21);
+        let queries: Vec<_> = pts.iter().step_by(67).copied().collect();
+        let boxes = pargeo_datagen::uniform_rects::<2>(25, 6, 0.3);
+        for (name, factory) in factories() {
+            for s in [1usize, 4] {
+                let mut live = ShardedIndex::<2>::new(s, |_| factory(0));
+                live.insert(&pts[..2_000]);
+                live.delete(&pts[..300]);
+                // Frozen reference: a second index fed the same prefix.
+                let mut frozen = ShardedIndex::<2>::new(s, |_| factory(0));
+                frozen.insert(&pts[..2_000]);
+                frozen.delete(&pts[..300]);
+                let view = live.pin();
+                let pinned_snap = view.snapshot();
+                let pinned_shards = view.shard_snapshots();
+                // Later epochs on the live side: insert + delete churn.
+                live.insert(&pts[2_000..]);
+                live.delete(&pts[300..900]);
+                assert_eq!(
+                    view.knn_batch(&queries, 6),
+                    frozen.knn_batch(&queries, 6),
+                    "{name}/S={s} knn through pin"
+                );
+                assert_eq!(
+                    view.range_batch(&boxes),
+                    frozen.range_batch(&boxes),
+                    "{name}/S={s} range through pin"
+                );
+                assert_eq!(view.len(), frozen.len(), "{name}/S={s}");
+                // Stats report the pinned epoch, not the live one.
+                assert_eq!(pinned_snap, frozen.snapshot(), "{name}/S={s} snapshot");
+                assert_eq!(
+                    pinned_shards,
+                    frozen.shard_snapshots(),
+                    "{name}/S={s} shard snapshots"
+                );
+                assert_ne!(live.snapshot(), pinned_snap, "{name}/S={s} live moved on");
+            }
+        }
     }
 }

@@ -16,11 +16,23 @@
 //! ascending by id, k-NN ordered by `(distance², id)` — and batch queries
 //! are data-parallel over the queries.
 //!
+//! ## Epoch-pinned snapshots
+//!
+//! Every queryable field lives behind an [`Arc`] in one shared core, so
+//! [`DynKdTree::pin_view`] is O(1): it bumps the reference counts and
+//! freezes the current epoch into a [`DynKdView`]. Subsequent writes go
+//! through `Arc::make_mut` — they mutate in place while nothing is pinned
+//! (the unpinned tree pays only an `Arc` deref) and copy-on-write exactly
+//! once per pinned epoch otherwise. A threshold rebuild swaps whole `Arc`s,
+//! so a pinned view keeps the *old* root alive untouched while the live
+//! side rebuilds — reads never wait on writes and never see them.
+//!
 //! [`BdlTree`]: https://docs.rs/pargeo-bdltree
 
 use crate::knn::{KnnBuffer, Neighbor};
 use crate::tree::{KdTree, Node, SplitRule};
 use pargeo_geometry::{Bbox, Point};
+use std::sync::Arc;
 
 /// Default rebuild threshold: rebuild when pending inserts or tombstones
 /// exceed this fraction of the indexed points.
@@ -30,199 +42,45 @@ pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
 /// would otherwise rebuild on every batch).
 const MIN_PENDING: usize = 256;
 
-/// A batch-dynamic kd-tree: tombstone deletes, buffered inserts, and a
-/// full parallel rebuild once either outgrows a threshold fraction.
+/// The copy-on-write queryable state shared between the live tree and its
+/// pinned views. Writes use `Arc::make_mut`: in place when unpinned,
+/// cloned once per pinned epoch otherwise; rebuilds replace the `Arc`s
+/// wholesale (pinned views keep the old allocations alive).
 #[derive(Debug, Clone)]
-pub struct DynKdTree<const D: usize> {
+struct DynCore<const D: usize> {
     /// Static tree over the points of the last rebuild.
-    tree: KdTree<D>,
+    tree: Arc<KdTree<D>>,
     /// Build-input points in input order (`range_box` candidate positions
     /// index into this for bitwise delete matching).
-    pts: Vec<Point<D>>,
+    pts: Arc<Vec<Point<D>>>,
     /// External insertion-order id of build-input position `i`.
-    ext: Vec<u32>,
+    ext: Arc<Vec<u32>>,
     /// Liveness of build-input position `i` (false = tombstoned).
-    alive: Vec<bool>,
+    alive: Arc<Vec<bool>>,
+    /// Inserts not yet folded into the static tree.
+    buffer: Arc<Vec<(Point<D>, u32)>>,
     /// Number of tombstones in `alive`.
     dead: usize,
-    /// Inserts not yet folded into the static tree.
-    buffer: Vec<(Point<D>, u32)>,
-    rule: SplitRule,
-    rebuild_fraction: f64,
-    next_id: u32,
+    /// Live points (tree survivors + buffer).
     live: usize,
-    epoch: u64,
-    rebuilds: u64,
 }
 
-impl<const D: usize> DynKdTree<D> {
-    /// Creates an empty tree with object-median splits and the default
-    /// rebuild fraction.
-    pub fn new() -> Self {
-        Self::with_config(SplitRule::ObjectMedian, DEFAULT_REBUILD_FRACTION)
-    }
-
-    /// Creates an empty tree with an explicit split rule and rebuild
-    /// fraction (`0 < rebuild_fraction`; smaller = more eager rebuilds).
-    pub fn with_config(rule: SplitRule, rebuild_fraction: f64) -> Self {
-        assert!(rebuild_fraction > 0.0);
+impl<const D: usize> DynCore<D> {
+    fn empty(rule: SplitRule) -> Self {
         Self {
-            tree: KdTree::build(&[], rule),
-            pts: Vec::new(),
-            ext: Vec::new(),
-            alive: Vec::new(),
+            tree: Arc::new(KdTree::build(&[], rule)),
+            pts: Arc::new(Vec::new()),
+            ext: Arc::new(Vec::new()),
+            alive: Arc::new(Vec::new()),
+            buffer: Arc::new(Vec::new()),
             dead: 0,
-            buffer: Vec::new(),
-            rule,
-            rebuild_fraction,
-            next_id: 0,
             live: 0,
-            epoch: 0,
-            rebuilds: 0,
         }
     }
 
-    /// Builds directly over an initial point set (one batch insert).
-    pub fn from_points(points: &[Point<D>]) -> Self {
-        let mut t = Self::new();
-        t.insert(points);
-        t
-    }
-
-    /// Number of live points.
-    pub fn len(&self) -> usize {
-        self.live
-    }
-
-    /// True iff no points are stored.
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    /// Number of update batches applied so far.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Number of full structure rebuilds performed so far.
-    pub fn rebuilds(&self) -> u64 {
-        self.rebuilds
-    }
-
-    /// Total points ever inserted (ids are assigned from this counter).
-    pub fn total_inserted(&self) -> u64 {
-        self.next_id as u64
-    }
-
-    /// Points currently buffered outside the static tree (diagnostics).
-    pub fn pending(&self) -> usize {
-        self.buffer.len()
-    }
-
-    /// Tombstoned points still occupying tree slots (diagnostics).
-    pub fn tombstones(&self) -> usize {
-        self.dead
-    }
-
-    /// Batch insert: appends to the side buffer, then rebuilds if the
-    /// buffer outgrew the threshold.
-    pub fn insert(&mut self, batch: &[Point<D>]) {
-        self.epoch += 1;
-        self.buffer.extend(
-            batch
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| (p, self.next_id + i as u32)),
-        );
-        self.next_id += batch.len() as u32;
-        self.live += batch.len();
-        self.maybe_rebuild();
-    }
-
-    /// Batch delete by point value (all live copies of each query point are
-    /// removed). Tombstones tree points in place, filters the buffer, and
-    /// rebuilds if tombstones outgrew the threshold. Returns the number of
-    /// points deleted.
-    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
-        self.epoch += 1;
-        if batch.is_empty() || self.live == 0 {
-            return 0;
-        }
-        let mut deleted = 0usize;
-        // Buffer deletion by coordinate match.
-        if !self.buffer.is_empty() {
-            let victims: std::collections::HashSet<[u64; D]> =
-                batch.iter().map(Point::bits_key).collect();
-            let before = self.buffer.len();
-            self.buffer
-                .retain(|(p, _)| !victims.contains(&p.bits_key()));
-            deleted += before - self.buffer.len();
-        }
-        // Tree deletion: locate each victim's candidate positions with a
-        // degenerate box query (data-parallel over the batch), keep only
-        // bitwise matches (the box query compares with float `<=`, which
-        // would also admit `-0.0` for `+0.0` — the library-wide semantic is
-        // bitwise identity), then tombstone serially.
-        let tree = &self.tree;
-        let pts = &self.pts;
-        let hits: Vec<Vec<u32>> = pargeo_parlay::map_batch(batch, 64, |q| {
-            let hit = Bbox { min: *q, max: *q };
-            let mut positions = tree.range_box(&hit);
-            positions.retain(|&pos| pts[pos as usize].bits_key() == q.bits_key());
-            positions
-        });
-        for positions in &hits {
-            for &pos in positions {
-                let pos = pos as usize;
-                if self.alive[pos] {
-                    self.alive[pos] = false;
-                    self.dead += 1;
-                    deleted += 1;
-                }
-            }
-        }
-        self.live -= deleted;
-        self.maybe_rebuild();
-        deleted
-    }
-
-    /// Rebuilds the static tree from live points when pending inserts or
-    /// tombstones exceed `rebuild_fraction` of the indexed set.
-    fn maybe_rebuild(&mut self) {
-        let indexed = self.tree.len();
-        let threshold = ((indexed as f64 * self.rebuild_fraction) as usize).max(MIN_PENDING);
-        if self.buffer.len() <= threshold && self.dead <= threshold {
-            return;
-        }
-        // Collect survivors in external-id order: tree points (via the id
-        // permutation back to build-input positions), then the buffer.
-        let mut survivors: Vec<(Point<D>, u32)> = Vec::with_capacity(self.live);
-        for (slot, p) in self.tree.points().iter().enumerate() {
-            let pos = self.tree.original_id(slot) as usize;
-            if self.alive[pos] {
-                survivors.push((*p, self.ext[pos]));
-            }
-        }
-        survivors.extend(self.buffer.iter().copied());
-        survivors.sort_unstable_by_key(|&(_, id)| id);
-        let pts: Vec<Point<D>> = survivors.iter().map(|&(p, _)| p).collect();
-        self.tree = KdTree::build(&pts, self.rule);
-        self.ext = survivors.iter().map(|&(_, id)| id).collect();
-        self.alive = vec![true; pts.len()];
-        self.pts = pts;
-        self.dead = 0;
-        self.buffer.clear();
-        self.rebuilds += 1;
-        debug_assert_eq!(self.tree.len(), self.live);
-    }
-
-    // ---------- queries ----------
-
-    /// k nearest live neighbors of `q`, ascending by `(distance², id)`
-    /// (ids are insertion-order ids).
-    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+    fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
         let mut buf = KnnBuffer::new(k);
-        for (p, id) in &self.buffer {
+        for (p, id) in self.buffer.iter() {
             buf.insert(q.dist_sq(p), *id);
         }
         if let Some(root) = self.tree.root() {
@@ -254,16 +112,9 @@ impl<const D: usize> DynKdTree<D> {
         }
     }
 
-    /// Data-parallel batch k-NN (parallel over the queries).
-    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
-        pargeo_parlay::map_batch(queries, 64, |q| self.knn(q, k))
-    }
-
-    /// Insertion-order ids of all live points inside `query` (boundary
-    /// inclusive), sorted ascending.
-    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+    fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
         let mut out = Vec::new();
-        for (p, id) in &self.buffer {
+        for (p, id) in self.buffer.iter() {
             if query.contains(p) {
                 out.push(*id);
             }
@@ -293,9 +144,8 @@ impl<const D: usize> DynKdTree<D> {
         self.range_rec(self.tree.node(node.right), query, out);
     }
 
-    /// Number of live points inside `query` without materializing them.
-    pub fn count_box(&self, query: &Bbox<D>) -> usize {
-        fn go<const D: usize>(t: &DynKdTree<D>, node: &Node<D>, query: &Bbox<D>) -> usize {
+    fn count_box(&self, query: &Bbox<D>) -> usize {
+        fn go<const D: usize>(t: &DynCore<D>, node: &Node<D>, query: &Bbox<D>) -> usize {
             if !node.bbox.intersects(query) {
                 return 0;
             }
@@ -324,14 +174,8 @@ impl<const D: usize> DynKdTree<D> {
         }
     }
 
-    /// Data-parallel batch box reporting.
-    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
-        pargeo_parlay::map_batch(queries, 16, |q| self.range_box(q))
-    }
-
-    /// All live `(point, id)` pairs, id-ascending (diagnostics / tests).
-    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
-        let mut out: Vec<(Point<D>, u32)> = self.buffer.clone();
+    fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        let mut out: Vec<(Point<D>, u32)> = self.buffer.as_ref().clone();
         for (slot, p) in self.tree.points().iter().enumerate() {
             let pos = self.tree.original_id(slot) as usize;
             if self.alive[pos] {
@@ -341,11 +185,326 @@ impl<const D: usize> DynKdTree<D> {
         out.sort_unstable_by_key(|&(_, id)| id);
         out
     }
+
+    fn live_bbox(&self) -> Bbox<D> {
+        let mut b = Bbox::empty();
+        for (p, _) in self.buffer.iter() {
+            b.extend(p);
+        }
+        for (slot, p) in self.tree.points().iter().enumerate() {
+            if self.alive[self.tree.original_id(slot) as usize] {
+                b.extend(p);
+            }
+        }
+        b
+    }
+}
+
+/// A batch-dynamic kd-tree: tombstone deletes, buffered inserts, and a
+/// full parallel rebuild once either outgrows a threshold fraction.
+#[derive(Debug, Clone)]
+pub struct DynKdTree<const D: usize> {
+    core: DynCore<D>,
+    rule: SplitRule,
+    rebuild_fraction: f64,
+    next_id: u32,
+    epoch: u64,
+    rebuilds: u64,
+}
+
+impl<const D: usize> DynKdTree<D> {
+    /// Creates an empty tree with object-median splits and the default
+    /// rebuild fraction.
+    pub fn new() -> Self {
+        Self::with_config(SplitRule::ObjectMedian, DEFAULT_REBUILD_FRACTION)
+    }
+
+    /// Creates an empty tree with an explicit split rule and rebuild
+    /// fraction (`0 < rebuild_fraction`; smaller = more eager rebuilds).
+    pub fn with_config(rule: SplitRule, rebuild_fraction: f64) -> Self {
+        assert!(rebuild_fraction > 0.0);
+        Self {
+            core: DynCore::empty(rule),
+            rule,
+            rebuild_fraction,
+            next_id: 0,
+            epoch: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Builds directly over an initial point set (one batch insert).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        let mut t = Self::new();
+        t.insert(points);
+        t
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.core.live
+    }
+
+    /// True iff no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.core.live == 0
+    }
+
+    /// Number of update batches applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of full structure rebuilds performed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total points ever inserted (ids are assigned from this counter).
+    pub fn total_inserted(&self) -> u64 {
+        self.next_id as u64
+    }
+
+    /// Points currently buffered outside the static tree (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.core.buffer.len()
+    }
+
+    /// Tombstoned points still occupying tree slots (diagnostics).
+    pub fn tombstones(&self) -> usize {
+        self.core.dead
+    }
+
+    /// Pins an immutable O(1) snapshot of the current epoch: the view
+    /// shares the tree's copy-on-write core and answers every query
+    /// bit-identically to a frozen clone taken now, no matter how many
+    /// insert/delete/rebuild epochs the live tree applies afterwards.
+    pub fn pin_view(&self) -> DynKdView<D> {
+        DynKdView {
+            core: self.core.clone(),
+            epoch: self.epoch,
+            rebuilds: self.rebuilds,
+            next_id: self.next_id,
+        }
+    }
+
+    /// Batch insert: appends to the side buffer, then rebuilds if the
+    /// buffer outgrew the threshold.
+    pub fn insert(&mut self, batch: &[Point<D>]) {
+        self.epoch += 1;
+        let next_id = self.next_id;
+        Arc::make_mut(&mut self.core.buffer).extend(
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, next_id + i as u32)),
+        );
+        self.next_id += batch.len() as u32;
+        self.core.live += batch.len();
+        self.maybe_rebuild();
+    }
+
+    /// Batch delete by point value (all live copies of each query point are
+    /// removed). Tombstones tree points in place, filters the buffer, and
+    /// rebuilds if tombstones outgrew the threshold. Returns the number of
+    /// points deleted.
+    pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
+        self.epoch += 1;
+        if batch.is_empty() || self.core.live == 0 {
+            return 0;
+        }
+        let mut deleted = 0usize;
+        // Buffer deletion by coordinate match (copy-on-write only when a
+        // match exists and a view pins the buffer).
+        if !self.core.buffer.is_empty() {
+            let victims: std::collections::HashSet<[u64; D]> =
+                batch.iter().map(Point::bits_key).collect();
+            if self
+                .core
+                .buffer
+                .iter()
+                .any(|(p, _)| victims.contains(&p.bits_key()))
+            {
+                let buffer = Arc::make_mut(&mut self.core.buffer);
+                let before = buffer.len();
+                buffer.retain(|(p, _)| !victims.contains(&p.bits_key()));
+                deleted += before - buffer.len();
+            }
+        }
+        // Tree deletion: locate each victim's candidate positions with a
+        // degenerate box query (data-parallel over the batch), keep only
+        // bitwise matches (the box query compares with float `<=`, which
+        // would also admit `-0.0` for `+0.0` — the library-wide semantic is
+        // bitwise identity), then tombstone serially.
+        let tree = &self.core.tree;
+        let pts = &self.core.pts;
+        let hits: Vec<Vec<u32>> = pargeo_parlay::map_batch(batch, 64, |q| {
+            let hit = Bbox { min: *q, max: *q };
+            let mut positions = tree.range_box(&hit);
+            positions.retain(|&pos| pts[pos as usize].bits_key() == q.bits_key());
+            positions
+        });
+        if hits.iter().any(|h| !h.is_empty()) {
+            let alive = Arc::make_mut(&mut self.core.alive);
+            for positions in &hits {
+                for &pos in positions {
+                    let pos = pos as usize;
+                    if alive[pos] {
+                        alive[pos] = false;
+                        self.core.dead += 1;
+                        deleted += 1;
+                    }
+                }
+            }
+        }
+        self.core.live -= deleted;
+        self.maybe_rebuild();
+        deleted
+    }
+
+    /// Rebuilds the static tree from live points when pending inserts or
+    /// tombstones exceed `rebuild_fraction` of the indexed set. The new
+    /// structure lands in fresh `Arc`s — pinned views keep the old one.
+    fn maybe_rebuild(&mut self) {
+        let indexed = self.core.tree.len();
+        let threshold = ((indexed as f64 * self.rebuild_fraction) as usize).max(MIN_PENDING);
+        if self.core.buffer.len() <= threshold && self.core.dead <= threshold {
+            return;
+        }
+        // Collect survivors in external-id order: tree points (via the id
+        // permutation back to build-input positions), then the buffer.
+        let mut survivors: Vec<(Point<D>, u32)> = Vec::with_capacity(self.core.live);
+        for (slot, p) in self.core.tree.points().iter().enumerate() {
+            let pos = self.core.tree.original_id(slot) as usize;
+            if self.core.alive[pos] {
+                survivors.push((*p, self.core.ext[pos]));
+            }
+        }
+        survivors.extend(self.core.buffer.iter().copied());
+        survivors.sort_unstable_by_key(|&(_, id)| id);
+        let pts: Vec<Point<D>> = survivors.iter().map(|&(p, _)| p).collect();
+        self.core.tree = Arc::new(KdTree::build(&pts, self.rule));
+        self.core.ext = Arc::new(survivors.iter().map(|&(_, id)| id).collect());
+        self.core.alive = Arc::new(vec![true; pts.len()]);
+        self.core.pts = Arc::new(pts);
+        self.core.dead = 0;
+        self.core.buffer = Arc::new(Vec::new());
+        self.rebuilds += 1;
+        debug_assert_eq!(self.core.tree.len(), self.core.live);
+    }
+
+    // ---------- queries ----------
+
+    /// k nearest live neighbors of `q`, ascending by `(distance², id)`
+    /// (ids are insertion-order ids).
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        self.core.knn(q, k)
+    }
+
+    /// Data-parallel batch k-NN (parallel over the queries).
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        pargeo_parlay::map_batch(queries, 64, |q| self.core.knn(q, k))
+    }
+
+    /// Insertion-order ids of all live points inside `query` (boundary
+    /// inclusive), sorted ascending.
+    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+        self.core.range_box(query)
+    }
+
+    /// Number of live points inside `query` without materializing them.
+    pub fn count_box(&self, query: &Bbox<D>) -> usize {
+        self.core.count_box(query)
+    }
+
+    /// Data-parallel batch box reporting.
+    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        pargeo_parlay::map_batch(queries, 16, |q| self.core.range_box(q))
+    }
+
+    /// All live `(point, id)` pairs, id-ascending (diagnostics / tests).
+    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        self.core.collect_live()
+    }
+
+    /// Bounding box of the live points (tombstones excluded) — the tree's
+    /// current effective region.
+    pub fn live_bbox(&self) -> Bbox<D> {
+        self.core.live_bbox()
+    }
 }
 
 impl<const D: usize> Default for DynKdTree<D> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An immutable snapshot of a [`DynKdTree`] pinned at one epoch.
+///
+/// Created by [`DynKdTree::pin_view`] in O(1); holds `Arc`s into the
+/// tree's copy-on-write core, so it stays valid — and keeps answering
+/// bit-identically to a frozen clone taken at pin time — across any
+/// number of later insert, delete, and threshold-rebuild epochs on the
+/// live tree. Dropping views in any order is safe; each drop releases its
+/// reference counts.
+#[derive(Debug, Clone)]
+pub struct DynKdView<const D: usize> {
+    core: DynCore<D>,
+    epoch: u64,
+    rebuilds: u64,
+    next_id: u32,
+}
+
+impl<const D: usize> DynKdView<D> {
+    /// Number of live points at pin time.
+    pub fn len(&self) -> usize {
+        self.core.live
+    }
+
+    /// True iff the pinned epoch held no live points.
+    pub fn is_empty(&self) -> bool {
+        self.core.live == 0
+    }
+
+    /// The epoch this view was pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rebuild count at pin time.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total points ever inserted at pin time.
+    pub fn total_inserted(&self) -> u64 {
+        self.next_id as u64
+    }
+
+    /// k nearest live neighbors of `q` at the pinned epoch.
+    pub fn knn(&self, q: &Point<D>, k: usize) -> Vec<Neighbor> {
+        self.core.knn(q, k)
+    }
+
+    /// Data-parallel batch k-NN at the pinned epoch.
+    pub fn knn_batch(&self, queries: &[Point<D>], k: usize) -> Vec<Vec<Neighbor>> {
+        pargeo_parlay::map_batch(queries, 64, |q| self.core.knn(q, k))
+    }
+
+    /// Sorted ids of the pinned live points inside `query`.
+    pub fn range_box(&self, query: &Bbox<D>) -> Vec<u32> {
+        self.core.range_box(query)
+    }
+
+    /// Data-parallel batch box reporting at the pinned epoch.
+    pub fn range_box_batch(&self, queries: &[Bbox<D>]) -> Vec<Vec<u32>> {
+        pargeo_parlay::map_batch(queries, 16, |q| self.core.range_box(q))
+    }
+
+    /// Pinned live `(point, id)` pairs, id-ascending.
+    pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
+        self.core.collect_live()
     }
 }
 
@@ -476,5 +635,62 @@ mod tests {
                 max: Point::new([1.0, 1.0]),
             })
             .is_empty());
+    }
+
+    #[test]
+    fn pinned_view_survives_rebuild_and_churn() {
+        let pts = uniform_cube::<2>(3_000, 7);
+        let mut t = DynKdTree::<2>::new();
+        t.insert(&pts[..1_000]);
+        let frozen = t.clone();
+        let view = t.pin_view();
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.len(), 1_000);
+        // Churn hard enough to force threshold rebuilds on the live side.
+        t.delete(&pts[..600]);
+        for chunk in pts[1_000..].chunks(250) {
+            t.insert(chunk);
+        }
+        assert!(t.rebuilds() > frozen.rebuilds(), "rebuilds should fire");
+        // The view answers bit-identically to the frozen clone at pin.
+        let queries: Vec<Point<2>> = pts.iter().step_by(97).copied().collect();
+        assert_eq!(view.knn_batch(&queries, 5), frozen.knn_batch(&queries, 5));
+        let boxes = pargeo_datagen::uniform_rects::<2>(20, 9, 0.4);
+        assert_eq!(view.range_box_batch(&boxes), frozen.range_box_batch(&boxes));
+        assert_eq!(view.collect_live(), frozen.collect_live());
+        assert_eq!(view.total_inserted(), 1_000);
+    }
+
+    #[test]
+    fn views_drop_out_of_order() {
+        let pts = uniform_cube::<2>(2_000, 8);
+        let mut t = DynKdTree::<2>::new();
+        t.insert(&pts[..500]);
+        let v1 = t.pin_view();
+        t.insert(&pts[500..1_000]);
+        let f2 = t.clone();
+        let v2 = t.pin_view();
+        t.delete(&pts[..250]);
+        drop(v1); // older view dies first; v2 must stay exact
+        let queries: Vec<Point<2>> = pts.iter().step_by(111).copied().collect();
+        assert_eq!(v2.knn_batch(&queries, 4), f2.knn_batch(&queries, 4));
+        drop(v2);
+        assert_eq!(t.len(), 750);
+    }
+
+    #[test]
+    fn live_bbox_shrinks_after_deletes() {
+        let mut t = DynKdTree::<2>::new();
+        let near: Vec<Point<2>> = (0..300)
+            .map(|i| Point::new([(i % 17) as f64, (i % 13) as f64]))
+            .collect();
+        let far = vec![Point::new([1e3, 1e3])];
+        t.insert(&near);
+        t.insert(&far);
+        assert!(t.live_bbox().contains(&far[0]));
+        t.delete(&far);
+        let b = t.live_bbox();
+        assert!(!b.contains(&far[0]));
+        assert!(b.max[0] <= 16.0 && b.max[1] <= 12.0);
     }
 }

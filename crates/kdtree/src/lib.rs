@@ -28,7 +28,7 @@ pub mod tree;
 pub mod veb;
 
 pub use baselines::{B1Tree, B2Tree};
-pub use dynamic::DynKdTree;
+pub use dynamic::{DynKdTree, DynKdView};
 pub use knn::{canonical_order, knn_brute_force, KnnBuffer, Neighbor};
 pub use tree::{KdTree, SplitRule};
 pub use veb::VebTree;

@@ -77,11 +77,13 @@
 mod derived;
 pub mod driver;
 mod obs;
+mod pipeline;
 pub mod request;
 pub mod store;
 
 pub use driver::{run_store_workload, StoreReport};
 pub use pargeo_obs::{HistSummary, ObsLevel, Registry};
+pub use pipeline::StoreSnapshot;
 pub use request::{
     digest_responses, fold_response_digest, CacheStats, DerivedKind, MemoPath, Request, Response,
     StoreStats,

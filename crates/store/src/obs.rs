@@ -8,7 +8,7 @@
 //! exists and the serve path skips a single `Option` branch.
 
 use crate::request::{MemoPath, Request};
-use pargeo_obs::{Counter, Histogram, ObsLevel, Registry};
+use pargeo_obs::{Counter, Gauge, Histogram, ObsLevel, Registry};
 use std::sync::Arc;
 
 /// Request classes metered per store request, in
@@ -63,6 +63,19 @@ pub(crate) struct StoreObs {
     pub memo: Vec<Arc<Counter>>,
     /// `geostore_write_epochs_total` — epoch bumps applied.
     pub epochs: Arc<Counter>,
+    /// `geostore_pinned_views` — snapshots currently pinned (incremented
+    /// at pin, decremented when a [`StoreSnapshot`](crate::StoreSnapshot)
+    /// drops).
+    pub pinned_views: Arc<Gauge>,
+    /// `geostore_queue_depth` — requests sitting in the admission queue.
+    pub queue_depth: Arc<Gauge>,
+    /// `geostore_pipeline_runs_total` — read runs served through the
+    /// pipelined executor (pinned-snapshot path).
+    pub pipeline_runs: Arc<Counter>,
+    /// `geostore_pipeline_overlapped_total` — read runs whose fan-out
+    /// overlapped a following write epoch's apply. The ratio to
+    /// `pipeline_runs` is the executor's overlap ratio.
+    pub pipeline_overlapped: Arc<Counter>,
 }
 
 impl StoreObs {
@@ -81,6 +94,10 @@ impl StoreObs {
             .map(|p| registry.counter("geostore_memo_total", &[("path", p)]))
             .collect();
         let epochs = registry.counter("geostore_write_epochs_total", &[]);
+        let pinned_views = registry.gauge("geostore_pinned_views", &[]);
+        let queue_depth = registry.gauge("geostore_queue_depth", &[]);
+        let pipeline_runs = registry.counter("geostore_pipeline_runs_total", &[]);
+        let pipeline_overlapped = registry.counter("geostore_pipeline_overlapped_total", &[]);
         Self {
             registry,
             level,
@@ -88,6 +105,10 @@ impl StoreObs {
             class_nanos,
             memo,
             epochs,
+            pinned_views,
+            queue_depth,
+            pipeline_runs,
+            pipeline_overlapped,
         }
     }
 }

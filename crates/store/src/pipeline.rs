@@ -1,0 +1,278 @@
+//! Epoch-pinned store snapshots — the read side of the pipelined executor.
+//!
+//! [`StoreSnapshot`] is what [`GeoStore::pin`](crate::GeoStore::pin)
+//! returns: a fully owned, immutable capture of the store at one write
+//! epoch. It holds the index's pinned [`SnapshotView`] (O(1) for the
+//! copy-on-write kd-tree and the sharded executor, clone-freeze
+//! otherwise), the compacted live view, the epoch's memoized derived
+//! values, and the store statistics as of the pin — everything needed to
+//! answer every read request class *bit-identically to a frozen copy of
+//! the store* while later write epochs apply on the live side.
+//!
+//! Lifecycle: **pin → overlap → retire.** The pipelined executor pins one
+//! snapshot per read run (after the run's derived-memo ensure pass, so
+//! memo state matches the epoch-serial planner exactly), overlaps the
+//! run's read fan-out against the snapshot with the *next* write epoch's
+//! apply on the live store, and retires the snapshot by dropping it —
+//! which releases the pinned `Arc`s (memory cost: one copy-on-write delta
+//! per pinned epoch plus whatever superseded structures the pin kept
+//! alive) and decrements the `geostore_pinned_views` gauge. Snapshots may
+//! outlive rebuilds and may be dropped in any order.
+
+use crate::derived::{self, DerivedVal};
+use crate::obs::{self, StoreObs};
+use crate::request::{DerivedKind, Request, Response, StoreStats};
+use pargeo_engine::{Snapshot, SnapshotView};
+use pargeo_geometry::{Ball, Bbox, GeoError, GeoResult, Point};
+use pargeo_kdtree::Neighbor;
+use pargeo_parlay as parlay;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Compacted live view shared with the store: `pts[i]` is the live point
+/// with store id `ids[i]`, ids strictly ascending.
+pub(crate) type LiveView<const D: usize> = (Vec<u32>, Vec<Point<D>>);
+
+/// An immutable capture of a [`GeoStore`](crate::GeoStore) at one write
+/// epoch, created by [`GeoStore::pin`](crate::GeoStore::pin).
+///
+/// Every read request class — k-NN, range, statistics, and all derived
+/// structures — answers against the pinned epoch, bit-identically to a
+/// frozen copy of the store taken at pin time, no matter how many write
+/// epochs (including delete and rebuild epochs) the live store applies
+/// afterwards. Derived structures memoized at pin time are served from
+/// the pinned cache; kinds not yet memoized are computed on demand over
+/// the pinned live set (and memoized inside the snapshot).
+///
+/// [`Stats`](Request::Stats) and [`shard_snapshots`](Self::shard_snapshots)
+/// report the *pinned* epoch, never the live one.
+pub struct StoreSnapshot<const D: usize> {
+    view: Box<dyn SnapshotView<D>>,
+    live_view: Arc<LiveView<D>>,
+    stats: StoreStats,
+    /// Derived values at the pinned epoch: seeded from the store's memo
+    /// cache, extended lazily for kinds first requested through the
+    /// snapshot. A `Mutex`, not `RwLock`: contention is one lock per
+    /// derived request, and the store side never touches it.
+    derived: Mutex<HashMap<DerivedKind, GeoResult<DerivedVal<D>>>>,
+    obs: Option<Arc<StoreObs>>,
+}
+
+impl<const D: usize> StoreSnapshot<D> {
+    /// Assembles a pinned snapshot (store-side constructor) and counts it
+    /// into the `geostore_pinned_views` gauge.
+    pub(crate) fn new(
+        view: Box<dyn SnapshotView<D>>,
+        live_view: Arc<LiveView<D>>,
+        stats: StoreStats,
+        derived: HashMap<DerivedKind, GeoResult<DerivedVal<D>>>,
+        obs: Option<Arc<StoreObs>>,
+    ) -> Self {
+        if let Some(o) = &obs {
+            o.pinned_views.add(1);
+        }
+        Self {
+            view,
+            live_view,
+            stats,
+            derived: Mutex::new(derived),
+            obs,
+        }
+    }
+
+    /// Store statistics as of the pin (index snapshot, write epoch, cache
+    /// counters — all frozen at pin time).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The write epoch this snapshot was pinned at.
+    pub fn write_epoch(&self) -> u64 {
+        self.stats.write_epoch
+    }
+
+    /// Number of live points at the pinned epoch.
+    pub fn len(&self) -> usize {
+        self.live_view.0.len()
+    }
+
+    /// True iff the pinned epoch held no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live_view.0.is_empty()
+    }
+
+    /// Per-shard epoch statistics as of the pin — one [`Snapshot`] per
+    /// shard, reported against the pinned epoch rather than the live one.
+    pub fn shard_snapshots(&self) -> Vec<Snapshot> {
+        self.view.shard_snapshots()
+    }
+
+    /// Answers a run of read requests data-parallel against the pinned
+    /// epoch, one `Result` per request in request order. Write requests
+    /// (`Insert`/`Delete`) come back as typed errors: a snapshot is
+    /// immutable by construction.
+    pub fn execute(&self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        parlay::map_batch(requests, 2, |req| self.answer(req))
+    }
+
+    /// Answers one request against the pinned epoch (see
+    /// [`execute`](Self::execute)).
+    pub fn answer(&self, req: &Request<D>) -> GeoResult<Response<D>> {
+        let Some(o) = self.obs.clone() else {
+            return self.answer_inner(req);
+        };
+        let class = obs::class_of(req);
+        if class == 4 {
+            // Derived latency is sampled inside the lazy-compute path
+            // only — pinned-cache reads mirror the store's hit path,
+            // which is unsampled there too.
+            return self.answer_inner(req);
+        }
+        let t = Instant::now();
+        let resp = self.answer_inner(req);
+        o.class_nanos[class].record_duration(t.elapsed());
+        resp
+    }
+
+    fn answer_inner(&self, req: &Request<D>) -> GeoResult<Response<D>> {
+        match req {
+            Request::Insert(_) | Request::Delete(_) => Err(GeoError::BadParameter {
+                op: "geostore_snapshot",
+                what: "write request against a pinned snapshot",
+            }),
+            Request::Knn { queries, k } => {
+                if *k == 0 {
+                    return Err(GeoError::BadParameter {
+                        op: "knn",
+                        what: "k must be positive",
+                    });
+                }
+                if *k > self.live_view.0.len() {
+                    return Err(GeoError::KTooLarge {
+                        op: "knn",
+                        k: *k,
+                        n: self.live_view.0.len(),
+                    });
+                }
+                Ok(Response::Knn(self.view.knn_batch(queries, *k)))
+            }
+            Request::Range(boxes) => Ok(Response::Range(self.view.range_batch(boxes))),
+            Request::Stats => Ok(Response::Stats(self.stats)),
+            _ => {
+                let Some(kind) = req.derived_kind() else {
+                    return Err(GeoError::BadParameter {
+                        op: "geostore_snapshot",
+                        what: "unroutable request against a pinned snapshot",
+                    });
+                };
+                self.derived_value(kind).map(|v| match v {
+                    DerivedVal::Hull(h) => Response::Hull(h),
+                    DerivedVal::Seb(b) => Response::Seb(b),
+                    DerivedVal::ClosestPair(cp) => Response::ClosestPair(cp),
+                    DerivedVal::Emst(e) => Response::Emst(e),
+                    DerivedVal::Graph(g) => match kind {
+                        DerivedKind::KnnGraph(_) => Response::KnnGraph(g),
+                        _ => Response::DelaunayGraph(g),
+                    },
+                })
+            }
+        }
+    }
+
+    /// The derived value for `kind` at the pinned epoch: served from the
+    /// pinned memo when present, computed over the pinned live set (and
+    /// memoized in the snapshot) otherwise. Values are bit-identical to
+    /// what a frozen copy of the store would compute at the pinned epoch.
+    fn derived_value(&self, kind: DerivedKind) -> GeoResult<DerivedVal<D>> {
+        let mut memo = self.derived.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = memo.get(&kind) {
+            return v.clone();
+        }
+        let t = self.obs.as_ref().map(|_| Instant::now());
+        let (ids, pts) = &*self.live_view;
+        let value = derived::compute(kind, ids, pts);
+        if let (Some(o), Some(t)) = (&self.obs, t) {
+            o.class_nanos[4].record_duration(t.elapsed());
+        }
+        memo.insert(kind, value.clone());
+        value
+    }
+
+    // ---- typed sugar over `answer` -------------------------------------
+
+    /// The `k` nearest pinned-live neighbors of every query.
+    pub fn knn(&self, queries: &[Point<D>], k: usize) -> GeoResult<Vec<Vec<Neighbor>>> {
+        match self.answer(&Request::Knn {
+            queries: queries.to_vec(),
+            k,
+        })? {
+            Response::Knn(rows) => Ok(rows),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Sorted pinned-live ids inside every query box.
+    pub fn range(&self, boxes: &[Bbox<D>]) -> GeoResult<Vec<Vec<u32>>> {
+        match self.answer(&Request::Range(boxes.to_vec()))? {
+            Response::Range(rows) => Ok(rows),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Convex hull vertex ids of the pinned live set.
+    pub fn hull(&self) -> GeoResult<Vec<u32>> {
+        match self.answer(&Request::Hull)? {
+            Response::Hull(h) => Ok(h),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Smallest enclosing ball of the pinned live set.
+    pub fn seb(&self) -> GeoResult<Ball<D>> {
+        match self.answer(&Request::Seb)? {
+            Response::Seb(b) => Ok(b),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Closest pair of the pinned live set, over store ids.
+    pub fn closest_pair(&self) -> GeoResult<pargeo_closestpair::ClosestPair> {
+        match self.answer(&Request::ClosestPair)? {
+            Response::ClosestPair(cp) => Ok(cp),
+            _ => unreachable!(),
+        }
+    }
+
+    /// EMST edges of the pinned live set, over store ids.
+    pub fn emst(&self) -> GeoResult<Vec<pargeo_wspd::EmstEdge>> {
+        match self.answer(&Request::Emst)? {
+            Response::Emst(e) => Ok(e),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Directed k-NN graph of the pinned live set, over store ids.
+    pub fn knn_graph(&self, k: usize) -> GeoResult<Vec<(u32, u32)>> {
+        match self.answer(&Request::KnnGraph { k })? {
+            Response::KnnGraph(g) => Ok(g),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Delaunay edges of the pinned live set, over store ids (2D only).
+    pub fn delaunay_graph(&self) -> GeoResult<Vec<(u32, u32)>> {
+        match self.answer(&Request::DelaunayGraph)? {
+            Response::DelaunayGraph(g) => Ok(g),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl<const D: usize> Drop for StoreSnapshot<D> {
+    fn drop(&mut self) {
+        if let Some(o) = &self.obs {
+            o.pinned_views.add(-1);
+        }
+    }
+}

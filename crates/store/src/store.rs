@@ -2,6 +2,7 @@
 
 use crate::derived::{self, DerivedVal, Engine};
 use crate::obs::{self, StoreObs};
+use crate::pipeline::{LiveView, StoreSnapshot};
 use crate::request::{CacheStats, DerivedKind, MemoPath, Request, Response, StoreStats};
 use pargeo_bdltree::{BdlTree, ZdTree};
 use pargeo_engine::{ShardedIndex, Snapshot, SpatialIndex, VecIndex};
@@ -71,6 +72,9 @@ pub struct GeoStoreBuilder<const D: usize> {
     damage_threshold: f64,
     observe: ObsLevel,
     slow_op_nanos: Option<u64>,
+    pipeline: bool,
+    write_window: Option<usize>,
+    window_duration: Option<Duration>,
 }
 
 /// Default fraction of a derived structure one coalesced insert batch may
@@ -91,6 +95,9 @@ impl<const D: usize> Default for GeoStoreBuilder<D> {
             damage_threshold: DEFAULT_DAMAGE_THRESHOLD,
             observe: ObsLevel::Off,
             slow_op_nanos: None,
+            pipeline: false,
+            write_window: None,
+            window_duration: None,
         }
     }
 }
@@ -173,6 +180,37 @@ impl<const D: usize> GeoStoreBuilder<D> {
         self
     }
 
+    /// Serves read runs through the pipelined executor (default: off —
+    /// the epoch-serial planner).
+    ///
+    /// The pipelined executor partitions a request stream into exactly
+    /// the same write/read runs as the serial planner, but pins a
+    /// [`StoreSnapshot`] per read run and overlaps the run's read
+    /// fan-out (against the pinned epoch) with the *following* write
+    /// epoch's apply on the live index — reads never wait on writes, and
+    /// every response is bit-identical to the serial executor's.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Seals the admission queue into a write epoch once this many write
+    /// requests are queued (default: no size window — the queue seals on
+    /// [`flush`](GeoStore::flush), on the time window if one is set, or
+    /// at the hard queue cap). See [`GeoStore::submit`].
+    pub fn write_window(mut self, requests: usize) -> Self {
+        self.write_window = Some(requests.max(1));
+        self
+    }
+
+    /// Seals the admission queue into a write epoch once the oldest
+    /// queued request has waited this long (checked at each
+    /// [`submit`](GeoStore::submit); default: no time window).
+    pub fn window_duration(mut self, window: Duration) -> Self {
+        self.window_duration = Some(window);
+        self
+    }
+
     /// Captures any serve-path span at least this long into the registry's
     /// slow-op log (requires [`observe`](Self::observe) ≠ `Off`; default:
     /// no slow-op capture).
@@ -252,6 +290,14 @@ impl<const D: usize> GeoStoreBuilder<D> {
             pool,
             incremental: self.incremental,
             damage_threshold: self.damage_threshold,
+            pipeline: self.pipeline,
+            write_window: self.write_window,
+            window_duration: self.window_duration,
+            queue: Vec::new(),
+            queued_writes: 0,
+            queue_opened: None,
+            completed: Vec::new(),
+            submitted: 0,
             points: Vec::new(),
             live_ids: Vec::new(),
             by_key: HashMap::new(),
@@ -263,9 +309,10 @@ impl<const D: usize> GeoStoreBuilder<D> {
     }
 }
 
-/// Compacted live view: `pts[i]` is the live point with store id `ids[i]`
-/// (`ids` strictly ascending). Shared with read fan-outs via `Arc`.
-type LiveView<const D: usize> = (Vec<u32>, Vec<Point<D>>);
+/// Hard cap on the admission queue: a queue this deep seals regardless of
+/// the configured size/time windows, bounding worst-case memory and the
+/// staleness of unserved responses.
+const MAX_QUEUE: usize = 4096;
 
 /// One slot of the per-kind memo cache — the `Fresh | Incremental |
 /// Rebuilt` state machine.
@@ -324,6 +371,26 @@ pub struct GeoStore<const D: usize> {
     incremental: bool,
     /// Damage fraction past which a delta engine falls back to rebuild.
     damage_threshold: f64,
+    /// Serve read runs through the pipelined (snapshot-pinning) executor.
+    pipeline: bool,
+    /// Admission-queue size window: seal once this many write requests
+    /// are queued.
+    write_window: Option<usize>,
+    /// Admission-queue time window: seal once the oldest queued request
+    /// has waited this long.
+    window_duration: Option<Duration>,
+    /// The admission queue: requests accepted by `submit` but not yet
+    /// formed into epochs.
+    queue: Vec<Request<D>>,
+    /// Write requests currently queued (the size-window counter).
+    queued_writes: usize,
+    /// When the oldest queued request was admitted.
+    queue_opened: Option<Instant>,
+    /// Responses of already-sealed epochs, in ticket order, awaiting
+    /// `flush`.
+    completed: Vec<GeoResult<Response<D>>>,
+    /// Tickets issued by `submit` so far.
+    submitted: u64,
     /// Every point ever inserted, indexed by store id. Append-only: store
     /// ids stay stable and `point(id)` remains answerable after deletion,
     /// at the cost of `O(total inserted)` memory (compaction with an id
@@ -426,11 +493,22 @@ impl<const D: usize> GeoStore<D> {
     pub fn execute(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
         match self.pool.take() {
             Some(pool) => {
-                let out = pool.install(|| self.execute_inner(requests));
+                let out = pool.install(|| self.execute_dispatch(requests));
                 self.pool = Some(pool);
                 out
             }
-            None => self.execute_inner(requests),
+            None => self.execute_dispatch(requests),
+        }
+    }
+
+    /// Routes a batch to the executor the store was built with: the
+    /// epoch-serial planner, or the snapshot-pinning pipelined executor
+    /// when built with [`pipeline(true)`](GeoStoreBuilder::pipeline).
+    fn execute_dispatch(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        if self.pipeline {
+            self.execute_pipelined(requests)
+        } else {
+            self.execute_inner(requests)
         }
     }
 
@@ -488,6 +566,218 @@ impl<const D: usize> GeoStore<D> {
             }
         }
         out
+    }
+
+    /// The pipelined executor: identical run partition to
+    /// [`execute_inner`](Self::execute_inner), but each read run is served
+    /// from a [`StoreSnapshot`] pinned at its epoch, and when a write run
+    /// follows, the read fan-out overlaps the write epoch's apply on the
+    /// parlay pool — reads never wait on writes, responses stay in request
+    /// order and bit-identical to the serial planner's.
+    fn execute_pipelined(&mut self, requests: &[Request<D>]) -> Vec<GeoResult<Response<D>>> {
+        let obs = self.obs.clone();
+        let _plan = obs.as_ref().map(|o| {
+            for req in requests {
+                o.requests[obs::class_of(req)].inc();
+            }
+            let mut g = o.registry.span("plan_coalesce", Vec::new());
+            g.label("epoch", self.write_epoch);
+            g.label("requests", requests.len());
+            g.label("executor", "pipelined");
+            g
+        });
+        // Partition into maximal runs with exactly the serial planner's
+        // boundaries: adjacent same-kind writes form one run (one coalesced
+        // epoch), maximal read spans form read runs.
+        #[derive(Clone, Copy, PartialEq)]
+        enum RunKind {
+            Insert,
+            Delete,
+            Read,
+        }
+        let kind_of = |req: &Request<D>| match req {
+            Request::Insert(_) => RunKind::Insert,
+            Request::Delete(_) => RunKind::Delete,
+            _ => RunKind::Read,
+        };
+        let mut runs: Vec<(RunKind, std::ops::Range<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < requests.len() {
+            let kind = kind_of(&requests[i]);
+            let mut j = i + 1;
+            while j < requests.len() && kind_of(&requests[j]) == kind {
+                j += 1;
+            }
+            runs.push((kind, i..j));
+            i = j;
+        }
+
+        let mut out: Vec<GeoResult<Response<D>>> = Vec::with_capacity(requests.len());
+        let mut r = 0;
+        while r < runs.len() {
+            let (kind, range) = runs[r].clone();
+            match kind {
+                RunKind::Insert => {
+                    self.apply_inserts(&requests[range], &mut out);
+                    r += 1;
+                }
+                RunKind::Delete => {
+                    self.apply_deletes(&requests[range], &mut out);
+                    r += 1;
+                }
+                RunKind::Read => {
+                    // The ensure pass runs on the live store first, exactly
+                    // like the serial planner's `answer_reads`, so memo
+                    // state (and CacheStats, and therefore any Stats
+                    // response) is identical; the snapshot then captures
+                    // its result.
+                    for req in &requests[range.clone()] {
+                        if let Some(kind) = req.derived_kind() {
+                            let t = obs.as_ref().map(|_| Instant::now());
+                            self.ensure_derived(kind);
+                            if let (Some(o), Some(t)) = (&obs, t) {
+                                o.class_nanos[4].record_duration(t.elapsed());
+                            }
+                        }
+                    }
+                    let snap = self.pin();
+                    let read_run = &requests[range];
+                    let _span = obs.as_ref().map(|o| {
+                        let mut g = o.registry.span("read_fanout", Vec::new());
+                        g.label("epoch", self.write_epoch);
+                        g.label("requests", read_run.len());
+                        g.label("executor", "pipelined");
+                        g
+                    });
+                    if let Some(o) = &obs {
+                        o.pipeline_runs.inc();
+                    }
+                    // Overlap: epoch E's read fan-out (against the pinned
+                    // snapshot) runs concurrently with epoch E+1's write
+                    // apply (against the live index).
+                    let next_write = runs
+                        .get(r + 1)
+                        .filter(|(k, _)| *k != RunKind::Read)
+                        .cloned();
+                    if let Some((wkind, wrange)) = next_write {
+                        if let Some(o) = &obs {
+                            o.pipeline_overlapped.inc();
+                        }
+                        let (mut wout, reads) = rayon::join(
+                            || {
+                                let mut wout = Vec::new();
+                                match wkind {
+                                    RunKind::Insert => {
+                                        self.apply_inserts(&requests[wrange], &mut wout)
+                                    }
+                                    RunKind::Delete => {
+                                        self.apply_deletes(&requests[wrange], &mut wout)
+                                    }
+                                    RunKind::Read => unreachable!("filtered to writes"),
+                                }
+                                wout
+                            },
+                            || snap.execute(read_run),
+                        );
+                        out.extend(reads);
+                        out.append(&mut wout);
+                        r += 2;
+                    } else {
+                        out.extend(snap.execute(read_run));
+                        r += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pins an immutable [`StoreSnapshot`] of the current write epoch: the
+    /// index's epoch-pinned view (O(1) for copy-on-write backends), the
+    /// compacted live set, the epoch's memoized derived values, and the
+    /// statistics as of now. The snapshot answers every read request class
+    /// bit-identically to a frozen copy of this store taken at this
+    /// instant, regardless of how many write epochs follow; it may outlive
+    /// rebuilds and be dropped in any order relative to other snapshots.
+    pub fn pin(&mut self) -> StoreSnapshot<D> {
+        let view = self.index.pin();
+        let live_view = self.live_view();
+        let stats = self.stats();
+        let derived: HashMap<DerivedKind, GeoResult<DerivedVal<D>>> = self
+            .cache
+            .iter()
+            .filter(|(_, e)| e.epoch == self.write_epoch)
+            .map(|(k, e)| (*k, e.value.clone()))
+            .collect();
+        StoreSnapshot::new(view, live_view, stats, derived, self.obs.clone())
+    }
+
+    // ---- continuous admission ------------------------------------------
+
+    /// Admits one request into the admission queue and returns its ticket
+    /// (tickets count all submissions, starting at 0). The queue seals
+    /// into execution — forming write epochs from the queued stream —
+    /// when the configured size window
+    /// ([`write_window`](GeoStoreBuilder::write_window)) or time window
+    /// ([`window_duration`](GeoStoreBuilder::window_duration)) is hit, at
+    /// the hard cap of `MAX_QUEUE` requests, or on
+    /// [`flush`](Self::flush). Responses of sealed requests accumulate in
+    /// ticket order and are retrieved with `flush`.
+    ///
+    /// Windowing changes *when* epochs form, never *what* reads see:
+    /// responses for any submission order equal the serial executor's on
+    /// the same stream, except that [`Stats`](Request::Stats) responses
+    /// observe window-dependent epoch/cache counters.
+    pub fn submit(&mut self, request: Request<D>) -> u64 {
+        let ticket = self.submitted;
+        self.submitted += 1;
+        if self.queue.is_empty() {
+            self.queue_opened = Some(Instant::now());
+        }
+        if request.is_write() {
+            self.queued_writes += 1;
+        }
+        self.queue.push(request);
+        if let Some(o) = &self.obs {
+            o.queue_depth.set(self.queue.len() as i64);
+        }
+        let size_hit = self.write_window.is_some_and(|w| self.queued_writes >= w);
+        let time_hit = self
+            .window_duration
+            .zip(self.queue_opened)
+            .is_some_and(|(d, t)| t.elapsed() >= d);
+        if size_hit || time_hit || self.queue.len() >= MAX_QUEUE {
+            self.seal_queue();
+        }
+        ticket
+    }
+
+    /// Requests currently admitted but not yet sealed into an epoch.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seals the admission queue (forming its write epochs and serving
+    /// its reads) and returns every response accumulated since the last
+    /// flush, in ticket order.
+    pub fn flush(&mut self) -> Vec<GeoResult<Response<D>>> {
+        self.seal_queue();
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Drains the admission queue through the configured executor.
+    fn seal_queue(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.queue);
+        self.queued_writes = 0;
+        self.queue_opened = None;
+        if let Some(o) = &self.obs {
+            o.queue_depth.set(0);
+        }
+        let responses = self.execute(&batch);
+        self.completed.extend(responses);
     }
 
     /// Applies a run of `Insert` requests as one coalesced index batch.

@@ -1,0 +1,412 @@
+//! Integration: snapshot-isolated concurrent serving. The pipelined
+//! executor (`pipeline(true)`) — epoch-pinned reads overlapping live
+//! write-apply — must answer every request stream bit-identically to the
+//! epoch-serial planner, per request and not just by digest, across every
+//! backend, shard count, and thread count; store snapshots must keep
+//! answering their pinned epoch through rebuilds, compactions, and
+//! out-of-order drops.
+
+use pargeo::prelude::*;
+use pargeo::store::digest_responses;
+use std::time::Duration;
+
+fn to_requests(w: &Workload<2>) -> Vec<Request<2>> {
+    let mut reqs = vec![Request::Insert(w.initial.clone())];
+    reqs.extend(w.ops.iter().map(|op| match op {
+        WorkloadOp::Insert(batch) => Request::Insert(batch.clone()),
+        WorkloadOp::Delete(batch) => Request::Delete(batch.clone()),
+        WorkloadOp::Knn(queries, k) => Request::Knn {
+            queries: queries.clone(),
+            k: *k,
+        },
+        WorkloadOp::Range(boxes) => Request::Range(boxes.clone()),
+        WorkloadOp::Derived(d) => match d {
+            DerivedOp::Hull => Request::Hull,
+            DerivedOp::Seb => Request::Seb,
+            DerivedOp::ClosestPair => Request::ClosestPair,
+            DerivedOp::Emst => Request::Emst,
+            DerivedOp::KnnGraph(k) => Request::KnnGraph { k: *k },
+            DerivedOp::DelaunayGraph => Request::DelaunayGraph,
+        },
+    }));
+    reqs
+}
+
+fn backends() -> Vec<Backend> {
+    let mut v = Backend::all().to_vec();
+    v.push(Backend::Oracle);
+    v
+}
+
+/// Per-request equality, every variant included — `Stats` too: the
+/// pipelined executor pins its snapshot after the read run's memo ensure
+/// pass, so even epoch/cache counters must match the serial planner's.
+fn assert_streams_equal(
+    want: &[GeoResult<Response<2>>],
+    got: &[GeoResult<Response<2>>],
+    ctx: &str,
+) {
+    assert_eq!(want.len(), got.len(), "{ctx}: response count");
+    for (i, (a, b)) in want.iter().zip(got).enumerate() {
+        assert_eq!(a, b, "{ctx}: response {i} diverged");
+    }
+    assert_eq!(
+        digest_responses(want),
+        digest_responses(got),
+        "{ctx}: digest"
+    );
+}
+
+#[test]
+fn pipelined_executor_is_bit_identical_on_every_store_preset() {
+    // The acceptance sweep: every store preset, every backend (oracle
+    // included), shards ∈ {1, 4}, two thread counts — the pipelined
+    // executor's responses equal the epoch-serial planner's, request by
+    // request.
+    for mut spec in WorkloadSpec::store_presets(1_200) {
+        spec.batch_size = spec.batch_size.min(64);
+        let w: Workload<2> = spec.generate();
+        let reqs = to_requests(&w);
+        for backend in backends() {
+            for shards in [1usize, 4] {
+                let mut serial = GeoStore::<2>::builder()
+                    .backend(backend)
+                    .shards(shards)
+                    .build();
+                let want = serial.execute(&reqs);
+                for threads in [1usize, 2] {
+                    let mut piped = GeoStore::<2>::builder()
+                        .backend(backend)
+                        .shards(shards)
+                        .threads(threads)
+                        .pipeline(true)
+                        .build();
+                    let got = piped.execute(&reqs);
+                    let ctx = format!(
+                        "{} S={shards} T={threads} preset={}",
+                        backend.label(),
+                        spec.name
+                    );
+                    assert_streams_equal(&want, &got, &ctx);
+                    assert_eq!(serial.len(), piped.len(), "{ctx}: final live");
+                    assert_eq!(
+                        serial.stats().write_epoch,
+                        piped.stats().write_epoch,
+                        "{ctx}: write epochs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_scripted_stream_with_stats_is_exact() {
+    // A hand-scripted stream that exercises what the presets cannot:
+    // `Stats` requests landing mid-run (the pinned snapshot must report
+    // the serial planner's exact epoch and cache counters), reads before
+    // any write, and back-to-back write runs of both kinds.
+    let pts = pargeo::datagen::uniform_cube::<2>(1_500, 41);
+    let boxes = pargeo::datagen::uniform_rects::<2>(15, 8, 0.3);
+    let reqs: Vec<Request<2>> = vec![
+        Request::Stats, // read run on the empty store
+        Request::Insert(pts[..700].to_vec()),
+        Request::Knn {
+            queries: pts.iter().step_by(89).copied().collect(),
+            k: 6,
+        },
+        Request::Hull,
+        Request::Stats,
+        Request::Delete(pts[..200].to_vec()),
+        Request::Insert(pts[700..].to_vec()),
+        Request::Range(boxes.clone()),
+        Request::Hull,
+        Request::Hull, // cache hit against the pinned memo
+        Request::Emst,
+        Request::Stats,
+        Request::Delete(pts[900..].to_vec()),
+        Request::Knn {
+            queries: pts.iter().step_by(53).copied().collect(),
+            k: 4,
+        },
+        Request::DelaunayGraph,
+        Request::KnnGraph { k: 3 },
+        Request::Stats,
+        Request::Insert(vec![]), // no-op write run at the tail
+    ];
+    for backend in backends() {
+        for shards in [1usize, 4] {
+            let mut serial = GeoStore::<2>::builder()
+                .backend(backend)
+                .shards(shards)
+                .build();
+            let want = serial.execute(&reqs);
+            let mut piped = GeoStore::<2>::builder()
+                .backend(backend)
+                .shards(shards)
+                .pipeline(true)
+                .build();
+            let got = piped.execute(&reqs);
+            let ctx = format!("{} S={shards} scripted", backend.label());
+            assert_streams_equal(&want, &got, &ctx);
+        }
+    }
+}
+
+#[test]
+fn submit_flush_matches_batch_execute_for_every_window() {
+    // Continuous admission: the same stream submitted one request at a
+    // time — under a size window, a zero time window (every submit
+    // seals), and no window at all (everything seals at flush) — must
+    // produce the serial executor's exact responses in ticket order.
+    // Windowing changes when epochs form, never what reads see.
+    let mut spec = WorkloadSpec::store_presets(1_000)
+        .into_iter()
+        .next()
+        .unwrap();
+    spec.batch_size = spec.batch_size.min(64);
+    let w: Workload<2> = spec.generate();
+    let reqs = to_requests(&w);
+
+    let mut serial = GeoStore::<2>::builder().build();
+    let want = serial.execute(&reqs);
+
+    let windows: Vec<GeoStoreBuilder<2>> = vec![
+        GeoStore::<2>::builder().pipeline(true).write_window(2),
+        GeoStore::<2>::builder().window_duration(Duration::ZERO),
+        GeoStore::<2>::builder().pipeline(true),
+    ];
+    for (wi, builder) in windows.into_iter().enumerate() {
+        let mut store = builder.build();
+        for (i, req) in reqs.iter().enumerate() {
+            let ticket = store.submit(req.clone());
+            assert_eq!(ticket, i as u64, "window {wi}: tickets count submissions");
+        }
+        let got = store.flush();
+        assert_streams_equal(&want, &got, &format!("window {wi}"));
+        assert_eq!(store.queue_depth(), 0, "window {wi}: flush drains");
+        assert!(store.flush().is_empty(), "window {wi}: flush is one-shot");
+    }
+
+    // Without any window, nothing seals until flush; with a zero time
+    // window, every submit seals immediately.
+    let mut unwindowed = GeoStore::<2>::builder().build();
+    unwindowed.submit(Request::Insert(w.initial.clone()));
+    unwindowed.submit(Request::Hull);
+    assert_eq!(unwindowed.queue_depth(), 2);
+    let responses = unwindowed.flush();
+    assert_eq!(responses.len(), 2);
+    assert!(responses[1].is_ok(), "hull over the submitted insert");
+
+    let mut eager = GeoStore::<2>::builder()
+        .window_duration(Duration::ZERO)
+        .build();
+    eager.submit(Request::Insert(w.initial.clone()));
+    assert_eq!(eager.queue_depth(), 0, "zero time window seals per submit");
+}
+
+#[test]
+fn snapshots_survive_rebuilds_compaction_and_out_of_order_drops() {
+    // Lifetime regression: snapshots pinned at two different epochs keep
+    // answering their own epoch — bit-identically to a frozen reference
+    // store replayed to the same prefix — while the live store churns
+    // through delete-triggered rebuilds, and no matter the drop order.
+    let pts = pargeo::datagen::uniform_cube::<2>(2_000, 43);
+    let queries: Vec<Point2> = pts.iter().step_by(71).copied().collect();
+    let boxes = pargeo::datagen::uniform_rects::<2>(12, 6, 0.25);
+
+    let make = || {
+        GeoStore::<2>::builder()
+            .backend(Backend::DynKd)
+            .shards(4)
+            .rebuild_fraction(0.1)
+            .build()
+    };
+    let mut store = make();
+
+    // Epoch A: first kilopoint, memo warmed.
+    store.insert(&pts[..1_000]);
+    store.hull().unwrap();
+    let snap_a = store.pin();
+
+    // Frozen reference at epoch A.
+    let mut ref_a = make();
+    ref_a.insert(&pts[..1_000]);
+    ref_a.hull().unwrap();
+
+    // Epoch B: a delete heavy enough to trigger compaction/rebuild, plus
+    // fresh inserts.
+    store.delete(&pts[..600]);
+    store.insert(&pts[1_000..]);
+    let snap_b = store.pin();
+
+    let mut ref_b = make();
+    ref_b.insert(&pts[..1_000]);
+    ref_b.hull().unwrap();
+    ref_b.delete(&pts[..600]);
+    ref_b.insert(&pts[1_000..]);
+
+    // More churn after both pins: the live store moves on.
+    store.delete(&pts[1_500..]);
+    store.insert(&pargeo::datagen::uniform_cube::<2>(500, 44));
+
+    let check = |snap: &StoreSnapshot<2>, reference: &mut GeoStore<2>, label: &str| {
+        assert_eq!(snap.len(), reference.len(), "{label}: live count");
+        assert_eq!(
+            snap.knn(&queries, 5).unwrap(),
+            reference.knn(&queries, 5).unwrap(),
+            "{label}: knn"
+        );
+        assert_eq!(
+            snap.range(&boxes).unwrap(),
+            reference.range(&boxes).unwrap(),
+            "{label}: range"
+        );
+        assert_eq!(snap.hull(), reference.hull(), "{label}: hull");
+        assert_eq!(snap.emst(), reference.emst(), "{label}: emst");
+        assert_eq!(
+            snap.stats().write_epoch,
+            reference.stats().write_epoch,
+            "{label}: pinned epoch"
+        );
+        // Per-shard views report the pinned epoch's partition.
+        let pinned: usize = snap.shard_snapshots().iter().map(|s| s.live).sum();
+        assert_eq!(pinned, snap.len(), "{label}: shard snapshots partition");
+    };
+
+    check(&snap_b, &mut ref_b, "snap B before drops");
+    check(&snap_a, &mut ref_a, "snap A before drops");
+
+    // Out-of-order retirement: B (the newer pin) drops first; A must be
+    // unaffected. Then the live store keeps serving after both retire.
+    drop(snap_b);
+    check(&snap_a, &mut ref_a, "snap A after B dropped");
+    assert!(snap_a.write_epoch() < store.stats().write_epoch);
+    drop(snap_a);
+    assert!(store.knn(&queries, 5).is_ok());
+}
+
+#[test]
+fn pinned_views_gauge_tracks_snapshot_lifetimes() {
+    let pts = pargeo::datagen::uniform_cube::<2>(400, 45);
+    let mut store = GeoStore::<2>::builder().observe(ObsLevel::Metrics).build();
+    store.insert(&pts);
+    let gauge = store
+        .registry()
+        .expect("metrics level")
+        .gauge("geostore_pinned_views", &[]);
+    assert_eq!(gauge.get(), 0);
+    let a = store.pin();
+    let b = store.pin();
+    assert_eq!(gauge.get(), 2);
+    drop(a);
+    assert_eq!(gauge.get(), 1);
+    // A snapshot is immutable: writes through it are typed errors.
+    assert_eq!(
+        b.answer(&Request::Insert(pts[..2].to_vec())),
+        Err(GeoError::BadParameter {
+            op: "geostore_snapshot",
+            what: "write request against a pinned snapshot",
+        })
+    );
+    drop(b);
+    assert_eq!(gauge.get(), 0);
+
+    // The pipelined executor retires every snapshot it pins.
+    let mut piped = GeoStore::<2>::builder()
+        .pipeline(true)
+        .observe(ObsLevel::Metrics)
+        .build();
+    piped.execute(&[
+        Request::Insert(pts.to_vec()),
+        Request::Hull,
+        Request::Delete(pts[..100].to_vec()),
+        Request::Knn {
+            queries: pts[..5].to_vec(),
+            k: 3,
+        },
+    ]);
+    let registry = piped.registry().expect("metrics level");
+    assert_eq!(registry.gauge("geostore_pinned_views", &[]).get(), 0);
+    let counters = registry.counter_values();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    // Two read runs pinned; the first overlapped the delete epoch that
+    // followed it, the trailing one had nothing to overlap.
+    assert_eq!(get("geostore_pipeline_runs_total"), 2);
+    assert_eq!(get("geostore_pipeline_overlapped_total"), 1);
+}
+
+#[test]
+fn shard_regions_stop_fanning_out_to_vacated_space() {
+    // Regression for the bbox-shrink bug: per-shard cumulative bounding
+    // boxes used to never shrink after deletes, so range queries kept
+    // fanning out into space a delete had vacated. With effective regions
+    // recomputed, queries into the vacated half must prune every shard —
+    // observed through the engine's visited/pruned counters.
+    let near: Vec<Point2> = pargeo::datagen::uniform_cube::<2>(600, 46);
+    let far: Vec<Point2> = pargeo::datagen::uniform_cube::<2>(600, 47)
+        .into_iter()
+        .map(|p| Point2::new([p.coords[0] + 100.0, p.coords[1] + 100.0]))
+        .collect();
+
+    let mut store = GeoStore::<2>::builder()
+        .shards(4)
+        .observe(ObsLevel::Metrics)
+        .build();
+    store.insert(&near);
+    store.insert(&far);
+
+    // Vertical strips tiling the far cluster's bounding box exactly.
+    let far_bb = Bbox::from_points(&far);
+    let strip = (far_bb.max[0] - far_bb.min[0]) / 8.0;
+    let far_boxes: Vec<Bbox<2>> = (0..8)
+        .map(|i| {
+            let lo = far_bb.min[0] + i as f64 * strip;
+            Bbox::from_points(&[
+                Point2::new([lo, far_bb.min[1]]),
+                Point2::new([lo + strip, far_bb.max[1]]),
+            ])
+        })
+        .collect();
+    // Sanity: before the delete the far boxes do reach live shards.
+    let hits: usize = store.range(&far_boxes).unwrap().iter().map(Vec::len).sum();
+    assert_eq!(hits, far.len(), "far boxes tile the far cluster");
+
+    let registry = store.registry().expect("metrics level").clone();
+    let visited = || {
+        registry
+            .counter_values()
+            .iter()
+            .filter(|(k, _)| k.starts_with("shard_range_visited_total"))
+            .map(|(_, v)| *v)
+            .sum::<u64>()
+    };
+    store.delete(&far);
+    assert_eq!(store.len(), near.len());
+
+    // Every shard's effective region has contracted to the near cluster:
+    // the same far boxes must now prune everywhere — zero shard visits,
+    // zero hits.
+    let before = visited();
+    let rows = store.range(&far_boxes).unwrap();
+    assert!(
+        rows.iter().all(Vec::is_empty),
+        "vacated space has no points"
+    );
+    assert_eq!(
+        visited(),
+        before,
+        "range fan-out visited a shard whose region no longer intersects"
+    );
+
+    // And the near cluster still answers exactly.
+    let near_box = Bbox::from_points(&near);
+    let ids = store.range(std::slice::from_ref(&near_box)).unwrap();
+    assert_eq!(ids[0].len(), near.len());
+}
