@@ -243,6 +243,7 @@ pub use pargeo_morton as morton;
 pub use pargeo_obs as obs;
 pub use pargeo_parlay as parlay;
 pub use pargeo_rangequery as rangequery;
+pub use pargeo_sched as sched;
 pub use pargeo_seb as seb;
 pub use pargeo_store as store;
 pub use pargeo_wspd as wspd;

@@ -8,6 +8,7 @@
 
 mod dnc;
 mod inc;
+mod prefilter;
 mod quickhull;
 mod randinc;
 mod seq;
@@ -15,6 +16,7 @@ pub mod validate;
 
 pub use dnc::hull2d_divide_conquer;
 pub use inc::{Hull2dIncremental, HullBatchOutcome};
+pub use prefilter::try_hull2d_prefiltered;
 pub use quickhull::hull2d_quickhull_parallel;
 pub use randinc::hull2d_randinc;
 pub use seq::hull2d_seq;

@@ -1,0 +1,229 @@
+//! Octagon prefilter: discard points that provably cannot be hull
+//! vertices before running the full 2D hull.
+//!
+//! The filter computes the extreme point of the input in eight fixed
+//! directions (the axes and diagonals), forms the convex octagon those ≤8
+//! points span, and discards every point *strictly inside* it — a classic
+//! "throw-away" preprocessing step (Akl & Toussaint, 1978). On blob-like
+//! distributions it removes the vast majority of points for 8 exact
+//! orientation tests each; on adversarial inputs (everything on the hull)
+//! it keeps everything and costs one linear pass.
+//!
+//! **Bit-identity argument.** The octagon is the convex hull of eight
+//! *input* points, so it is contained in `hull(P)`; its interior is
+//! therefore contained in the interior of `hull(P)` and is disjoint from
+//! the hull boundary. Every point on the hull boundary — every vertex,
+//! every collinear boundary point, every duplicate of one — survives the
+//! filter, and the survivors keep their relative index order, so the
+//! downstream algorithm sees the same candidates in the same order and
+//! ties resolve to the same original indices. The strictness test uses
+//! the exact [`orient2d`] predicate, so "strictly inside" has no rounding
+//! slack: a point is only discarded when it is exactly interior. Hence
+//! `try_hull2d_prefiltered(P).0 == try_hull2d(P)` bit-for-bit, enforced
+//! by the parity tests below and the store-level differential suites.
+
+use super::{sees, try_hull2d};
+use pargeo_geometry::{GeoResult, Point2};
+use rayon::prelude::*;
+
+/// Below this size the filter's pass costs more than it saves; run the
+/// plain hull.
+const MIN_PREFILTER: usize = 64;
+
+/// The eight filter directions, counter-clockwise from +x. Extreme points
+/// taken in this order trace the octagon counter-clockwise.
+const DIRS: [[f64; 2]; 8] = [
+    [1.0, 0.0],
+    [1.0, 1.0],
+    [0.0, 1.0],
+    [-1.0, 1.0],
+    [-1.0, 0.0],
+    [-1.0, -1.0],
+    [0.0, -1.0],
+    [1.0, -1.0],
+];
+
+/// [`try_hull2d`] behind the octagon prefilter. Returns the hull (indices
+/// into `points`, identical to the unfiltered result) and the number of
+/// points the filter discarded.
+pub fn try_hull2d_prefiltered(points: &[Point2]) -> GeoResult<(Vec<u32>, usize)> {
+    if points.len() < MIN_PREFILTER {
+        return Ok((try_hull2d(points)?, 0));
+    }
+
+    // Extreme point per direction, first index on ties (any tie choice is
+    // correct — the octagon only needs to be spanned by input points —
+    // but first-index keeps the filter deterministic).
+    let mut extreme = [0usize; 8];
+    for (d, slot) in DIRS.iter().zip(extreme.iter_mut()) {
+        let mut best = 0usize;
+        let mut best_dot = points[0][0] * d[0] + points[0][1] * d[1];
+        for (i, p) in points.iter().enumerate().skip(1) {
+            let dot = p[0] * d[0] + p[1] * d[1];
+            if dot > best_dot {
+                best = i;
+                best_dot = dot;
+            }
+        }
+        *slot = best;
+    }
+
+    // The extreme points in direction order trace the octagon CCW; drop
+    // consecutive duplicates (flat inputs collapse several directions
+    // onto one point). A degenerate octagon (< 3 distinct vertices, or
+    // zero area) has empty interior: nothing can be strictly inside, so
+    // filtering would keep everything — skip straight to the plain hull.
+    let mut octagon: Vec<u32> = Vec::with_capacity(8);
+    for &e in &extreme {
+        let e = e as u32;
+        if octagon.last() != Some(&e) && octagon.first() != Some(&e) {
+            octagon.push(e);
+        }
+    }
+    if octagon.len() < 3 {
+        return Ok((try_hull2d(points)?, 0));
+    }
+
+    // Keep a point unless it is strictly left of every CCW octagon edge
+    // (exactly interior). `sees(a, b, q)` is true when q is strictly
+    // *right* of a→b, so "on or outside some edge" is `sees` with the
+    // edge reversed... simpler: q is strictly inside iff it is strictly
+    // left of every edge, i.e. the edge "sees" q from the right never
+    // happens and no edge is collinear with q. Using `sees(b, a, q)`
+    // (reversed edge) gives exactly "strictly left of a→b".
+    let keep: Vec<bool> = points
+        .par_iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let q = i as u32;
+            let inside = octagon.iter().zip(octagon.iter().cycle().skip(1)).all(
+                |(&a, &b)| sees(points, b, a, q), // strictly left of a→b
+            );
+            !inside
+        })
+        .collect();
+
+    let kept: Vec<u32> = (0..points.len() as u32)
+        .filter(|&i| keep[i as usize])
+        .collect();
+    let discarded = points.len() - kept.len();
+    if discarded == 0 {
+        return Ok((try_hull2d(points)?, 0));
+    }
+
+    let compact: Vec<Point2> = kept.iter().map(|&i| points[i as usize]).collect();
+    let hull = try_hull2d(&compact)?;
+    Ok((
+        hull.into_iter().map(|h| kept[h as usize]).collect(),
+        discarded,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargeo_datagen::{in_sphere, on_sphere, uniform_cube};
+
+    fn parity(points: &[Point2]) {
+        let plain = try_hull2d(points);
+        let filtered = try_hull2d_prefiltered(points);
+        match (plain, filtered) {
+            (Ok(h), Ok((hf, _))) => assert_eq!(h, hf, "prefilter changed the hull"),
+            (Err(e), Err(ef)) => assert_eq!(format!("{e:?}"), format!("{ef:?}")),
+            (p, f) => panic!("outcome diverged: plain={p:?} filtered={f:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_on_generator_suites() {
+        for seed in [1u64, 7, 42] {
+            parity(&uniform_cube::<2>(2_000, seed));
+            parity(&in_sphere::<2>(2_000, seed));
+            // The OS dataset is an annulus (10% inward jitter), so some
+            // points are interior — parity still must hold.
+            parity(&on_sphere::<2>(500, seed));
+        }
+    }
+
+    #[test]
+    fn exact_ring_discards_nothing() {
+        // Points exactly on a circle are never strictly inside the
+        // octagon its own extreme points span (chords cut inward).
+        let ring: Vec<Point2> = (0..512)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / 512.0;
+                Point2::new([100.0 * t.cos(), 100.0 * t.sin()])
+            })
+            .collect();
+        let (_, discarded) = try_hull2d_prefiltered(&ring).unwrap();
+        assert_eq!(discarded, 0, "circle points are never interior");
+        parity(&ring);
+    }
+
+    #[test]
+    fn discards_interior_bulk_on_blobs() {
+        let pts = in_sphere::<2>(10_000, 3);
+        let (_, discarded) = try_hull2d_prefiltered(&pts).unwrap();
+        // The octagon of a disk-ish blob covers most of it.
+        assert!(
+            discarded > pts.len() / 2,
+            "expected a majority discarded, got {discarded}/{}",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn octagon_is_not_a_slab_intersection() {
+        // {(0,0),(10,1),(1,10),(9.0,0.6)}: the last point is inside every
+        // axis/diagonal *slab* but outside the octagon (it is a hull
+        // vertex). A slab-based filter would wrongly discard it; padding
+        // with interior points pushes past MIN_PREFILTER so the filter
+        // actually runs.
+        let mut pts: Vec<Point2> = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([10.0, 1.0]),
+            Point2::new([1.0, 10.0]),
+            Point2::new([9.0, 0.6]),
+        ];
+        for i in 0..200 {
+            let t = i as f64 / 200.0;
+            pts.push(Point2::new([2.0 + 3.0 * t, 2.0 + 2.0 * t]));
+        }
+        let (hull, _) = try_hull2d_prefiltered(&pts).unwrap();
+        assert!(hull.contains(&3), "the near-edge vertex must survive");
+        parity(&pts);
+    }
+
+    #[test]
+    fn duplicates_and_collinear_boundaries_survive() {
+        // Square with duplicated corners and collinear edge midpoints:
+        // all on the hull boundary, none may be discarded before the
+        // dedup/tie logic downstream sees them.
+        let mut pts: Vec<Point2> = Vec::new();
+        for _ in 0..2 {
+            pts.push(Point2::new([0.0, 0.0]));
+            pts.push(Point2::new([4.0, 0.0]));
+            pts.push(Point2::new([4.0, 4.0]));
+            pts.push(Point2::new([0.0, 4.0]));
+            pts.push(Point2::new([2.0, 0.0]));
+            pts.push(Point2::new([4.0, 2.0]));
+        }
+        for i in 0..100 {
+            let t = 0.5 + (i as f64) / 50.0;
+            pts.push(Point2::new([t.min(3.5), 1.0 + (i % 7) as f64 / 3.0]));
+        }
+        parity(&pts);
+    }
+
+    #[test]
+    fn small_and_degenerate_inputs_pass_through() {
+        parity(&[]);
+        parity(&[Point2::new([1.0, 2.0])]);
+        let coincident: Vec<Point2> = vec![Point2::new([3.0, 3.0]); 100];
+        parity(&coincident);
+        let collinear: Vec<Point2> = (0..100)
+            .map(|i| Point2::new([i as f64, 2.0 * i as f64]))
+            .collect();
+        parity(&collinear);
+    }
+}

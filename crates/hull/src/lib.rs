@@ -37,7 +37,7 @@ pub mod hull3d;
 
 pub use hull2d::{
     hull2d_divide_conquer, hull2d_quickhull_parallel, hull2d_randinc, hull2d_seq, try_hull2d,
-    try_hull2d_with, Hull2dIncremental, HullBatchOutcome,
+    try_hull2d_prefiltered, try_hull2d_with, Hull2dIncremental, HullBatchOutcome,
 };
 pub use hull3d::{
     hull3d_divide_conquer, hull3d_pseudo, hull3d_quickhull_parallel, hull3d_randinc, hull3d_seq,

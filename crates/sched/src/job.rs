@@ -1,0 +1,166 @@
+//! Type-erased schedulable jobs.
+//!
+//! A [`JobRef`] is a `(data, exec)` pair pointing at either a
+//! [`StackJob`] (borrowed from the stack of a blocked `join`/`install`
+//! caller, completion signalled through a latch) or a [`HeapJob`]
+//! (owned allocation for detached `spawn` and scope tasks). Both wrap
+//! user code in `catch_unwind`, so a panicking task never unwinds into
+//! the worker loop — the pool is never poisoned; payloads are parked in
+//! the job's result slot (or the scope's panic slot) and rethrown on the
+//! thread that waits for them.
+
+use crate::latch::Latch;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Type-erased pointer to a job queued on a deque or the injector.
+///
+/// Public only for the deque stress tests (see [`crate::deque`]); nothing
+/// outside this crate can execute one.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef crosses threads by design; the underlying job types
+// require their closures and results to be Send, and each job is executed
+// exactly once.
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        // Jobs are distinct allocations/stack slots, so the data pointer
+        // identifies a job; comparing `exec` would trip the
+        // unpredictable-fn-pointer-comparison lint for no extra precision.
+        std::ptr::eq(self.data, other.data)
+    }
+}
+impl Eq for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new(data: *const (), exec: unsafe fn(*const ())) -> JobRef {
+        JobRef { data, exec }
+    }
+
+    /// Runs the job. Called exactly once, by a pool worker.
+    ///
+    /// # Safety
+    /// `data` must still be alive (stack jobs: the owner is blocked on the
+    /// latch; heap jobs: ownership transfers to the callee).
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+
+    /// An inert job carrying `tag` as its payload pointer — never executed;
+    /// exists so the deque stress tests can queue distinguishable values.
+    pub fn sentinel(tag: usize) -> JobRef {
+        unsafe fn never(_: *const ()) {}
+        JobRef {
+            data: tag as *const (),
+            exec: never,
+        }
+    }
+
+    /// The tag of a [`sentinel`](Self::sentinel) job.
+    pub fn tag(&self) -> usize {
+        self.data as usize
+    }
+}
+
+/// Completion state of a [`StackJob`].
+pub(crate) enum JobResult<R> {
+    /// Not executed yet.
+    None,
+    /// Finished normally.
+    Ok(R),
+    /// The closure panicked; the payload is rethrown by the waiter.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job borrowed from the stack of a thread blocked on its completion.
+///
+/// The closure receives `migrated: true` when it executes on a different
+/// worker than (or via injection from outside of) the one that spawned it
+/// — the signal the iterator layer's splitter uses to re-split after a
+/// steal.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// `(pool address, worker index)` of the spawning worker; `None` when
+    /// injected from outside any pool (always a migration).
+    spawner: Option<(usize, usize)>,
+}
+
+// SAFETY: accessed from the spawning thread and exactly one executing
+// worker, with the latch ordering the handoff (func is taken before the
+// latch is set; the result is read only after the latch is observed set).
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch + Sync,
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F, spawner: Option<(usize, usize)>) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+            spawner,
+        }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive (blocked on the latch) until the
+    /// returned job has executed.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new((self as *const Self).cast(), Self::execute)
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = &*data.cast::<Self>();
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let migrated = crate::pool::current_worker_id() != this.spawner;
+        let result = match panic::catch_unwind(AssertUnwindSafe(|| func(migrated))) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        *this.result.get() = result;
+        // Release-store: the waiter's acquire-probe of the latch makes the
+        // result write visible before take_result runs.
+        this.latch.set();
+    }
+
+    /// # Safety
+    /// Only after the latch was observed set.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+}
+
+/// An owned, fire-and-forget job (detached `spawn`, scope tasks).
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    /// Boxes `func` and erases it into a [`JobRef`], transferring ownership
+    /// to whichever worker executes it.
+    pub(crate) fn into_job_ref(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        unsafe { JobRef::new(Box::into_raw(boxed).cast_const().cast(), Self::execute) }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = Box::from_raw(data.cast_mut().cast::<Self>());
+        // Detached jobs have no waiter to rethrow into; scope tasks record
+        // their payload in the scope before this catch ever sees it. Either
+        // way the worker survives.
+        let _ = panic::catch_unwind(AssertUnwindSafe(this.func));
+    }
+}

@@ -1,0 +1,71 @@
+//! Completion latches: how a blocked spawner learns its job finished.
+//!
+//! [`SpinLatch`] is the cheap intra-pool latch (`join`): the waiter is a
+//! worker that keeps executing other jobs between probes, parking with a
+//! bounded timeout when idle, so a pure atomic flag suffices.
+//! [`LockLatch`] is for external threads blocked in `install`, which have
+//! no work to do and sleep on a condvar.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Anything a finished job can signal.
+pub(crate) trait Latch {
+    /// Marks the latch set. Must be the *last* access the setter makes to
+    /// the job's memory: the waiter may free it immediately after.
+    fn set(&self);
+}
+
+/// Atomic-flag latch probed by a working (never fully sleeping) waiter.
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Mutex + condvar latch for external (non-worker) waiters.
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.cv.notify_all();
+    }
+}

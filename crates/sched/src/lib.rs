@@ -1,0 +1,373 @@
+//! `pargeo-sched`: a persistent work-stealing scheduler.
+//!
+//! This is the runtime under the workspace's rayon shim (and therefore
+//! under parlay, the engines, and the store executor): per-worker
+//! [Chase–Lev deques](deque) with owner-LIFO push/pop and thief-FIFO
+//! steal, a global injector for external submission, exponential-backoff
+//! parking for idle workers, and panic-safe [`join`]/[`scope`]/[`spawn`]
+//! primitives that propagate payloads to the waiting caller without ever
+//! poisoning the pool. See DESIGN.md §2.8 for the architecture and the
+//! digest-invisibility argument.
+//!
+//! # Execution model
+//!
+//! Work enters a pool through [`Pool::install`] (or the global-pool
+//! fallbacks of the free functions): the closure migrates onto a worker
+//! thread, and from there every [`join`] is two deque operations — push
+//! the second closure, run the first, pop the second back (or, if a
+//! thief took it, help with other work until its latch trips). `join`
+//! running on `b` before `a` never happens; `b` stolen and run
+//! concurrently is the *only* source of parallelism, which is what makes
+//! the scheduling schedule-invisible to deterministic reductions.
+//!
+//! # Determinism
+//!
+//! The scheduler never reorders a reduction tree — it only chooses
+//! *where* each subtree runs. Any caller whose merge step is
+//! shape-independent (all of this workspace's digest-checked reductions
+//! are) gets bit-identical results at any worker count and any stealing
+//! schedule.
+
+#![warn(missing_docs)]
+
+pub mod deque;
+mod job;
+mod latch;
+mod metrics;
+mod pool;
+
+pub use metrics::SchedStats;
+pub use pool::{configure_global, global, BuildError, Pool, PoolBuilder};
+
+use job::{HeapJob, JobResult, StackJob};
+use latch::SpinLatch;
+use pool::{with_worker, Worker};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of workers in the calling thread's pool (the global pool's
+/// size when called from outside any pool).
+pub fn current_num_threads() -> usize {
+    with_worker(|w| w.map(Worker::pool_size)).unwrap_or_else(|| global().num_threads())
+}
+
+/// The iterator-layer sequential threshold (items per leaf) of the
+/// calling thread's pool; calibrates on first use.
+pub fn current_grain() -> usize {
+    with_worker(|w| w.map(Worker::grain)).unwrap_or_else(|| global().grain())
+}
+
+/// Context passed to [`join_context`] closures.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinContext {
+    migrated: bool,
+}
+
+impl JoinContext {
+    /// `true` iff this closure was stolen — it runs on a different worker
+    /// than the one that spawned it (or was injected from outside a
+    /// pool). The signal lazy splitters use to re-split.
+    pub fn migrated(&self) -> bool {
+        self.migrated
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel (if an idle worker steals
+/// `b`), returning both results. Panics in either closure propagate to
+/// the caller after *both* closures finished: `a`'s payload wins if both
+/// panicked.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_context(|_| a(), |_| b())
+}
+
+/// [`join`] whose closures receive a [`JoinContext`] telling them whether
+/// they were stolen.
+pub fn join_context<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(JoinContext) -> RA + Send,
+    B: FnOnce(JoinContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    with_worker(|w| match w {
+        Some(worker) => join_on(worker, a, b),
+        // External thread: migrate the whole join onto the global pool.
+        None => global().install(|| join_context(a, b)),
+    })
+}
+
+fn join_on<A, B, RA, RB>(worker: &Worker, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(JoinContext) -> RA + Send,
+    B: FnOnce(JoinContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(
+        SpinLatch::new(),
+        move |migrated| b(JoinContext { migrated }),
+        Some(worker.id()),
+    );
+    // SAFETY: this frame outlives the job — it blocks below until the
+    // latch is set.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    worker.push(b_ref);
+    let ra = panic::catch_unwind(AssertUnwindSafe(|| a(JoinContext { migrated: false })));
+    // Wait for b even if a panicked: b borrows this frame. Prefer popping
+    // b back (it is on top unless stolen); a popped job that isn't b
+    // belongs to an outer join frame — execute it here, its owner will
+    // see the latch.
+    loop {
+        if b_job.latch.probe() {
+            break;
+        }
+        match worker.pop() {
+            Some(job) => {
+                let was_b = job == b_ref;
+                worker.execute_job(job);
+                if was_b {
+                    break;
+                }
+            }
+            None => {
+                // b was stolen: help with other work until it completes.
+                worker.wait_until(&|| b_job.latch.probe());
+                break;
+            }
+        }
+    }
+    let rb = unsafe { b_job.take_result() };
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    match rb {
+        JobResult::Ok(rb) => (ra, rb),
+        JobResult::Panicked(payload) => panic::resume_unwind(payload),
+        JobResult::None => unreachable!("join: b signalled completion without a result"),
+    }
+}
+
+/// Shared bookkeeping of one [`scope`] invocation.
+struct ScopeState {
+    pool: Arc<pool::PoolState>,
+    /// Outstanding tasks + 1 for the scope body itself.
+    pending: AtomicUsize,
+    /// First panic payload from a spawned task (later ones are dropped,
+    /// matching rayon).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// A fork-join scope: closures spawned on it may borrow from the
+/// enclosing frame (`'scope`), and [`scope`] blocks until all of them
+/// completed.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant over 'scope, like rayon's.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `task` into the scope's pool. The task may borrow anything
+    /// that outlives the scope and may itself spawn further tasks.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
+        let state = self.state.clone();
+        let scope = Scope {
+            state: self.state.clone(),
+            _marker: PhantomData,
+        };
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(&scope))) {
+                let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            // Release: pairs with the owner's acquire load of pending, so
+            // task writes into 'scope data happen-before scope() returns.
+            state.pending.fetch_sub(1, Ordering::Release);
+        });
+        // SAFETY: scope_on blocks until pending == 0, so every 'scope
+        // borrow in the closure outlives its execution; after the
+        // decrement above the closure holds only Arcs.
+        let wrapped: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(wrapped) };
+        let job = HeapJob::into_job_ref(wrapped);
+        with_worker(|w| match w {
+            Some(w) if w.in_pool(&self.state.pool) => w.push(job),
+            _ => self.state.pool.inject(job),
+        });
+    }
+}
+
+/// Creates a scope on the calling thread's pool (migrating onto the
+/// global pool from external threads), runs `op`, and blocks until every
+/// task spawned on the scope has completed — executing other pool work
+/// while it waits. The first panic (from `op` or any task; `op`'s wins)
+/// resumes on the caller after everything finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    with_worker(|w| match w {
+        Some(worker) => scope_on(worker, op),
+        None => global()
+            .install(|| with_worker(|w| scope_on(w.expect("install runs on a pool worker"), op))),
+    })
+}
+
+fn scope_on<'scope, OP, R>(worker: &Worker, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let state = Arc::new(ScopeState {
+        pool: worker.state_arc(),
+        pending: AtomicUsize::new(1),
+        panic: Mutex::new(None),
+    });
+    let scope = Scope {
+        state: state.clone(),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    state.pending.fetch_sub(1, Ordering::Release);
+    worker.wait_until(&|| state.pending.load(Ordering::Acquire) == 0);
+    let task_panic = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match (result, task_panic) {
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Some(payload)) => panic::resume_unwind(payload),
+        (Ok(r), None) => r,
+    }
+}
+
+/// Fire-and-forget task on the calling thread's pool (the global pool
+/// from external threads). There is no waiter, so a panic payload is
+/// dropped after unwinding is contained (use [`scope`] to observe task
+/// panics).
+pub fn spawn<F>(task: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let job = HeapJob::into_job_ref(Box::new(task));
+    with_worker(|w| match w {
+        Some(w) => w.push(job),
+        None => global().state().inject(job),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_computes_both_sides() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.install(|| join(|| 6 * 7, || "ok".to_string()));
+        assert_eq!((a, b.as_str()), (42, "ok"));
+    }
+
+    #[test]
+    fn join_panic_priority_is_a_then_b() {
+        let pool = Pool::new(2);
+        let caught = pool.install(|| {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                join(|| panic!("from a"), || panic!("from b"))
+            }))
+        });
+        let payload = caught.expect_err("join must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "from a");
+        // Pool still serves work afterwards.
+        assert_eq!(pool.install(|| join(|| 1, || 2)), (1, 2));
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks_and_collects_panics() {
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task boom"));
+                })
+            })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.install(|| join(|| 3, || 4)), (3, 4));
+    }
+
+    #[test]
+    fn install_runs_on_a_named_worker_thread() {
+        let pool = Pool::new(1);
+        let name = pool.install(|| std::thread::current().name().map(str::to_owned));
+        assert_eq!(name.as_deref(), Some("pargeo-sched-0"));
+        assert_eq!(pool.stats().workers, 1);
+    }
+
+    #[test]
+    fn nested_install_same_pool_is_inline() {
+        let pool = Pool::new(2);
+        let (outer, inner) = pool.install(|| {
+            let outer = std::thread::current().id();
+            let inner = pool.install(|| std::thread::current().id());
+            (outer, inner)
+        });
+        assert_eq!(outer, inner);
+    }
+
+    #[test]
+    fn stats_count_tasks_and_respect_worker_count() {
+        let pool = Pool::new(4);
+        pool.install(|| {
+            for _ in 0..100 {
+                join(|| (), || ());
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.per_worker_tasks.len(), 4);
+        // 1 install + 100 joins, each queueing one b-side job.
+        assert!(stats.tasks_total >= 101, "tasks: {}", stats.tasks_total);
+        assert_eq!(
+            stats.per_worker_tasks.iter().sum::<u64>(),
+            stats.tasks_total
+        );
+    }
+
+    #[test]
+    fn grain_env_and_builder_overrides() {
+        let pool = PoolBuilder::new()
+            .num_threads(1)
+            .grain(777)
+            .build()
+            .unwrap();
+        assert_eq!(pool.grain(), 777);
+        let pool2 = Pool::new(1);
+        let g = pool2.grain();
+        assert!((1..=1 << 20).contains(&g), "calibrated grain: {g}");
+        // Cached after first computation.
+        assert_eq!(pool2.grain(), g);
+    }
+}

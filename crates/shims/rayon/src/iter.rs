@@ -2,10 +2,20 @@
 //!
 //! A [`Producer`] is a splittable unit of work: it can be cut in two at a
 //! unit boundary, and a leaf executes sequentially via internal iteration
-//! ([`Producer::each`]). Terminal operations recursively split the producer
-//! into roughly `8 × current_num_threads()` pieces and run the halves
-//! through [`crate::join`], so parallelism, budget limits and `T1`
-//! sequential behavior all come from the same fork-join primitive.
+//! ([`Producer::each`]). Terminal operations drive the producer through
+//! *lazy binary splitting* (`LengthSplitter`): an eager phase cuts
+//! `current_num_threads()` initial pieces, and past that a subtree splits
+//! further only when it was actually stolen (detected via
+//! [`crate::join_context`]) and only while leaves stay above the pool's
+//! calibrated sequential grain ([`pargeo_sched::current_grain`], weighted
+//! by [`Producer::weight`]). Idle pools therefore pay near-sequential
+//! overhead while imbalanced workloads keep subdividing where the thieves
+//! are — rayon's splitter design on top of our own scheduler.
+//!
+//! The split *tree shape* only decides where subtrees execute, never the
+//! merge order: merges follow the recursion structure and every merge in
+//! this module is associative over ordered halves, so results are
+//! bit-identical at any worker count and any stealing schedule.
 //!
 //! Adapters that preserve one-item-per-unit (`map`, `enumerate`, `zip`)
 //! keep exact indexed semantics; `filter` / `filter_map` / `flat_map_iter`
@@ -34,10 +44,56 @@ pub trait Producer: Send + Sized {
     fn split_at(self, mid: usize) -> (Self, Self);
     /// Sequentially feeds every item to `f`.
     fn each<F: FnMut(Self::Item)>(self, f: F);
+    /// Approximate work per split unit, in "items" — used to scale the
+    /// sequential grain. Sources and per-item adapters are `1`; chunk
+    /// producers report their chunk size so a 4096-element chunk isn't
+    /// treated as one unit of work.
+    fn weight(&self) -> usize {
+        1
+    }
 }
 
-/// Recursive fork-join driver: split until `min_units`, merge bottom-up.
-fn drive<P, R, L, M>(p: P, leaf: &L, merge: &M, min_units: usize) -> R
+/// Rayon-style lazy binary splitter. `splits` funds an eager phase that
+/// cuts enough pieces to feed every worker once; after that a subtree
+/// splits again only when a thief actually picked it up (`stolen`), which
+/// resets its budget. `min` is the sequential threshold: half below it is
+/// never worth a task-spawn, per the pool's calibration.
+#[derive(Clone, Copy)]
+struct LengthSplitter {
+    splits: usize,
+    min: usize,
+}
+
+impl LengthSplitter {
+    fn new(weight: usize) -> Self {
+        LengthSplitter {
+            splits: crate::current_num_threads(),
+            min: (pargeo_sched::current_grain() / weight.max(1)).max(1),
+        }
+    }
+
+    fn try_split(&mut self, len: usize, stolen: bool) -> bool {
+        if len / 2 < self.min {
+            return false;
+        }
+        if stolen {
+            // A thief took this subtree: another worker is idle enough to
+            // steal, so re-fund the split budget for this branch.
+            self.splits = crate::current_num_threads();
+            true
+        } else if self.splits > 0 {
+            self.splits /= 2;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Recursive fork-join driver: split per [`LengthSplitter`], merge
+/// bottom-up in recursion order (deterministic regardless of who ran
+/// which half).
+fn drive<P, R, L, M>(p: P, leaf: &L, merge: &M, mut splitter: LengthSplitter, stolen: bool) -> R
 where
     P: Producer,
     R: Send,
@@ -45,22 +101,28 @@ where
     M: Fn(R, R) -> R + Sync,
 {
     let n = p.len();
-    if n <= min_units.max(1) {
+    if !splitter.try_split(n, stolen) {
         return leaf(p);
     }
     let (l, r) = p.split_at(n / 2);
-    let (a, b) = crate::join(
-        || drive(l, leaf, merge, min_units),
-        || drive(r, leaf, merge, min_units),
+    let (a, b) = crate::join_context(
+        |ctx| drive(l, leaf, merge, splitter, ctx.migrated()),
+        |ctx| drive(r, leaf, merge, splitter, ctx.migrated()),
     );
     merge(a, b)
 }
 
-/// Target leaf size: enough pieces to keep every thread fed, few enough to
-/// keep fork overhead negligible.
-fn min_units(len: usize) -> usize {
-    let pieces = 8 * crate::current_num_threads();
-    len.div_ceil(pieces.max(1)).max(1)
+/// Entry point for terminals: builds the splitter from the producer's
+/// weight and the current pool's grain, then drives.
+fn run<P, R, L, M>(p: P, leaf: L, merge: M) -> R
+where
+    P: Producer,
+    R: Send,
+    L: Fn(P) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    let splitter = LengthSplitter::new(p.weight());
+    drive(p, &leaf, &merge, splitter, false)
 }
 
 // ---------------------------------------------------------------------------
@@ -135,6 +197,9 @@ impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
             f(c);
         }
     }
+    fn weight(&self) -> usize {
+        self.size
+    }
 }
 
 pub struct ChunksMutProducer<'a, T: Send> {
@@ -166,6 +231,9 @@ impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
         for c in self.slice.chunks_mut(self.size) {
             f(c);
         }
+    }
+    fn weight(&self) -> usize {
+        self.size
     }
 }
 
@@ -241,6 +309,9 @@ where
         let MapProducer { base, f } = self;
         base.each(|x| g(f(x)));
     }
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
 }
 
 pub struct FilterProducer<P, F> {
@@ -279,6 +350,9 @@ where
             }
         });
     }
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
 }
 
 pub struct FilterMapProducer<P, F> {
@@ -314,6 +388,9 @@ where
                 g(y);
             }
         });
+    }
+    fn weight(&self) -> usize {
+        self.base.weight()
     }
 }
 
@@ -352,6 +429,9 @@ where
             }
         });
     }
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
 }
 
 /// Valid on one-item-per-unit bases (sources, `map`, `zip`) — the same
@@ -387,6 +467,9 @@ impl<P: Producer> Producer for EnumerateProducer<P> {
             i += 1;
         });
     }
+    fn weight(&self) -> usize {
+        self.base.weight()
+    }
 }
 
 /// Lockstep pairing of two equal-length one-item-per-unit producers
@@ -421,6 +504,9 @@ impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
                 g((x, y));
             }
         });
+    }
+    fn weight(&self) -> usize {
+        self.a.weight().max(self.b.weight())
     }
 }
 
@@ -504,8 +590,7 @@ impl<P: Producer> ParIter<P> {
     where
         F: Fn(P::Item) + Send + Sync,
     {
-        let mu = min_units(self.0.len());
-        drive(self.0, &|p: P| p.each(&f), &|(), ()| (), mu);
+        run(self.0, |p: P| p.each(&f), |(), ()| ());
     }
 
     pub fn collect<C: FromParallelIterator<P::Item>>(self) -> C {
@@ -517,16 +602,14 @@ impl<P: Producer> ParIter<P> {
         ID: Fn() -> P::Item + Send + Sync,
         OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
     {
-        let mu = min_units(self.0.len());
-        drive(
+        run(
             self.0,
-            &|p: P| {
+            |p: P| {
                 let mut acc = Some(identity());
                 p.each(|x| acc = Some(op(acc.take().expect("reduce accumulator"), x)));
                 acc.expect("reduce accumulator")
             },
-            &|a, b| op(a, b),
-            mu,
+            &op,
         )
     }
 
@@ -534,10 +617,9 @@ impl<P: Producer> ParIter<P> {
     where
         OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
     {
-        let mu = min_units(self.0.len());
-        drive(
+        run(
             self.0,
-            &|p: P| {
+            |p: P| {
                 let mut acc: Option<P::Item> = None;
                 p.each(|x| {
                     acc = Some(match acc.take() {
@@ -547,26 +629,23 @@ impl<P: Producer> ParIter<P> {
                 });
                 acc
             },
-            &|a, b| match (a, b) {
+            |a, b| match (a, b) {
                 (Some(a), Some(b)) => Some(op(a, b)),
                 (a, None) => a,
                 (None, b) => b,
             },
-            mu,
         )
     }
 
     pub fn count(self) -> usize {
-        let mu = min_units(self.0.len());
-        drive(
+        run(
             self.0,
-            &|p: P| {
+            |p: P| {
                 let mut n = 0usize;
                 p.each(|_| n += 1);
                 n
             },
-            &|a, b| a + b,
-            mu,
+            |a, b| a + b,
         )
     }
 
@@ -574,16 +653,14 @@ impl<P: Producer> ParIter<P> {
     where
         S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
     {
-        let mu = min_units(self.0.len());
-        drive(
+        run(
             self.0,
-            &|p: P| {
+            |p: P| {
                 let mut items = Vec::new();
                 p.each(|x| items.push(x));
                 items.into_iter().sum::<S>()
             },
-            &|a, b| [a, b].into_iter().sum::<S>(),
-            mu,
+            |a, b| [a, b].into_iter().sum::<S>(),
         )
     }
 
@@ -623,19 +700,17 @@ pub trait FromParallelIterator<T: Send>: Sized {
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
-        let mu = min_units(iter.0.len());
-        drive(
+        run(
             iter.0,
-            &|p: P| {
+            |p: P| {
                 let mut v = Vec::new();
                 p.each(|x| v.push(x));
                 v
             },
-            &|mut a: Vec<T>, mut b: Vec<T>| {
+            |mut a: Vec<T>, mut b: Vec<T>| {
                 a.append(&mut b);
                 a
             },
-            mu,
         )
     }
 }

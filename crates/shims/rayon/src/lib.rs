@@ -1,26 +1,26 @@
 //! Offline stand-in for [rayon](https://github.com/rayon-rs/rayon).
 //!
-//! This workspace vendors a minimal, dependency-free re-implementation of
-//! the rayon API surface it actually uses, so the build works with no
-//! registry access. The semantics mirror rayon where it matters:
+//! This workspace vendors a re-implementation of the rayon API surface it
+//! actually uses, so the build works with no registry access. Since PR 9
+//! it is a thin facade over [`pargeo_sched`], a real persistent
+//! work-stealing pool (per-worker Chase–Lev deques, a global injector,
+//! backoff parking), replacing the original budgeted `std::thread`
+//! fork-join. The semantics mirror rayon where it matters:
 //!
-//! * [`join`] really runs both closures concurrently (scoped `std::thread`)
-//!   as long as the current pool's thread budget allows, and degrades to
-//!   sequential execution when it does not — so `ThreadPool` sizes behave
-//!   like rayon's (`num_threads(1)` is genuinely sequential `T1`).
-//! * The parallel iterators in [`prelude`] are *indexed* producers that
-//!   split recursively and execute leaves sequentially, driving the splits
-//!   through [`join`]. Ordering guarantees match rayon's indexed iterators:
-//!   `collect` preserves input order.
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] scope a thread budget
-//!   (propagated into spawned workers), which `current_num_threads` reports.
-//!
-//! The scheduler is a budgeted fork-join, not a work-stealing deque; see
-//! DESIGN.md §7 for the substitution rationale and the upgrade path to real
-//! rayon when a registry is available.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+//! * [`join`] pushes its second closure on the calling worker's deque and
+//!   runs the first inline; an idle worker may steal the second, which is
+//!   the only source of parallelism. `num_threads(1)` is genuinely
+//!   sequential `T1`. Panics propagate after both sides finish.
+//! * [`ThreadPool::install`] *migrates* the closure onto a pool worker
+//!   (rayon's model), so every join/scope/iterator split underneath it is
+//!   a deque push, never an OS thread spawn.
+//! * The parallel iterators in [`prelude`] are indexed producers driven
+//!   by lazy binary splitting ([`join_context`] + steal-triggered
+//!   re-splits) with a calibrated sequential threshold — see
+//!   [`iter`] — matching rayon's producer/splitter design. `collect`
+//!   preserves input order.
+//! * [`scope`] / [`spawn`] run on the same pool and propagate task panics
+//!   to the scope owner.
 
 pub mod iter;
 pub mod prelude {
@@ -29,91 +29,20 @@ pub mod prelude {
     };
 }
 
-/// A pool is just a thread budget shared by everything running "inside" it.
-struct PoolState {
-    /// Maximum number of concurrently running worker threads (including the
-    /// thread that called [`ThreadPool::install`]).
-    limit: usize,
-    /// Number of *extra* threads currently spawned by [`join`].
-    active: AtomicUsize,
-}
+/// Context passed to [`join_context`] closures; `migrated()` reports
+/// whether the closure was stolen by another worker.
+pub use pargeo_sched::JoinContext as FnContext;
+/// A fork-join scope; see [`scope`].
+pub use pargeo_sched::Scope;
 
-impl PoolState {
-    fn new(limit: usize) -> Arc<Self> {
-        Arc::new(PoolState {
-            limit: limit.max(1),
-            active: AtomicUsize::new(0),
-        })
-    }
-
-    /// Try to reserve a slot for one more concurrent worker.
-    fn try_acquire(&self) -> bool {
-        self.active
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
-                if a + 1 < self.limit {
-                    Some(a + 1)
-                } else {
-                    None
-                }
-            })
-            .is_ok()
-    }
-
-    fn release(&self) {
-        self.active.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// The process-wide pool every thread falls back to. Initialized lazily to
-/// the machine parallelism, or explicitly (once, before any parallel work)
-/// by [`ThreadPoolBuilder::build_global`].
-static DEFAULT: OnceLock<Arc<PoolState>> = OnceLock::new();
-
-fn default_state() -> Arc<PoolState> {
-    DEFAULT
-        .get_or_init(|| {
-            PoolState::new(
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1),
-            )
-        })
-        .clone()
-}
-
-thread_local! {
-    static CURRENT: std::cell::RefCell<Option<Arc<PoolState>>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-fn current_state() -> Arc<PoolState> {
-    CURRENT
-        .with(|c| c.borrow().clone())
-        .unwrap_or_else(default_state)
-}
-
-/// Runs `f` with `state` as the thread's current pool, restoring on exit.
-fn with_state<R>(state: Arc<PoolState>, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Arc<PoolState>>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            let prev = self.0.take();
-            CURRENT.with(|c| *c.borrow_mut() = prev);
-        }
-    }
-    let prev = CURRENT.with(|c| c.borrow_mut().replace(state));
-    let _restore = Restore(prev);
-    f()
-}
-
-/// Number of threads in the current pool (the machine default when no
+/// Number of threads in the current pool (the global pool's size when no
 /// explicit pool is installed).
 pub fn current_num_threads() -> usize {
-    current_state().limit
+    pargeo_sched::current_num_threads()
 }
 
-/// Runs `a` and `b`, in parallel when the current pool has a spare thread,
-/// sequentially otherwise. Returns both results; propagates panics.
+/// Runs `a` and `b`, potentially in parallel on the current pool, and
+/// returns both results; propagates panics after both sides finished.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -121,46 +50,52 @@ where
     RA: Send,
     RB: Send,
 {
-    let state = current_state();
-    if state.try_acquire() {
-        struct Release<'a>(&'a PoolState);
-        impl Drop for Release<'_> {
-            fn drop(&mut self) {
-                self.0.release();
-            }
-        }
-        let _release = Release(&state);
-        let worker_state = state.clone();
-        std::thread::scope(|s| {
-            let hb = s.spawn(move || with_state(worker_state, b));
-            let ra = a();
-            let rb = match hb.join() {
-                Ok(rb) => rb,
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            (ra, rb)
-        })
-    } else {
-        let ra = a();
-        let rb = b();
-        (ra, rb)
-    }
+    pargeo_sched::join(a, b)
 }
 
-/// Error from [`ThreadPoolBuilder::build`]. This shim cannot actually fail
-/// to build a pool, but the type keeps call sites source-compatible.
+/// [`join`] whose closures receive an [`FnContext`] reporting whether
+/// they migrated to another worker (i.e. were stolen).
+pub fn join_context<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce(FnContext) -> RA + Send,
+    B: FnOnce(FnContext) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    pargeo_sched::join_context(a, b)
+}
+
+/// Creates a fork-join scope whose spawned tasks may borrow from the
+/// enclosing frame; blocks until all of them completed.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    pargeo_sched::scope(op)
+}
+
+/// Fire-and-forget task on the current pool.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    pargeo_sched::spawn(f)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] / `build_global`.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError(());
+pub struct ThreadPoolBuildError(pargeo_sched::BuildError);
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
+        write!(f, "thread pool build error: {}", self.0)
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder for a [`ThreadPool`] with a fixed thread budget.
+/// Builder for a [`ThreadPool`] with a fixed worker count.
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
@@ -178,35 +113,25 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let limit = self.num_threads.unwrap_or_else(|| default_state().limit);
-        Ok(ThreadPool {
-            state: PoolState::new(limit),
-        })
+        pargeo_sched::PoolBuilder::new()
+            .num_threads(self.num_threads.unwrap_or(0))
+            .build()
+            .map(|pool| ThreadPool { pool })
+            .map_err(ThreadPoolBuildError)
     }
 
-    /// Installs this budget as the process-wide default pool, visible from
-    /// every thread. Matches rayon's contract of failing if the global pool
-    /// was already initialized (explicitly, or implicitly by parallel work
-    /// that already ran).
+    /// Sizes the process-wide default pool. Matches rayon's contract of
+    /// failing if the global pool was already initialized (explicitly, or
+    /// implicitly by parallel work that already ran).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        // Compute the limit without default_state(), which would itself
-        // initialize DEFAULT and make this set() always fail.
-        let limit = self.num_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        });
-        DEFAULT
-            .set(PoolState::new(limit))
-            .map_err(|_| ThreadPoolBuildError(()))
+        pargeo_sched::configure_global(self.num_threads.unwrap_or(0)).map_err(ThreadPoolBuildError)
     }
 }
 
-/// A scoped thread budget. All parallel work executed under
-/// [`ThreadPool::install`] (including from threads [`join`] spawns) is
-/// limited to this pool's thread count.
+/// A dedicated work-stealing pool. All parallel work executed under
+/// [`ThreadPool::install`] runs on this pool's persistent workers.
 pub struct ThreadPool {
-    state: Arc<PoolState>,
+    pool: pargeo_sched::Pool,
 }
 
 impl ThreadPool {
@@ -215,11 +140,18 @@ impl ThreadPool {
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        with_state(self.state.clone(), op)
+        self.pool.install(op)
     }
 
     pub fn current_num_threads(&self) -> usize {
-        self.state.limit
+        self.pool.num_threads()
+    }
+
+    /// The underlying scheduler pool — not part of rayon's API; exposed
+    /// so the workspace can attach metrics registries and read
+    /// [`pargeo_sched::SchedStats`].
+    pub fn sched(&self) -> &pargeo_sched::Pool {
+        &self.pool
     }
 }
 
@@ -260,7 +192,8 @@ mod tests {
     fn install_scopes_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 3);
-        // Nested pools restore the outer budget.
+        // Nested pools: the inner install migrates to the inner pool and
+        // back.
         let outer = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
         let (o, i) = outer.install(|| {
             let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
@@ -307,5 +240,37 @@ mod tests {
             join(|| (), || panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn install_reuses_persistent_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let first = pool.install(|| std::thread::current().id());
+        let before = pool.sched().stats().tasks_total;
+        for _ in 0..10 {
+            pool.install(|| ());
+        }
+        let after = pool.sched().stats().tasks_total;
+        assert!(after >= before + 10, "installs must run as pool tasks");
+        // Same worker set serves every install (no thread churn): the ids
+        // seen later all come from the pool's two persistent workers.
+        let second = pool.install(|| std::thread::current().id());
+        let third = pool.install(|| std::thread::current().id());
+        assert!([second, third].contains(&first) || second == third);
+    }
+
+    #[test]
+    fn scope_spawn_borrows_from_stack() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut results = vec![0usize; 8];
+        pool.install(|| {
+            let chunks: Vec<&mut usize> = results.iter_mut().collect();
+            scope(|s| {
+                for (i, slot) in chunks.into_iter().enumerate() {
+                    s.spawn(move |_| *slot = i + 1);
+                }
+            });
+        });
+        assert_eq!(results, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 }

@@ -76,6 +76,10 @@ pub(crate) struct StoreObs {
     /// overlapped a following write epoch's apply. The ratio to
     /// `pipeline_runs` is the executor's overlap ratio.
     pub pipeline_overlapped: Arc<Counter>,
+    /// `geostore_prefilter_discarded_total` — points the octagon
+    /// prefilter removed ahead of wholesale 2D hull recomputes (only
+    /// moves when the store was built with `.prefilter(true)`).
+    pub prefilter_discarded: Arc<Counter>,
 }
 
 impl StoreObs {
@@ -98,6 +102,7 @@ impl StoreObs {
         let queue_depth = registry.gauge("geostore_queue_depth", &[]);
         let pipeline_runs = registry.counter("geostore_pipeline_runs_total", &[]);
         let pipeline_overlapped = registry.counter("geostore_pipeline_overlapped_total", &[]);
+        let prefilter_discarded = registry.counter("geostore_prefilter_discarded_total", &[]);
         Self {
             registry,
             level,
@@ -109,6 +114,7 @@ impl StoreObs {
             queue_depth,
             pipeline_runs,
             pipeline_overlapped,
+            prefilter_discarded,
         }
     }
 }

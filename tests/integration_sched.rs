@@ -1,0 +1,172 @@
+//! Scheduler integration (DESIGN.md §2.8): the store's parallelism —
+//! including the pipelined executor's read/write overlap — runs on the
+//! shared `pargeo-sched` pool, the pool is digest-invisible at every
+//! worker count, and the octagon hull prefilter changes counters but
+//! never answers.
+
+use pargeo::prelude::*;
+use pargeo::sched;
+
+fn workload() -> Workload<2> {
+    let specs = WorkloadSpec::store_presets(600);
+    specs[0].generate()
+}
+
+/// Sum of every counter sample whose family name starts with `prefix`.
+fn sum_of(counters: &[(String, u64)], prefix: &str) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+/// Satellite 1: `pipeline(true)` overlap work executes as tasks on the
+/// store's dedicated persistent pool (no ad-hoc threads). The sched
+/// counters land in the store's registry because the store attaches it at
+/// build time, and they keep growing batch over batch on the same pool —
+/// pool-thread reuse, visible through the per-worker counters.
+#[test]
+fn pipelined_store_runs_on_the_shared_sched_pool() {
+    let w = workload();
+    let mut store = GeoStore::<2>::builder()
+        .threads(2)
+        .pipeline(true)
+        .observe(ObsLevel::Metrics)
+        .build();
+    let report = run_store_workload(&mut store, &w);
+    assert_eq!(report.errors, 0, "clean preset must serve cleanly");
+
+    let registry = store.registry().expect("metrics level").clone();
+    let counters = registry.counter_values();
+    let tasks_after_run = sum_of(&counters, "sched_tasks_total");
+    assert!(
+        tasks_after_run > 0,
+        "store parallelism must execute as sched-pool tasks, got none"
+    );
+    // Overlap actually went through the pipelined executor...
+    assert!(sum_of(&counters, "geostore_pipeline_runs_total") > 0);
+    // ...and the per-worker breakdown accounts for every task: work ran
+    // on the pool's two persistent workers, not on transient threads.
+    let per_worker = sum_of(&counters, "sched_worker_tasks_total");
+    assert_eq!(per_worker, tasks_after_run);
+
+    // A second batch on the same store reuses the same workers: the
+    // registry-backed counters (attached once, at build) keep growing.
+    let mut next = workload();
+    next.ops.truncate(next.ops.len() / 2);
+    let _ = run_store_workload(&mut store, &next);
+    let counters = registry.counter_values();
+    assert!(
+        sum_of(&counters, "sched_tasks_total") > tasks_after_run,
+        "subsequent batches must run on the same persistent pool"
+    );
+}
+
+/// The pool is digest-invisible end to end: the same preset workload
+/// digests identically on dedicated pools of 1, 2 and 4 workers, serial
+/// and pipelined alike.
+#[test]
+fn store_digests_are_worker_count_invariant() {
+    let w = workload();
+    let mut baseline = GeoStore::<2>::builder().threads(1).build();
+    let want = run_store_workload(&mut baseline, &w);
+    for threads in [2usize, 4] {
+        for pipeline in [false, true] {
+            let mut store = GeoStore::<2>::builder()
+                .threads(threads)
+                .pipeline(pipeline)
+                .build();
+            let got = run_store_workload(&mut store, &w);
+            assert_eq!(
+                got.digest, want.digest,
+                "threads={threads} pipeline={pipeline} perturbed the digest"
+            );
+            assert_eq!(got.errors, want.errors);
+            assert_eq!(got.cache, want.cache);
+        }
+    }
+}
+
+/// Satellite 2: the octagon prefilter is answer-invisible but visible in
+/// obs — identical digests with it on or off, and the discarded-points
+/// counter moves only when it is on. `incremental(false)` forces the
+/// wholesale recompute path the filter guards.
+#[test]
+fn hull_prefilter_is_answer_invisible_and_metered() {
+    let w = workload();
+    for backend in Backend::all() {
+        let mut plain = GeoStore::<2>::builder()
+            .backend(backend)
+            .incremental(false)
+            .observe(ObsLevel::Metrics)
+            .build();
+        let want = run_store_workload(&mut plain, &w);
+        let plain_counters = plain.registry().unwrap().counter_values();
+        assert_eq!(
+            sum_of(&plain_counters, "geostore_prefilter_discarded_total"),
+            0,
+            "counter must not move with the filter off"
+        );
+
+        let mut filtered = GeoStore::<2>::builder()
+            .backend(backend)
+            .incremental(false)
+            .prefilter(true)
+            .observe(ObsLevel::Metrics)
+            .build();
+        let got = run_store_workload(&mut filtered, &w);
+        assert_eq!(
+            got.digest,
+            want.digest,
+            "prefilter perturbed the digest on {}",
+            backend.label()
+        );
+        assert_eq!(got.errors, want.errors);
+        let counters = filtered.registry().unwrap().counter_values();
+        assert!(
+            sum_of(&counters, "geostore_prefilter_discarded_total") > 0,
+            "the preset's hull recomputes see interior points to discard ({})",
+            backend.label()
+        );
+    }
+
+    // With incremental maintenance on, the engine path takes precedence;
+    // prefilter must still be a no-op on answers.
+    let mut inc = GeoStore::<2>::builder().prefilter(true).build();
+    let mut plain_inc = GeoStore::<2>::builder().build();
+    let got = run_store_workload(&mut inc, &w);
+    let want = run_store_workload(&mut plain_inc, &w);
+    assert_eq!(got.digest, want.digest);
+    assert_eq!(got.cache, want.cache);
+}
+
+/// The facade exposes the scheduler: a dedicated pool reports steals on
+/// an imbalanced workload at ≥2 workers (the counters the `sched_sweep`
+/// bench records), and stats stay coherent.
+#[test]
+fn sched_stats_observable_through_facade() {
+    let pool = sched::PoolBuilder::new()
+        .num_threads(2)
+        .grain(1)
+        .build()
+        .expect("pool");
+    // Skewed fork-join: the left arm is always heavy, the right arm
+    // trivial — lots of steal opportunities.
+    fn skewed(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = sched::join(|| skewed(depth - 1), || 1u64);
+        a + b
+    }
+    let total = pool.install(|| skewed(10));
+    assert_eq!(total, 11);
+    let stats = pool.stats();
+    assert_eq!(stats.workers, 2);
+    assert!(stats.tasks_total > 0);
+    assert_eq!(
+        stats.per_worker_tasks.iter().sum::<u64>(),
+        stats.tasks_total
+    );
+}
