@@ -2,8 +2,8 @@
 
 use pargeo_geometry::{Bbox, Point};
 use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
-use pargeo_kdtree::tree::SplitRule;
-use pargeo_kdtree::veb::{VebTree, VEB_LEAF_SIZE};
+use pargeo_kdtree::tree::{BuildParams, SplitRule};
+use pargeo_kdtree::veb::VebTree;
 use rayon::prelude::*;
 
 /// Default buffer-tree size `X` (tunable; the paper treats it as a
@@ -21,6 +21,9 @@ pub struct BdlTree<const D: usize> {
     trees: Vec<Option<VebTree<D>>>,
     x: usize,
     rule: SplitRule,
+    /// Points per vEB leaf (defaults from [`BuildParams`], so the
+    /// `PARGEO_LEAF` override applies to the whole cascade).
+    leaf_size: usize,
     live: usize,
     next_id: u32,
     epoch: u64,
@@ -47,6 +50,7 @@ impl<const D: usize> BdlTree<D> {
             trees: Vec::new(),
             x,
             rule,
+            leaf_size: BuildParams::default().leaf_size,
             live: 0,
             next_id: 0,
             epoch: 0,
@@ -170,9 +174,10 @@ impl<const D: usize> BdlTree<D> {
         }
         create_bits.clear();
         let rule = self.rule;
+        let leaf_size = self.leaf_size;
         let built: Vec<(usize, VebTree<D>)> = jobs
             .into_par_iter()
-            .map(|(i, pts)| (i, VebTree::build_with(&pts, VEB_LEAF_SIZE, rule)))
+            .map(|(i, pts)| (i, VebTree::build_with(&pts, leaf_size, rule)))
             .collect();
         self.rebuilds += built.len() as u64;
         for (i, t) in built {
@@ -309,6 +314,24 @@ impl<const D: usize> BdlTree<D> {
             .iter()
             .map(|t| t.as_ref().map(|t| t.len()).unwrap_or(0))
             .collect()
+    }
+
+    /// Heap bytes held by the cascade's flat arenas (every vEB tree's
+    /// slabs plus the insert buffer) — the `index_arena_bytes` gauge.
+    pub fn arena_bytes(&self) -> usize {
+        self.buffer.len() * std::mem::size_of::<(Point<D>, u32)>()
+            + self
+                .trees
+                .iter()
+                .flatten()
+                .map(|t| t.arena_bytes())
+                .sum::<usize>()
+    }
+
+    /// Total nodes across every occupied vEB tree — the
+    /// `index_nodes_total` gauge.
+    pub fn node_count(&self) -> usize {
+        self.trees.iter().flatten().map(|t| t.node_count()).sum()
     }
 }
 

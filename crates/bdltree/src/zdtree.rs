@@ -11,13 +11,41 @@
 //! [`pargeo_morton::bits_per_dim`]), matching the paper's observation that
 //! the approach does not extend cheaply to high dimensions.
 
-use pargeo_geometry::{Bbox, Point};
+use pargeo_geometry::{Bbox, Point, SoaPoints};
 use pargeo_kdtree::knn::{KnnBuffer, Neighbor};
 use pargeo_morton::{morton_code, morton_shard_of, parallel_bbox, total_bits};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
 
 const SEQ_CUTOFF: usize = 4096;
+
+/// Splits a code-sorted `(code, point, id)` run into the tree's columnar
+/// representation: a dense code column plus a [`SoaPoints`] arena in the
+/// same order (parallel per-column fill for large runs).
+fn split_columns<const D: usize>(merged: Vec<(u64, Point<D>, u32)>) -> (Vec<u64>, SoaPoints<D>) {
+    let n = merged.len();
+    let codes: Vec<u64>;
+    let mut pts = SoaPoints::with_len(n);
+    if n >= SEQ_CUTOFF {
+        codes = merged.par_iter().map(|&(c, _, _)| c).collect();
+        for d in 0..D {
+            pts.axis_mut(d)
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = merged[i].1[d]);
+        }
+        pts.ids_mut()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = merged[i].2);
+    } else {
+        codes = merged.iter().map(|&(c, _, _)| c).collect();
+        for (i, &(_, p, id)) in merged.iter().enumerate() {
+            pts.set(i, p, id);
+        }
+    }
+    (codes, pts)
+}
 
 #[derive(Debug, Clone)]
 struct ZNode<const D: usize> {
@@ -40,8 +68,10 @@ impl<const D: usize> ZNode<D> {
 #[derive(Debug, Clone)]
 pub struct ZdTree<const D: usize> {
     universe: Bbox<D>,
-    /// `(code, point, id)` sorted by code (ties broken arbitrarily).
-    items: Vec<(u64, Point<D>, u32)>,
+    /// Morton codes sorted ascending (ties broken arbitrarily).
+    codes: Vec<u64>,
+    /// Coordinate columns + ids in code order (row `i` ↔ `codes[i]`).
+    pts: SoaPoints<D>,
     nodes: Vec<ZNode<D>>,
     leaf_size: usize,
     next_id: u32,
@@ -61,7 +91,7 @@ impl<const D: usize> ZdTree<D> {
     /// stay exact, so out-of-universe points cost code locality, never
     /// correctness.
     pub fn new() -> Self {
-        Self::empty(16)
+        Self::empty(pargeo_kdtree::tree::BuildParams::default().leaf_size)
     }
 
     /// Builds over an initial point set; the bounding box of this set
@@ -69,7 +99,10 @@ impl<const D: usize> ZdTree<D> {
     /// later clamp onto the universe grid for code purposes (their true
     /// coordinates are kept and all queries remain exact).
     pub fn from_points(points: &[Point<D>]) -> Self {
-        Self::with_leaf_size(points, 16)
+        Self::with_leaf_size(
+            points,
+            pargeo_kdtree::tree::BuildParams::default().leaf_size,
+        )
     }
 
     /// Builds with an explicit leaf size.
@@ -85,7 +118,8 @@ impl<const D: usize> ZdTree<D> {
     fn empty(leaf_size: usize) -> Self {
         Self {
             universe: derive_universe::<D>(&[]),
-            items: Vec::new(),
+            codes: Vec::new(),
+            pts: SoaPoints::new(),
             nodes: Vec::new(),
             leaf_size,
             next_id: 0,
@@ -97,12 +131,12 @@ impl<const D: usize> ZdTree<D> {
 
     /// Number of stored points.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.codes.len()
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.codes.is_empty()
     }
 
     /// The fixed universe box.
@@ -130,14 +164,31 @@ impl<const D: usize> ZdTree<D> {
     /// region (every stored point is live; deletes remove entries).
     pub fn live_bbox(&self) -> Bbox<D> {
         let mut b = Bbox::empty();
-        for (_, p, _) in &self.items {
-            b.extend(p);
+        for i in 0..self.pts.len() {
+            b.extend(&self.pts.get(i));
         }
         b
     }
 
     fn code_of(&self, p: &Point<D>) -> u64 {
         morton_code(p, &self.universe)
+    }
+
+    /// Materializes the stored columns as `(code, point, id)` rows — the
+    /// transient AoS form the merge/filter update paths operate on before
+    /// scattering back into columns.
+    fn rows(&self) -> Vec<(u64, Point<D>, u32)> {
+        let n = self.codes.len();
+        if n >= SEQ_CUTOFF {
+            (0..n)
+                .into_par_iter()
+                .map(|i| (self.codes[i], self.pts.get(i), self.pts.id(i)))
+                .collect()
+        } else {
+            (0..n)
+                .map(|i| (self.codes[i], self.pts.get(i), self.pts.id(i)))
+                .collect()
+        }
     }
 
     /// Batch insert: Morton-sort the batch, merge into the sorted array,
@@ -166,9 +217,11 @@ impl<const D: usize> ZdTree<D> {
         };
         self.next_id += batch.len() as u32;
         parlay::radix_sort_u64_by_key(&mut add, |t| t.0);
-        // Merge two sorted runs.
-        let old = std::mem::take(&mut self.items);
-        self.items = merge_sorted(old, add);
+        // Merge two sorted runs, then scatter back into columns.
+        let merged = merge_sorted(self.rows(), add);
+        let (codes, pts) = split_columns(merged);
+        self.codes = codes;
+        self.pts = pts;
         self.rebuild_nodes();
     }
 
@@ -176,19 +229,18 @@ impl<const D: usize> ZdTree<D> {
     /// number deleted.
     pub fn delete(&mut self, batch: &[Point<D>]) -> usize {
         self.epoch += 1;
-        if batch.is_empty() || self.items.is_empty() {
+        if batch.is_empty() || self.codes.is_empty() {
             return 0;
         }
         let mut victims: Vec<(u64, Point<D>)> =
             batch.iter().map(|&p| (self.code_of(&p), p)).collect();
         parlay::radix_sort_u64_by_key(&mut victims, |t| t.0);
-        let before = self.items.len();
+        let before = self.codes.len();
         // Merge-subtract over the two code-sorted runs; codes collide, so
         // matches compare full coordinates within the code-equal window.
-        let items = std::mem::take(&mut self.items);
-        let mut out = Vec::with_capacity(items.len());
+        let mut out = Vec::with_capacity(before);
         let mut j = 0usize;
-        for it in items.into_iter() {
+        for it in self.rows() {
             while j < victims.len() && victims[j].0 < it.0 {
                 j += 1;
             }
@@ -207,9 +259,11 @@ impl<const D: usize> ZdTree<D> {
                 out.push(it);
             }
         }
-        self.items = out;
+        let (codes, pts) = split_columns(out);
+        self.codes = codes;
+        self.pts = pts;
         self.rebuild_nodes();
-        before - self.items.len()
+        before - self.codes.len()
     }
 
     /// k nearest neighbors of `q`, ascending by distance.
@@ -229,8 +283,8 @@ impl<const D: usize> ZdTree<D> {
     fn knn_rec(&self, idx: u32, q: &Point<D>, buf: &mut KnnBuffer) {
         let node = &self.nodes[idx as usize];
         if node.is_leaf() {
-            for (_, p, id) in &self.items[node.start as usize..node.end as usize] {
-                buf.insert(q.dist_sq(p), *id);
+            for i in node.start as usize..node.end as usize {
+                buf.insert(self.pts.dist_sq(i, q), self.pts.id(i));
             }
             return;
         }
@@ -267,17 +321,13 @@ impl<const D: usize> ZdTree<D> {
             return;
         }
         if query.contains_box(&node.bbox) {
-            out.extend(
-                self.items[node.start as usize..node.end as usize]
-                    .iter()
-                    .map(|&(_, _, id)| id),
-            );
+            out.extend_from_slice(&self.pts.ids()[node.start as usize..node.end as usize]);
             return;
         }
         if node.is_leaf() {
-            for (_, p, id) in &self.items[node.start as usize..node.end as usize] {
-                if query.contains(p) {
-                    out.push(*id);
+            for i in node.start as usize..node.end as usize {
+                if query.contains_soa(&self.pts, i) {
+                    out.push(self.pts.id(i));
                 }
             }
             return;
@@ -297,9 +347,8 @@ impl<const D: usize> ZdTree<D> {
                 return (node.end - node.start) as usize;
             }
             if node.is_leaf() {
-                return t.items[node.start as usize..node.end as usize]
-                    .iter()
-                    .filter(|(_, p, _)| query.contains(p))
+                return (node.start as usize..node.end as usize)
+                    .filter(|&i| query.contains_soa(&t.pts, i))
                     .count();
             }
             go(t, node.left, query) + go(t, node.right, query)
@@ -320,17 +369,32 @@ impl<const D: usize> ZdTree<D> {
     fn rebuild_nodes(&mut self) {
         self.rebuilds += 1;
         self.nodes.clear();
-        let n = self.items.len();
+        let n = self.codes.len();
         if n == 0 {
             return;
         }
-        let boxed = build_rec(&self.items, 0, n, total_bits(D) as i32 - 1, self.leaf_size);
+        let boxed = build_rec(
+            &self.codes,
+            &self.pts,
+            0,
+            n,
+            total_bits(D) as i32 - 1,
+            self.leaf_size,
+        );
         flatten(&boxed, &mut self.nodes);
     }
 
     /// Number of structure nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Heap bytes held by the flat arenas (code column, coordinate
+    /// columns, id column, node array).
+    pub fn arena_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u64>()
+            + self.pts.bytes()
+            + self.nodes.len() * std::mem::size_of::<ZNode<D>>()
     }
 }
 
@@ -373,7 +437,8 @@ fn bnode_bbox<const D: usize>(b: &BNode<D>) -> Bbox<D> {
 }
 
 fn build_rec<const D: usize>(
-    items: &[(u64, Point<D>, u32)],
+    codes: &[u64],
+    pts: &SoaPoints<D>,
     start: usize,
     end: usize,
     bit: i32,
@@ -381,9 +446,13 @@ fn build_rec<const D: usize>(
 ) -> BNode<D> {
     let n = end - start;
     if n <= leaf_size || bit < 0 {
+        // Columnar bbox: one min/max sweep per axis over dense columns.
         let mut bb = Bbox::empty();
-        for (_, p, _) in &items[start..end] {
-            bb.extend(p);
+        for d in 0..D {
+            for &v in &pts.axis(d)[start..end] {
+                bb.min[d] = bb.min[d].min(v);
+                bb.max[d] = bb.max[d].max(v);
+            }
         }
         return BNode::Leaf(bb, start, end);
     }
@@ -392,21 +461,21 @@ fn build_rec<const D: usize>(
     // odd. Sharing `morton_shard_of` with the engine's router keeps both
     // crates' notion of a prefix identical.
     let depth = total_bits(D) - bit as u32;
-    let range = &items[start..end];
-    let mid = start + range.partition_point(|(c, _, _)| morton_shard_of::<D>(*c, depth) & 1 == 0);
+    let range = &codes[start..end];
+    let mid = start + range.partition_point(|&c| morton_shard_of::<D>(c, depth) & 1 == 0);
     if mid == start || mid == end {
         // Bit constant in this range — skip the level.
-        return build_rec(items, start, end, bit - 1, leaf_size);
+        return build_rec(codes, pts, start, end, bit - 1, leaf_size);
     }
     let (l, r) = if n >= SEQ_CUTOFF {
         rayon::join(
-            || build_rec(items, start, mid, bit - 1, leaf_size),
-            || build_rec(items, mid, end, bit - 1, leaf_size),
+            || build_rec(codes, pts, start, mid, bit - 1, leaf_size),
+            || build_rec(codes, pts, mid, end, bit - 1, leaf_size),
         )
     } else {
         (
-            build_rec(items, start, mid, bit - 1, leaf_size),
-            build_rec(items, mid, end, bit - 1, leaf_size),
+            build_rec(codes, pts, start, mid, bit - 1, leaf_size),
+            build_rec(codes, pts, mid, end, bit - 1, leaf_size),
         )
     };
     let bb = bnode_bbox(&l).union(&bnode_bbox(&r));
@@ -509,7 +578,7 @@ mod tests {
         let mut t = ZdTree::from_points(&pts[..2_000]);
         t.insert(&pts[2_000..4_000]);
         t.insert(&pts[4_000..]);
-        assert!(t.items.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(t.codes.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(t.len(), 5_000);
         check_knn(&t, &pts, 4);
     }

@@ -18,11 +18,14 @@
 //! | `shard_sweep` | morton-routed sharded execution: backends × shard counts {1, 4, 16} × store presets × T1/Tp, cross-shard digest anchors |
 //! | `incr_derived` | delta maintenance of memoized hull/Delaunay: insert-batch sweep across the incremental-vs-rebuild crossover + delete-churn fallback, digest-anchored across maintenance modes |
 //! | `sched_sweep` | the work-stealing pool itself: fork-join microbench + skewed-shard workload at 1/2/4 workers, task/steal/park counters, digest-anchored across worker counts |
+//! | `scale_sweep` | large-n trajectory of the flat-arena/SoA layouts: build/query throughput + peak RSS per backend at n ∈ {10⁵, 10⁶, 10⁷} (`PARGEO_SCALE=full`), digest-anchored against the pre-arena layouts |
 //!
 //! Sizes scale with `PARGEO_N` (default laptop-scale; the paper used
 //! 10M–100M on 36 cores). `PARGEO_THREADS` caps the sweep. Shapes — which
 //! method wins where, crossovers — are the reproduction target, not
 //! absolute times; see EXPERIMENTS.md.
+
+pub mod scale;
 
 use std::time::Instant;
 

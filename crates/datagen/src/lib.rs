@@ -79,10 +79,23 @@ where
     T: Send,
     F: Fn(usize) -> T + Send + Sync,
 {
-    if n < 4096 {
-        (0..n).map(f).collect()
+    gen_parallel_range(0..n, f)
+}
+
+/// [`gen_parallel`] restricted to a sub-range of the stream. Because every
+/// object is derived from `(seed, i)` alone, generating `[start, end)` is
+/// bit-identical to slicing the monolithic output — the property the
+/// chunked `*_range` generators below rely on to feed 10^7-point streams
+/// without a second full-size temporary allocation.
+fn gen_parallel_range<T, F>(range: std::ops::Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    if range.len() < 4096 {
+        range.map(f).collect()
     } else {
-        (0..n).into_par_iter().map(f).collect()
+        range.into_par_iter().map(f).collect()
     }
 }
 
@@ -93,8 +106,20 @@ pub fn cube_side(n: usize) -> f64 {
 
 /// **U**: `n` points uniform in `[0, √n]^D`.
 pub fn uniform_cube<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    uniform_cube_range(n, seed, 0..n)
+}
+
+/// Chunk `[range.start, range.end)` of the `uniform_cube(n, seed)` stream —
+/// bit-identical to slicing the monolithic output (each point depends only
+/// on `(seed, i)` plus the domain side `√n`), so a large stream can be
+/// generated in fixed-size chunks with peak temporary memory of one chunk.
+pub fn uniform_cube_range<const D: usize>(
+    n: usize,
+    seed: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<Point<D>> {
     let side = cube_side(n);
-    gen_parallel(n, |i| {
+    gen_parallel_range(range, |i| {
         let mut rng = Counter::new(seed, i);
         let mut c = [0.0; D];
         for x in c.iter_mut() {
@@ -107,8 +132,17 @@ pub fn uniform_cube<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
 /// **IS**: `n` points uniform inside a hypersphere of radius `√n / 2`
 /// centered at the origin.
 pub fn in_sphere<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    in_sphere_range(n, seed, 0..n)
+}
+
+/// Chunk of the `in_sphere(n, seed)` stream (see [`uniform_cube_range`]).
+pub fn in_sphere_range<const D: usize>(
+    n: usize,
+    seed: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<Point<D>> {
     let radius = cube_side(n) / 2.0;
-    gen_parallel(n, |i| {
+    gen_parallel_range(range, |i| {
         let mut rng = Counter::new(seed, i);
         unit_ball_point::<D>(&mut rng) * radius
     })
@@ -117,9 +151,18 @@ pub fn in_sphere<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
 /// **OS**: `n` points uniform on the hypersphere surface (radius `√n / 2`),
 /// jittered inward within a shell of thickness `0.1 ×` diameter.
 pub fn on_sphere<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    on_sphere_range(n, seed, 0..n)
+}
+
+/// Chunk of the `on_sphere(n, seed)` stream (see [`uniform_cube_range`]).
+pub fn on_sphere_range<const D: usize>(
+    n: usize,
+    seed: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<Point<D>> {
     let radius = cube_side(n) / 2.0;
     let thickness = 0.1 * 2.0 * radius;
-    gen_parallel(n, |i| {
+    gen_parallel_range(range, |i| {
         let mut rng = Counter::new(seed, i);
         let dir = unit_sphere_point::<D>(&mut rng);
         let r = radius - rng.next_f64() * thickness;
@@ -130,9 +173,18 @@ pub fn on_sphere<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
 /// **OC**: `n` points uniform on the hypercube surface (side `√n`),
 /// jittered inward within a slab of thickness `0.1 ×` side.
 pub fn on_cube<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    on_cube_range(n, seed, 0..n)
+}
+
+/// Chunk of the `on_cube(n, seed)` stream (see [`uniform_cube_range`]).
+pub fn on_cube_range<const D: usize>(
+    n: usize,
+    seed: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<Point<D>> {
     let side = cube_side(n);
     let thickness = 0.1 * side;
-    gen_parallel(n, |i| {
+    gen_parallel_range(range, |i| {
         let mut rng = Counter::new(seed, i);
         let mut c = [0.0; D];
         for x in c.iter_mut() {
@@ -180,6 +232,10 @@ impl Default for SeedSpreaderParams {
 /// a ball around the current location, then drifts; with probability
 /// `restart_prob` it teleports and re-samples the local density, producing
 /// clusters whose densities vary by orders of magnitude.
+///
+/// Unlike the counter-mode families this walk is inherently sequential —
+/// point `i` depends on the entire prefix — so it has no chunked `*_range`
+/// variant: re-seeding per chunk would change the stream.
 pub fn seed_spreader<const D: usize>(
     n: usize,
     seed: u64,
@@ -219,8 +275,14 @@ pub fn seed_spreader<const D: usize>(
 /// normals vary smoothly, which is what distinguishes Thai/Dragon from the
 /// synthetic U/IS families in Figures 9 and 10.
 pub fn statue_surface(n: usize, seed: u64) -> Vec<Point<3>> {
+    statue_surface_range(n, seed, 0..n)
+}
+
+/// Chunk of the `statue_surface(n, seed)` stream (see
+/// [`uniform_cube_range`]).
+pub fn statue_surface_range(n: usize, seed: u64, range: std::ops::Range<usize>) -> Vec<Point<3>> {
     let radius = cube_side(n) / 2.0;
-    gen_parallel(n, |i| {
+    gen_parallel_range(range, |i| {
         let mut rng = Counter::new(seed, i);
         let dir = unit_sphere_point::<3>(&mut rng);
         let (x, y, z) = (dir[0], dir[1], dir[2]);
@@ -461,6 +523,48 @@ mod tests {
             assert_eq!(*lo, a[0].min(b[0]));
             assert_eq!(*hi, a[0].max(b[0]));
         }
+    }
+
+    #[test]
+    fn chunked_generation_is_bit_identical_to_monolithic() {
+        // Every counter-mode family: concatenating fixed-size chunks must
+        // reproduce the monolithic stream bit for bit, for chunk sizes
+        // that do and do not divide n (and straddle the parallel cutoff).
+        let n = 10_000;
+        for chunk in [1_000, 4_096, 7_777] {
+            let stitch = |f: &dyn Fn(std::ops::Range<usize>) -> Vec<Point<3>>| {
+                let mut out = Vec::with_capacity(n);
+                let mut s = 0;
+                while s < n {
+                    let e = (s + chunk).min(n);
+                    out.extend(f(s..e));
+                    s = e;
+                }
+                out
+            };
+            assert_eq!(
+                uniform_cube::<3>(n, 1),
+                stitch(&|r| uniform_cube_range::<3>(n, 1, r))
+            );
+            assert_eq!(
+                in_sphere::<3>(n, 2),
+                stitch(&|r| in_sphere_range::<3>(n, 2, r))
+            );
+            assert_eq!(
+                on_sphere::<3>(n, 3),
+                stitch(&|r| on_sphere_range::<3>(n, 3, r))
+            );
+            assert_eq!(on_cube::<3>(n, 4), stitch(&|r| on_cube_range::<3>(n, 4, r)));
+            assert_eq!(
+                statue_surface(n, 5),
+                stitch(&|r| statue_surface_range(n, 5, r))
+            );
+        }
+        // A chunk is exactly the monolithic slice, at any offset.
+        assert_eq!(
+            uniform_cube_range::<2>(n, 9, 137..4_321),
+            uniform_cube::<2>(n, 9)[137..4_321]
+        );
     }
 
     #[test]

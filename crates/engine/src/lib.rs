@@ -87,6 +87,13 @@ pub struct Snapshot {
     /// the BDL cascade, radix rebuilds of the Zd-tree, threshold rebuilds
     /// of the dynamic kd-tree.
     pub rebuilds: u64,
+    /// Heap bytes held by the backend's flat arenas (node slabs,
+    /// coordinate columns, id/liveness slabs, insert buffers) — the
+    /// `index_arena_bytes` memory gauge.
+    pub arena_bytes: usize,
+    /// Structure nodes currently allocated across the backend's arenas —
+    /// the `index_nodes_total` gauge.
+    pub nodes: usize,
 }
 
 /// A batch-dynamic spatial index over `D`-dimensional points.
@@ -276,6 +283,8 @@ macro_rules! impl_spatial_index {
                     inserted: self.total_inserted(),
                     deleted: self.total_inserted() - $backend::len(self) as u64,
                     rebuilds: self.rebuilds(),
+                    arena_bytes: self.arena_bytes(),
+                    nodes: self.node_count(),
                 }
             }
 
@@ -324,6 +333,10 @@ mod tests {
             assert_eq!(s.inserted, 2_000, "{}", b.backend_name());
             assert_eq!(s.deleted, 500, "{}", b.backend_name());
             assert_eq!(s.epoch, 3, "{}", b.backend_name());
+            assert!(s.arena_bytes > 0, "{}", b.backend_name());
+            if b.backend_name() != "vec-oracle" {
+                assert!(s.nodes > 0, "{}", b.backend_name());
+            }
             assert_eq!(b.len(), 1_500);
             assert!(!b.is_empty());
         }

@@ -109,6 +109,8 @@ impl<const D: usize> SpatialIndex<D> for VecIndex<D> {
             inserted: self.next_id as u64,
             deleted: self.next_id as u64 - self.items.len() as u64,
             rebuilds: 0,
+            arena_bytes: self.items.len() * std::mem::size_of::<(Point<D>, u32)>(),
+            nodes: 0,
         }
     }
 

@@ -503,17 +503,20 @@ impl<const D: usize> SpatialIndex<D> for ShardedIndex<D> {
 
     fn snapshot(&self) -> Snapshot {
         let live = SpatialIndex::len(self);
-        Snapshot {
+        let mut snap = Snapshot {
             epoch: self.epoch,
             live,
             inserted: self.next_id as u64,
             deleted: self.next_id as u64 - live as u64,
-            rebuilds: self
-                .shards
-                .iter()
-                .map(|s| s.index.snapshot().rebuilds)
-                .sum(),
+            ..Snapshot::default()
+        };
+        for s in &self.shards {
+            let sub = s.index.snapshot();
+            snap.rebuilds += sub.rebuilds;
+            snap.arena_bytes += sub.arena_bytes;
+            snap.nodes += sub.nodes;
         }
+        snap
     }
 
     fn shard_snapshots(&self) -> Vec<Snapshot> {
@@ -632,17 +635,20 @@ impl<const D: usize> SnapshotView<D> for ShardedView<D> {
 
     fn snapshot(&self) -> Snapshot {
         let live = self.len();
-        Snapshot {
+        let mut snap = Snapshot {
             epoch: self.epoch,
             live,
             inserted: self.next_id as u64,
             deleted: self.next_id as u64 - live as u64,
-            rebuilds: self
-                .shards
-                .iter()
-                .map(|s| s.index.snapshot().rebuilds)
-                .sum(),
+            ..Snapshot::default()
+        };
+        for s in &self.shards {
+            let sub = s.index.snapshot();
+            snap.rebuilds += sub.rebuilds;
+            snap.arena_bytes += sub.arena_bytes;
+            snap.nodes += sub.nodes;
         }
+        snap
     }
 
     fn shard_snapshots(&self) -> Vec<Snapshot> {

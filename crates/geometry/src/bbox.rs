@@ -66,6 +66,16 @@ impl<const D: usize> Bbox<D> {
         (0..D).all(|i| self.min[i] <= p[i] && p[i] <= self.max[i])
     }
 
+    /// [`Bbox::contains`] for row `i` of a columnar store — reads the
+    /// coordinate columns directly, no `Point` materialization.
+    #[inline]
+    pub fn contains_soa(&self, pts: &crate::soa::SoaPoints<D>, i: usize) -> bool {
+        (0..D).all(|d| {
+            let c = pts.coord(i, d);
+            self.min[d] <= c && c <= self.max[d]
+        })
+    }
+
     /// True iff `other` lies entirely inside `self`.
     pub fn contains_box(&self, other: &Self) -> bool {
         (0..D).all(|i| self.min[i] <= other.min[i] && other.max[i] <= self.max[i])

@@ -26,9 +26,11 @@ pub mod error;
 pub mod expansion;
 pub mod point;
 pub mod predicates;
+pub mod soa;
 
 pub use ball::{ball_through, Ball};
 pub use bbox::Bbox;
 pub use error::{GeoError, GeoResult};
 pub use point::{Point, Point2, Point3, Point4, Point5, Point7};
 pub use predicates::{incircle, orient2d, orient3d, Orientation};
+pub use soa::SoaPoints;

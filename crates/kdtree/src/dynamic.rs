@@ -48,11 +48,11 @@ const MIN_PENDING: usize = 256;
 /// wholesale (pinned views keep the old allocations alive).
 #[derive(Debug, Clone)]
 struct DynCore<const D: usize> {
-    /// Static tree over the points of the last rebuild.
+    /// Static tree over the points of the last rebuild. Its columnar
+    /// point store is the *only* copy of the indexed coordinates: delete
+    /// matching probes it by slot (`range_box_slots`), so no duplicate
+    /// input-order point array is kept alive per epoch.
     tree: Arc<KdTree<D>>,
-    /// Build-input points in input order (`range_box` candidate positions
-    /// index into this for bitwise delete matching).
-    pts: Arc<Vec<Point<D>>>,
     /// External insertion-order id of build-input position `i`.
     ext: Arc<Vec<u32>>,
     /// Liveness of build-input position `i` (false = tombstoned).
@@ -69,7 +69,6 @@ impl<const D: usize> DynCore<D> {
     fn empty(rule: SplitRule) -> Self {
         Self {
             tree: Arc::new(KdTree::build(&[], rule)),
-            pts: Arc::new(Vec::new()),
             ext: Arc::new(Vec::new()),
             alive: Arc::new(Vec::new()),
             buffer: Arc::new(Vec::new()),
@@ -91,10 +90,11 @@ impl<const D: usize> DynCore<D> {
 
     fn knn_rec(&self, node: &Node<D>, q: &Point<D>, buf: &mut KnnBuffer) {
         if node.is_leaf() {
-            for i in node.start..node.end {
-                let pos = self.tree.original_id(i as usize) as usize;
+            let pts = self.tree.points();
+            for i in node.start as usize..node.end as usize {
+                let pos = pts.id(i) as usize;
                 if self.alive[pos] {
-                    buf.insert(q.dist_sq(&self.tree.points()[i as usize]), self.ext[pos]);
+                    buf.insert(pts.dist_sq(i, q), self.ext[pos]);
                 }
             }
             return;
@@ -132,9 +132,10 @@ impl<const D: usize> DynCore<D> {
         }
         let whole = query.contains_box(&node.bbox);
         if node.is_leaf() || (whole && self.dead == 0) {
-            for i in node.start..node.end {
-                let pos = self.tree.original_id(i as usize) as usize;
-                if self.alive[pos] && (whole || query.contains(&self.tree.points()[i as usize])) {
+            let pts = self.tree.points();
+            for i in node.start as usize..node.end as usize {
+                let pos = pts.id(i) as usize;
+                if self.alive[pos] && (whole || query.contains_soa(pts, i)) {
                     out.push(self.ext[pos]);
                 }
             }
@@ -154,10 +155,11 @@ impl<const D: usize> DynCore<D> {
                 return (node.end - node.start) as usize;
             }
             if node.is_leaf() {
-                return (node.start..node.end)
+                let pts = t.tree.points();
+                return (node.start as usize..node.end as usize)
                     .filter(|&i| {
-                        let pos = t.tree.original_id(i as usize) as usize;
-                        t.alive[pos] && (whole || query.contains(&t.tree.points()[i as usize]))
+                        let pos = pts.id(i) as usize;
+                        t.alive[pos] && (whole || query.contains_soa(pts, i))
                     })
                     .count();
             }
@@ -176,10 +178,11 @@ impl<const D: usize> DynCore<D> {
 
     fn collect_live(&self) -> Vec<(Point<D>, u32)> {
         let mut out: Vec<(Point<D>, u32)> = self.buffer.as_ref().clone();
-        for (slot, p) in self.tree.points().iter().enumerate() {
-            let pos = self.tree.original_id(slot) as usize;
+        let pts = self.tree.points();
+        for slot in 0..pts.len() {
+            let pos = pts.id(slot) as usize;
             if self.alive[pos] {
-                out.push((*p, self.ext[pos]));
+                out.push((pts.get(slot), self.ext[pos]));
             }
         }
         out.sort_unstable_by_key(|&(_, id)| id);
@@ -191,12 +194,23 @@ impl<const D: usize> DynCore<D> {
         for (p, _) in self.buffer.iter() {
             b.extend(p);
         }
-        for (slot, p) in self.tree.points().iter().enumerate() {
-            if self.alive[self.tree.original_id(slot) as usize] {
-                b.extend(p);
+        let pts = self.tree.points();
+        for slot in 0..pts.len() {
+            if self.alive[pts.id(slot) as usize] {
+                b.extend(&pts.get(slot));
             }
         }
         b
+    }
+
+    /// Heap bytes held by this epoch's arenas: the tree's node slab and
+    /// coordinate columns plus the dynamic side slabs (ids, liveness,
+    /// insert buffer).
+    fn arena_bytes(&self) -> usize {
+        self.tree.arena_bytes()
+            + self.ext.len() * std::mem::size_of::<u32>()
+            + self.alive.len() * std::mem::size_of::<bool>()
+            + self.buffer.len() * std::mem::size_of::<(Point<D>, u32)>()
     }
 }
 
@@ -275,6 +289,18 @@ impl<const D: usize> DynKdTree<D> {
         self.core.dead
     }
 
+    /// Heap bytes held by the current epoch's flat arenas (node slab,
+    /// coordinate columns, id/liveness/insert slabs) — the
+    /// `index_arena_bytes` memory gauge.
+    pub fn arena_bytes(&self) -> usize {
+        self.core.arena_bytes()
+    }
+
+    /// Nodes in the static tree's arena — the `index_nodes_total` gauge.
+    pub fn node_count(&self) -> usize {
+        self.core.tree.node_count()
+    }
+
     /// Pins an immutable O(1) snapshot of the current epoch: the view
     /// shares the tree's copy-on-write core and answers every query
     /// bit-identically to a frozen clone taken now, no matter how many
@@ -331,18 +357,20 @@ impl<const D: usize> DynKdTree<D> {
                 deleted += before - buffer.len();
             }
         }
-        // Tree deletion: locate each victim's candidate positions with a
-        // degenerate box query (data-parallel over the batch), keep only
-        // bitwise matches (the box query compares with float `<=`, which
-        // would also admit `-0.0` for `+0.0` — the library-wide semantic is
-        // bitwise identity), then tombstone serially.
+        // Tree deletion: locate each victim's candidate *slots* with a
+        // degenerate box query against the tree's own columnar store
+        // (data-parallel over the batch), keep only bitwise matches (the
+        // box query compares with float `<=`, which would also admit
+        // `-0.0` for `+0.0` — the library-wide semantic is bitwise
+        // identity), then tombstone their build-input positions serially.
         let tree = &self.core.tree;
-        let pts = &self.core.pts;
         let hits: Vec<Vec<u32>> = pargeo_parlay::map_batch(batch, 64, |q| {
             let hit = Bbox { min: *q, max: *q };
-            let mut positions = tree.range_box(&hit);
-            positions.retain(|&pos| pts[pos as usize].bits_key() == q.bits_key());
-            positions
+            tree.range_box_slots(&hit)
+                .into_iter()
+                .filter(|&slot| tree.point_at(slot as usize).bits_key() == q.bits_key())
+                .map(|slot| tree.points().id(slot as usize))
+                .collect()
         });
         if hits.iter().any(|h| !h.is_empty()) {
             let alive = Arc::make_mut(&mut self.core.alive);
@@ -374,10 +402,11 @@ impl<const D: usize> DynKdTree<D> {
         // Collect survivors in external-id order: tree points (via the id
         // permutation back to build-input positions), then the buffer.
         let mut survivors: Vec<(Point<D>, u32)> = Vec::with_capacity(self.core.live);
-        for (slot, p) in self.core.tree.points().iter().enumerate() {
-            let pos = self.core.tree.original_id(slot) as usize;
+        let old = self.core.tree.points();
+        for slot in 0..old.len() {
+            let pos = old.id(slot) as usize;
             if self.core.alive[pos] {
-                survivors.push((*p, self.core.ext[pos]));
+                survivors.push((old.get(slot), self.core.ext[pos]));
             }
         }
         survivors.extend(self.core.buffer.iter().copied());
@@ -386,7 +415,6 @@ impl<const D: usize> DynKdTree<D> {
         self.core.tree = Arc::new(KdTree::build(&pts, self.rule));
         self.core.ext = Arc::new(survivors.iter().map(|&(_, id)| id).collect());
         self.core.alive = Arc::new(vec![true; pts.len()]);
-        self.core.pts = Arc::new(pts);
         self.core.dead = 0;
         self.core.buffer = Arc::new(Vec::new());
         self.rebuilds += 1;
@@ -480,6 +508,11 @@ impl<const D: usize> DynKdView<D> {
     /// Total points ever inserted at pin time.
     pub fn total_inserted(&self) -> u64 {
         self.next_id as u64
+    }
+
+    /// Heap bytes held by the pinned epoch's arenas.
+    pub fn arena_bytes(&self) -> usize {
+        self.core.arena_bytes()
     }
 
     /// k nearest live neighbors of `q` at the pinned epoch.

@@ -128,9 +128,11 @@ impl<const D: usize> KdTree<D> {
 
     fn knn_rec(&self, node: &Node<D>, q: &Point<D>, buf: &mut KnnBuffer) {
         if node.is_leaf() {
-            for i in node.start..node.end {
-                let d = q.dist_sq(&self.points[i as usize]);
-                buf.insert(d, self.ids[i as usize]);
+            // Columnar scan: distances accumulate axis-by-axis over dense
+            // coordinate columns; ids join in only at insert time.
+            for i in node.start as usize..node.end as usize {
+                let d = self.pts.dist_sq(i, q);
+                buf.insert(d, self.pts.id(i));
             }
             return;
         }

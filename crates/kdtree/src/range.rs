@@ -30,19 +30,46 @@ impl<const D: usize> KdTree<D> {
             return;
         }
         if query.contains_box(&node.bbox) {
-            out.extend_from_slice(&self.ids[node.start as usize..node.end as usize]);
+            out.extend_from_slice(&self.pts.ids()[node.start as usize..node.end as usize]);
             return;
         }
         if node.is_leaf() {
-            for i in node.start..node.end {
-                if query.contains(&self.points[i as usize]) {
-                    out.push(self.ids[i as usize]);
+            for i in node.start as usize..node.end as usize {
+                if query.contains_soa(&self.pts, i) {
+                    out.push(self.pts.id(i));
                 }
             }
             return;
         }
         self.range_box_rec(self.node(node.left), query, out);
         self.range_box_rec(self.node(node.right), query, out);
+    }
+
+    /// *Slot* indices (positions in the reordered point store, not
+    /// original ids) of all points inside `query`, in traversal order —
+    /// the candidate probe the dynamic tree's bitwise delete matching
+    /// uses so it never needs its own copy of the point set.
+    pub(crate) fn range_box_slots(&self, query: &Bbox<D>) -> Vec<u32> {
+        fn go<const D: usize>(t: &KdTree<D>, node: &Node<D>, query: &Bbox<D>, out: &mut Vec<u32>) {
+            if !node.bbox.intersects(query) {
+                return;
+            }
+            if node.is_leaf() || query.contains_box(&node.bbox) {
+                for i in node.start as usize..node.end as usize {
+                    if query.contains_soa(&t.pts, i) {
+                        out.push(i as u32);
+                    }
+                }
+                return;
+            }
+            go(t, t.node(node.left), query, out);
+            go(t, t.node(node.right), query, out);
+        }
+        let mut out = Vec::new();
+        if let Some(root) = self.root() {
+            go(self, root, query, &mut out);
+        }
+        out
     }
 
     /// Original ids of all points within distance `radius` of `center`
@@ -70,13 +97,13 @@ impl<const D: usize> KdTree<D> {
             return;
         }
         if node.bbox.max_dist_sq_to_point(c) <= r_sq {
-            out.extend_from_slice(&self.ids[node.start as usize..node.end as usize]);
+            out.extend_from_slice(&self.pts.ids()[node.start as usize..node.end as usize]);
             return;
         }
         if node.is_leaf() {
-            for i in node.start..node.end {
-                if c.dist_sq(&self.points[i as usize]) <= r_sq {
-                    out.push(self.ids[i as usize]);
+            for i in node.start as usize..node.end as usize {
+                if self.pts.dist_sq(i, c) <= r_sq {
+                    out.push(self.pts.id(i));
                 }
             }
             return;
@@ -97,8 +124,8 @@ impl<const D: usize> KdTree<D> {
                 return (node.end - node.start) as usize;
             }
             if node.is_leaf() {
-                return (node.start..node.end)
-                    .filter(|&i| c.dist_sq(&t.points[i as usize]) <= r_sq)
+                return (node.start as usize..node.end as usize)
+                    .filter(|&i| t.pts.dist_sq(i, c) <= r_sq)
                     .count();
             }
             go(t, t.node(node.left), c, r_sq) + go(t, t.node(node.right), c, r_sq)
@@ -134,8 +161,8 @@ impl<const D: usize> KdTree<D> {
                 return (node.end - node.start) as usize;
             }
             if node.is_leaf() {
-                return (node.start..node.end)
-                    .filter(|&i| query.contains(&t.points[i as usize]))
+                return (node.start as usize..node.end as usize)
+                    .filter(|&i| query.contains_soa(&t.pts, i))
                     .count();
             }
             go(t, t.node(node.left), query) + go(t, t.node(node.right), query)

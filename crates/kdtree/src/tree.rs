@@ -1,13 +1,17 @@
 //! The static kd-tree with parallel construction.
 //!
-//! The tree is stored as a flat node array (children by index); points are
-//! reordered into a contiguous permutation of the input so that every leaf
-//! owns a slice `points[start..end]`. Construction recurses with fork-join
-//! parallelism; the split step itself is parallel (parallel selection for
-//! object-median, parallel partition for spatial-median), which is the
-//! "split in parallel" optimization called out in §2 of the paper.
+//! The tree is a flat node arena (children by `u32` index); points live in
+//! a columnar [`SoaPoints`] permutation of the input so that every leaf
+//! owns a range `start..end` whose axis scans are dense sequential reads.
+//! Construction is a per-*level* frontier sweep: each round splits every
+//! frontier node in parallel over an AoS work buffer (parallel selection
+//! for object-median, parallel partition for spatial-median — the "split
+//! in parallel" optimization of §2 of the paper), then bulk-appends the
+//! next level's nodes to the arena in one go. Nothing allocates per node:
+//! the arena grows by whole levels and the work buffer is scattered into
+//! columns once, at the end.
 
-use pargeo_geometry::{Bbox, Point};
+use pargeo_geometry::{Bbox, Point, SoaPoints};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
 
@@ -21,11 +25,58 @@ pub enum SplitRule {
     SpatialMedian,
 }
 
-/// Default number of points per leaf.
+/// Default number of points per leaf (overridable per build via
+/// [`BuildParams`], or process-wide via `PARGEO_LEAF`).
 pub const LEAF_SIZE: usize = 16;
 
-/// Sequential cutoff for recursive construction.
-const SEQ_BUILD_CUTOFF: usize = 4096;
+/// Default sequential cutoff for construction: below this size a node's
+/// bbox/selection/partition run serially.
+pub const SEQ_BUILD_CUTOFF: usize = 4096;
+
+/// Tunable construction knobs, so scale sweeps can explore the
+/// leaf-size/cutoff space without recompiling.
+///
+/// `Default` honors the `PARGEO_LEAF` environment variable (read once) for
+/// the leaf size, falling back to [`LEAF_SIZE`]. Neither knob affects
+/// *answers* — only tree shape and build/query constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildParams {
+    /// Maximum points per leaf (≥ 1).
+    pub leaf_size: usize,
+    /// Size below which per-node build steps run serially (≥ 2).
+    pub seq_cutoff: usize,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        Self {
+            leaf_size: env_leaf_size(),
+            seq_cutoff: SEQ_BUILD_CUTOFF,
+        }
+    }
+}
+
+impl BuildParams {
+    /// Params with an explicit leaf size (ignoring `PARGEO_LEAF`).
+    pub fn with_leaf_size(leaf_size: usize) -> Self {
+        Self {
+            leaf_size,
+            seq_cutoff: SEQ_BUILD_CUTOFF,
+        }
+    }
+}
+
+/// `PARGEO_LEAF` if set and valid, else [`LEAF_SIZE`]; read once.
+fn env_leaf_size() -> usize {
+    static LEAF: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LEAF.get_or_init(|| {
+        std::env::var("PARGEO_LEAF")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(LEAF_SIZE)
+    })
+}
 
 #[derive(Debug, Clone)]
 pub(crate) struct Node<const D: usize> {
@@ -55,42 +106,56 @@ impl<const D: usize> Node<D> {
 /// A static kd-tree over `D`-dimensional points.
 #[derive(Debug, Clone)]
 pub struct KdTree<const D: usize> {
-    pub(crate) points: Vec<Point<D>>,
-    pub(crate) ids: Vec<u32>,
+    pub(crate) pts: SoaPoints<D>,
     pub(crate) nodes: Vec<Node<D>>,
     leaf_size: usize,
 }
 
-/// Intermediate boxed tree produced by the parallel recursion, flattened
-/// into arrays afterwards.
-enum BuildNode<const D: usize> {
-    Leaf {
-        bbox: Bbox<D>,
-        start: usize,
-        end: usize,
-    },
-    Internal {
-        bbox: Bbox<D>,
-        dim: u8,
-        val: f64,
-        start: usize,
-        end: usize,
-        left: Box<BuildNode<D>>,
-        right: Box<BuildNode<D>>,
-    },
+/// Raw-pointer window for the per-level parallel phases: frontier nodes
+/// own pairwise-disjoint item ranges and distinct arena slots, so handing
+/// each task mutable access to its own range/slot is sound.
+struct SharedMut<T>(*mut T);
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Safety: callers must hand out non-overlapping ranges.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, start: usize, end: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), end - start)
+    }
+
+    /// Safety: callers must not alias `i` across tasks.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
 }
 
 impl<const D: usize> KdTree<D> {
-    /// Builds a kd-tree over `points` with the default leaf size.
+    /// Builds a kd-tree over `points` with the default (env-overridable)
+    /// parameters.
     pub fn build(points: &[Point<D>], rule: SplitRule) -> Self {
-        Self::build_with_leaf_size(points, rule, LEAF_SIZE)
+        Self::build_with_params(points, rule, BuildParams::default())
     }
 
     /// Builds a kd-tree with an explicit leaf size.
     pub fn build_with_leaf_size(points: &[Point<D>], rule: SplitRule, leaf_size: usize) -> Self {
-        assert!(leaf_size >= 1);
+        Self::build_with_params(points, rule, BuildParams::with_leaf_size(leaf_size))
+    }
+
+    /// Builds a kd-tree with explicit [`BuildParams`].
+    ///
+    /// The build proceeds level by level: every frontier node computes its
+    /// bbox and split over its disjoint slice of the AoS work buffer (in
+    /// parallel across nodes, and within a node above `seq_cutoff`), then
+    /// the next level's nodes are appended to the arena in bulk. The work
+    /// buffer is scattered into the columnar store once at the end.
+    pub fn build_with_params(points: &[Point<D>], rule: SplitRule, params: BuildParams) -> Self {
+        let leaf_size = params.leaf_size.max(1);
+        let cutoff = params.seq_cutoff.max(2);
         let n = points.len();
-        let mut items: Vec<(Point<D>, u32)> = if n >= SEQ_BUILD_CUTOFF {
+        let mut items: Vec<(Point<D>, u32)> = if n >= cutoff {
             points
                 .par_iter()
                 .enumerate()
@@ -104,31 +169,90 @@ impl<const D: usize> KdTree<D> {
                 .collect()
         };
         let mut tree = KdTree {
-            points: Vec::new(),
-            ids: Vec::new(),
+            pts: SoaPoints::new(),
             nodes: Vec::new(),
             leaf_size,
         };
         if n == 0 {
             return tree;
         }
-        let root = build_recursive(&mut items, 0, rule, leaf_size);
-        // Flatten into arrays (preorder).
-        tree.nodes.reserve(2 * n / leaf_size + 2);
-        flatten(&root, &mut tree.nodes);
-        tree.points = items.iter().map(|&(p, _)| p).collect();
-        tree.ids = items.iter().map(|&(_, id)| id).collect();
+        tree.nodes.reserve(4 * n / leaf_size.max(1) + 2);
+        tree.nodes.push(Node {
+            bbox: Bbox::empty(),
+            dim: 0,
+            val: 0.0,
+            left: u32::MAX,
+            right: u32::MAX,
+            start: 0,
+            end: n as u32,
+        });
+        let mut frontier: Vec<u32> = vec![0];
+        while !frontier.is_empty() {
+            // Phase 1 — parallel over the frontier: each node fills its
+            // bbox and, if it splits, partitions its item range in place
+            // and records the split point. Ranges are disjoint by
+            // construction, arena slots distinct.
+            let items_ptr = SharedMut(items.as_mut_ptr());
+            let nodes_ptr = SharedMut(tree.nodes.as_mut_ptr());
+            let split_one = |&ni: &u32| -> Option<u32> {
+                let node = unsafe { nodes_ptr.at(ni as usize) };
+                let seg = unsafe { items_ptr.slice(node.start as usize, node.end as usize) };
+                node.bbox = compute_bbox(seg, cutoff);
+                if seg.len() <= leaf_size || node.bbox.diag_sq() == 0.0 {
+                    // All-identical point sets cannot be split spatially;
+                    // stop.
+                    return None;
+                }
+                let (dim, val, mid) = split_segment(seg, &node.bbox, rule, cutoff);
+                node.dim = dim as u8;
+                node.val = val;
+                Some(mid as u32)
+            };
+            let mids: Vec<Option<u32>> = if frontier.len() == 1 {
+                frontier.iter().map(split_one).collect()
+            } else {
+                frontier.par_iter().map(split_one).collect()
+            };
+            // Phase 2 — serial bulk append: two arena slots per split
+            // node, wired up and pushed onto the next frontier.
+            let mut next = Vec::with_capacity(2 * frontier.len());
+            for (&ni, &mid) in frontier.iter().zip(&mids) {
+                let Some(mid) = mid else { continue };
+                let base = tree.nodes.len() as u32;
+                let (start, end) = {
+                    let node = &mut tree.nodes[ni as usize];
+                    node.left = base;
+                    node.right = base + 1;
+                    (node.start, node.end)
+                };
+                for (s, e) in [(start, start + mid), (start + mid, end)] {
+                    tree.nodes.push(Node {
+                        bbox: Bbox::empty(),
+                        dim: 0,
+                        val: 0.0,
+                        left: u32::MAX,
+                        right: u32::MAX,
+                        start: s,
+                        end: e,
+                    });
+                }
+                next.push(base);
+                next.push(base + 1);
+            }
+            frontier = next;
+        }
+        tree.pts = scatter_soa(&items, cutoff);
         tree
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.pts.len()
     }
 
     /// True iff the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.pts.is_empty()
     }
 
     /// Bounding box of the whole point set.
@@ -145,14 +269,25 @@ impl<const D: usize> KdTree<D> {
         self.leaf_size
     }
 
-    /// The reordered points (leaf ranges index into this).
-    pub fn points(&self) -> &[Point<D>] {
-        &self.points
+    /// The reordered points, in columnar layout (leaf ranges index into
+    /// this).
+    pub fn points(&self) -> &SoaPoints<D> {
+        &self.pts
+    }
+
+    /// Reordered point `i`, materialized (the API-boundary conversion).
+    pub fn point_at(&self, i: usize) -> Point<D> {
+        self.pts.get(i)
     }
 
     /// Original input index of reordered point `i`.
     pub fn original_id(&self, i: usize) -> u32 {
-        self.ids[i]
+        self.pts.id(i)
+    }
+
+    /// Heap bytes held by the node arena and the point columns.
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node<D>>() + self.pts.bytes()
     }
 
     // --- internal accessors used by the sibling modules and by WSPD ---
@@ -224,23 +359,70 @@ impl<const D: usize> KdTree<D> {
         (n.end - n.start) as usize
     }
 
-    /// The reordered point range owned by a node.
-    pub fn node_points(&self, id: NodeId) -> &[Point<D>] {
+    /// The reordered point range owned by a node — index it through
+    /// [`KdTree::point_at`] / [`KdTree::original_id`] (or the columns of
+    /// [`KdTree::points`]).
+    pub fn node_range(&self, id: NodeId) -> std::ops::Range<usize> {
         let n = self.node(id.0);
-        &self.points[n.start as usize..n.end as usize]
+        n.start as usize..n.end as usize
     }
 
     /// Original ids of the points owned by a node.
     pub fn node_point_ids(&self, id: NodeId) -> &[u32] {
         let n = self.node(id.0);
-        &self.ids[n.start as usize..n.end as usize]
+        &self.pts.ids()[n.start as usize..n.end as usize]
     }
 }
 
-fn compute_bbox<const D: usize>(items: &[(Point<D>, u32)]) -> Bbox<D> {
-    if items.len() >= SEQ_BUILD_CUTOFF {
+/// One node's split decision: `(dim, val, mid)` with the segment
+/// partitioned in place around `mid`. Depends only on the segment's
+/// multiset and bbox — never on thread count — so tree shape is
+/// reproducible.
+fn split_segment<const D: usize>(
+    seg: &mut [(Point<D>, u32)],
+    bbox: &Bbox<D>,
+    rule: SplitRule,
+    cutoff: usize,
+) -> (usize, f64, usize) {
+    let n = seg.len();
+    let dim = bbox.widest_dim();
+    let mid = match rule {
+        SplitRule::ObjectMedian => {
+            let mid = n / 2;
+            if n >= cutoff {
+                parlay::select_nth_unstable_by(seg, mid, |a, b| {
+                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
+                });
+            } else {
+                seg.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+            }
+            mid
+        }
+        SplitRule::SpatialMedian => {
+            let splitval = 0.5 * (bbox.min[dim] + bbox.max[dim]);
+            let mid = partition_by(seg, cutoff, |p| p[dim] < splitval);
+            if mid == 0 || mid == n {
+                // Degenerate spatial split (points concentrated at the
+                // boundary) — fall back to the object median.
+                let mid = n / 2;
+                seg.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+                mid
+            } else {
+                mid
+            }
+        }
+    };
+    let val = match rule {
+        SplitRule::ObjectMedian => seg[mid].0[dim],
+        SplitRule::SpatialMedian => 0.5 * (bbox.min[dim] + bbox.max[dim]),
+    };
+    (dim, val, mid)
+}
+
+fn compute_bbox<const D: usize>(items: &[(Point<D>, u32)], cutoff: usize) -> Bbox<D> {
+    if items.len() >= cutoff {
         items
-            .par_chunks(SEQ_BUILD_CUTOFF)
+            .par_chunks(cutoff)
             .map(|chunk| {
                 let mut b = Bbox::empty();
                 for (p, _) in chunk {
@@ -258,84 +440,15 @@ fn compute_bbox<const D: usize>(items: &[(Point<D>, u32)]) -> Bbox<D> {
     }
 }
 
-fn build_recursive<const D: usize>(
-    items: &mut [(Point<D>, u32)],
-    offset: usize,
-    rule: SplitRule,
-    leaf_size: usize,
-) -> BuildNode<D> {
-    let n = items.len();
-    let bbox = compute_bbox(items);
-    if n <= leaf_size || bbox.diag_sq() == 0.0 {
-        // All-identical point sets cannot be split spatially; stop.
-        return BuildNode::Leaf {
-            bbox,
-            start: offset,
-            end: offset + n,
-        };
-    }
-    let dim = bbox.widest_dim();
-    let mid = match rule {
-        SplitRule::ObjectMedian => {
-            let mid = n / 2;
-            if n >= SEQ_BUILD_CUTOFF {
-                parlay::select_nth_unstable_by(items, mid, |a, b| {
-                    a.0[dim].partial_cmp(&b.0[dim]).unwrap()
-                });
-            } else {
-                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
-            }
-            mid
-        }
-        SplitRule::SpatialMedian => {
-            let splitval = 0.5 * (bbox.min[dim] + bbox.max[dim]);
-            let mid = partition_by(items, |p| p[dim] < splitval);
-            if mid == 0 || mid == n {
-                // Degenerate spatial split (points concentrated at the
-                // boundary) — fall back to the object median.
-                let mid = n / 2;
-                items.select_nth_unstable_by(mid, |a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
-                mid
-            } else {
-                mid
-            }
-        }
-    };
-    let val = match rule {
-        SplitRule::ObjectMedian => items[mid].0[dim],
-        SplitRule::SpatialMedian => 0.5 * (bbox.min[dim] + bbox.max[dim]),
-    };
-    let (lo, hi) = items.split_at_mut(mid);
-    let (left, right) = if n >= SEQ_BUILD_CUTOFF {
-        rayon::join(
-            || build_recursive(lo, offset, rule, leaf_size),
-            || build_recursive(hi, offset + mid, rule, leaf_size),
-        )
-    } else {
-        (
-            build_recursive(lo, offset, rule, leaf_size),
-            build_recursive(hi, offset + mid, rule, leaf_size),
-        )
-    };
-    BuildNode::Internal {
-        bbox,
-        dim: dim as u8,
-        val,
-        start: offset,
-        end: offset + n,
-        left: Box::new(left),
-        right: Box::new(right),
-    }
-}
-
 /// Unstable in-place partition; returns the number of elements satisfying
 /// `pred`. Parallel for large slices (out-of-place pack + copy back).
 fn partition_by<const D: usize>(
     items: &mut [(Point<D>, u32)],
+    cutoff: usize,
     pred: impl Fn(&Point<D>) -> bool + Sync,
 ) -> usize {
     let n = items.len();
-    if n < SEQ_BUILD_CUTOFF {
+    if n < cutoff {
         let mut i = 0usize;
         let mut j = n;
         while i < j {
@@ -355,45 +468,40 @@ fn partition_by<const D: usize>(
     mid
 }
 
-fn flatten<const D: usize>(node: &BuildNode<D>, out: &mut Vec<Node<D>>) -> u32 {
-    let my = out.len() as u32;
-    match node {
-        BuildNode::Leaf { bbox, start, end } => {
-            out.push(Node {
-                bbox: *bbox,
-                dim: 0,
-                val: 0.0,
-                left: u32::MAX,
-                right: u32::MAX,
-                start: *start as u32,
-                end: *end as u32,
-            });
+/// Scatters the AoS work buffer into columns, in parallel chunks of
+/// `cutoff` rows.
+pub(crate) fn scatter_soa<const D: usize>(
+    items: &[(Point<D>, u32)],
+    cutoff: usize,
+) -> SoaPoints<D> {
+    let n = items.len();
+    let mut pts = SoaPoints::with_len(n);
+    if n < cutoff.max(2) {
+        for (i, &(p, id)) in items.iter().enumerate() {
+            pts.set(i, p, id);
         }
-        BuildNode::Internal {
-            bbox,
-            dim,
-            val,
-            start,
-            end,
-            left,
-            right,
-        } => {
-            out.push(Node {
-                bbox: *bbox,
-                dim: *dim,
-                val: *val,
-                left: 0,
-                right: 0,
-                start: *start as u32,
-                end: *end as u32,
-            });
-            let l = flatten(left, out);
-            let r = flatten(right, out);
-            out[my as usize].left = l;
-            out[my as usize].right = r;
-        }
+        return pts;
     }
-    my
+    let cols: Vec<SharedMut<f64>> = (0..D)
+        .map(|d| SharedMut(pts.axis_mut(d).as_mut_ptr()))
+        .collect();
+    let ids = SharedMut(pts.ids_mut().as_mut_ptr());
+    let chunks = n.div_ceil(cutoff);
+    (0..chunks).into_par_iter().for_each(|c| {
+        let lo = c * cutoff;
+        let hi = ((c + 1) * cutoff).min(n);
+        for d in 0..D {
+            let col = unsafe { cols[d].slice(lo, hi) };
+            for (x, (p, _)) in col.iter_mut().zip(&items[lo..hi]) {
+                *x = p.coords[d];
+            }
+        }
+        let out = unsafe { ids.slice(lo, hi) };
+        for (slot, (_, id)) in out.iter_mut().zip(&items[lo..hi]) {
+            *slot = *id;
+        }
+    });
+    pts
 }
 
 #[cfg(test)]
@@ -407,7 +515,7 @@ mod tests {
         fn go<const D: usize>(t: &KdTree<D>, i: u32, covered: &mut [bool]) {
             let n = t.node(i);
             for j in n.start..n.end {
-                assert!(n.bbox.contains(&t.points[j as usize]));
+                assert!(n.bbox.contains(&t.pts.get(j as usize)));
             }
             if n.is_leaf() {
                 for j in n.start..n.end {
@@ -429,7 +537,7 @@ mod tests {
         }
         assert!(covered.iter().all(|&c| c));
         // ids are a permutation.
-        let mut ids: Vec<u32> = t.ids.clone();
+        let mut ids: Vec<u32> = t.pts.ids().to_vec();
         ids.sort();
         assert_eq!(ids, (0..t.len() as u32).collect::<Vec<_>>());
     }
@@ -442,6 +550,7 @@ mod tests {
         check_structure(&t);
         // Object-median trees over distinct points are balanced.
         assert!(t.depth() <= 2 + (5_000f64 / 16.0).log2().ceil() as usize + 2);
+        assert!(t.arena_bytes() >= 5_000 * (3 * 8 + 4));
     }
 
     #[test]
@@ -501,5 +610,40 @@ mod tests {
         assert_eq!(t.node_count(), 1);
         let t2 = KdTree::build_with_leaf_size(&pts, SplitRule::ObjectMedian, 1);
         check_structure(&t2);
+    }
+
+    #[test]
+    fn build_params_answers_are_invariant() {
+        // Leaf size and sequential cutoff shift the leaf/split frontier
+        // but never the answers.
+        let pts = uniform_cube::<2>(6_000, 8);
+        let base = KdTree::build_with_params(&pts, SplitRule::ObjectMedian, BuildParams::default());
+        let queries: Vec<_> = pts.iter().copied().step_by(251).collect();
+        for params in [
+            BuildParams {
+                leaf_size: 1,
+                seq_cutoff: 64,
+            },
+            BuildParams {
+                leaf_size: 64,
+                seq_cutoff: 100_000,
+            },
+            BuildParams {
+                leaf_size: 7,
+                seq_cutoff: 2,
+            },
+        ] {
+            let t = KdTree::build_with_params(&pts, SplitRule::ObjectMedian, params);
+            check_structure(&t);
+            assert_eq!(t.leaf_size(), params.leaf_size);
+            for q in &queries {
+                assert_eq!(t.knn(q, 4), base.knn(q, 4));
+            }
+            let b = Bbox {
+                min: pts[0].min(&pts[1]),
+                max: pts[0].max(&pts[1]),
+            };
+            assert_eq!(t.range_box(&b), base.range_box(&b));
+        }
     }
 }

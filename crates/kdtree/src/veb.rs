@@ -17,10 +17,15 @@
 //! `O(n log n)` part), then computes the vEB slot permutation in two linear
 //! passes — same layout as the paper's one-pass Algorithm 1, expressed as
 //! build-then-permute.
+//!
+//! Storage is **flat**: the partitioned points land in one tree-level
+//! columnar [`SoaPoints`] arena and one liveness slab, and each leaf holds
+//! only a `[start, end)` range into them — no per-leaf heap allocations,
+//! so a 10M-point tree costs a handful of slabs instead of ~600k vectors.
 
 use crate::knn::KnnBuffer;
-use crate::tree::SplitRule;
-use pargeo_geometry::{Bbox, Point};
+use crate::tree::{scatter_soa, SplitRule};
+use pargeo_geometry::{Bbox, Point, SoaPoints};
 use pargeo_parlay as parlay;
 use rayon::prelude::*;
 
@@ -29,10 +34,12 @@ const SEQ_CUTOFF: usize = 4096;
 /// Default points per leaf.
 pub const VEB_LEAF_SIZE: usize = 16;
 
-#[derive(Debug, Clone)]
-struct VLeaf<const D: usize> {
-    points: Vec<(Point<D>, u32)>,
-    alive: Vec<bool>,
+/// A leaf's range `[start, end)` into the tree-level point arena plus its
+/// live (non-tombstoned) count.
+#[derive(Debug, Clone, Copy)]
+struct VLeaf {
+    start: u32,
+    end: u32,
     live: u32,
 }
 
@@ -59,7 +66,11 @@ impl<const D: usize> VNode<D> {
 #[derive(Debug, Clone)]
 pub struct VebTree<const D: usize> {
     nodes: Vec<VNode<D>>,
-    leaves: Vec<VLeaf<D>>,
+    leaves: Vec<VLeaf>,
+    /// Columnar point arena in build-partition order; leaves hold ranges.
+    pts: SoaPoints<D>,
+    /// Liveness of arena slot `i` (false = tombstoned).
+    alive: Vec<bool>,
     /// Current root slot (`u32::MAX` when the whole tree died).
     root: u32,
     live: usize,
@@ -80,9 +91,14 @@ struct ArenaNode<const D: usize> {
 
 impl<const D: usize> VebTree<D> {
     /// Builds a vEB tree over `(point, original id)` pairs
-    /// (object-median splits).
+    /// (object-median splits, leaf size from [`crate::tree::BuildParams`]
+    /// — so `PARGEO_LEAF` applies here too).
     pub fn build(items: &[(Point<D>, u32)]) -> Self {
-        Self::build_with(items, VEB_LEAF_SIZE, SplitRule::ObjectMedian)
+        Self::build_with(
+            items,
+            crate::tree::BuildParams::default().leaf_size,
+            SplitRule::ObjectMedian,
+        )
     }
 
     /// Builds with an explicit leaf size (object-median splits).
@@ -98,16 +114,20 @@ impl<const D: usize> VebTree<D> {
             return VebTree {
                 nodes: Vec::new(),
                 leaves: Vec::new(),
+                pts: SoaPoints::new(),
+                alive: Vec::new(),
                 root: u32::MAX,
                 live: 0,
             };
         }
         let mut work: Vec<(Point<D>, u32)> = items.to_vec();
-        // Phase 1: parallel balanced build into a boxed tree.
-        let boxed = build_boxed(&mut work, leaf_size, rule);
+        // Phase 1: parallel balanced build into a boxed tree. Leaves record
+        // ranges into `work`, whose partition order is final once a segment
+        // bottoms out.
+        let boxed = build_boxed(&mut work, 0, leaf_size, rule);
         // Phase 2: flatten to a preorder arena.
         let mut arena: Vec<ArenaNode<D>> = Vec::new();
-        let mut leaves: Vec<VLeaf<D>> = Vec::new();
+        let mut leaves: Vec<VLeaf> = Vec::new();
         let root_arena = flatten(boxed, &mut arena, &mut leaves);
         debug_assert_eq!(root_arena, 0);
         // Phase 3: compute the vEB slot of every arena node.
@@ -154,9 +174,13 @@ impl<const D: usize> VebTree<D> {
                 },
             };
         }
+        // Phase 5: columnar scatter of the partitioned points — one arena
+        // for the whole tree, leaves address it by range.
         VebTree {
             nodes,
             leaves,
+            pts: scatter_soa(&work, SEQ_CUTOFF),
+            alive: vec![true; items.len()],
             root: slot[0] as u32,
             live: items.len(),
         }
@@ -185,14 +209,21 @@ impl<const D: usize> VebTree<D> {
     /// All live `(point, id)` pairs.
     pub fn collect_live(&self) -> Vec<(Point<D>, u32)> {
         let mut out = Vec::with_capacity(self.live);
-        for leaf in &self.leaves {
-            for (i, &(p, id)) in leaf.points.iter().enumerate() {
-                if leaf.alive[i] {
-                    out.push((p, id));
-                }
+        for i in 0..self.pts.len() {
+            if self.alive[i] {
+                out.push((self.pts.get(i), self.pts.id(i)));
             }
         }
         out
+    }
+
+    /// Heap bytes held by the tree's flat arenas (node array, leaf table,
+    /// coordinate columns, liveness slab).
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<VNode<D>>()
+            + self.leaves.len() * std::mem::size_of::<VLeaf>()
+            + self.pts.bytes()
+            + self.alive.len() * std::mem::size_of::<bool>()
     }
 
     // ---------- deletion (Algorithm 2) ----------
@@ -205,12 +236,12 @@ impl<const D: usize> VebTree<D> {
             return 0;
         }
         let mut q: Vec<Point<D>> = queries.to_vec();
-        let (new_root, deleted) = erase_rec(
-            &SharedNodes(self.nodes.as_mut_ptr()),
-            self.leaves.as_mut_ptr(),
-            self.root,
-            &mut q,
-        );
+        let ctx = EraseCtx {
+            nodes: self.nodes.as_mut_ptr(),
+            leaves: self.leaves.as_mut_ptr(),
+            alive: self.alive.as_mut_ptr(),
+        };
+        let (new_root, deleted) = erase_rec(ctx, &self.pts, self.root, &mut q);
         self.root = new_root.unwrap_or(u32::MAX);
         self.live -= deleted;
         deleted
@@ -229,9 +260,9 @@ impl<const D: usize> VebTree<D> {
         let node = &self.nodes[idx as usize];
         if node.is_leaf() {
             let leaf = &self.leaves[node.leaf as usize];
-            for (i, &(p, id)) in leaf.points.iter().enumerate() {
-                if leaf.alive[i] {
-                    buf.insert(q.dist_sq(&p), id);
+            for i in leaf.start as usize..leaf.end as usize {
+                if self.alive[i] {
+                    buf.insert(self.pts.dist_sq(i, q), self.pts.id(i));
                 }
             }
             return;
@@ -278,9 +309,9 @@ impl<const D: usize> VebTree<D> {
         if node.is_leaf() {
             let leaf = &self.leaves[node.leaf as usize];
             let whole = query.contains_box(&node.bbox);
-            for (i, &(p, id)) in leaf.points.iter().enumerate() {
-                if leaf.alive[i] && (whole || query.contains(&p)) {
-                    out.push(id);
+            for i in leaf.start as usize..leaf.end as usize {
+                if self.alive[i] && (whole || query.contains_soa(&self.pts, i)) {
+                    out.push(self.pts.id(i));
                 }
             }
             return;
@@ -299,11 +330,8 @@ impl<const D: usize> VebTree<D> {
             if node.is_leaf() {
                 let leaf = &t.leaves[node.leaf as usize];
                 let whole = query.contains_box(&node.bbox);
-                return leaf
-                    .points
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, (p, _))| leaf.alive[*i] && (whole || query.contains(p)))
+                return (leaf.start as usize..leaf.end as usize)
+                    .filter(|&i| t.alive[i] && (whole || query.contains_soa(&t.pts, i)))
                     .count();
             }
             go(t, node.left, query) + go(t, node.right, query)
@@ -321,14 +349,17 @@ impl<const D: usize> VebTree<D> {
     }
 }
 
-// Boxed intermediate tree.
+// Boxed intermediate tree. Leaves carry `[start, end)` ranges into the
+// build work buffer — the points themselves stay put and scatter into the
+// tree-level columnar arena once at the end.
 enum Boxed<const D: usize> {
-    Leaf(Bbox<D>, Vec<(Point<D>, u32)>),
+    Leaf(Bbox<D>, usize, usize),
     Internal(Bbox<D>, u8, f64, Box<Boxed<D>>, Box<Boxed<D>>),
 }
 
 fn build_boxed<const D: usize>(
     items: &mut [(Point<D>, u32)],
+    offset: usize,
     leaf_size: usize,
     rule: SplitRule,
 ) -> Boxed<D> {
@@ -354,7 +385,7 @@ fn build_boxed<const D: usize>(
         }
     };
     if n <= leaf_size || bbox.diag_sq() == 0.0 {
-        return Boxed::Leaf(bbox, items.to_vec());
+        return Boxed::Leaf(bbox, offset, offset + n);
     }
     let dim = bbox.widest_dim();
     let (mid, val) = match rule {
@@ -394,13 +425,13 @@ fn build_boxed<const D: usize>(
     let (lo, hi) = items.split_at_mut(mid);
     let (l, r) = if n >= SEQ_CUTOFF {
         rayon::join(
-            || build_boxed(lo, leaf_size, rule),
-            || build_boxed(hi, leaf_size, rule),
+            || build_boxed(lo, offset, leaf_size, rule),
+            || build_boxed(hi, offset + mid, leaf_size, rule),
         )
     } else {
         (
-            build_boxed(lo, leaf_size, rule),
-            build_boxed(hi, leaf_size, rule),
+            build_boxed(lo, offset, leaf_size, rule),
+            build_boxed(hi, offset + mid, leaf_size, rule),
         )
     };
     Boxed::Internal(bbox, dim as u8, val, Box::new(l), Box::new(r))
@@ -409,16 +440,15 @@ fn build_boxed<const D: usize>(
 fn flatten<const D: usize>(
     b: Boxed<D>,
     arena: &mut Vec<ArenaNode<D>>,
-    leaves: &mut Vec<VLeaf<D>>,
+    leaves: &mut Vec<VLeaf>,
 ) -> usize {
     let my = arena.len();
     match b {
-        Boxed::Leaf(bbox, points) => {
-            let n = points.len();
+        Boxed::Leaf(bbox, start, end) => {
             leaves.push(VLeaf {
-                alive: vec![true; n],
-                live: n as u32,
-                points,
+                start: start as u32,
+                end: end as u32,
+                live: (end - start) as u32,
             });
             arena.push(ArenaNode {
                 bbox,
@@ -519,36 +549,38 @@ fn hyperceiling(n: usize) -> usize {
 
 // ---------- parallel erase ----------
 
-/// Raw shared pointer into the node array. Sound because concurrent
-/// recursive calls operate on disjoint subtrees (the tree is a tree).
+/// Raw shared pointers into the node array, leaf table, and liveness slab.
+/// Sound because concurrent recursive calls operate on disjoint subtrees
+/// (the tree is a tree), so they touch disjoint nodes, leaves, and
+/// disjoint `[start, end)` slab ranges.
 #[derive(Clone, Copy)]
-struct SharedNodes<const D: usize>(*mut VNode<D>);
-unsafe impl<const D: usize> Send for SharedNodes<D> {}
-unsafe impl<const D: usize> Sync for SharedNodes<D> {}
-
-#[derive(Clone, Copy)]
-struct SharedLeaves<const D: usize>(*mut VLeaf<D>);
-unsafe impl<const D: usize> Send for SharedLeaves<D> {}
-unsafe impl<const D: usize> Sync for SharedLeaves<D> {}
+struct EraseCtx<const D: usize> {
+    nodes: *mut VNode<D>,
+    leaves: *mut VLeaf,
+    alive: *mut bool,
+}
+unsafe impl<const D: usize> Send for EraseCtx<D> {}
+unsafe impl<const D: usize> Sync for EraseCtx<D> {}
 
 fn erase_rec<const D: usize>(
-    nodes: &SharedNodes<D>,
-    leaves_ptr: *mut VLeaf<D>,
+    ctx: EraseCtx<D>,
+    pts: &SoaPoints<D>,
     idx: u32,
     queries: &mut [Point<D>],
 ) -> (Option<u32>, usize) {
-    // SAFETY: each recursive call touches only node `idx`, its leaf payload
-    // and its descendants; sibling calls are disjoint.
-    let node = unsafe { &mut *nodes.0.add(idx as usize) };
+    // SAFETY: each recursive call touches only node `idx`, its leaf entry,
+    // its slab range, and its descendants; sibling calls are disjoint.
+    let node = unsafe { &mut *ctx.nodes.add(idx as usize) };
     if node.is_leaf() {
-        let leaf = unsafe { &mut *leaves_ptr.add(node.leaf as usize) };
+        let leaf = unsafe { &mut *ctx.leaves.add(node.leaf as usize) };
         let mut deleted = 0usize;
         for q in queries.iter() {
-            for (i, (p, _)) in leaf.points.iter().enumerate() {
+            for i in leaf.start as usize..leaf.end as usize {
                 // Bitwise identity (`Point::bits_key`) — the library-wide
                 // delete-by-value semantic shared by every backend.
-                if leaf.alive[i] && p.bits_key() == q.bits_key() {
-                    leaf.alive[i] = false;
+                let alive = unsafe { &mut *ctx.alive.add(i) };
+                if *alive && pts.get(i).bits_key() == q.bits_key() {
+                    *alive = false;
                     leaf.live -= 1;
                     deleted += 1;
                 }
@@ -573,25 +605,21 @@ fn erase_rec<const D: usize>(
             qr.push(*q);
         }
     }
-    let leaves = SharedLeaves(leaves_ptr);
     let (left, right) = (node.left, node.right);
     let ((l_new, dl), (r_new, dr)) = if ql.len() + qr.len() >= SEQ_CUTOFF {
-        let nodes2 = *nodes;
         rayon::join(
             move || {
-                let leaves = leaves;
                 if ql.is_empty() {
                     (Some(left), 0)
                 } else {
-                    erase_rec(&nodes2, leaves.0, left, &mut ql)
+                    erase_rec(ctx, pts, left, &mut ql)
                 }
             },
             move || {
-                let leaves = leaves;
                 if qr.is_empty() {
                     (Some(right), 0)
                 } else {
-                    erase_rec(&nodes2, leaves.0, right, &mut qr)
+                    erase_rec(ctx, pts, right, &mut qr)
                 }
             },
         )
@@ -600,12 +628,12 @@ fn erase_rec<const D: usize>(
             if ql.is_empty() {
                 (Some(left), 0)
             } else {
-                erase_rec(nodes, leaves_ptr, left, &mut ql)
+                erase_rec(ctx, pts, left, &mut ql)
             },
             if qr.is_empty() {
                 (Some(right), 0)
             } else {
-                erase_rec(nodes, leaves_ptr, right, &mut qr)
+                erase_rec(ctx, pts, right, &mut qr)
             },
         )
     };

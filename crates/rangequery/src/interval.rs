@@ -16,6 +16,12 @@
 //! intervals crossing its center sorted by left endpoint (ascending) and by
 //! right endpoint (descending), so a stab reports `k` intervals in
 //! `O(log n + k)`.
+//!
+//! The finished tree is **flat**: nodes live in one preorder arena with
+//! `u32` child indices, and every node's crossing lists occupy a
+//! `[start, end)` range of two shared slabs — three allocations total
+//! instead of four-plus per node, so a stab walk touches contiguous
+//! memory.
 
 use crate::batch::{BatchQuery, Count, Report};
 use pargeo_parlay::{par_do, sample_sort_by};
@@ -23,19 +29,27 @@ use pargeo_parlay::{par_do, sample_sort_by};
 /// Recursion size below which the build runs sequentially.
 const SEQ_BUILD_CUTOFF: usize = 2048;
 
-/// One node of the centered tree.
-#[derive(Debug, Clone)]
+/// One arena node of the centered tree. Crossing intervals occupy
+/// `[start, end)` of both shared slabs; `u32::MAX` marks a missing child.
+#[derive(Debug, Clone, Copy)]
 struct Node {
     /// The partition point: every stored interval satisfies `l ≤ c ≤ r`.
     center: f64,
-    /// Crossing intervals as `(l, id)`, sorted by `l` ascending.
+    /// Arena index of the subtree entirely left of `center` (`r < c`).
+    left: u32,
+    /// Arena index of the subtree entirely right of `center` (`l > c`).
+    right: u32,
+    start: u32,
+    end: u32,
+}
+
+/// Transient build-time node (freed once flattened into the arena).
+struct Boxed {
+    center: f64,
     by_left: Vec<(f64, u32)>,
-    /// Crossing intervals as `(r, id)`, sorted by `r` descending.
     by_right: Vec<(f64, u32)>,
-    /// Subtree of intervals entirely left of `center` (`r < c`).
-    left: Option<Box<Node>>,
-    /// Subtree of intervals entirely right of `center` (`l > c`).
-    right: Option<Box<Node>>,
+    left: Option<Box<Boxed>>,
+    right: Option<Box<Boxed>>,
 }
 
 /// A static set of closed 1D intervals supporting stabbing and
@@ -47,7 +61,14 @@ pub struct IntervalTree {
     lefts: Vec<f64>,
     /// All right endpoints, sorted ascending.
     rights: Vec<f64>,
-    root: Option<Box<Node>>,
+    /// Preorder node arena (`nodes[0]` is the root when non-empty).
+    nodes: Vec<Node>,
+    /// Crossing intervals as `(l, id)`, per-node ranges sorted by `l`
+    /// ascending.
+    by_left: Vec<(f64, u32)>,
+    /// Crossing intervals as `(r, id)`, per-node ranges sorted by `r`
+    /// descending.
+    by_right: Vec<(f64, u32)>,
 }
 
 impl IntervalTree {
@@ -71,11 +92,20 @@ impl IntervalTree {
                 )
             },
         );
+        // Flatten the build-time tree into the preorder arena + slabs.
+        let mut nodes = Vec::new();
+        let mut by_left = Vec::with_capacity(n);
+        let mut by_right = Vec::with_capacity(n);
+        if let Some(root) = root {
+            flatten(&root, &mut nodes, &mut by_left, &mut by_right);
+        }
         Self {
             n,
             lefts,
             rights,
-            root,
+            nodes,
+            by_left,
+            by_right,
         }
     }
 
@@ -99,26 +129,27 @@ impl IntervalTree {
     /// Ids of all intervals containing `x`, sorted ascending.
     pub fn stab_report(&self, x: f64) -> Vec<u32> {
         let mut out = Vec::new();
-        let mut node = self.root.as_deref();
-        while let Some(nd) = node {
+        let mut idx = if self.nodes.is_empty() { u32::MAX } else { 0 };
+        while idx != u32::MAX {
+            let nd = &self.nodes[idx as usize];
             if x < nd.center {
-                for &(l, id) in &nd.by_left {
+                for &(l, id) in &self.by_left[nd.start as usize..nd.end as usize] {
                     if l <= x {
                         out.push(id);
                     } else {
                         break;
                     }
                 }
-                node = nd.left.as_deref();
+                idx = nd.left;
             } else {
-                for &(r, id) in &nd.by_right {
+                for &(r, id) in &self.by_right[nd.start as usize..nd.end as usize] {
                     if r >= x {
                         out.push(id);
                     } else {
                         break;
                     }
                 }
-                node = nd.right.as_deref();
+                idx = nd.right;
             }
         }
         out.sort_unstable();
@@ -132,13 +163,56 @@ impl IntervalTree {
         let gone = self.rights.partition_point(|&r| r < a);
         possible - gone
     }
+
+    /// Heap bytes held by the flat arenas (node array, crossing slabs,
+    /// sorted endpoint columns).
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + (self.by_left.len() + self.by_right.len()) * std::mem::size_of::<(f64, u32)>()
+            + (self.lefts.len() + self.rights.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// Number of arena nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Preorder arena flatten: appends `b`'s crossing lists to the shared
+/// slabs, then recurses. Returns the arena index of the flattened node.
+fn flatten(
+    b: &Boxed,
+    nodes: &mut Vec<Node>,
+    by_left: &mut Vec<(f64, u32)>,
+    by_right: &mut Vec<(f64, u32)>,
+) -> u32 {
+    let my = nodes.len() as u32;
+    let start = by_left.len() as u32;
+    by_left.extend_from_slice(&b.by_left);
+    by_right.extend_from_slice(&b.by_right);
+    nodes.push(Node {
+        center: b.center,
+        left: u32::MAX,
+        right: u32::MAX,
+        start,
+        end: by_left.len() as u32,
+    });
+    if let Some(l) = &b.left {
+        let li = flatten(l, nodes, by_left, by_right);
+        nodes[my as usize].left = li;
+    }
+    if let Some(r) = &b.right {
+        let ri = flatten(r, nodes, by_left, by_right);
+        nodes[my as usize].right = ri;
+    }
+    my
 }
 
 /// Recursive centered build: center = median interval midpoint; crossing
 /// intervals stay at the node, the rest split left/right and recurse in
 /// parallel. Both sides shrink strictly (at least one midpoint lies on each
 /// side of the median), so depth is bounded even on adversarial inputs.
-fn build_node(items: &mut [(f64, f64, u32)]) -> Option<Box<Node>> {
+fn build_node(items: &mut [(f64, f64, u32)]) -> Option<Box<Boxed>> {
     if items.is_empty() {
         return None;
     }
@@ -174,7 +248,7 @@ fn build_node(items: &mut [(f64, f64, u32)]) -> Option<Box<Node>> {
     } else {
         (build_node(&mut left_items), build_node(&mut right_items))
     };
-    Some(Box::new(Node {
+    Some(Box::new(Boxed {
         center,
         by_left,
         by_right,

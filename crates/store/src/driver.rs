@@ -55,6 +55,12 @@ pub struct StoreReport {
     /// (single-element when unsharded); sums to `final_live`, and the
     /// spread across entries is the router's balance diagnostic.
     pub shard_live: Vec<usize>,
+    /// Heap bytes held by the index's flat arenas after the final
+    /// operation (the `index_arena_bytes` gauge's closing value).
+    pub arena_bytes: usize,
+    /// Structure nodes allocated across the index's arenas after the
+    /// final operation (the `index_nodes_total` gauge's closing value).
+    pub index_nodes: usize,
 }
 
 impl StoreReport {
@@ -149,7 +155,10 @@ pub fn run_store_workload<const D: usize>(
         r.digest = fold(r.digest, &resp, &mut r.errors);
     }
     r.final_live = store.len();
-    r.cache = store.stats().cache;
+    let stats = store.stats();
+    r.cache = stats.cache;
+    r.arena_bytes = stats.snapshot.arena_bytes;
+    r.index_nodes = stats.snapshot.nodes;
     r.write_lat = write_h.summary();
     r.read_lat = read_h.summary();
     r.derived_lat = derived_h.summary();

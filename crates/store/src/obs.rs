@@ -80,11 +80,22 @@ pub(crate) struct StoreObs {
     /// prefilter removed ahead of wholesale 2D hull recomputes (only
     /// moves when the store was built with `.prefilter(true)`).
     pub prefilter_discarded: Arc<Counter>,
+    /// `index_arena_bytes{backend=..}` — heap bytes held by the backing
+    /// index's flat arenas (node slabs, coordinate columns, id/liveness
+    /// slabs, insert buffers), refreshed from the index [`Snapshot`]
+    /// (pargeo_engine::Snapshot) at every write epoch.
+    pub index_arena_bytes: Arc<Gauge>,
+    /// `index_nodes_total{backend=..}` — structure nodes currently
+    /// allocated across the backing index's arenas, refreshed alongside
+    /// [`Self::index_arena_bytes`].
+    pub index_nodes: Arc<Gauge>,
 }
 
 impl StoreObs {
     /// Registers every store-level metric family against `registry`.
-    pub(crate) fn new(registry: Arc<Registry>, level: ObsLevel) -> Self {
+    /// `backend` labels the index memory gauges so multi-store registries
+    /// keep one time series per backend.
+    pub(crate) fn new(registry: Arc<Registry>, level: ObsLevel, backend: &'static str) -> Self {
         let requests = CLASSES
             .iter()
             .map(|c| registry.counter("geostore_requests_total", &[("class", c)]))
@@ -103,6 +114,8 @@ impl StoreObs {
         let pipeline_runs = registry.counter("geostore_pipeline_runs_total", &[]);
         let pipeline_overlapped = registry.counter("geostore_pipeline_overlapped_total", &[]);
         let prefilter_discarded = registry.counter("geostore_prefilter_discarded_total", &[]);
+        let index_arena_bytes = registry.gauge("index_arena_bytes", &[("backend", backend)]);
+        let index_nodes = registry.gauge("index_nodes_total", &[("backend", backend)]);
         Self {
             registry,
             level,
@@ -115,6 +128,44 @@ impl StoreObs {
             pipeline_runs,
             pipeline_overlapped,
             prefilter_discarded,
+            index_arena_bytes,
+            index_nodes,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GeoStore;
+    use pargeo_datagen::uniform_cube;
+    use pargeo_obs::ObsLevel;
+
+    #[test]
+    fn memory_gauges_track_the_index_snapshot() {
+        let mut store = GeoStore::<2>::builder().observe(ObsLevel::Metrics).build();
+        store
+            .run(crate::Request::Insert(uniform_cube::<2>(2_000, 7)))
+            .expect("insert");
+        let snap = store.stats().snapshot;
+        assert!(snap.arena_bytes > 0);
+        assert!(snap.nodes > 0);
+        let text = store
+            .registry()
+            .expect("observed store")
+            .render_prometheus();
+        assert!(
+            text.contains(&format!(
+                "index_arena_bytes{{backend=\"dyn-kd\"}} {}",
+                snap.arena_bytes
+            )),
+            "gauge missing or stale:\n{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "index_nodes_total{{backend=\"dyn-kd\"}} {}",
+                snap.nodes
+            )),
+            "gauge missing or stale:\n{text}"
+        );
     }
 }

@@ -311,7 +311,7 @@ impl<const D: usize> GeoStoreBuilder<D> {
             };
         GeoStore {
             index,
-            obs: registry.map(|r| Arc::new(StoreObs::new(r, self.observe))),
+            obs: registry.map(|r| Arc::new(StoreObs::new(r, self.observe, self.backend.label()))),
             backend: self.backend,
             shard_count,
             pool,
@@ -925,6 +925,9 @@ impl<const D: usize> GeoStore<D> {
         self.write_epoch += 1;
         if let Some(o) = &self.obs {
             o.epochs.inc();
+            let s = self.index.snapshot();
+            o.index_arena_bytes.set(s.arena_bytes as i64);
+            o.index_nodes.set(s.nodes as i64);
         }
         self.live_view = None;
         if !self.incremental {

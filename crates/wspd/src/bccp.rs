@@ -45,11 +45,13 @@ fn bccp_rec<const D: usize>(
     let cb = tb.node_children(b);
     match (ca, cb) {
         (None, None) => {
-            for (pa, &ia) in ta.node_points(a).iter().zip(ta.node_point_ids(a)) {
-                for (pb, &ib) in tb.node_points(b).iter().zip(tb.node_point_ids(b)) {
-                    let d = pa.dist_sq(pb);
+            for i in ta.node_range(a) {
+                let pa = ta.point_at(i);
+                let ia = ta.original_id(i);
+                for j in tb.node_range(b) {
+                    let d = tb.points().dist_sq(j, &pa);
                     if d < best.2 {
-                        *best = (ia, ib, d);
+                        *best = (ia, tb.original_id(j), d);
                     }
                 }
             }

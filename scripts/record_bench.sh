@@ -9,18 +9,21 @@ cd "$(dirname "$0")/.."
 N="${PARGEO_N:-50000}"
 BINARIES=("$@")
 if [ ${#BINARIES[@]} -eq 0 ]; then
-    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore shard_sweep incr_derived snapshot_pipeline sched_sweep)
+    BINARIES=(table1 fig8_hull2d rangequery dyn_engine geostore shard_sweep incr_derived snapshot_pipeline sched_sweep scale_sweep)
 fi
 
 cargo build --release -p pargeo-bench 2>&1 | tail -1
 
 for bin in "${BINARIES[@]}"; do
     # The shard sweep records as BENCH_shard.json (the sharding baseline),
-    # the snapshot pipeline as BENCH_snapshot.json, and the scheduler
-    # sweep as BENCH_sched.json.
+    # the snapshot pipeline as BENCH_snapshot.json, the scheduler sweep as
+    # BENCH_sched.json, and the scale sweep as BENCH_scale.json. The scale
+    # sweep sizes itself from PARGEO_SCALE (default tops out at 10^6; set
+    # PARGEO_SCALE=full for the 10^7 tier), not PARGEO_N.
     out="${bin/shard_sweep/shard}"
     out="${out/snapshot_pipeline/snapshot}"
-    out="BENCH_${out/sched_sweep/sched}.json"
+    out="${out/sched_sweep/sched}"
+    out="BENCH_${out/scale_sweep/scale}.json"
     echo "recording ${bin} (PARGEO_N=${N}) -> ${out}"
     PARGEO_N="$N" "./target/release/${bin}" | python3 scripts/bench_to_json.py \
         --binary "$bin" --n "$N" > "$out"
